@@ -1,0 +1,308 @@
+(* msyn: the mixsyn command-line driver.
+
+   One subcommand per stage of the mixed-signal flow, mirroring the paper's
+   structure: frontend (topo, size, table1), backend (layout), system
+   assembly (floorplan, powergrid, wren) and the full flow (flow). *)
+
+open Cmdliner
+
+let find_template name =
+  match
+    List.find_opt
+      (fun t -> t.Mixsyn_circuit.Template.t_name = name)
+      Mixsyn_circuit.Topology.all
+  with
+  | Some t -> t
+  | None ->
+    Printf.eprintf "unknown topology %s; available:\n" name;
+    List.iter
+      (fun (t : Mixsyn_circuit.Template.t) ->
+        Printf.eprintf "  %s - %s\n" t.Mixsyn_circuit.Template.t_name
+          t.Mixsyn_circuit.Template.description)
+      Mixsyn_circuit.Topology.all;
+    exit 1
+
+let specs_of ~gain ~ugf ~pm =
+  [ Mixsyn_synth.Spec.spec "gain_db" (Mixsyn_synth.Spec.At_least gain);
+    Mixsyn_synth.Spec.spec "ugf_hz" (Mixsyn_synth.Spec.At_least ugf);
+    Mixsyn_synth.Spec.spec "phase_margin_deg" (Mixsyn_synth.Spec.At_least pm) ]
+
+let objectives = [ Mixsyn_synth.Spec.minimize "power_w" ]
+
+(* common arguments *)
+let gain_arg =
+  Arg.(value & opt float 70.0 & info [ "gain" ] ~docv:"DB" ~doc:"Minimum DC gain in dB.")
+
+let ugf_arg =
+  Arg.(value & opt float 10e6 & info [ "ugf" ] ~docv:"HZ" ~doc:"Minimum unity-gain frequency.")
+
+let pm_arg =
+  Arg.(value & opt float 60.0 & info [ "pm" ] ~docv:"DEG" ~doc:"Minimum phase margin.")
+
+let cl_arg =
+  Arg.(value & opt float 5e-12 & info [ "cl" ] ~docv:"F" ~doc:"Load capacitance.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let topology_arg =
+  Arg.(value & opt string "miller-ota" & info [ "topology" ] ~docv:"NAME" ~doc:"Topology name.")
+
+let strategy_arg =
+  Arg.(value & opt string "sim"
+       & info [ "strategy" ] ~docv:"S" ~doc:"Sizing strategy: plan, eq, awe or sim.")
+
+(* --- size ------------------------------------------------------------ *)
+
+let size_cmd =
+  let run topology strategy gain ugf pm cl seed =
+    let template = find_template topology in
+    let strategy =
+      match strategy with
+      | "plan" ->
+        let plan =
+          match
+            List.find_opt
+              (fun (p : Mixsyn_synth.Design_plan.t) ->
+                p.Mixsyn_synth.Design_plan.topology.Mixsyn_circuit.Template.t_name = topology)
+              Mixsyn_synth.Design_plan.all
+          with
+          | Some p -> p
+          | None ->
+            Printf.eprintf "no design plan for %s\n" topology;
+            exit 1
+        in
+        Mixsyn_synth.Sizing.Design_plan plan
+      | "eq" -> Mixsyn_synth.Sizing.Equation_annealing
+      | "awe" -> Mixsyn_synth.Sizing.Awe_annealing
+      | _ -> Mixsyn_synth.Sizing.Simulation_annealing
+    in
+    let result =
+      Mixsyn_synth.Sizing.size ~seed ~context:[ ("cl", cl); ("load_cap_f", cl) ] strategy
+        template ~specs:(specs_of ~gain ~ugf ~pm) ~objectives
+    in
+    Format.printf "%a@." Mixsyn_synth.Sizing.pp_result result;
+    Array.iteri
+      (fun i p ->
+        Format.printf "  %-6s = %s@." p.Mixsyn_circuit.Template.p_name
+          (Mixsyn_util.Units.format result.Mixsyn_synth.Sizing.params.(i) ""))
+      template.Mixsyn_circuit.Template.params
+  in
+  Cmd.v (Cmd.info "size" ~doc:"Size a topology against specifications.")
+    Term.(const run $ topology_arg $ strategy_arg $ gain_arg $ ugf_arg $ pm_arg $ cl_arg $ seed_arg)
+
+(* --- topo ------------------------------------------------------------ *)
+
+let topo_cmd =
+  let run gain ugf pm =
+    let specs = specs_of ~gain ~ugf ~pm in
+    let feasible = Mixsyn_synth.Topo_select.interval_feasible specs Mixsyn_circuit.Topology.all in
+    Format.printf "interval-feasible: %s@."
+      (String.concat ", "
+         (List.map (fun (t : Mixsyn_circuit.Template.t) -> t.Mixsyn_circuit.Template.t_name) feasible));
+    List.iter
+      (fun (v : Mixsyn_synth.Topo_select.verdict) ->
+        Format.printf "%-16s score %6.2f@." v.Mixsyn_synth.Topo_select.template.Mixsyn_circuit.Template.t_name
+          v.Mixsyn_synth.Topo_select.score;
+        List.iter (Format.printf "    %s@.") v.Mixsyn_synth.Topo_select.rationale)
+      (Mixsyn_synth.Topo_select.rule_based specs Mixsyn_circuit.Topology.all)
+  in
+  Cmd.v (Cmd.info "topo" ~doc:"Rank candidate topologies for a specification set.")
+    Term.(const run $ gain_arg $ ugf_arg $ pm_arg)
+
+(* --- layout ----------------------------------------------------------- *)
+
+let layout_cmd =
+  let run topology seed =
+    let template = find_template topology in
+    let tech = Mixsyn_circuit.Tech.generic_07um in
+    let params = Mixsyn_circuit.Template.midpoint template in
+    let nl = template.Mixsyn_circuit.Template.build tech params in
+    let koan = Mixsyn_layout.Cell_flow.koan ~seed nl in
+    let proc = Mixsyn_layout.Cell_flow.procedural ~style:0 nl in
+    let show (r : Mixsyn_layout.Cell_flow.report) =
+      Format.printf "%-20s area %8.0f um2  wire %7.1f um  vias %3d  %s@."
+        r.Mixsyn_layout.Cell_flow.flow_name
+        (r.Mixsyn_layout.Cell_flow.area_m2 *. 1e12)
+        (r.Mixsyn_layout.Cell_flow.wirelength_m *. 1e6)
+        r.Mixsyn_layout.Cell_flow.vias
+        (if r.Mixsyn_layout.Cell_flow.complete then "routed" else "INCOMPLETE")
+    in
+    show proc;
+    show koan
+  in
+  Cmd.v (Cmd.info "layout" ~doc:"Lay out a midpoint-sized topology, procedural vs KOAN.")
+    Term.(const run $ topology_arg $ seed_arg)
+
+(* --- table1 ----------------------------------------------------------- *)
+
+let table1_cmd =
+  let run seed moves =
+    let rows = Mixsyn_synth.Pulse_detector.table1 ~seed ~moves () in
+    Format.printf "%a@." Mixsyn_synth.Pulse_detector.pp_rows rows
+  in
+  let moves_arg =
+    Arg.(value & opt int 40 & info [ "moves" ] ~docv:"N" ~doc:"Annealing moves per stage.")
+  in
+  Cmd.v (Cmd.info "table1" ~doc:"Reproduce the paper's Table 1 synthesis experiment.")
+    Term.(const run $ seed_arg $ moves_arg)
+
+(* --- floorplan / powergrid / wren -------------------------------------- *)
+
+let floorplan_cmd =
+  let run seed =
+    let blocks = Mixsyn_assembly.Block.data_channel_testbench () in
+    let fp = Mixsyn_assembly.Floorplan.floorplan ~seed blocks in
+    Format.printf "chip %.2f x %.2f mm, wirelength %.2f mm@."
+      (fp.Mixsyn_assembly.Floorplan.chip_w *. 1e3)
+      (fp.Mixsyn_assembly.Floorplan.chip_h *. 1e3)
+      (fp.Mixsyn_assembly.Floorplan.fp_wirelength *. 1e3);
+    List.iter
+      (fun (p : Mixsyn_assembly.Floorplan.placement) ->
+        Format.printf "  %-14s at (%.2f, %.2f) mm%s@."
+          p.Mixsyn_assembly.Floorplan.block.Mixsyn_assembly.Block.b_name
+          (p.Mixsyn_assembly.Floorplan.x *. 1e3) (p.Mixsyn_assembly.Floorplan.y *. 1e3)
+          (if p.Mixsyn_assembly.Floorplan.rotated then " (rotated)" else ""))
+      fp.Mixsyn_assembly.Floorplan.placements;
+    List.iter
+      (fun (name, v) -> Format.printf "  substrate noise at %-14s %.1f mV@." name (v *. 1e3))
+      fp.Mixsyn_assembly.Floorplan.victim_noise
+  in
+  Cmd.v (Cmd.info "floorplan" ~doc:"WRIGHT-style substrate-aware floorplan of the testbench chip.")
+    Term.(const run $ seed_arg)
+
+let powergrid_cmd =
+  let run seed =
+    let blocks = Mixsyn_assembly.Block.data_channel_testbench () in
+    let fp = Mixsyn_assembly.Floorplan.floorplan ~seed blocks in
+    let r = Mixsyn_assembly.Power_grid.synthesize fp in
+    let show name (m : Mixsyn_assembly.Power_grid.metrics) =
+      Format.printf "%-8s ir %5.2f%%  spike %5.2f%%  victim %5.2f%%  em %5.2fx  metal %.3f mm2@."
+        name
+        (m.Mixsyn_assembly.Power_grid.ir_drop *. 100.)
+        (m.Mixsyn_assembly.Power_grid.spike *. 100.)
+        (m.Mixsyn_assembly.Power_grid.victim_bounce *. 100.)
+        m.Mixsyn_assembly.Power_grid.em_overload
+        (m.Mixsyn_assembly.Power_grid.metal_area *. 1e6)
+    in
+    show "before" r.Mixsyn_assembly.Power_grid.before;
+    show "after" r.Mixsyn_assembly.Power_grid.after;
+    Format.printf "%d iterations, constraints %s@." r.Mixsyn_assembly.Power_grid.iterations
+      (if r.Mixsyn_assembly.Power_grid.meets then "MET" else "violated")
+  in
+  Cmd.v (Cmd.info "powergrid" ~doc:"RAIL-style power-grid synthesis (the Fig. 3 experiment).")
+    Term.(const run $ seed_arg)
+
+let wren_cmd =
+  let run seed =
+    let blocks = Mixsyn_assembly.Block.data_channel_testbench () in
+    let fp = Mixsyn_assembly.Floorplan.floorplan ~seed blocks in
+    List.iter
+      (fun (name, mode) ->
+        let r = Mixsyn_assembly.Wren.route ~mode fp in
+        Format.printf "%-12s routed %d/%d  length %.1f mm  shared-with-aggressor %.0f um@."
+          name
+          (List.length r.Mixsyn_assembly.Wren.routed)
+          (List.length r.Mixsyn_assembly.Wren.routed + List.length r.Mixsyn_assembly.Wren.unrouted)
+          (r.Mixsyn_assembly.Wren.total_length *. 1e3)
+          (r.Mixsyn_assembly.Wren.shared_length *. 1e6))
+      [ ("noise-blind", Mixsyn_assembly.Wren.Noise_blind);
+        ("snr", Mixsyn_assembly.Wren.Snr_constrained);
+        ("segregated", Mixsyn_assembly.Wren.Segregated) ]
+  in
+  Cmd.v (Cmd.info "wren" ~doc:"WREN global routing under the three noise disciplines.")
+    Term.(const run $ seed_arg)
+
+(* --- hierarchy ---------------------------------------------------------- *)
+
+let hierarchy_cmd =
+  let run gain ugf =
+    let specs =
+      [ Mixsyn_synth.Spec.spec "gain_db" (Mixsyn_synth.Spec.At_least gain);
+        Mixsyn_synth.Spec.spec "ugf_hz" (Mixsyn_synth.Spec.At_least ugf) ]
+    in
+    let r = Mixsyn_synth.Hierarchy.design Mixsyn_synth.Hierarchy.two_stage_amplifier specs in
+    Format.printf "%a@." Mixsyn_synth.Hierarchy.pp r;
+    Format.printf "chain specs %s@."
+      (if Mixsyn_synth.Hierarchy.meets r specs then "MET" else "violated")
+  in
+  Cmd.v
+    (Cmd.info "hierarchy"
+       ~doc:"Hierarchical top-down/bottom-up design of a two-stage amplification chain.")
+    Term.(const run $ gain_arg $ ugf_arg)
+
+(* --- yield --------------------------------------------------------------- *)
+
+let yield_cmd =
+  let run gain ugf pm seed =
+    let specs = specs_of ~gain ~ugf ~pm in
+    let report =
+      Mixsyn_synth.Manufacturability.synthesize ~seed Mixsyn_circuit.Topology.miller_ota
+        ~specs ~objectives
+    in
+    let y which params =
+      let v =
+        Mixsyn_synth.Manufacturability.yield_estimate Mixsyn_circuit.Topology.miller_ota
+          params ~specs
+      in
+      Format.printf "%-22s yield %5.1f%%@." which (100.0 *. v)
+    in
+    y "nominal sizing" report.Mixsyn_synth.Manufacturability.nominal.Mixsyn_synth.Sizing.params;
+    y "corner-robust sizing" report.Mixsyn_synth.Manufacturability.robust.Mixsyn_synth.Sizing.params;
+    Format.printf "corner-synthesis CPU overhead: %.1fx@."
+      report.Mixsyn_synth.Manufacturability.cpu_ratio
+  in
+  Cmd.v
+    (Cmd.info "yield" ~doc:"Monte-Carlo parametric yield of nominal vs corner-robust sizing.")
+    Term.(const run $ gain_arg $ ugf_arg $ pm_arg $ seed_arg)
+
+(* --- adc ----------------------------------------------------------------- *)
+
+let adc_cmd =
+  let bits_arg = Arg.(value & opt int 10 & info [ "bits" ] ~docv:"N" ~doc:"Resolution.") in
+  let rate_arg =
+    Arg.(value & opt float 1e6 & info [ "rate" ] ~docv:"HZ" ~doc:"Sample rate.")
+  in
+  let run bits rate seed =
+    let module C = Mixsyn_synth.Converter in
+    let spec = { C.bits; rate_hz = rate; vref = 2.0 } in
+    let estimates, _ = C.select spec in
+    List.iter
+      (fun (e : C.estimate) ->
+        Format.printf "%-12s %s@." (C.architecture_name e.C.arch)
+          (if e.C.feasible then Mixsyn_util.Units.format e.C.power_w "W"
+           else "infeasible: " ^ Option.value e.C.infeasible_reason ~default:"?"))
+      estimates;
+    let s = C.synthesize ~seed spec in
+    Format.printf "chosen: %s; comparator sized at device level: %s, specs %s@."
+      (C.architecture_name s.C.chosen.C.arch)
+      (Mixsyn_util.Units.format
+         (Option.value
+            (Mixsyn_synth.Spec.lookup s.C.comparator.Mixsyn_synth.Sizing.performance "power_w")
+            ~default:0.0)
+         "W")
+      (if s.C.comparator.Mixsyn_synth.Sizing.meets_specs then "MET" else "MISSED")
+  in
+  Cmd.v
+    (Cmd.info "adc" ~doc:"High-level A/D converter synthesis: architecture selection and comparator sizing.")
+    Term.(const run $ bits_arg $ rate_arg $ seed_arg)
+
+(* --- flow -------------------------------------------------------------- *)
+
+let flow_cmd =
+  let run gain ugf pm cl seed =
+    let o =
+      Mixsyn_flow.Flow.run ~seed ~specs:(specs_of ~gain ~ugf ~pm) ~objectives
+        ~context:[ ("cl", cl) ] ()
+    in
+    Format.printf "%a@." Mixsyn_flow.Flow.pp_outcome o
+  in
+  Cmd.v (Cmd.info "flow" ~doc:"Full top-to-bottom flow: specs to verified layout.")
+    Term.(const run $ gain_arg $ ugf_arg $ pm_arg $ cl_arg $ seed_arg)
+
+let main =
+  let doc = "mixed-signal circuit synthesis and layout (DAC'96 reproduction)" in
+  Cmd.group
+    (Cmd.info "msyn" ~version:"1.0.0" ~doc)
+    [ size_cmd; topo_cmd; layout_cmd; table1_cmd; floorplan_cmd; powergrid_cmd; wren_cmd; hierarchy_cmd; yield_cmd; adc_cmd; flow_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/mixed_signal_chip.ml: Format List Mixsyn_assembly

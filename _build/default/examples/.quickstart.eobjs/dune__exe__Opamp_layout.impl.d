@@ -1,0 +1,1 @@
+examples/opamp_layout.ml: Format List Mixsyn_circuit Mixsyn_layout

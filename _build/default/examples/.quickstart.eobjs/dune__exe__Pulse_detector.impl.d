@@ -1,0 +1,1 @@
+examples/pulse_detector.ml: Array Format Mixsyn_circuit Mixsyn_engine Mixsyn_synth Mixsyn_util

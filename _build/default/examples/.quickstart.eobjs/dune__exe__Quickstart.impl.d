@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Mixsyn_circuit Mixsyn_synth Mixsyn_util

@@ -1,0 +1,1 @@
+examples/sc_filter_compiler.ml: Array Filename Format List Mixsyn_circuit Mixsyn_engine Mixsyn_layout String

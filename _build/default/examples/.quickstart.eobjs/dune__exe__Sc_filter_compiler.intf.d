@@ -1,0 +1,1 @@
+examples/sc_filter_compiler.mli:

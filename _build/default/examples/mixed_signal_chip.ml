@@ -1,0 +1,66 @@
+(* Mixed-signal system assembly on a synthetic data-channel chip (the
+   Fig. 3 setting): WRIGHT substrate-aware floorplanning, WREN global
+   routing under SNR constraints, and RAIL power-grid synthesis.
+
+   Run with:  dune exec examples/mixed_signal_chip.exe *)
+
+module A = Mixsyn_assembly
+
+let () =
+  let blocks = A.Block.data_channel_testbench () in
+  Format.printf "=== mixed-signal system assembly (paper Fig. 3 setting) ===@.@.";
+  Format.printf "blocks:@.";
+  List.iter
+    (fun (b : A.Block.t) ->
+      Format.printf "  %-14s %4.1f x %3.1f mm  %s@." b.A.Block.b_name
+        (b.A.Block.bw *. 1e3) (b.A.Block.bh *. 1e3)
+        (match b.A.Block.kind with
+         | A.Block.Digital -> "digital (aggressor)"
+         | A.Block.Clock -> "clock (aggressor)"
+         | A.Block.Analog_sensitive -> "analog (sensitive)"
+         | A.Block.Analog -> "analog"))
+    blocks;
+
+  (* WRIGHT: the substrate-noise term changes where the aggressors land *)
+  let fp_aware = A.Floorplan.floorplan ~seed:5 ~noise_weight:2.0 blocks in
+  let fp_blind = A.Floorplan.floorplan ~seed:5 ~noise_weight:0.0 blocks in
+  Format.printf "@.floorplanning (WRIGHT):@.";
+  List.iter
+    (fun (name, fp) ->
+      Format.printf "  %-12s %.2f mm2, victim substrate noise %.1f mV@." name
+        (fp.A.Floorplan.fp_area *. 1e6)
+        (A.Floorplan.total_victim_noise fp *. 1e3))
+    [ ("noise-aware", fp_aware); ("noise-blind", fp_blind) ];
+
+  (* WREN: route the signal nets under the three noise disciplines *)
+  Format.printf "@.global routing (WREN):@.";
+  List.iter
+    (fun (name, mode) ->
+      let r = A.Wren.route ~mode fp_aware in
+      Format.printf "  %-12s %d/%d nets, %.1f mm wire, %4.0f um shared with aggressors@."
+        name
+        (List.length r.A.Wren.routed)
+        (List.length r.A.Wren.routed + List.length r.A.Wren.unrouted)
+        (r.A.Wren.total_length *. 1e3)
+        (r.A.Wren.shared_length *. 1e6))
+    [ ("noise-blind", A.Wren.Noise_blind);
+      ("snr", A.Wren.Snr_constrained);
+      ("segregated", A.Wren.Segregated) ];
+
+  (* RAIL: synthesise the power grid against dc/transient/EM constraints *)
+  Format.printf "@.power-grid synthesis (RAIL):@.";
+  let pg = A.Power_grid.synthesize fp_aware in
+  let show name (m : A.Power_grid.metrics) =
+    Format.printf "  %-8s ir %5.2f%%  spike %5.2f%%  victim %5.2f%%  em %6.2fx  metal %.3f mm2@."
+      name
+      (m.A.Power_grid.ir_drop *. 100.)
+      (m.A.Power_grid.spike *. 100.)
+      (m.A.Power_grid.victim_bounce *. 100.)
+      m.A.Power_grid.em_overload
+      (m.A.Power_grid.metal_area *. 1e6)
+  in
+  show "before" pg.A.Power_grid.before;
+  show "after" pg.A.Power_grid.after;
+  Format.printf "  constraints %s after %d sizing iterations@."
+    (if pg.A.Power_grid.meets then "MET" else "violated")
+    pg.A.Power_grid.iterations

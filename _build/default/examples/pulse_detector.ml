@@ -1,0 +1,57 @@
+(* The Table 1 experiment end to end: a particle-detector front-end
+   (charge-sensitive amplifier + CR-RC^4 pulse shaper) sized automatically
+   and compared against the expert manual design.
+
+   Run with:  dune exec examples/pulse_detector.exe *)
+
+module PD = Mixsyn_synth.Pulse_detector
+module D = Mixsyn_circuit.Detector
+
+let () =
+  Format.printf "=== pulse-detector front-end synthesis (paper Table 1) ===@.@.";
+
+  (* the manual baseline, measured by transient simulation *)
+  (match PD.measure ~use_transient:true PD.manual with
+   | None -> Format.printf "manual design failed to bias!@."
+   | Some m ->
+     Format.printf "expert manual design:@.  %a@.@." Mixsyn_synth.Spec.pp_performance m);
+
+  (* automatic synthesis: annealing + simplex against the Table 1 specs *)
+  let synth = PD.synthesize ~seed:11 ~moves:40 () in
+  Format.printf "synthesis: %d evaluations in %.1f s, specs %s@."
+    synth.PD.evaluations synth.PD.elapsed_s
+    (if synth.PD.meets then "MET" else "VIOLATED");
+  Format.printf "  %a@.@." Mixsyn_synth.Spec.pp_performance synth.PD.metrics;
+  let s = synth.PD.sizing in
+  Format.printf
+    "  sizing: W1=%s L1=%s Id1=%s Cf=%s Rf=%s tau=%s a=%.2f@.@."
+    (Mixsyn_util.Units.format s.D.w1 "m") (Mixsyn_util.Units.format s.D.l1 "m")
+    (Mixsyn_util.Units.format s.D.id1 "A") (Mixsyn_util.Units.format s.D.cf "F")
+    (Mixsyn_util.Units.format s.D.rf "ohm") (Mixsyn_util.Units.format s.D.tau "s")
+    s.D.a_stage;
+
+  (* the synthesized pulse, rendered in the terminal *)
+  let tech = Mixsyn_circuit.Tech.generic_07um in
+  let nl = D.build tech synth.PD.sizing in
+  (match Mixsyn_engine.Dc.solve ~tech nl with
+   | op ->
+     let out = Mixsyn_circuit.Netlist.find_net nl "out" in
+     let tr = Mixsyn_engine.Tran.solve ~tech nl op ~t_stop:6e-6 ~dt:10e-9 in
+     let w = Mixsyn_engine.Tran.waveform tr out in
+     let v0 = snd w.(0) in
+     let rel = Array.map (fun (t, v) -> (t *. 1e6, v -. v0)) w in
+     Format.printf "synthesized pulse shape (V vs us):@.%s@."
+       (Mixsyn_util.Ascii_plot.line ~width:64 ~height:12 rel)
+   | exception Mixsyn_engine.Dc.No_convergence _ -> ());
+
+  (* the full Table 1, paper values side by side with ours *)
+  let rows = PD.table1 ~seed:11 ~moves:40 () in
+  Format.printf "%a@." PD.pp_rows rows;
+  let power r = Mixsyn_synth.Spec.lookup r "power_w" in
+  (match (PD.measure ~use_transient:true PD.manual, synth.PD.metrics) with
+   | Some manual, synth_metrics ->
+     (match (power manual, power synth_metrics) with
+      | Some pm, Some ps when ps > 0.0 ->
+        Format.printf "power reduction vs manual: %.1fx (paper reports 5.7x)@." (pm /. ps)
+      | _ -> ())
+   | _ -> ())

@@ -1,0 +1,49 @@
+(* Quickstart: size a two-stage Miller OTA against a specification set,
+   verify it with the simulator, and print the result.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Spec = Mixsyn_synth.Spec
+module Sizing = Mixsyn_synth.Sizing
+
+let () =
+  (* 1. the specification: what the circuit must achieve *)
+  let specs =
+    [ Spec.spec "gain_db" (Spec.At_least 70.0);
+      Spec.spec "ugf_hz" (Spec.At_least 10e6);
+      Spec.spec "phase_margin_deg" (Spec.At_least 60.0) ]
+  in
+  let objectives = [ Spec.minimize "power_w" ] in
+
+  (* 2. the environment: a 5 pF load *)
+  let context = [ ("cl", 5e-12); ("load_cap_f", 5e-12) ] in
+
+  (* 3. pick a topology and size it with simulation in the loop (the
+        FRIDGE-style strategy of the paper's Fig. 1b) *)
+  let template = Mixsyn_circuit.Topology.miller_ota in
+  let result =
+    Sizing.size ~seed:5 ~context Sizing.Simulation_annealing template ~specs ~objectives
+  in
+
+  Format.printf "sized %s in %.2f s (%d simulator calls)@."
+    template.Mixsyn_circuit.Template.t_name result.Sizing.elapsed_s result.Sizing.evaluations;
+  Format.printf "specifications %s@."
+    (if result.Sizing.meets_specs then "MET" else "VIOLATED");
+  Format.printf "verified performance:@.  %a@." Spec.pp_performance result.Sizing.performance;
+  Format.printf "device sizes:@.";
+  Array.iteri
+    (fun i p ->
+      Format.printf "  %-4s = %s@." p.Mixsyn_circuit.Template.p_name
+        (Mixsyn_util.Units.format result.Sizing.params.(i) ""))
+    template.Mixsyn_circuit.Template.params;
+
+  (* 4. compare with the knowledge-based route: an executable design plan
+        solves the same specs in microseconds (Fig. 1a) *)
+  let plan_result =
+    Sizing.size ~context (Sizing.Design_plan Mixsyn_synth.Design_plan.plan_miller) template
+      ~specs ~objectives
+  in
+  Format.printf "@.design-plan alternative (IDAC/OASYS style): specs %s, %.4f s@."
+    (if plan_result.Sizing.meets_specs then "MET" else "VIOLATED")
+    plan_result.Sizing.elapsed_s;
+  Format.printf "  %a@." Spec.pp_performance plan_result.Sizing.performance

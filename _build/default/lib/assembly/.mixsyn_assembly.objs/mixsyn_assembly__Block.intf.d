@@ -1,0 +1,1 @@
+lib/assembly/block.mli:

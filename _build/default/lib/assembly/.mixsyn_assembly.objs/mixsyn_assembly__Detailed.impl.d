@@ -1,0 +1,1 @@
+lib/assembly/detailed.ml: Float List Mixsyn_layout Wren

@@ -1,0 +1,1 @@
+lib/assembly/detailed.mli: Floorplan Mixsyn_layout Wren

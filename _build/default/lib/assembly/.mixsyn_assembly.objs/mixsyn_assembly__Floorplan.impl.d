@@ -1,0 +1,1 @@
+lib/assembly/floorplan.ml: Array Block Float Hashtbl List Mixsyn_opt Mixsyn_util

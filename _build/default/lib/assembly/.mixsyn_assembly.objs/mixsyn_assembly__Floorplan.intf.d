@@ -1,0 +1,1 @@
+lib/assembly/floorplan.mli: Block Mixsyn_opt

@@ -1,0 +1,1 @@
+lib/assembly/power_grid.ml: Array Block Float Floorplan List Mixsyn_awe Mixsyn_util

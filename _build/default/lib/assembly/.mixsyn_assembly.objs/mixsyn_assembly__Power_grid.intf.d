@@ -1,0 +1,1 @@
+lib/assembly/power_grid.mli: Floorplan

@@ -1,0 +1,1 @@
+lib/assembly/wren.ml: Array Block Float Floorplan Hashtbl List Option

@@ -1,0 +1,40 @@
+type kind =
+  | Digital
+  | Analog_sensitive
+  | Analog
+  | Clock
+
+type t = {
+  b_name : string;
+  kind : kind;
+  bw : float;
+  bh : float;
+  i_static : float;
+  i_peak : float;
+  t_spike : float;
+  nets : string list;
+}
+
+let make ?(i_static = 1e-3) ?(i_peak = 0.0) ?(t_spike = 1e-9) ?(nets = []) b_name kind ~w ~h =
+  { b_name; kind; bw = w; bh = h; i_static; i_peak; t_spike; nets }
+
+let is_aggressor b = match b.kind with Digital | Clock -> true | Analog | Analog_sensitive -> false
+
+let is_victim b = match b.kind with Analog_sensitive -> true | Digital | Clock | Analog -> false
+
+let noise_injection b = b.i_peak
+
+let data_channel_testbench () =
+  [ make "dsp-core" Digital ~w:2.2e-3 ~h:2.0e-3 ~i_static:40e-3 ~i_peak:350e-3 ~t_spike:0.8e-9
+      ~nets:[ "dbus"; "ctl"; "clk" ];
+    make "clockgen" Clock ~w:0.6e-3 ~h:0.5e-3 ~i_static:8e-3 ~i_peak:120e-3 ~t_spike:0.4e-9
+      ~nets:[ "clk" ];
+    make "read-frontend" Analog_sensitive ~w:1.4e-3 ~h:1.0e-3 ~i_static:12e-3
+      ~nets:[ "rin"; "agc"; "vref" ];
+    make "pll" Analog_sensitive ~w:0.8e-3 ~h:0.7e-3 ~i_static:6e-3 ~nets:[ "clk"; "vref" ];
+    make "adc" Analog_sensitive ~w:1.1e-3 ~h:0.9e-3 ~i_static:15e-3
+      ~nets:[ "agc"; "dbus"; "vref"; "clk" ];
+    make "servo-dac" Analog ~w:0.7e-3 ~h:0.6e-3 ~i_static:9e-3 ~nets:[ "ctl"; "vref" ];
+    make "line-driver" Analog ~w:0.9e-3 ~h:0.5e-3 ~i_static:25e-3 ~i_peak:60e-3 ~t_spike:2e-9
+      ~nets:[ "dbus"; "lout" ];
+    make "bias-gen" Analog ~w:0.4e-3 ~h:0.4e-3 ~i_static:3e-3 ~nets:[ "vref" ] ]

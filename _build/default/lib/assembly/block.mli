@@ -1,0 +1,38 @@
+(** Mixed-signal functional blocks — the units of system assembly
+    (Section 3.2).
+
+    A block is an opaque laid-out macro: fixed dimensions, a class that
+    determines its noise behaviour, a supply-current signature for the
+    power-grid and substrate analyses, and the signal nets it connects to. *)
+
+type kind =
+  | Digital            (** fast logic: injects switching noise *)
+  | Analog_sensitive   (** low-level analog: a substrate/coupling victim *)
+  | Analog             (** robust analog (drivers, biasing) *)
+  | Clock              (** clock generation: the worst aggressor *)
+
+type t = {
+  b_name : string;
+  kind : kind;
+  bw : float;             (** width, m *)
+  bh : float;             (** height, m *)
+  i_static : float;       (** DC supply current, A *)
+  i_peak : float;         (** transient supply-current spike, A *)
+  t_spike : float;        (** spike duration, s *)
+  nets : string list;     (** signal nets terminating on this block *)
+}
+
+val make :
+  ?i_static:float -> ?i_peak:float -> ?t_spike:float -> ?nets:string list ->
+  string -> kind -> w:float -> h:float -> t
+
+val is_aggressor : t -> bool
+val is_victim : t -> bool
+
+val noise_injection : t -> float
+(** Aggressor figure: peak switching current, A. *)
+
+val data_channel_testbench : unit -> t list
+(** The synthetic mixed-signal chip standing in for the IBM data-channel
+    design of Fig. 3: a DSP core, clock generation, read-channel analog
+    front-end, PLL, ADC and output drivers. *)

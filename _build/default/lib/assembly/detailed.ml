@@ -1,0 +1,107 @@
+module CR = Mixsyn_layout.Channel_router
+module MR = Mixsyn_layout.Maze_router
+
+type channel_job = {
+  corridor : Wren.corridor;
+  nets : (string * Wren.net_kind) list;
+  routed : CR.channel_result;
+  budget_f : float option;
+  coupling_f : float;
+  within_budget : bool;
+}
+
+type report = {
+  jobs : channel_job list;
+  total_tracks : int;
+  total_shields : int;
+  channels_over_budget : int;
+}
+
+let same_corridor (a : Wren.corridor) (b : Wren.corridor) =
+  a.Wren.cx0 = b.Wren.cx0 && a.Wren.cy0 = b.Wren.cy0 && a.Wren.cx1 = b.Wren.cx1
+  && a.Wren.cy1 = b.Wren.cy1
+
+let run ?(total_budget_f = 0.5e-12) fp (global : Wren.result) =
+  let budgets = Wren.map_budgets fp global ~total_budget_f in
+  (* collect the distinct corridors and their occupant nets *)
+  let corridors : (Wren.corridor * (string * Wren.net_kind) list ref) list ref = ref [] in
+  List.iter
+    (fun (rn : Wren.routed_net) ->
+      List.iter
+        (fun c ->
+          let entry =
+            match List.find_opt (fun (c', _) -> same_corridor c c') !corridors with
+            | Some (_, l) -> l
+            | None ->
+              let l = ref [] in
+              corridors := (c, l) :: !corridors;
+              l
+          in
+          if not (List.mem_assoc rn.Wren.gn_net !entry) then
+            entry := (rn.Wren.gn_net, rn.Wren.kind) :: !entry)
+        rn.Wren.corridors)
+    global.Wren.routed;
+  let jobs =
+    List.filter_map
+      (fun (corridor, occupants) ->
+        let nets = !occupants in
+        if List.length nets < 2 then None
+        else begin
+          (* synthetic pin pattern: each net crosses the channel once, with
+             staggered columns so intervals interleave *)
+          let pins =
+            List.concat
+              (List.mapi
+                 (fun i (net, _) ->
+                   [ { CR.column = 2 * i; edge = CR.Top; cp_net = net };
+                     { CR.column = (2 * i) + 3; edge = CR.Bottom; cp_net = net } ])
+                 nets)
+          in
+          let styles =
+            List.map
+              (fun (net, kind) ->
+                { CR.cn_net = net;
+                  cn_class = (match kind with Wren.Aggressor -> MR.Noisy | Wren.Quiet -> MR.Sensitive);
+                  track_width = 1 })
+              nets
+          in
+          let budget_f =
+            List.fold_left
+              (fun acc (cb : Wren.channel_budget) ->
+                if same_corridor cb.Wren.corridor corridor
+                   && List.mem_assoc cb.Wren.cb_net nets
+                then
+                  Some
+                    (match acc with
+                     | None -> cb.Wren.budget_f
+                     | Some b -> Float.min b cb.Wren.budget_f)
+                else acc)
+              None budgets
+          in
+          (* tight budgets ask for an extra spacing track between quiet and
+             aggressor trunks (the [55]-style analog measure) *)
+          let tight =
+            match budget_f with Some b -> b < 50e-15 | None -> false
+          in
+          let extra_spacing a b =
+            let kind n = List.assoc_opt n nets in
+            match (kind a, kind b) with
+            | Some ka, Some kb when ka <> kb && tight -> 1
+            | _ -> 0
+          in
+          let routed = CR.route ~shielding:true ~extra_spacing ~pins ~styles () in
+          let coupling_f =
+            List.fold_left (fun acc (_, _, c) -> acc +. c) 0.0 routed.CR.channel_coupling
+          in
+          let within_budget =
+            match budget_f with None -> true | Some b -> coupling_f <= b
+          in
+          Some { corridor; nets; routed; budget_f; coupling_f; within_budget }
+        end)
+      !corridors
+  in
+  { jobs;
+    total_tracks = List.fold_left (fun acc j -> acc + j.routed.CR.tracks_used) 0 jobs;
+    total_shields = List.fold_left (fun acc j -> acc + List.length j.routed.CR.shields) 0 jobs;
+    channels_over_budget =
+      List.fold_left (fun acc j -> if j.within_budget then acc else acc + 1) 0 jobs }

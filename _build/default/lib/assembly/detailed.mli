@@ -1,0 +1,30 @@
+(** The WREN global-to-detailed hand-off: each corridor the global router
+    used becomes a routing channel, the nets inside it become channel pins,
+    and the chip-level coupling budgets mapped by {!Wren.map_budgets} decide
+    the channel router's analog measures (extra spacing, shields) — the
+    constraint-mapping chain of [46] -> [56] -> [55] the paper describes. *)
+
+type channel_job = {
+  corridor : Wren.corridor;
+  nets : (string * Wren.net_kind) list;
+  routed : Mixsyn_layout.Channel_router.channel_result;
+  budget_f : float option;     (** tightest per-net budget in this corridor *)
+  coupling_f : float;          (** achieved coupling in this corridor *)
+  within_budget : bool;
+}
+
+type report = {
+  jobs : channel_job list;
+  total_tracks : int;
+  total_shields : int;
+  channels_over_budget : int;
+}
+
+val run :
+  ?total_budget_f:float ->
+  Floorplan.result ->
+  Wren.result ->
+  report
+(** Detail-route every multi-net corridor of a global routing result.
+    [total_budget_f] is the chip-level coupling budget per quiet net
+    (default 0.5 pF). *)

@@ -1,0 +1,236 @@
+module Rng = Mixsyn_util.Rng
+
+type placement = {
+  block : Block.t;
+  x : float;
+  y : float;
+  rotated : bool;
+}
+
+type result = {
+  placements : placement list;
+  chip_w : float;
+  chip_h : float;
+  fp_area : float;
+  fp_wirelength : float;
+  victim_noise : (string * float) list;
+}
+
+(* --- substrate coupling model --------------------------------------- *)
+
+let coupling_constant = 0.12 (* V per A at zero distance, empirical scale *)
+let coupling_d0 = 0.3e-3     (* m: softening distance *)
+
+let center p = (p.x +. (if p.rotated then p.block.Block.bh else p.block.Block.bw) /. 2.0,
+                p.y +. (if p.rotated then p.block.Block.bw else p.block.Block.bh) /. 2.0)
+
+let substrate_noise_at placements _victim (px, py) =
+  List.fold_left
+    (fun acc p ->
+      if Block.is_aggressor p.block then begin
+        let ax, ay = center p in
+        let d = sqrt (((ax -. px) ** 2.0) +. ((ay -. py) ** 2.0)) in
+        acc +. (coupling_constant *. Block.noise_injection p.block /. ((d /. coupling_d0) +. 1.0))
+      end
+      else acc)
+    0.0 placements
+
+(* --- slicing tree / Polish expression ------------------------------- *)
+
+type token = Operand of int | H | V
+
+let is_operator = function H | V -> true | Operand _ -> false
+
+(* evaluate sizes and positions *)
+let evaluate blocks rotations expr =
+  let dims i =
+    let b = blocks.(i) in
+    if rotations.(i) then (b.Block.bh, b.Block.bw) else (b.Block.bw, b.Block.bh)
+  in
+  (* each stack entry: (w, h, place function taking (x, y) -> placements) *)
+  let stack = ref [] in
+  Array.iter
+    (fun token ->
+      match token with
+      | Operand i ->
+        let w, h = dims i in
+        let place x y = [ (i, x, y) ] in
+        stack := (w, h, place) :: !stack
+      | H ->
+        (* horizontal cut: second on top of first *)
+        (match !stack with
+         | (w2, h2, p2) :: (w1, h1, p1) :: rest ->
+           let w = Float.max w1 w2 and h = h1 +. h2 in
+           let place x y = p1 x y @ p2 x (y +. h1) in
+           ignore w2;
+           stack := (w, h, place) :: rest
+         | _ -> failwith "floorplan: malformed expression")
+      | V ->
+        (match !stack with
+         | (w2, h2, p2) :: (w1, h1, p1) :: rest ->
+           let w = w1 +. w2 and h = Float.max h1 h2 in
+           let place x y = p1 x y @ p2 (x +. w1) y in
+           ignore h2;
+           stack := (w, h, place) :: rest
+         | _ -> failwith "floorplan: malformed expression"))
+    expr;
+  match !stack with
+  | [ (w, h, place) ] -> (w, h, place 0.0 0.0)
+  | _ -> failwith "floorplan: malformed expression"
+
+let wirelength blocks placements =
+  (* HPWL over the nets' block centres *)
+  let bounds = Hashtbl.create 16 in
+  List.iter
+    (fun (i, x, y) ->
+      let b = blocks.(i) in
+      let cx = x +. (b.Block.bw /. 2.0) and cy = y +. (b.Block.bh /. 2.0) in
+      List.iter
+        (fun net ->
+          match Hashtbl.find_opt bounds net with
+          | None -> Hashtbl.replace bounds net (cx, cy, cx, cy)
+          | Some (x0, y0, x1, y1) ->
+            Hashtbl.replace bounds net
+              (Float.min x0 cx, Float.min y0 cy, Float.max x1 cx, Float.max y1 cy))
+        b.Block.nets)
+    placements;
+  Hashtbl.fold (fun _ (x0, y0, x1, y1) acc -> acc +. (x1 -. x0) +. (y1 -. y0)) bounds 0.0
+
+let to_placements blocks rotations raw =
+  List.map
+    (fun (i, x, y) -> { block = blocks.(i); x; y; rotated = rotations.(i) })
+    raw
+
+let noise_cost blocks rotations raw =
+  let placements = to_placements blocks rotations raw in
+  List.fold_left
+    (fun acc p ->
+      if Block.is_victim p.block then acc +. substrate_noise_at placements p.block (center p)
+      else acc)
+    0.0 placements
+
+(* annealing state *)
+type state = {
+  expr : token array;
+  rotations : bool array;
+}
+
+let valid expr =
+  (* every prefix has more operands than operators; total operators = n-1 *)
+  let balance = ref 0 in
+  Array.for_all
+    (fun t ->
+      (match t with Operand _ -> incr balance | H | V -> decr balance);
+      !balance >= 1)
+    expr
+  && !balance = 1
+
+let floorplan ?(seed = 5) ?(noise_weight = 1.0) ?schedule blocks_list =
+  let blocks = Array.of_list blocks_list in
+  let n = Array.length blocks in
+  assert (n >= 2);
+  let rng = Rng.create seed in
+  let initial =
+    (* chain: b0 b1 V b2 V b3 H ... alternating cuts *)
+    let tokens = ref [ Operand 0 ] in
+    for i = 1 to n - 1 do
+      tokens := (if i mod 2 = 0 then H else V) :: Operand i :: !tokens
+    done;
+    { expr = Array.of_list (List.rev !tokens); rotations = Array.make n false }
+  in
+  let scale =
+    let total = Array.fold_left (fun acc b -> acc +. (b.Block.bw *. b.Block.bh)) 0.0 blocks in
+    total
+  in
+  let cost state =
+    match evaluate blocks state.rotations state.expr with
+    | exception Failure _ -> infinity
+    | w, h, raw ->
+      let area = w *. h in
+      let wl = wirelength blocks raw in
+      let noise = if noise_weight > 0.0 then noise_cost blocks state.rotations raw else 0.0 in
+      (area /. scale)
+      +. (0.15 *. wl /. sqrt scale)
+      +. (noise_weight *. noise *. 10.0)
+      +. (0.2 *. Float.abs (log (w /. h)))  (* keep the chip roughly square *)
+  in
+  let neighbor rng ~temp01:_ state =
+    let expr = Array.copy state.expr in
+    let rotations = Array.copy state.rotations in
+    let len = Array.length expr in
+    let choice = Rng.int rng 4 in
+    if choice = 0 then begin
+      (* M1: swap two adjacent operands *)
+      let operand_positions =
+        Array.to_list (Array.mapi (fun i t -> (i, t)) expr)
+        |> List.filter (fun (_, t) -> not (is_operator t))
+        |> List.map fst
+      in
+      let arr = Array.of_list operand_positions in
+      if Array.length arr >= 2 then begin
+        let k = Rng.int rng (Array.length arr - 1) in
+        let i = arr.(k) and j = arr.(k + 1) in
+        let tmp = expr.(i) in
+        expr.(i) <- expr.(j);
+        expr.(j) <- tmp
+      end
+    end
+    else if choice = 1 then begin
+      (* M2: complement an operator *)
+      let ops =
+        Array.to_list (Array.mapi (fun i t -> (i, t)) expr)
+        |> List.filter (fun (_, t) -> is_operator t)
+        |> List.map fst
+      in
+      if ops <> [] then begin
+        let i = List.nth ops (Rng.int rng (List.length ops)) in
+        expr.(i) <- (match expr.(i) with H -> V | V -> H | Operand _ -> expr.(i))
+      end
+    end
+    else if choice = 2 then begin
+      (* M3: swap adjacent operand/operator when still valid *)
+      let i = Rng.int rng (len - 1) in
+      let a = expr.(i) and b = expr.(i + 1) in
+      if is_operator a <> is_operator b then begin
+        expr.(i) <- b;
+        expr.(i + 1) <- a;
+        if not (valid expr) then begin
+          expr.(i) <- a;
+          expr.(i + 1) <- b
+        end
+      end
+    end
+    else begin
+      (* rotate a block *)
+      let i = Rng.int rng n in
+      rotations.(i) <- not rotations.(i)
+    end;
+    { expr; rotations }
+  in
+  let schedule =
+    match schedule with
+    | Some s -> s
+    | None -> { Mixsyn_opt.Anneal.t_start = 2.0; t_end = 1e-4; cooling = 0.92; moves_per_stage = 80 * n }
+  in
+  let outcome =
+    Mixsyn_opt.Anneal.minimize ~schedule ~rng { Mixsyn_opt.Anneal.initial; cost; neighbor }
+  in
+  let best = outcome.Mixsyn_opt.Anneal.best in
+  let w, h, raw = evaluate blocks best.rotations best.expr in
+  let placements = to_placements blocks best.rotations raw in
+  let victim_noise =
+    List.filter_map
+      (fun p ->
+        if Block.is_victim p.block then
+          Some (p.block.Block.b_name, substrate_noise_at placements p.block (center p))
+        else None)
+      placements
+  in
+  { placements;
+    chip_w = w;
+    chip_h = h;
+    fp_area = w *. h;
+    fp_wirelength = wirelength blocks raw;
+    victim_noise }
+
+let total_victim_noise r = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 r.victim_noise

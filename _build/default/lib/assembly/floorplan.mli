@@ -1,0 +1,41 @@
+(** Substrate-aware macrocell floorplanning — WRIGHT ([57]).
+
+    Slicing-tree floorplanning, annealed over normalized Polish expressions
+    with the classic Wong–Liu move set, plus the WRIGHT ingredient: a fast
+    substrate-coupling evaluator inside the cost so noisy digital blocks are
+    pushed away from sensitive analog ones.
+
+    The substrate model is the simplified single-layer resistive view: the
+    noise an aggressor [i] couples into a victim [j] falls off as
+    1/(d_ij + d0), scaled by the aggressor's peak switching current. *)
+
+type placement = {
+  block : Block.t;
+  x : float;
+  y : float;
+  rotated : bool;
+}
+
+type result = {
+  placements : placement list;
+  chip_w : float;
+  chip_h : float;
+  fp_area : float;
+  fp_wirelength : float;   (** HPWL over block-centre net spans *)
+  victim_noise : (string * float) list;
+      (** per sensitive block: coupled substrate noise, V *)
+}
+
+val substrate_noise_at : placement list -> Block.t -> float * float -> float
+(** Noise voltage at a point for a victim (used by the power grid too). *)
+
+val floorplan :
+  ?seed:int ->
+  ?noise_weight:float ->
+  ?schedule:Mixsyn_opt.Anneal.schedule ->
+  Block.t list ->
+  result
+(** [noise_weight = 0.0] disables the WRIGHT substrate term (the ablation
+    of experiment E8). *)
+
+val total_victim_noise : result -> float

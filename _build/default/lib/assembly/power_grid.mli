@@ -1,0 +1,61 @@
+(** RAIL-style mixed-signal power-grid synthesis ([58,60], Fig. 3).
+
+    The supply is a mesh of straps over the floorplan.  Casting grid design
+    as a routing/sizing problem needs a fast electrical oracle; as in RAIL
+    that oracle is AWE over the extracted RC model:
+    - DC: nodal solve for ohmic (IR) drop at every tap;
+    - transient: AWE transfer impedances turn each digital block's
+      switching-current spike into supply bounce, both locally and as
+      coupled noise at the sensitive analog taps;
+    - electromigration: per-segment current density against the metal limit.
+
+    Synthesis iteratively widens the straps implicated in the worst
+    violations until every constraint holds (or the width range is
+    exhausted). *)
+
+type constraints = {
+  max_ir_drop : float;        (** fraction of Vdd, e.g. 0.05 *)
+  max_spike : float;          (** fraction of Vdd *)
+  max_current_density : float;(** A per metre of strap width *)
+  max_victim_bounce : float;  (** fraction of Vdd at sensitive taps *)
+}
+
+val default_constraints : constraints
+
+type metrics = {
+  ir_drop : float;            (** worst fractional DC drop *)
+  spike : float;              (** worst fractional transient bounce at any tap *)
+  victim_bounce : float;      (** worst fractional bounce at a sensitive tap *)
+  em_overload : float;        (** worst J/Jmax over segments *)
+  metal_area : float;         (** total strap metal, m² *)
+}
+
+type design = {
+  pitch : float;
+  strap_widths : float array;  (** one width per strap (verticals then horizontals) *)
+  n_vertical : int;
+  n_horizontal : int;
+}
+
+type report = {
+  initial_design : design;
+  final_design : design;
+  before : metrics;
+  after : metrics;
+  iterations : int;
+  meets : bool;
+}
+
+val evaluate :
+  ?vdd:float -> ?awe_order:int -> Floorplan.result -> design -> metrics
+(** [awe_order] controls the Padé order of the transient oracle (default 3;
+    the ablation benchmark sweeps it). *)
+
+val synthesize :
+  ?vdd:float ->
+  ?constraints:constraints ->
+  ?pitch:float ->
+  ?max_iterations:int ->
+  Floorplan.result ->
+  report
+(** Start from minimum-width straps and widen to meet the constraint set. *)

@@ -1,0 +1,329 @@
+type net_kind = Quiet | Aggressor
+
+let kind_of_net = function
+  | "clk" | "dbus" | "ctl" -> Aggressor
+  | _ -> Quiet
+
+type mode =
+  | Noise_blind
+  | Snr_constrained
+  | Segregated
+
+type corridor = {
+  cx0 : float;
+  cy0 : float;
+  cx1 : float;
+  cy1 : float;
+}
+
+type routed_net = {
+  gn_net : string;
+  kind : net_kind;
+  corridors : corridor list;
+  g_length : float;
+}
+
+type result = {
+  routed : routed_net list;
+  unrouted : string list;
+  coupled_noise : (string * float) list;
+  total_length : float;
+  shared_length : float;
+      (** metres of quiet-net corridor shared with an aggressor *)
+}
+
+(* Corridor grid: cut lines at every block edge.  A slicing floorplan tiles
+   the die with no slack, so block positions are spread by [channel_scale]
+   (keeping sizes) to open the wiring channels the assembly needs — the
+   standard block-spacing step before global routing. *)
+let channel_scale = 1.18
+
+type fabric = {
+  xs : float array;  (** cut positions, ascending *)
+  ys : float array;
+  free : bool array array;  (** cell (i,j) is routable *)
+  occupants : (int * int, (string * net_kind) list ref) Hashtbl.t;
+  terminals : (int * int, unit) Hashtbl.t;
+      (** block-pin cells: exempt from segregation and coupling accounting *)
+}
+
+let spread (p : Floorplan.placement) =
+  { p with
+    Floorplan.x = p.Floorplan.x *. channel_scale;
+    Floorplan.y = p.Floorplan.y *. channel_scale }
+
+let build_fabric (fp : Floorplan.result) =
+  let fp =
+    { fp with
+      Floorplan.placements = List.map spread fp.Floorplan.placements;
+      Floorplan.chip_w = fp.Floorplan.chip_w *. channel_scale;
+      Floorplan.chip_h = fp.Floorplan.chip_h *. channel_scale }
+  in
+  let xs = ref [ 0.0; fp.Floorplan.chip_w ] in
+  let ys = ref [ 0.0; fp.Floorplan.chip_h ] in
+  List.iter
+    (fun (p : Floorplan.placement) ->
+      let w = if p.Floorplan.rotated then p.Floorplan.block.Block.bh else p.Floorplan.block.Block.bw in
+      let h = if p.Floorplan.rotated then p.Floorplan.block.Block.bw else p.Floorplan.block.Block.bh in
+      xs := p.Floorplan.x :: (p.Floorplan.x +. w) :: !xs;
+      ys := p.Floorplan.y :: (p.Floorplan.y +. h) :: !ys)
+    fp.Floorplan.placements;
+  let dedupe l =
+    List.sort_uniq (fun a b -> compare a b) l
+    |> List.filter (fun v -> v >= 0.0)
+  in
+  let xs = Array.of_list (dedupe !xs) and ys = Array.of_list (dedupe !ys) in
+  let nx = Array.length xs - 1 and ny = Array.length ys - 1 in
+  let free = Array.make_matrix nx ny true in
+  (* a cell is blocked when its centre lies inside a block; blocks abut in a
+     slicing floorplan, so corridors are the slack cells *)
+  for i = 0 to nx - 1 do
+    for j = 0 to ny - 1 do
+      let cx = 0.5 *. (xs.(i) +. xs.(i + 1)) and cy = 0.5 *. (ys.(j) +. ys.(j + 1)) in
+      let inside (p : Floorplan.placement) =
+        let w = if p.Floorplan.rotated then p.Floorplan.block.Block.bh else p.Floorplan.block.Block.bw in
+        let h = if p.Floorplan.rotated then p.Floorplan.block.Block.bw else p.Floorplan.block.Block.bh in
+        cx > p.Floorplan.x && cx < p.Floorplan.x +. w && cy > p.Floorplan.y
+        && cy < p.Floorplan.y +. h
+      in
+      if List.exists inside fp.Floorplan.placements then free.(i).(j) <- false
+    done
+  done;
+  { xs; ys; free; occupants = Hashtbl.create 64; terminals = Hashtbl.create 16 }
+
+let cell_center fabric (i, j) =
+  (0.5 *. (fabric.xs.(i) +. fabric.xs.(i + 1)), 0.5 *. (fabric.ys.(j) +. fabric.ys.(j + 1)))
+
+let cell_size fabric (i, j) =
+  (fabric.xs.(i + 1) -. fabric.xs.(i), fabric.ys.(j + 1) -. fabric.ys.(j))
+
+let coupling_per_meter = 2.0e-3 (* V of induced noise per metre of shared corridor *)
+
+(* Dijkstra over corridor cells *)
+let route_net fabric ~mode ~kind terminals =
+  let nx = Array.length fabric.xs - 1 and ny = Array.length fabric.ys - 1 in
+  let n = nx * ny in
+  let idx i j = (j * nx) + i in
+  let step_cost (i, j) =
+    if not fabric.free.(i).(j) then infinity
+    else begin
+      let w, h = cell_size fabric (i, j) in
+      let len = 0.5 *. (w +. h) in
+      let occupants =
+        match Hashtbl.find_opt fabric.occupants (i, j) with Some l -> !l | None -> []
+      in
+      let incompatible =
+        List.exists (fun (_, k) -> k <> kind) occupants
+        && not (Hashtbl.mem fabric.terminals (i, j))
+      in
+      match mode with
+      | Noise_blind -> len
+      | Snr_constrained -> if incompatible then len *. 25.0 else len
+      | Segregated -> if incompatible then infinity else len
+    end
+  in
+  match terminals with
+  | [] | [ _ ] -> Some []
+  | first :: rest ->
+    let tree = ref [ first ] in
+    let cells = ref [ first ] in
+    let ok = ref true in
+    List.iter
+      (fun target ->
+        if !ok then begin
+          let dist = Array.make n infinity and prev = Array.make n (-1) in
+          let visited = Array.make n false in
+          List.iter (fun (i, j) -> dist.(idx i j) <- 0.0) !tree;
+          (* simple O(n^2) Dijkstra: fabric has at most a few hundred cells *)
+          let rec run () =
+            let best = ref (-1) and best_d = ref infinity in
+            for k = 0 to n - 1 do
+              if (not visited.(k)) && dist.(k) < !best_d then begin
+                best := k;
+                best_d := dist.(k)
+              end
+            done;
+            if !best < 0 then ()
+            else begin
+              let k = !best in
+              visited.(k) <- true;
+              let i = k mod nx and j = k / nx in
+              if (i, j) = target then ()
+              else begin
+                let try_step i' j' =
+                  if i' >= 0 && i' < nx && j' >= 0 && j' < ny then begin
+                    let c = step_cost (i', j') in
+                    if c < infinity then begin
+                      let nd = dist.(k) +. c in
+                      if nd < dist.(idx i' j') then begin
+                        dist.(idx i' j') <- nd;
+                        prev.(idx i' j') <- k
+                      end
+                    end
+                  end
+                in
+                try_step (i + 1) j;
+                try_step (i - 1) j;
+                try_step i (j + 1);
+                try_step i (j - 1);
+                run ()
+              end
+            end
+          in
+          run ();
+          let ti, tj = target in
+          if dist.(idx ti tj) = infinity then ok := false
+          else begin
+            let rec trace k acc =
+              if k = -1 then acc
+              else trace prev.(k) ((k mod nx, k / nx) :: acc)
+            in
+            let path = trace (idx ti tj) [] in
+            tree := path @ !tree;
+            cells := path @ !cells
+          end
+        end)
+      rest;
+    if !ok then Some !cells else None
+
+let route ?(mode = Snr_constrained) (fp : Floorplan.result) =
+  let fabric = build_fabric fp in
+  let fp =
+    { fp with
+      Floorplan.placements = List.map spread fp.Floorplan.placements;
+      Floorplan.chip_w = fp.Floorplan.chip_w *. channel_scale;
+      Floorplan.chip_h = fp.Floorplan.chip_h *. channel_scale }
+  in
+  let nx = Array.length fabric.xs - 1 and ny = Array.length fabric.ys - 1 in
+  (* terminal cell per block: the nearest free cell to the block centre *)
+  let terminal_of (p : Floorplan.placement) =
+    let w = if p.Floorplan.rotated then p.Floorplan.block.Block.bh else p.Floorplan.block.Block.bw in
+    let h = if p.Floorplan.rotated then p.Floorplan.block.Block.bw else p.Floorplan.block.Block.bh in
+    let cx = p.Floorplan.x +. (w /. 2.0) and cy = p.Floorplan.y +. (h /. 2.0) in
+    let best = ref None in
+    for i = 0 to nx - 1 do
+      for j = 0 to ny - 1 do
+        if fabric.free.(i).(j) then begin
+          let x, y = cell_center fabric (i, j) in
+          let d = ((x -. cx) ** 2.0) +. ((y -. cy) ** 2.0) in
+          match !best with
+          | Some (_, _, bd) when bd <= d -> ()
+          | Some _ | None -> best := Some (i, j, d)
+        end
+      done
+    done;
+    Option.map (fun (i, j, _) -> (i, j)) !best
+  in
+  (* nets -> blocks *)
+  let nets = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Floorplan.placement) ->
+      List.iter
+        (fun net ->
+          let existing = try Hashtbl.find nets net with Not_found -> [] in
+          Hashtbl.replace nets net (p :: existing))
+        p.Floorplan.block.Block.nets)
+    fp.Floorplan.placements;
+  let net_names = Hashtbl.fold (fun k _ acc -> k :: acc) nets [] |> List.sort compare in
+  (* aggressors routed first in segregated mode (they claim corridors) *)
+  let order =
+    List.sort
+      (fun a b -> compare (kind_of_net b = Aggressor) (kind_of_net a = Aggressor))
+      net_names
+  in
+  let routed = ref [] and unrouted = ref [] in
+  (* register all terminal cells before routing so the segregation rule can
+     exempt them *)
+  List.iter
+    (fun net ->
+      let blocks = Hashtbl.find nets net in
+      List.iter
+        (fun cell -> Hashtbl.replace fabric.terminals cell ())
+        (List.filter_map terminal_of blocks))
+    order;
+  List.iter
+    (fun net ->
+      let kind = kind_of_net net in
+      let blocks = Hashtbl.find nets net in
+      let terminals = List.filter_map terminal_of blocks in
+      match route_net fabric ~mode ~kind terminals with
+      | None -> unrouted := net :: !unrouted
+      | Some cells ->
+        List.iter
+          (fun cell ->
+            let l =
+              match Hashtbl.find_opt fabric.occupants cell with
+              | Some l -> l
+              | None ->
+                let l = ref [] in
+                Hashtbl.replace fabric.occupants cell l;
+                l
+            in
+            l := (net, kind) :: !l)
+          cells;
+        let corridors =
+          List.map
+            (fun (i, j) ->
+              { cx0 = fabric.xs.(i); cy0 = fabric.ys.(j);
+                cx1 = fabric.xs.(i + 1); cy1 = fabric.ys.(j + 1) })
+            cells
+        in
+        let length =
+          List.fold_left
+            (fun acc cell ->
+              let w, h = cell_size fabric cell in
+              acc +. (0.5 *. (w +. h)))
+            0.0 cells
+        in
+        routed := { gn_net = net; kind; corridors; g_length = length } :: !routed)
+    order;
+  (* coupled noise per quiet net: shared corridor length with aggressors
+     (block-pin cells excluded: every net must reach its block) *)
+  let shared = ref 0.0 in
+  let coupled_noise =
+    Hashtbl.fold
+      (fun cell occupants acc ->
+        if Hashtbl.mem fabric.terminals cell then acc
+        else begin
+          let quiet = List.filter (fun (_, k) -> k = Quiet) !occupants in
+          let aggressors = List.filter (fun (_, k) -> k = Aggressor) !occupants in
+          if quiet = [] || aggressors = [] then acc
+          else begin
+            let w, h = cell_size fabric cell in
+            let len = 0.5 *. (w +. h) in
+            shared := !shared +. (len *. float_of_int (List.length quiet));
+            let v = coupling_per_meter *. len *. float_of_int (List.length aggressors) in
+            List.fold_left
+              (fun acc (net, _) ->
+                let prev = try List.assoc net acc with Not_found -> 0.0 in
+                (net, prev +. v) :: List.remove_assoc net acc)
+              acc quiet
+          end
+        end)
+      fabric.occupants []
+  in
+  { routed = !routed;
+    unrouted = !unrouted;
+    coupled_noise;
+    total_length = List.fold_left (fun acc r -> acc +. r.g_length) 0.0 !routed;
+    shared_length = !shared }
+
+type channel_budget = {
+  cb_net : string;
+  corridor : corridor;
+  budget_f : float;
+}
+
+let map_budgets _fp result ~total_budget_f =
+  List.concat_map
+    (fun r ->
+      if r.kind = Aggressor then []
+      else begin
+        let total_len = Float.max r.g_length 1e-9 in
+        List.map
+          (fun c ->
+            let len = 0.5 *. (c.cx1 -. c.cx0 +. (c.cy1 -. c.cy0)) in
+            { cb_net = r.gn_net; corridor = c; budget_f = total_budget_f *. len /. total_len })
+          r.corridors
+      end)
+    result.routed

@@ -1,0 +1,57 @@
+(** WREN: mixed-signal system routing with SNR-style noise constraints
+    ([56]), plus the segregated-channels discipline of [53] as a mode.
+
+    The routing fabric is the corridor graph the floorplan leaves between
+    blocks.  Signal nets are routed over it by Dijkstra search; the cost of
+    sharing a corridor with an incompatible net grows with the coupling it
+    would add.  The constraint mapper ([46]-influenced) turns one
+    chip-level noise-rejection budget per sensitive net into per-corridor
+    coupling budgets proportional to the corridor lengths the net actually
+    traverses — the WREN global-to-detailed hand-off. *)
+
+type net_kind = Quiet | Aggressor
+
+val kind_of_net : string -> net_kind
+(** Heuristic: clock/data-bus/control nets are aggressors. *)
+
+type mode =
+  | Noise_blind          (** shortest paths only *)
+  | Snr_constrained      (** coupling-weighted costs (WREN) *)
+  | Segregated           (** aggressors and quiet nets never share a corridor ([53]) *)
+
+type corridor = {
+  cx0 : float;
+  cy0 : float;
+  cx1 : float;
+  cy1 : float;
+}
+
+type routed_net = {
+  gn_net : string;
+  kind : net_kind;
+  corridors : corridor list;
+  g_length : float;
+}
+
+type result = {
+  routed : routed_net list;
+  unrouted : string list;
+  coupled_noise : (string * float) list;
+      (** per quiet net: aggressor exposure, V (coupling model) *)
+  total_length : float;
+  shared_length : float;
+      (** metres of quiet-net corridor shared with an aggressor *)
+}
+
+val route : ?mode:mode -> Floorplan.result -> result
+
+type channel_budget = {
+  cb_net : string;
+  corridor : corridor;
+  budget_f : float;  (** coupling capacitance allowed in this corridor, F *)
+}
+
+val map_budgets :
+  Floorplan.result -> result -> total_budget_f:float -> channel_budget list
+(** Split each quiet net's chip-level coupling budget across the corridors
+    it traverses, proportionally to corridor length. *)

@@ -1,0 +1,1 @@
+lib/awe/awe.ml: Array Complex Float List Mixsyn_circuit Mixsyn_engine Mixsyn_util

@@ -1,0 +1,1 @@
+lib/awe/awe.mli: Complex Mixsyn_circuit Mixsyn_engine

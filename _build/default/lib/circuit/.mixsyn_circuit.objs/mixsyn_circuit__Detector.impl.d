@@ -1,0 +1,1 @@
+lib/circuit/detector.ml: Mixsyn_util Netlist Printf Tech Template

@@ -1,0 +1,1 @@
+lib/circuit/detector.mli: Netlist Tech Template

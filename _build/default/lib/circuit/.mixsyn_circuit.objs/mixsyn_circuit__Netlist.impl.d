@@ -1,0 +1,1 @@
+lib/circuit/netlist.ml: Array Buffer Float Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/circuit/sc_filter.mli: Netlist

@@ -1,0 +1,1 @@
+lib/circuit/template.ml: Array Float List Mixsyn_util Netlist Tech

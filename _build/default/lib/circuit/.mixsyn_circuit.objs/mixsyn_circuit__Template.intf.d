@@ -1,0 +1,1 @@
+lib/circuit/template.mli: Mixsyn_util Netlist Tech

@@ -1,0 +1,1 @@
+lib/circuit/topology.ml: Mixsyn_util Netlist Tech Template

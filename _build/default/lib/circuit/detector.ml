@@ -1,0 +1,132 @@
+type config = {
+  cdet : float;
+  n_stages : int;
+  q_in : float;
+  t_inject : float;
+}
+
+let default_config = { cdet = 50e-12; n_stages = 4; q_in = 1e-16; t_inject = 10e-9 }
+
+type sizing = {
+  w1 : float;
+  l1 : float;
+  id1 : float;
+  cf : float;
+  rf : float;
+  tau : float;
+  a_stage : float;
+}
+
+let stage_resistance = 100e3
+
+let build ?(config = default_config) (tech : Tech.t) s =
+  let c = Netlist.create () in
+  let vdd = Netlist.new_net ~name:"vdd" c in
+  let csa_in = Netlist.new_net ~name:"csa_in" c in
+  let csa_out = Netlist.new_net ~name:"csa_out" c in
+  Netlist.add c (Netlist.Vsource { v_name = "vdd"; p = vdd; n = Netlist.gnd; dc = tech.Tech.vdd; ac = 0.0; v_wave = Netlist.Dc_wave });
+  (* detector: capacitance plus the charge injection pulse (also the AC
+     excitation, so AC analysis reads transimpedance directly) *)
+  Netlist.add c (Netlist.Capacitor { c_name = "cdet"; a = csa_in; b = Netlist.gnd; farads = config.cdet });
+  let inject_amps = config.q_in /. config.t_inject in
+  Netlist.add c
+    (Netlist.Isource { i_name = "qin"; p = csa_in; n = Netlist.gnd; dc = 0.0; ac = 1.0;
+                       i_wave = Netlist.Pulse { v0 = 0.0; v1 = inject_amps; delay = 20e-9; rise = 1e-9; width = config.t_inject } });
+  (* CSA core: common-source input device under an ideal cascode, modelled
+     as a current buffer (a 50 ohm sense resistor whose current a VCCS
+     replicates into the output node).  The input device keeps its real gm
+     and noise; the cascode gives the 10^5-class open-loop gain a charge
+     amplifier needs.  DC self-bias through Rf puts the device at
+     vgs = v(csa_out). *)
+  let mid = Netlist.new_net ~name:"mid" c in
+  let cascode_ref = Netlist.new_net ~name:"cascode_ref" c in
+  let sense_ohms = 50.0 in
+  Netlist.add c
+    (Netlist.Mos { m_name = "m1"; drain = mid; gate = csa_in; source = Netlist.gnd;
+                   bulk = Netlist.gnd; w = s.w1; l = s.l1; polarity = Netlist.Nmos });
+  Netlist.add c
+    (Netlist.Vsource { v_name = "vcasc"; p = cascode_ref; n = Netlist.gnd; dc = 1.2; ac = 0.0; v_wave = Netlist.Dc_wave });
+  Netlist.add c (Netlist.Resistor { r_name = "rcasc"; a = cascode_ref; b = mid; ohms = sense_ohms });
+  Netlist.add c
+    (Netlist.Vccs { g_name = "cascode"; p = csa_out; n = Netlist.gnd; cp = cascode_ref; cn = mid;
+                    gm = 1.0 /. sense_ohms });
+  Netlist.add c
+    (Netlist.Isource { i_name = "iload"; p = csa_out; n = vdd; dc = s.id1; ac = 0.0; i_wave = Netlist.Dc_wave });
+  (* finite output resistance of the cascoded branch *)
+  Netlist.add c (Netlist.Resistor { r_name = "rload"; a = csa_out; b = Netlist.gnd; ohms = 5e6 });
+  Netlist.add c (Netlist.Capacitor { c_name = "cf"; a = csa_out; b = csa_in; farads = s.cf });
+  Netlist.add c (Netlist.Resistor { r_name = "rf"; a = csa_out; b = csa_in; ohms = s.rf });
+  (* CR differentiator into the shaper *)
+  let s0 = Netlist.new_net ~name:"s0" c in
+  Netlist.add c (Netlist.Capacitor { c_name = "cdiff"; a = csa_out; b = s0; farads = s.tau /. stage_resistance });
+  Netlist.add c (Netlist.Resistor { r_name = "rdiff"; a = s0; b = Netlist.gnd; ohms = stage_resistance });
+  (* n_stages transconductor-RC integrators *)
+  let gm = s.a_stage /. stage_resistance in
+  let previous = ref s0 in
+  for k = 1 to config.n_stages do
+    let name = if k = config.n_stages then "out" else Printf.sprintf "s%d" k in
+    let node = Netlist.new_net ~name c in
+    (* inverting transconductor: current gm*v(prev) pulled out of the node *)
+    Netlist.add c
+      (Netlist.Vccs { g_name = Printf.sprintf "gm%d" k; p = node; n = Netlist.gnd;
+                      cp = !previous; cn = Netlist.gnd; gm });
+    Netlist.add c (Netlist.Resistor { r_name = Printf.sprintf "rs%d" k; a = node; b = Netlist.gnd; ohms = stage_resistance });
+    Netlist.add c
+      (Netlist.Capacitor { c_name = Printf.sprintf "cs%d" k; a = node; b = Netlist.gnd;
+                           farads = s.tau /. stage_resistance });
+    previous := node
+  done;
+  c
+
+let sizing_of_vector = function
+  | [| w1; l1; id1; cf; rf; tau; a_stage |] -> { w1; l1; id1; cf; rf; tau; a_stage }
+  | _ -> invalid_arg "detector sizing vector: expected 7 entries"
+
+let vector_of_sizing s = [| s.w1; s.l1; s.id1; s.cf; s.rf; s.tau; s.a_stage |]
+
+let template ?(config = default_config) () =
+  let p name lo hi = { Template.p_name = name; lo; hi; log_scale = true } in
+  { Template.t_name = "pulse-detector";
+    description = "charge-sensitive amplifier + CR-RC^4 pulse shaper";
+    params =
+      [| p "w1" 10e-6 5000e-6;
+         p "l1" 0.7e-6 3e-6;
+         p "id1" 20e-6 10e-3;
+         p "cf" 20e-15 500e-15;
+         p "rf" 1e6 100e6;
+         p "tau" 50e-9 1e-6;
+         p "a_stage" 1.0 12.0 |];
+    build = (fun tech x -> build ~config tech (sizing_of_vector x));
+    feasibility =
+      [ ("gain_v_per_fc", Mixsyn_util.Interval.make 2.0 100.0);
+        ("peaking_time_s", Mixsyn_util.Interval.make 2e-7 4e-6);
+        ("enc_electrons", Mixsyn_util.Interval.make 100.0 5000.0) ] }
+
+let estimated_power (tech : Tech.t) s config =
+  let gm = s.a_stage /. stage_resistance in
+  let stage_current = gm /. 10.0 in
+  tech.Tech.vdd *. (s.id1 +. (float_of_int config.n_stages *. stage_current))
+
+let cap_density = 1e-3 (* F/m^2: 1 fF/um^2 poly-poly *)
+let res_ohms_per_square = 50.0
+let res_width = 2e-6
+
+let estimated_area (tech : Tech.t) s config =
+  let gate = s.w1 *. s.l1 in
+  let caps =
+    (s.cf +. (float_of_int (config.n_stages + 1) *. (s.tau /. stage_resistance)))
+    /. cap_density
+  in
+  let resistor r = r /. res_ohms_per_square *. res_width *. res_width in
+  let resistors =
+    resistor s.rf
+    +. (float_of_int (config.n_stages + 1) *. resistor stage_resistance)
+  in
+  ignore tech;
+  gate +. caps +. resistors
+
+let expert_manual_sizing =
+  (* wide device and heavy bias: low noise by brute force; ~7.5 mA from a
+     5 V rail is the 40 mW-class conservative design of Table 1 *)
+  { w1 = 3000e-6; l1 = 1.0e-6; id1 = 7.5e-3; cf = 20e-15; rf = 20e6;
+    tau = 300e-9; a_stage = 8.0 }

@@ -1,0 +1,54 @@
+(** The pulse-detector front-end of Table 1: a charge-sensitive amplifier
+    followed by a 4-stage semi-Gaussian pulse-shaping amplifier.
+
+    The CSA is device-level (its input transistor sets the noise floor, which
+    is what the synthesis experiment trades against power); the shaper stages
+    are transconductor-RC sections, the behavioural level at which AMGIE's
+    high-level synthesis reasons about them.  A current pulse injects the
+    detector charge; net names:
+    - ["csa_in"], ["csa_out"] around the charge amplifier;
+    - ["out"] the shaper output;
+    - ["vdd"] the supply. *)
+
+type config = {
+  cdet : float;      (** detector capacitance at the CSA input, F *)
+  n_stages : int;    (** shaper integrator count (4 in the paper) *)
+  q_in : float;      (** injected test charge, C *)
+  t_inject : float;  (** charge collection time, s *)
+}
+
+val default_config : config
+
+(** Sizing degrees of freedom. *)
+type sizing = {
+  w1 : float;       (** CSA input transistor width, m *)
+  l1 : float;       (** CSA input transistor length, m *)
+  id1 : float;      (** CSA branch current, A *)
+  cf : float;       (** feedback capacitance, F *)
+  rf : float;       (** feedback (reset) resistance, ohm *)
+  tau : float;      (** shaper stage time constant, s *)
+  a_stage : float;  (** shaper per-stage low-frequency gain, linear *)
+}
+
+val build : ?config:config -> Tech.t -> sizing -> Netlist.t
+
+val template : ?config:config -> unit -> Template.t
+(** The same circuit as a {!Template.t} whose parameter vector is
+    [w1; l1; id1; cf; rf; tau; a_stage] — the form the generic sizing
+    engines consume. *)
+
+val sizing_of_vector : float array -> sizing
+val vector_of_sizing : sizing -> float array
+
+val estimated_power : Tech.t -> sizing -> config -> float
+(** Power model: CSA branch current plus one OTA per shaper stage biased at
+    gm/10 (a gm/Id of 10), all from Vdd.  Watts. *)
+
+val estimated_area : Tech.t -> sizing -> config -> float
+(** Area model: gate area + capacitor area (1 fF/µm² poly-poly) + resistor
+    area (50 Ω/sq, 2 µm wide poly).  m². *)
+
+val expert_manual_sizing : sizing
+(** The "manual" column baseline: a conservative expert-style design that
+    meets every Table 1 spec with generous margins (and correspondingly
+    generous power), standing in for the human design of the experiment. *)

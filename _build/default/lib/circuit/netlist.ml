@@ -1,0 +1,179 @@
+type net = int
+
+type polarity = Nmos | Pmos
+
+type mos = {
+  m_name : string;
+  drain : net;
+  gate : net;
+  source : net;
+  bulk : net;
+  w : float;
+  l : float;
+  polarity : polarity;
+}
+
+type wave =
+  | Dc_wave
+  | Pulse of { v0 : float; v1 : float; delay : float; rise : float; width : float }
+  | Sine of { offset : float; ampl : float; freq : float }
+  | Pwl of (float * float) list
+
+type element =
+  | Mos of mos
+  | Resistor of { r_name : string; a : net; b : net; ohms : float }
+  | Capacitor of { c_name : string; a : net; b : net; farads : float }
+  | Vsource of { v_name : string; p : net; n : net; dc : float; ac : float; v_wave : wave }
+  | Isource of { i_name : string; p : net; n : net; dc : float; ac : float; i_wave : wave }
+  | Vccs of { g_name : string; p : net; n : net; cp : net; cn : net; gm : float }
+
+type t = {
+  mutable rev_elements : element list;
+  mutable count : int;
+  mutable n_nets : int;
+  by_name : (string, net) Hashtbl.t;
+  mutable names : string array;
+}
+
+let gnd = 0
+
+let create () =
+  let t =
+    { rev_elements = []; count = 0; n_nets = 1;
+      by_name = Hashtbl.create 64; names = Array.make 16 "" }
+  in
+  t.names.(0) <- "0";
+  Hashtbl.replace t.by_name "0" 0;
+  t
+
+let ensure_capacity t n =
+  if n >= Array.length t.names then begin
+    let bigger = Array.make (max (2 * Array.length t.names) (n + 1)) "" in
+    Array.blit t.names 0 bigger 0 (Array.length t.names);
+    t.names <- bigger
+  end
+
+let new_net ?name t =
+  let id = t.n_nets in
+  t.n_nets <- id + 1;
+  ensure_capacity t id;
+  let label = match name with Some s -> s | None -> Printf.sprintf "n%d" id in
+  t.names.(id) <- label;
+  Hashtbl.replace t.by_name label id;
+  id
+
+let find_net t name = Hashtbl.find t.by_name name
+
+let net_name t n = if n < t.n_nets then t.names.(n) else Printf.sprintf "?%d" n
+
+let net_count t = t.n_nets
+
+let add t e =
+  t.rev_elements <- e :: t.rev_elements;
+  t.count <- t.count + 1
+
+let elements t = List.rev t.rev_elements
+
+let element_name = function
+  | Mos m -> m.m_name
+  | Resistor r -> r.r_name
+  | Capacitor c -> c.c_name
+  | Vsource v -> v.v_name
+  | Isource i -> i.i_name
+  | Vccs g -> g.g_name
+
+let find_mos t name =
+  let rec search = function
+    | [] -> raise Not_found
+    | Mos m :: _ when m.m_name = name -> m
+    | _ :: rest -> search rest
+  in
+  search t.rev_elements
+
+let mos_list t =
+  List.filter_map (function Mos m -> Some m | Resistor _ | Capacitor _ | Vsource _ | Isource _ | Vccs _ -> None)
+    (elements t)
+
+let device_count t = t.count
+
+let wave_value w ~dc time =
+  match w with
+  | Dc_wave -> dc
+  | Pulse { v0; v1; delay; rise; width } ->
+    if time < delay then v0
+    else if time < delay +. rise then
+      v0 +. ((v1 -. v0) *. (time -. delay) /. rise)
+    else if time < delay +. rise +. width then v1
+    else if time < delay +. (2.0 *. rise) +. width then
+      v1 -. ((v1 -. v0) *. (time -. delay -. rise -. width) /. rise)
+    else v0
+  | Sine { offset; ampl; freq } -> offset +. (ampl *. sin (2.0 *. Float.pi *. freq *. time))
+  | Pwl pts ->
+    let rec interp last = function
+      | [] -> snd last
+      | (tp, vp) :: rest ->
+        if time < tp then begin
+          let t0, v0 = last in
+          if tp = t0 then vp else v0 +. ((vp -. v0) *. (time -. t0) /. (tp -. t0))
+        end
+        else interp (tp, vp) rest
+    in
+    (match pts with
+     | [] -> dc
+     | (t0, v0) :: _ -> if time <= t0 then v0 else interp (t0, v0) pts)
+
+let pp ppf t =
+  let net ppf n = Format.fprintf ppf "%s" (net_name t n) in
+  let each = function
+    | Mos m ->
+      Format.fprintf ppf "M%s %a %a %a %a %s W=%g L=%g@\n" m.m_name net m.drain net m.gate
+        net m.source net m.bulk
+        (match m.polarity with Nmos -> "nmos" | Pmos -> "pmos")
+        m.w m.l
+    | Resistor r -> Format.fprintf ppf "R%s %a %a %g@\n" r.r_name net r.a net r.b r.ohms
+    | Capacitor c -> Format.fprintf ppf "C%s %a %a %g@\n" c.c_name net c.a net c.b c.farads
+    | Vsource v -> Format.fprintf ppf "V%s %a %a DC %g AC %g@\n" v.v_name net v.p net v.n v.dc v.ac
+    | Isource i -> Format.fprintf ppf "I%s %a %a DC %g AC %g@\n" i.i_name net i.p net i.n i.dc i.ac
+    | Vccs g -> Format.fprintf ppf "G%s %a %a %a %a %g@\n" g.g_name net g.p net g.n net g.cp net g.cn g.gm
+  in
+  List.iter each (elements t)
+
+let copy t =
+  { rev_elements = t.rev_elements;
+    count = t.count;
+    n_nets = t.n_nets;
+    by_name = Hashtbl.copy t.by_name;
+    names = Array.copy t.names }
+
+let to_spice ?(title = "mixsyn netlist") t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("* " ^ title ^ "\n");
+  let net n = net_name t n in
+  let each = function
+    | Mos m ->
+      Buffer.add_string buf
+        (Printf.sprintf "M%s %s %s %s %s %s W=%g L=%g\n" m.m_name (net m.drain) (net m.gate)
+           (net m.source) (net m.bulk)
+           (match m.polarity with Nmos -> "NMOS" | Pmos -> "PMOS")
+           m.w m.l)
+    | Resistor r ->
+      Buffer.add_string buf (Printf.sprintf "R%s %s %s %g\n" r.r_name (net r.a) (net r.b) r.ohms)
+    | Capacitor c ->
+      Buffer.add_string buf (Printf.sprintf "C%s %s %s %g\n" c.c_name (net c.a) (net c.b) c.farads)
+    | Vsource v ->
+      Buffer.add_string buf
+        (Printf.sprintf "V%s %s %s DC %g AC %g\n" v.v_name (net v.p) (net v.n) v.dc v.ac)
+    | Isource i ->
+      Buffer.add_string buf
+        (Printf.sprintf "I%s %s %s DC %g AC %g\n" i.i_name (net i.p) (net i.n) i.dc i.ac)
+    | Vccs g ->
+      Buffer.add_string buf
+        (Printf.sprintf "G%s %s %s %s %s %g\n" g.g_name (net g.p) (net g.n) (net g.cp)
+           (net g.cn) g.gm)
+  in
+  List.iter each (elements t);
+  Buffer.add_string buf ".END\n";
+  Buffer.contents buf
+
+let map_elements t f =
+  { (copy t) with rev_elements = List.rev_map f (elements t) }

@@ -1,0 +1,82 @@
+(** Circuit database: nets and elements.
+
+    This is the common substrate of the whole flow — the frontend sizes the
+    elements of a netlist, the simulator stamps them, the backend lays them
+    out.  All values are SI units (meters, ohms, farads, volts, amperes).
+
+    Net [gnd] (index 0) is the global reference. *)
+
+type net = int
+
+type polarity = Nmos | Pmos
+
+type mos = {
+  m_name : string;
+  drain : net;
+  gate : net;
+  source : net;
+  bulk : net;
+  w : float;  (** channel width, m *)
+  l : float;  (** channel length, m *)
+  polarity : polarity;
+}
+
+(** Time-domain behaviour of an independent source. *)
+type wave =
+  | Dc_wave
+  | Pulse of { v0 : float; v1 : float; delay : float; rise : float; width : float }
+  | Sine of { offset : float; ampl : float; freq : float }
+  | Pwl of (float * float) list  (** (time, value) breakpoints, sorted *)
+
+type element =
+  | Mos of mos
+  | Resistor of { r_name : string; a : net; b : net; ohms : float }
+  | Capacitor of { c_name : string; a : net; b : net; farads : float }
+  | Vsource of { v_name : string; p : net; n : net; dc : float; ac : float; v_wave : wave }
+  | Isource of { i_name : string; p : net; n : net; dc : float; ac : float; i_wave : wave }
+      (** positive [dc] pushes current from [p] to [n] through the source,
+          i.e. out of node [n] into node [p] externally. *)
+  | Vccs of { g_name : string; p : net; n : net; cp : net; cn : net; gm : float }
+      (** current [gm * v(cp,cn)] flows from [p] to [n] inside the element. *)
+
+type t
+
+val create : unit -> t
+val gnd : net
+
+val new_net : ?name:string -> t -> net
+val find_net : t -> string -> net
+(** @raise Not_found when no net has that name. *)
+
+val net_name : t -> net -> string
+val net_count : t -> int
+(** Number of nets including ground. *)
+
+val add : t -> element -> unit
+val elements : t -> element list
+(** In insertion order. *)
+
+val element_name : element -> string
+val find_mos : t -> string -> mos
+(** @raise Not_found *)
+
+val mos_list : t -> mos list
+val device_count : t -> int
+
+val wave_value : wave -> dc:float -> float -> float
+(** [wave_value w ~dc t] evaluates a source's value at time [t]; [Dc_wave]
+    holds at [dc]. *)
+
+val pp : Format.formatter -> t -> unit
+(** SPICE-flavoured listing, for debugging and documentation. *)
+
+val copy : t -> t
+(** Independent copy: adding elements to the copy leaves the original
+    unchanged. *)
+
+val to_spice : ?title:string -> t -> string
+(** SPICE-deck rendering of the netlist (devices, sources, .END) for
+    interchange with external simulators. *)
+
+val map_elements : t -> (element -> element) -> t
+(** A copy with every element transformed (nets and names preserved). *)

@@ -1,0 +1,81 @@
+type spec = {
+  f_clock : float;
+  f0 : float;
+  q : float;
+  gain : float;
+}
+
+let sc_resistance ~f_clock ~farads = 1.0 /. (f_clock *. farads)
+
+(* ideal inverting opamp: a transconductor pulling current out of its output
+   against a load resistor; A = gm * r = 1e4 *)
+let opamp c ~name ~vin ~vout =
+  Netlist.add c
+    (Netlist.Vccs { g_name = name ^ "_gm"; p = vout; n = Netlist.gnd; cp = vin; cn = Netlist.gnd;
+                    gm = 1.0 });
+  Netlist.add c
+    (Netlist.Resistor { r_name = name ^ "_ro"; a = vout; b = Netlist.gnd; ohms = 1e4 })
+
+let biquad_lowpass spec =
+  if spec.f0 > spec.f_clock /. 10.0 then
+    invalid_arg "sc_filter: f0 must sit well below f_clock/10";
+  let c = Netlist.create () in
+  let vin = Netlist.new_net ~name:"in" c in
+  let mid = Netlist.new_net ~name:"mid" c in
+  let out = Netlist.new_net ~name:"out" c in
+  let x1 = Netlist.new_net ~name:"x1" c in
+  let x2 = Netlist.new_net ~name:"x2" c in
+  Netlist.add c
+    (Netlist.Vsource { v_name = "vin"; p = vin; n = Netlist.gnd; dc = 0.0; ac = 1.0; v_wave = Netlist.Dc_wave });
+  (* Tow-Thomas with unit integrator capacitors C and SC resistors:
+       R0 = 1/(w0 C): integrator rate;  Rq = Q/(w0 C);  Rin = R0/gain *)
+  let c_int = 10e-12 in
+  let w0 = 2.0 *. Float.pi *. spec.f0 in
+  let r0 = 1.0 /. (w0 *. c_int) in
+  let rq = spec.q /. (w0 *. c_int) in
+  let rin = r0 /. spec.gain in
+  let resistor name a b ohms = Netlist.add c (Netlist.Resistor { r_name = name; a; b; ohms }) in
+  let capacitor name a b farads =
+    Netlist.add c (Netlist.Capacitor { c_name = name; a; b; farads })
+  in
+  (* the classic three-opamp loop: two inverting integrators plus a unity
+     inverter in the feedback path to fix the loop sign *)
+  let x3 = Netlist.new_net ~name:"x3" c in
+  let inv = Netlist.new_net ~name:"inv" c in
+  (* first (lossy) integrator: sums input, damping and (inverted) feedback *)
+  resistor "rin" vin x1 rin;
+  resistor "rq" mid x1 rq;
+  resistor "rfb" inv x1 r0;
+  opamp c ~name:"op1" ~vin:x1 ~vout:mid;
+  capacitor "cint1" x1 mid c_int;
+  (* second integrator: mid -> out *)
+  resistor "r2" mid x2 r0;
+  opamp c ~name:"op2" ~vin:x2 ~vout:out;
+  capacitor "cint2" x2 out c_int;
+  (* unity inverter: out -> inv *)
+  resistor "ru1" out x3 1e4;
+  resistor "ru2" inv x3 1e4;
+  opamp c ~name:"op3" ~vin:x3 ~vout:inv;
+  c
+
+let expected_magnitude spec f =
+  let w = 2.0 *. Float.pi *. f in
+  let w0 = 2.0 *. Float.pi *. spec.f0 in
+  (* lowpass: H = g w0^2 / (-w^2 + j w w0/q + w0^2) *)
+  let re = (w0 *. w0) -. (w *. w) in
+  let im = w *. w0 /. spec.q in
+  spec.gain *. w0 *. w0 /. sqrt ((re *. re) +. (im *. im))
+
+let capacitor_spread spec =
+  (* with unit integrator caps, the switched capacitors are
+     C_sw = 1/(f_clock * R): spread = max/min over {rin, rq, r0} *)
+  let c_int = 10e-12 in
+  let w0 = 2.0 *. Float.pi *. spec.f0 in
+  let r0 = 1.0 /. (w0 *. c_int) in
+  let rq = spec.q /. (w0 *. c_int) in
+  let rin = r0 /. spec.gain in
+  let c_of r = 1.0 /. (spec.f_clock *. r) in
+  let caps = [ c_of r0; c_of rq; c_of rin; c_int ] in
+  let cmax = List.fold_left Float.max neg_infinity caps in
+  let cmin = List.fold_left Float.min infinity caps in
+  cmax /. cmin

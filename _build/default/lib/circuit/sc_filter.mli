@@ -1,0 +1,31 @@
+(** Switched-capacitor filters — the procedural-generation application the
+    paper cites on both the frontend ([30], an SC filter silicon compiler)
+    and backend ([52], automated SC filter layout) sides.
+
+    The electrical model uses the classic SC equivalence: a capacitor C
+    switched at [f_clock] behaves as a resistor 1/(f_clock*C) well below the
+    clock, so a Tow-Thomas biquad built from two integrators simulates
+    directly on the continuous-time engine.  Opamps are ideal high-gain
+    stages (the compiler's abstraction level). *)
+
+type spec = {
+  f_clock : float;  (** switching frequency, Hz *)
+  f0 : float;       (** biquad pole frequency, Hz *)
+  q : float;        (** quality factor *)
+  gain : float;     (** passband gain, linear *)
+}
+
+val biquad_lowpass : spec -> Netlist.t
+(** Testbench-ready lowpass biquad: AC source on net ["in"], output on
+    ["out"], bandpass tap on ["mid"].
+    @raise Invalid_argument when [f0] is not well below [f_clock/10]. *)
+
+val expected_magnitude : spec -> float -> float
+(** |H(j2πf)| of the ideal continuous-time prototype. *)
+
+val sc_resistance : f_clock:float -> farads:float -> float
+(** The switched-capacitor resistance 1/(f_clock*C). *)
+
+val capacitor_spread : spec -> float
+(** Ratio of the largest to the smallest capacitor the biquad needs — the
+    design metric SC compilers minimise. *)

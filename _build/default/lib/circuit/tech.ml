@@ -1,0 +1,76 @@
+type t = {
+  tech_name : string;
+  vdd : float;
+  vth0_n : float;
+  vth0_p : float;
+  kp_n : float;
+  kp_p : float;
+  lambda_factor : float;
+  gamma : float;
+  phi : float;
+  cox : float;
+  cov : float;
+  cj : float;
+  cjsw : float;
+  kf : float;
+  l_min : float;
+  w_min : float;
+  l_diff : float;
+  temp : float;
+}
+
+let generic_07um =
+  { tech_name = "generic-0.7um";
+    vdd = 5.0;
+    vth0_n = 0.75;
+    vth0_p = 0.85;
+    kp_n = 100e-6;
+    kp_p = 35e-6;
+    lambda_factor = 0.05e-6;
+    gamma = 0.5;
+    phi = 0.7;
+    cox = 2.4e-3;
+    cov = 0.3e-9;
+    cj = 0.4e-3;
+    cjsw = 0.3e-9;
+    kf = 3e-24;
+    l_min = 0.7e-6;
+    w_min = 1.0e-6;
+    l_diff = 1.4e-6;
+    temp = 300.0 }
+
+type corner = {
+  corner_name : string;
+  d_vdd : float;
+  d_temp : float;
+  d_vth : float;
+  d_kp : float;
+}
+
+let nominal_corner = { corner_name = "nominal"; d_vdd = 0.0; d_temp = 0.0; d_vth = 0.0; d_kp = 0.0 }
+
+let apply_corner tech c =
+  let temp = tech.temp +. c.d_temp in
+  (* mobility degrades roughly as T^-1.5; thresholds drift -2 mV/K *)
+  let mobility_scale = (temp /. tech.temp) ** (-1.5) in
+  let vth_drift = -2e-3 *. c.d_temp in
+  { tech with
+    tech_name = Printf.sprintf "%s@%s" tech.tech_name c.corner_name;
+    vdd = tech.vdd *. (1.0 +. c.d_vdd);
+    vth0_n = tech.vth0_n +. c.d_vth +. vth_drift;
+    vth0_p = tech.vth0_p +. c.d_vth +. vth_drift;
+    kp_n = tech.kp_n *. (1.0 +. c.d_kp) *. mobility_scale;
+    kp_p = tech.kp_p *. (1.0 +. c.d_kp) *. mobility_scale;
+    temp }
+
+let corner_space =
+  let mk name d_vdd d_temp d_vth d_kp = { corner_name = name; d_vdd; d_temp; d_vth; d_kp } in
+  [ nominal_corner;
+    mk "slow-cold" (-0.1) (-60.0) 0.05 (-0.1);
+    mk "slow-hot" (-0.1) 125.0 0.05 (-0.1);
+    mk "fast-cold" 0.1 (-60.0) (-0.05) 0.1;
+    mk "fast-hot" 0.1 125.0 (-0.05) 0.1;
+    mk "low-vdd" (-0.1) 0.0 0.0 0.0;
+    mk "high-vdd" 0.1 0.0 0.0 0.0;
+    mk "hot" 0.0 125.0 0.0 0.0;
+    mk "cold" 0.0 (-60.0) 0.0 0.0 ]

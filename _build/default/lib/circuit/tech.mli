@@ -1,0 +1,48 @@
+(** Technology parameters: a generic 0.7 µm-class CMOS process.
+
+    The paper's systems target processes of this era (IDAC, AMGIE, the
+    KOAN/ANAGRAM II layouts).  Corner fields model the disturbance space used
+    by the manufacturability extension of ASTRX/OBLX ([31]). *)
+
+type t = {
+  tech_name : string;
+  vdd : float;          (** nominal supply, V *)
+  vth0_n : float;       (** NMOS zero-bias threshold, V *)
+  vth0_p : float;       (** PMOS zero-bias threshold magnitude, V *)
+  kp_n : float;         (** NMOS transconductance factor µn·Cox, A/V² *)
+  kp_p : float;         (** PMOS transconductance factor, A/V² *)
+  lambda_factor : float;(** channel-length modulation: λ = lambda_factor / L(m), 1/V·m *)
+  gamma : float;        (** body-effect coefficient, V^0.5 *)
+  phi : float;          (** surface potential 2φF, V *)
+  cox : float;          (** gate capacitance per area, F/m² *)
+  cov : float;          (** gate overlap capacitance per width, F/m *)
+  cj : float;           (** junction capacitance per area, F/m² *)
+  cjsw : float;         (** junction sidewall capacitance per perimeter, F/m *)
+  kf : float;           (** flicker noise coefficient, J (SPICE KF) *)
+  l_min : float;        (** minimum channel length, m *)
+  w_min : float;        (** minimum channel width, m *)
+  l_diff : float;       (** source/drain diffusion extent, m *)
+  temp : float;         (** simulation temperature, K *)
+}
+
+val generic_07um : t
+(** The default process used throughout the repository. *)
+
+(** A process/environment corner for worst-case analysis. *)
+type corner = {
+  corner_name : string;
+  d_vdd : float;   (** relative supply deviation, e.g. -0.1 for Vdd-10% *)
+  d_temp : float;  (** absolute temperature delta, K *)
+  d_vth : float;   (** absolute threshold shift applied to both polarities, V *)
+  d_kp : float;    (** relative transconductance-factor deviation *)
+}
+
+val nominal_corner : corner
+
+val apply_corner : t -> corner -> t
+(** Technology seen at a corner: thresholds shift, mobilities degrade with
+    temperature (T^-1.5 scaling), supply scales. *)
+
+val corner_space : corner list
+(** The deterministic corner set explored by {!Mixsyn_opt.Corner_search}
+    (±10 % Vdd, -40/125 °C, ±50 mV Vth, ±10 % Kp extremes). *)

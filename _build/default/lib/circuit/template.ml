@@ -1,0 +1,74 @@
+type param = {
+  p_name : string;
+  lo : float;
+  hi : float;
+  log_scale : bool;
+}
+
+type t = {
+  t_name : string;
+  description : string;
+  params : param array;
+  build : Tech.t -> float array -> Netlist.t;
+  feasibility : (string * Mixsyn_util.Interval.t) list;
+}
+
+let param_index t name =
+  let rec find i =
+    if i >= Array.length t.params then raise Not_found
+    else if t.params.(i).p_name = name then i
+    else find (i + 1)
+  in
+  find 0
+
+let clamp t x =
+  Array.mapi
+    (fun i v ->
+      let p = t.params.(i) in
+      Float.min p.hi (Float.max p.lo v))
+    x
+
+let midpoint t =
+  Array.map
+    (fun p ->
+      if p.log_scale then sqrt (p.lo *. p.hi) else 0.5 *. (p.lo +. p.hi))
+    t.params
+
+let random_point t rng =
+  Array.map
+    (fun p ->
+      if p.log_scale then exp (Mixsyn_util.Rng.uniform rng (log p.lo) (log p.hi))
+      else Mixsyn_util.Rng.uniform rng p.lo p.hi)
+    t.params
+
+let perturb t rng ~scale x =
+  let x' = Array.copy x in
+  let i = Mixsyn_util.Rng.int rng (Array.length t.params) in
+  let p = t.params.(i) in
+  let v =
+    if p.log_scale then begin
+      let span = log (p.hi /. p.lo) in
+      x.(i) *. exp (Mixsyn_util.Rng.uniform rng (-.scale *. span) (scale *. span))
+    end
+    else begin
+      let span = p.hi -. p.lo in
+      x.(i) +. Mixsyn_util.Rng.uniform rng (-.scale *. span) (scale *. span)
+    end
+  in
+  x'.(i) <- Float.min p.hi (Float.max p.lo v);
+  x'
+
+let with_fixed t bindings =
+  let params =
+    Array.map
+      (fun p ->
+        match List.assoc_opt p.p_name bindings with
+        | None -> p
+        | Some v -> { p with lo = v; hi = v })
+      t.params
+  in
+  List.iter
+    (fun (name, _) ->
+      if not (Array.exists (fun p -> p.p_name = name) t.params) then raise Not_found)
+    bindings;
+  { t with params }

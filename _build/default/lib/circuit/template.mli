@@ -1,0 +1,45 @@
+(** Parametrised circuit topologies.
+
+    A template is the unit the frontend manipulates: topology selection picks
+    a template, circuit sizing picks a value for its parameter vector
+    (Section 2.1 of the paper).  [build] instantiates a concrete netlist for
+    simulation; [feasibility] publishes coarse achievable performance ranges
+    used by the interval-based topology-selection strategy ([15]). *)
+
+type param = {
+  p_name : string;
+  lo : float;
+  hi : float;
+  log_scale : bool;  (** explore multiplicatively (currents, capacitors) *)
+}
+
+type t = {
+  t_name : string;
+  description : string;
+  params : param array;
+  build : Tech.t -> float array -> Netlist.t;
+  feasibility : (string * Mixsyn_util.Interval.t) list;
+      (** performance name -> achievable interval, coarse *)
+}
+
+val param_index : t -> string -> int
+(** @raise Not_found *)
+
+val clamp : t -> float array -> float array
+(** Project a parameter vector into the box. *)
+
+val midpoint : t -> float array
+(** Geometric/arithmetic centre of the box (per [log_scale]). *)
+
+val random_point : t -> Mixsyn_util.Rng.t -> float array
+
+val perturb :
+  t -> Mixsyn_util.Rng.t -> scale:float -> float array -> float array
+(** Random move of one parameter, relative amplitude [scale] of its range —
+    the annealing move generator used by OPTIMAN/FRIDGE-style sizing. *)
+
+val with_fixed : t -> (string * float) list -> t
+(** Pin parameters to fixed values (their box collapses to a point) — used
+    to hold environment quantities such as the load capacitance while the
+    optimizer explores the rest.
+    @raise Not_found for unknown parameter names. *)

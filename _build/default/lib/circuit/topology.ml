@@ -1,0 +1,211 @@
+module I = Mixsyn_util.Interval
+
+let common_mode_fraction = 0.45
+
+(* construction helpers *)
+
+let mos c ~name ~pol ~d ~g ~s ~b ~w ~l =
+  Netlist.add c
+    (Netlist.Mos { m_name = name; drain = d; gate = g; source = s; bulk = b; w; l; polarity = pol })
+
+let res c name a b ohms = Netlist.add c (Netlist.Resistor { r_name = name; a; b; ohms })
+
+let cap c name a b farads = Netlist.add c (Netlist.Capacitor { c_name = name; a; b; farads })
+
+let vsrc c name p n dc ac = Netlist.add c (Netlist.Vsource { v_name = name; p; n; dc; ac; v_wave = Netlist.Dc_wave })
+
+let isrc c name p n dc = Netlist.add c (Netlist.Isource { i_name = name; p; n; dc; ac = 0.0; i_wave = Netlist.Dc_wave })
+
+(* The supply + differential input testbench common to all OTAs:
+   returns (vdd_net, inp, inn). *)
+let testbench c (tech : Tech.t) =
+  let vdd = Netlist.new_net ~name:"vdd" c in
+  let inp = Netlist.new_net ~name:"inp" c in
+  let inn = Netlist.new_net ~name:"inn" c in
+  let vcm = common_mode_fraction *. tech.Tech.vdd in
+  vsrc c "vdd" vdd Netlist.gnd tech.Tech.vdd 0.0;
+  vsrc c "vip" inp Netlist.gnd vcm 0.5;
+  vsrc c "vin" inn Netlist.gnd vcm (-0.5);
+  (vdd, inp, inn)
+
+let p name lo hi log_scale = { Template.p_name = name; lo; hi; log_scale }
+
+(* -------------------------------------------------------------------- *)
+
+let build_ota_5t tech x =
+  match x with
+  | [| w1; w3; w5; l; ib; cl |] ->
+    let c = Netlist.create () in
+    let vdd, inp, inn = testbench c tech in
+    let out = Netlist.new_net ~name:"out" c in
+    let d1 = Netlist.new_net ~name:"d1" c in
+    let tail = Netlist.new_net ~name:"tail" c in
+    let nbias = Netlist.new_net ~name:"nbias" c in
+    mos c ~name:"m1" ~pol:Netlist.Nmos ~d:d1 ~g:inp ~s:tail ~b:Netlist.gnd ~w:w1 ~l;
+    mos c ~name:"m2" ~pol:Netlist.Nmos ~d:out ~g:inn ~s:tail ~b:Netlist.gnd ~w:w1 ~l;
+    mos c ~name:"m3" ~pol:Netlist.Pmos ~d:d1 ~g:d1 ~s:vdd ~b:vdd ~w:w3 ~l;
+    mos c ~name:"m4" ~pol:Netlist.Pmos ~d:out ~g:d1 ~s:vdd ~b:vdd ~w:w3 ~l;
+    mos c ~name:"m5" ~pol:Netlist.Nmos ~d:tail ~g:nbias ~s:Netlist.gnd ~b:Netlist.gnd ~w:w5 ~l;
+    mos c ~name:"m6" ~pol:Netlist.Nmos ~d:nbias ~g:nbias ~s:Netlist.gnd ~b:Netlist.gnd ~w:w5 ~l;
+    isrc c "ib" nbias vdd ib;
+    cap c "cl" out Netlist.gnd cl;
+    c
+  | _ -> invalid_arg "ota_5t: expected 6 parameters"
+
+let ota_5t =
+  { Template.t_name = "ota-5t";
+    description = "five-transistor OTA: NMOS pair, PMOS mirror load, tail sink";
+    params =
+      [| p "w1" 1e-6 500e-6 true;
+         p "w3" 1e-6 500e-6 true;
+         p "w5" 1e-6 500e-6 true;
+         p "l" 0.7e-6 5e-6 true;
+         p "ib" 1e-6 2e-3 true;
+         p "cl" 0.5e-12 20e-12 true |];
+    build = build_ota_5t;
+    feasibility =
+      [ ("gain_db", I.make 25.0 45.0);
+        ("ugf_hz", I.make 1e5 3e8);
+        ("phase_margin_deg", I.make 60.0 90.0);
+        ("power_w", I.make 1e-5 2e-2) ] }
+
+(* -------------------------------------------------------------------- *)
+
+let build_miller tech x =
+  match x with
+  | [| w1; w3; w5; w6; w7; l; ib; cc; cl |] ->
+    let c = Netlist.create () in
+    let vdd, inp, inn = testbench c tech in
+    let out = Netlist.new_net ~name:"out" c in
+    let o1 = Netlist.new_net ~name:"o1" c in
+    let d1 = Netlist.new_net ~name:"d1" c in
+    let tail = Netlist.new_net ~name:"tail" c in
+    let nbias = Netlist.new_net ~name:"nbias" c in
+    let nz = Netlist.new_net ~name:"nz" c in
+    mos c ~name:"m1" ~pol:Netlist.Nmos ~d:d1 ~g:inp ~s:tail ~b:Netlist.gnd ~w:w1 ~l;
+    mos c ~name:"m2" ~pol:Netlist.Nmos ~d:o1 ~g:inn ~s:tail ~b:Netlist.gnd ~w:w1 ~l;
+    mos c ~name:"m3" ~pol:Netlist.Pmos ~d:d1 ~g:d1 ~s:vdd ~b:vdd ~w:w3 ~l;
+    mos c ~name:"m4" ~pol:Netlist.Pmos ~d:o1 ~g:d1 ~s:vdd ~b:vdd ~w:w3 ~l;
+    mos c ~name:"m5" ~pol:Netlist.Nmos ~d:tail ~g:nbias ~s:Netlist.gnd ~b:Netlist.gnd ~w:w5 ~l;
+    mos c ~name:"m8" ~pol:Netlist.Nmos ~d:nbias ~g:nbias ~s:Netlist.gnd ~b:Netlist.gnd ~w:w5 ~l;
+    (* second stage: PMOS common source driven by o1, NMOS mirror sink *)
+    mos c ~name:"m6" ~pol:Netlist.Pmos ~d:out ~g:o1 ~s:vdd ~b:vdd ~w:w6 ~l;
+    mos c ~name:"m7" ~pol:Netlist.Nmos ~d:out ~g:nbias ~s:Netlist.gnd ~b:Netlist.gnd ~w:w7 ~l;
+    isrc c "ib" nbias vdd ib;
+    (* pole-zero compensation: Cc in series with nulling resistor *)
+    cap c "cc" o1 nz cc;
+    res c "rz" nz out (1.0 /. (sqrt (2.0 *. tech.Tech.kp_p *. (w6 /. l) *. ib) +. 1e-9));
+    cap c "cl" out Netlist.gnd cl;
+    c
+  | _ -> invalid_arg "miller_ota: expected 9 parameters"
+
+let miller_ota =
+  { Template.t_name = "miller-ota";
+    description = "two-stage Miller OTA with pole-zero compensation";
+    params =
+      [| p "w1" 1e-6 500e-6 true;
+         p "w3" 1e-6 500e-6 true;
+         p "w5" 1e-6 500e-6 true;
+         p "w6" 2e-6 1000e-6 true;
+         p "w7" 2e-6 1000e-6 true;
+         p "l" 0.7e-6 5e-6 true;
+         p "ib" 1e-6 2e-3 true;
+         p "cc" 0.2e-12 15e-12 true;
+         p "cl" 0.5e-12 20e-12 true |];
+    build = build_miller;
+    feasibility =
+      [ ("gain_db", I.make 55.0 90.0);
+        ("ugf_hz", I.make 1e5 1e8);
+        ("phase_margin_deg", I.make 45.0 80.0);
+        ("power_w", I.make 2e-5 5e-2) ] }
+
+(* -------------------------------------------------------------------- *)
+
+let build_folded_cascode tech x =
+  match x with
+  | [| w1; wp; wcp; wn; wcn; l; ib; cl |] ->
+    let c = Netlist.create () in
+    let vdd, inp, inn = testbench c tech in
+    let out = Netlist.new_net ~name:"out" c in
+    let f1 = Netlist.new_net ~name:"f1" c in
+    let f2 = Netlist.new_net ~name:"f2" c in
+    let m1out = Netlist.new_net ~name:"m1out" c in
+    let x1 = Netlist.new_net ~name:"x1" c in
+    let x2 = Netlist.new_net ~name:"x2" c in
+    let tail = Netlist.new_net ~name:"tail" c in
+    let nbias = Netlist.new_net ~name:"nbias" c in
+    let pb = Netlist.new_net ~name:"pb" c in
+    let vcp = Netlist.new_net ~name:"vcp" c in
+    let vcn = Netlist.new_net ~name:"vcn" c in
+    (* ideal cascode gate biases *)
+    vsrc c "vcp_src" vcp Netlist.gnd (tech.Tech.vdd -. 1.6) 0.0;
+    vsrc c "vcn_src" vcn Netlist.gnd 1.6 0.0;
+    (* input pair folds into the PMOS sources *)
+    mos c ~name:"m1" ~pol:Netlist.Nmos ~d:f1 ~g:inp ~s:tail ~b:Netlist.gnd ~w:w1 ~l;
+    mos c ~name:"m2" ~pol:Netlist.Nmos ~d:f2 ~g:inn ~s:tail ~b:Netlist.gnd ~w:w1 ~l;
+    mos c ~name:"m5" ~pol:Netlist.Nmos ~d:tail ~g:nbias ~s:Netlist.gnd ~b:Netlist.gnd ~w:(2.0 *. w1) ~l;
+    mos c ~name:"m10" ~pol:Netlist.Nmos ~d:nbias ~g:nbias ~s:Netlist.gnd ~b:Netlist.gnd ~w:(2.0 *. w1) ~l;
+    isrc c "ib" nbias vdd ib;
+    (* top current sources carry I_tail/2 + I_branch; bias from a P diode *)
+    mos c ~name:"m3" ~pol:Netlist.Pmos ~d:f1 ~g:pb ~s:vdd ~b:vdd ~w:wp ~l;
+    mos c ~name:"m4" ~pol:Netlist.Pmos ~d:f2 ~g:pb ~s:vdd ~b:vdd ~w:wp ~l;
+    mos c ~name:"m11" ~pol:Netlist.Pmos ~d:pb ~g:pb ~s:vdd ~b:vdd ~w:(wp /. 2.0) ~l;
+    isrc c "ibp" Netlist.gnd pb ib;
+    (* PMOS cascodes *)
+    mos c ~name:"m6" ~pol:Netlist.Pmos ~d:m1out ~g:vcp ~s:f1 ~b:vdd ~w:wcp ~l;
+    mos c ~name:"m7" ~pol:Netlist.Pmos ~d:out ~g:vcp ~s:f2 ~b:vdd ~w:wcp ~l;
+    (* cascoded NMOS mirror, diode side at m1out *)
+    mos c ~name:"m8" ~pol:Netlist.Nmos ~d:m1out ~g:vcn ~s:x1 ~b:Netlist.gnd ~w:wcn ~l;
+    mos c ~name:"m9" ~pol:Netlist.Nmos ~d:out ~g:vcn ~s:x2 ~b:Netlist.gnd ~w:wcn ~l;
+    mos c ~name:"m12" ~pol:Netlist.Nmos ~d:x1 ~g:m1out ~s:Netlist.gnd ~b:Netlist.gnd ~w:wn ~l;
+    mos c ~name:"m13" ~pol:Netlist.Nmos ~d:x2 ~g:m1out ~s:Netlist.gnd ~b:Netlist.gnd ~w:wn ~l;
+    cap c "cl" out Netlist.gnd cl;
+    c
+  | _ -> invalid_arg "folded_cascode: expected 8 parameters"
+
+let folded_cascode =
+  { Template.t_name = "folded-cascode";
+    description = "folded-cascode OTA, NMOS input, ideal cascode biases";
+    params =
+      [| p "w1" 2e-6 500e-6 true;
+         p "wp" 4e-6 1000e-6 true;
+         p "wcp" 2e-6 500e-6 true;
+         p "wn" 2e-6 500e-6 true;
+         p "wcn" 2e-6 500e-6 true;
+         p "l" 0.7e-6 3e-6 true;
+         p "ib" 2e-6 2e-3 true;
+         p "cl" 0.5e-12 20e-12 true |];
+    build = build_folded_cascode;
+    feasibility =
+      [ ("gain_db", I.make 60.0 95.0);
+        ("ugf_hz", I.make 1e6 2e8);
+        ("phase_margin_deg", I.make 60.0 89.0);
+        ("power_w", I.make 5e-5 5e-2) ] }
+
+(* -------------------------------------------------------------------- *)
+
+let build_comparator tech x =
+  match x with
+  | [| w1; w3; w5; w6; w7; l; ib |] ->
+    (* the Miller OTA without compensation network and load *)
+    build_miller tech [| w1; w3; w5; w6; w7; l; ib; 1e-18; 0.05e-12 |]
+  | _ -> invalid_arg "comparator: expected 7 parameters"
+
+let comparator =
+  { Template.t_name = "comparator";
+    description = "uncompensated two-stage amplifier used open loop";
+    params =
+      [| p "w1" 1e-6 200e-6 true;
+         p "w3" 1e-6 200e-6 true;
+         p "w5" 1e-6 200e-6 true;
+         p "w6" 2e-6 400e-6 true;
+         p "w7" 2e-6 400e-6 true;
+         p "l" 0.7e-6 2e-6 true;
+         p "ib" 1e-6 1e-3 true |];
+    build = build_comparator;
+    feasibility =
+      [ ("gain_db", I.make 50.0 85.0);
+        ("ugf_hz", I.make 1e6 5e8);
+        ("power_w", I.make 1e-5 2e-2) ] }
+
+let all = [ ota_5t; miller_ota; folded_cascode; comparator ]

@@ -1,0 +1,38 @@
+(** The cell-level topology library.
+
+    Each builder produces a complete testbench-ready netlist: supplies,
+    common-mode input sources with a ±0.5 differential AC excitation, bias
+    generation from a single reference current, and a load capacitor.  Net
+    naming conventions used by the measurement code:
+    - ["vdd"] supply net, source named ["vdd"];
+    - ["inp"]/["inn"] differential inputs;
+    - ["out"] single-ended output;
+    - ["o1"] internal first-stage output where applicable.
+
+    Templates expose the degrees of freedom each synthesis strategy of the
+    paper must resolve. *)
+
+val ota_5t : Template.t
+(** Five-transistor OTA.  Params: [w1] input pair, [w3] mirror loads,
+    [w5] tail (and its 1:1 bias diode), [l] common length, [ib] bias
+    current, [cl] load capacitance. *)
+
+val miller_ota : Template.t
+(** Two-stage Miller-compensated OTA (NMOS pair, PMOS mirror, PMOS
+    common-source second stage, NMOS sink).  Params: [w1], [w3], [w5],
+    [w6] second-stage PMOS, [w7] sink, [l], [ib], [cc], [rz]. *)
+
+val folded_cascode : Template.t
+(** Folded-cascode OTA with ideal cascode gate biases.  Params: [w1] input
+    pair, [wp] top PMOS sources, [wcp] PMOS cascodes, [wn] bottom mirror,
+    [wcn] NMOS cascodes, [l], [ib], [cl]. *)
+
+val comparator : Template.t
+(** Uncompensated two-stage amplifier used as an open-loop comparator.
+    Params: [w1], [w3], [w5], [w6], [w7], [l], [ib]. *)
+
+val all : Template.t list
+(** Everything above — the candidate set for topology selection. *)
+
+val common_mode_fraction : float
+(** Input common mode as a fraction of Vdd used by every builder. *)

@@ -1,0 +1,1 @@
+lib/engine/ac.mli: Complex Mixsyn_circuit Mna

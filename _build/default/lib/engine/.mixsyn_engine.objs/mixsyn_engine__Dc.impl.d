@@ -1,0 +1,1 @@
+lib/engine/dc.ml: Array Float List Mixsyn_circuit Mixsyn_util Mna Mos_model

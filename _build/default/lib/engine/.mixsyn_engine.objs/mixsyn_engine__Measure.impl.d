@@ -1,0 +1,1 @@
+lib/engine/measure.ml: Ac Array Complex Float List Mixsyn_circuit Mna Mos_model

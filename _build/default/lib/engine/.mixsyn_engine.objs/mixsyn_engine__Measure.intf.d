@@ -1,0 +1,1 @@
+lib/engine/measure.mli: Ac Mixsyn_circuit Mna

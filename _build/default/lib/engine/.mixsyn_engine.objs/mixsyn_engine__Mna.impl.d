@@ -1,0 +1,1 @@
+lib/engine/mna.ml: Array Complex List Mixsyn_circuit Mos_model

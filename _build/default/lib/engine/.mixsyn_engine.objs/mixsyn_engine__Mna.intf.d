@@ -1,0 +1,1 @@
+lib/engine/mna.mli: Complex Mixsyn_circuit Mos_model

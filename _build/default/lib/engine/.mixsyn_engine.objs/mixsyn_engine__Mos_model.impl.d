@@ -1,0 +1,1 @@
+lib/engine/mos_model.ml: Float Format Mixsyn_circuit Mixsyn_util

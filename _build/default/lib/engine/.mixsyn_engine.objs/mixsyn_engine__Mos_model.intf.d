@@ -1,0 +1,1 @@
+lib/engine/mos_model.mli: Format Mixsyn_circuit

@@ -1,0 +1,1 @@
+lib/engine/noise.ml: Ac Array Complex Float List Mixsyn_circuit Mixsyn_util Mna Mos_model

@@ -1,0 +1,1 @@
+lib/engine/noise.mli: Mixsyn_circuit Mna

@@ -1,0 +1,1 @@
+lib/engine/tran.mli: Mixsyn_circuit Mna

@@ -1,0 +1,112 @@
+module Netlist = Mixsyn_circuit.Netlist
+module Cplx = Mixsyn_util.Matrix.Cplx
+
+type result = {
+  freqs : float array;
+  solutions : Complex.t array array;
+  ac_layout : Mna.layout;
+}
+
+let build_system tech nl op =
+  let layout = op.Mna.op_layout in
+  let n = layout.Mna.size in
+  let g = Array.make_matrix n n 0.0 in
+  let c = Array.make_matrix n n 0.0 in
+  let b = Array.make n Complex.zero in
+  let stamp_g i j v = if i >= 0 && j >= 0 then g.(i).(j) <- g.(i).(j) +. v in
+  let stamp_c i j v = if i >= 0 && j >= 0 then c.(i).(j) <- c.(i).(j) +. v in
+  let branch = ref (layout.Mna.nets - 1) in
+  let each = function
+    | Netlist.Resistor { a = na; b = nb; ohms; _ } ->
+      let gv = 1.0 /. ohms in
+      let ia = Mna.node_index na and ib = Mna.node_index nb in
+      stamp_g ia ia gv;
+      stamp_g ib ib gv;
+      stamp_g ia ib (-.gv);
+      stamp_g ib ia (-.gv)
+    | Netlist.Capacitor _ -> ()
+      (* stamped below together with the MOS capacitances *)
+    | Netlist.Vccs { p; n = nn; cp; cn; gm; _ } ->
+      let ip = Mna.node_index p and inn = Mna.node_index nn in
+      let icp = Mna.node_index cp and icn = Mna.node_index cn in
+      stamp_g ip icp gm;
+      stamp_g ip icn (-.gm);
+      stamp_g inn icp (-.gm);
+      stamp_g inn icn gm
+    | Netlist.Isource { p; n = nn; ac; _ } ->
+      if ac <> 0.0 then begin
+        let ip = Mna.node_index p and inn = Mna.node_index nn in
+        if ip >= 0 then b.(ip) <- Complex.add b.(ip) { Complex.re = ac; im = 0.0 };
+        if inn >= 0 then b.(inn) <- Complex.sub b.(inn) { Complex.re = ac; im = 0.0 }
+      end
+    | Netlist.Vsource { ac; p; n = nn; _ } ->
+      let row = !branch in
+      incr branch;
+      let ip = Mna.node_index p and inn = Mna.node_index nn in
+      stamp_g ip row 1.0;
+      stamp_g inn row (-1.0);
+      stamp_g row ip 1.0;
+      stamp_g row inn (-1.0);
+      if ac <> 0.0 then b.(row) <- { Complex.re = ac; im = 0.0 }
+    | Netlist.Mos _ -> ()
+  in
+  List.iter each (Netlist.elements nl);
+  (* MOS small-signal conductances from the operating point *)
+  List.iter
+    (fun (m, (e : Mos_model.eval)) ->
+      let id = Mna.node_index m.Netlist.drain
+      and ig = Mna.node_index m.Netlist.gate
+      and is = Mna.node_index m.Netlist.source
+      and ib = Mna.node_index m.Netlist.bulk in
+      stamp_g id id e.Mos_model.did_dvd;
+      stamp_g id ig e.Mos_model.did_dvg;
+      stamp_g id is e.Mos_model.did_dvs;
+      stamp_g id ib e.Mos_model.did_dvb;
+      stamp_g is id (-.e.Mos_model.did_dvd);
+      stamp_g is ig (-.e.Mos_model.did_dvg);
+      stamp_g is is (-.e.Mos_model.did_dvs);
+      stamp_g is ib (-.e.Mos_model.did_dvb))
+    op.Mna.mos_evals;
+  (* all capacitances, explicit and MOS *)
+  List.iter
+    (fun (na, nb, farads) ->
+      let ia = Mna.node_index na and ib = Mna.node_index nb in
+      stamp_c ia ia farads;
+      stamp_c ib ib farads;
+      stamp_c ia ib (-.farads);
+      stamp_c ib ia (-.farads))
+    (List.filter (fun (a, b, f) -> a <> b && f > 0.0) (Mna.linear_capacitors tech nl op));
+  (g, c, b)
+
+let complex_system g c b omega =
+  let n = Array.length b in
+  let a = Array.make_matrix n n Complex.zero in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      a.(i).(j) <- { Complex.re = g.(i).(j); im = omega *. c.(i).(j) }
+    done
+  done;
+  a
+
+let solve ?(tech = Mixsyn_circuit.Tech.generic_07um) nl op ~freqs =
+  let g, c, b = build_system tech nl op in
+  let solutions =
+    Array.map
+      (fun f ->
+        let omega = 2.0 *. Float.pi *. f in
+        Cplx.solve (complex_system g c b omega) b)
+      freqs
+  in
+  { freqs; solutions; ac_layout = op.Mna.op_layout }
+
+let voltage r k net =
+  if net = Netlist.gnd then Complex.zero else r.solutions.(k).(Mna.node_index net)
+
+let magnitude r k net = Complex.norm (voltage r k net)
+
+let phase_deg r k net = Complex.arg (voltage r k net) *. 180.0 /. Float.pi
+
+let log_sweep ~decades_from ~decades_to ~points_per_decade =
+  let n = int_of_float ((decades_to -. decades_from) *. float_of_int points_per_decade) + 1 in
+  Array.init n (fun i ->
+      10.0 ** (decades_from +. (float_of_int i /. float_of_int points_per_decade)))

@@ -1,0 +1,129 @@
+module Netlist = Mixsyn_circuit.Netlist
+
+type bode_point = { f : float; mag_db : float; phase : float }
+
+let bode ac ~out =
+  let n = Array.length ac.Ac.freqs in
+  let raw =
+    Array.init n (fun k ->
+        let v = Ac.voltage ac k out in
+        (ac.Ac.freqs.(k), Complex.norm v, Complex.arg v *. 180.0 /. Float.pi))
+  in
+  (* unwrap phase so margins read correctly through multi-pole rolloff *)
+  let unwrapped = Array.make n 0.0 in
+  let offset = ref 0.0 in
+  Array.iteri
+    (fun k (_, _, ph) ->
+      if k > 0 then begin
+        let _, _, prev = raw.(k - 1) in
+        let d = ph -. prev in
+        if d > 180.0 then offset := !offset -. 360.0
+        else if d < -180.0 then offset := !offset +. 360.0
+      end;
+      unwrapped.(k) <- ph +. !offset)
+    raw;
+  Array.init n (fun k ->
+      let f, mag, _ = raw.(k) in
+      { f; mag_db = 20.0 *. log10 (Float.max mag 1e-30); phase = unwrapped.(k) })
+
+let dc_gain pts = if Array.length pts = 0 then 0.0 else 10.0 ** (pts.(0).mag_db /. 20.0)
+
+let unity_gain_freq pts =
+  let n = Array.length pts in
+  let rec scan i =
+    if i >= n then None
+    else begin
+      let p0 = pts.(i - 1) and p1 = pts.(i) in
+      if p0.mag_db >= 0.0 && p1.mag_db < 0.0 then begin
+        (* interpolate in log-frequency *)
+        let frac = p0.mag_db /. (p0.mag_db -. p1.mag_db) in
+        Some (10.0 ** (log10 p0.f +. (frac *. (log10 p1.f -. log10 p0.f))))
+      end
+      else scan (i + 1)
+    end
+  in
+  if n < 2 then None else scan 1
+
+let phase_at pts freq =
+  let n = Array.length pts in
+  let rec scan i =
+    if i >= n then pts.(n - 1).phase
+    else if pts.(i).f >= freq then begin
+      if i = 0 then pts.(0).phase
+      else begin
+        let p0 = pts.(i - 1) and p1 = pts.(i) in
+        let frac = (log10 freq -. log10 p0.f) /. (log10 p1.f -. log10 p0.f) in
+        p0.phase +. (frac *. (p1.phase -. p0.phase))
+      end
+    end
+    else scan (i + 1)
+  in
+  scan 0
+
+let phase_margin pts =
+  match unity_gain_freq pts with
+  | None -> None
+  | Some fu ->
+    (* reference the phase to its DC value so an inverting amplifier (DC
+       phase 180) reads the same margin as a non-inverting one *)
+    let drop = Float.abs (phase_at pts fu -. pts.(0).phase) in
+    Some (180.0 -. drop)
+
+let gain_at pts freq =
+  let n = Array.length pts in
+  let rec scan i =
+    if i >= n then 10.0 ** (pts.(n - 1).mag_db /. 20.0)
+    else if pts.(i).f >= freq then begin
+      if i = 0 then 10.0 ** (pts.(0).mag_db /. 20.0)
+      else begin
+        let p0 = pts.(i - 1) and p1 = pts.(i) in
+        let frac = (log10 freq -. log10 p0.f) /. (log10 p1.f -. log10 p0.f) in
+        10.0 ** ((p0.mag_db +. (frac *. (p1.mag_db -. p0.mag_db))) /. 20.0)
+      end
+    end
+    else scan (i + 1)
+  in
+  scan 0
+
+let bandwidth_3db pts =
+  let n = Array.length pts in
+  if n < 2 then None
+  else begin
+    let target = pts.(0).mag_db -. 3.0 in
+    let rec scan i =
+      if i >= n then None
+      else begin
+        let p0 = pts.(i - 1) and p1 = pts.(i) in
+        if p0.mag_db >= target && p1.mag_db < target then begin
+          let frac = (p0.mag_db -. target) /. (p0.mag_db -. p1.mag_db) in
+          Some (10.0 ** (log10 p0.f +. (frac *. (log10 p1.f -. log10 p0.f))))
+        end
+        else scan (i + 1)
+      end
+    in
+    scan 1
+  end
+
+let output_swing _nl op ~out ~vdd_net =
+  let vdd = Mna.voltage op vdd_net in
+  let low = ref 0.0 and high = ref vdd in
+  List.iter
+    (fun ((m : Netlist.mos), (e : Mos_model.eval)) ->
+      if m.Netlist.drain = out then begin
+        let vdsat = Float.abs e.Mos_model.vdsat in
+        let vs = Mna.voltage op m.Netlist.source in
+        match m.Netlist.polarity with
+        | Netlist.Nmos -> low := Float.max !low (vs +. vdsat)
+        | Netlist.Pmos -> high := Float.min !high (vs -. vdsat)
+      end)
+    op.Mna.mos_evals;
+  (!low, !high)
+
+let supply_current _nl op name =
+  -.Mna.branch_current op ~layout:op.Mna.op_layout name
+
+let slew_rate ~tail_current ~comp_cap = tail_current /. comp_cap
+
+let mos_area nl =
+  List.fold_left (fun acc (m : Netlist.mos) -> acc +. (m.Netlist.w *. m.Netlist.l)) 0.0
+    (Netlist.mos_list nl)

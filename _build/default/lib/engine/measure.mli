@@ -1,0 +1,42 @@
+(** Performance extraction: the quantities a specification constrains.
+
+    Interprets raw analysis results as the performance metrics used by the
+    synthesis strategies of Section 2 — low-frequency gain, unity-gain
+    frequency, phase margin, output swing, power, slew rate. *)
+
+type bode_point = { f : float; mag_db : float; phase : float }
+
+val bode : Ac.result -> out:Mixsyn_circuit.Netlist.net -> bode_point array
+(** Magnitude (dB) and unwrapped phase (degrees) of the output node; the
+    input excitation is whatever AC sources the netlist carries. *)
+
+val dc_gain : bode_point array -> float
+(** Gain (linear) at the lowest swept frequency. *)
+
+val unity_gain_freq : bode_point array -> float option
+(** First 0 dB crossing (log-interpolated); [None] when the gain never
+    reaches unity inside the sweep. *)
+
+val phase_margin : bode_point array -> float option
+(** 180° + phase at the unity-gain frequency. *)
+
+val gain_at : bode_point array -> float -> float
+(** Linear-interpolated magnitude (linear scale) at a frequency. *)
+
+val bandwidth_3db : bode_point array -> float option
+(** -3 dB frequency relative to the DC gain. *)
+
+val output_swing :
+  Mixsyn_circuit.Netlist.t -> Mna.op -> out:Mixsyn_circuit.Netlist.net ->
+  vdd_net:Mixsyn_circuit.Netlist.net -> float * float
+(** Conservative (low, high) output range: each device whose drain drives the
+    output must keep its |Vds| above |Vdsat|. *)
+
+val supply_current : Mixsyn_circuit.Netlist.t -> Mna.op -> string -> float
+(** Current delivered by the named voltage source (positive = sourcing). *)
+
+val slew_rate : tail_current:float -> comp_cap:float -> float
+(** Classic two-stage estimate: I_tail / C_c. *)
+
+val mos_area : Mixsyn_circuit.Netlist.t -> float
+(** Total active gate area of the netlist, m². *)

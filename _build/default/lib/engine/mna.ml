@@ -1,0 +1,68 @@
+module Netlist = Mixsyn_circuit.Netlist
+
+type layout = {
+  nets : int;
+  branch_names : string array;
+  size : int;
+}
+
+let layout_of nl =
+  let branches =
+    List.filter_map
+      (function
+        | Netlist.Vsource { v_name; _ } -> Some v_name
+        | Netlist.Mos _ | Netlist.Resistor _ | Netlist.Capacitor _
+        | Netlist.Isource _ | Netlist.Vccs _ -> None)
+      (Netlist.elements nl)
+  in
+  let nets = Netlist.net_count nl in
+  let branch_names = Array.of_list branches in
+  { nets; branch_names; size = nets - 1 + Array.length branch_names }
+
+let node_index n = n - 1
+
+let branch_index layout name =
+  let rec find i =
+    if i >= Array.length layout.branch_names then raise Not_found
+    else if layout.branch_names.(i) = name then layout.nets - 1 + i
+    else find (i + 1)
+  in
+  find 0
+
+type op = {
+  op_layout : layout;
+  x : float array;
+  mos_evals : (Netlist.mos * Mos_model.eval) list;
+  iterations : int;
+}
+
+let voltage op n = if n = Netlist.gnd then 0.0 else op.x.(node_index n)
+
+let branch_current op ~layout name = op.x.(branch_index layout name)
+
+let stamp_real a i j v = if i >= 0 && j >= 0 then a.(i).(j) <- a.(i).(j) +. v
+
+let rhs_real b i v = if i >= 0 then b.(i) <- b.(i) +. v
+
+let stamp_cplx a i j v = if i >= 0 && j >= 0 then a.(i).(j) <- Complex.add a.(i).(j) v
+
+let rhs_cplx b i v = if i >= 0 then b.(i) <- Complex.add b.(i) v
+
+let linear_capacitors tech nl op =
+  let explicit =
+    List.filter_map
+      (function
+        | Netlist.Capacitor { a; b; farads; _ } -> Some (a, b, farads)
+        | Netlist.Mos _ | Netlist.Resistor _ | Netlist.Vsource _
+        | Netlist.Isource _ | Netlist.Vccs _ -> None)
+      (Netlist.elements nl)
+  in
+  let of_mos (m, (e : Mos_model.eval)) =
+    let c = Mos_model.capacitances tech m e.Mos_model.region in
+    [ (m.Netlist.gate, m.Netlist.source, c.Mos_model.cgs);
+      (m.Netlist.gate, m.Netlist.drain, c.Mos_model.cgd);
+      (m.Netlist.gate, m.Netlist.bulk, c.Mos_model.cgb);
+      (m.Netlist.drain, m.Netlist.bulk, c.Mos_model.cdb);
+      (m.Netlist.source, m.Netlist.bulk, c.Mos_model.csb) ]
+  in
+  explicit @ List.concat_map of_mos op.mos_evals

@@ -1,0 +1,157 @@
+module Tech = Mixsyn_circuit.Tech
+module Netlist = Mixsyn_circuit.Netlist
+
+type region = Cutoff | Triode | Saturation
+
+type eval = {
+  ids : float;
+  did_dvd : float;
+  did_dvg : float;
+  did_dvs : float;
+  did_dvb : float;
+  region : region;
+  vgs : float;
+  vds : float;
+  vth : float;
+  vdsat : float;
+  gm : float;
+  gds : float;
+  gmb : float;
+}
+
+let subthreshold_slope = 1.5
+
+(* softplus-smoothed overdrive: veff -> vov for strong inversion, decays
+   exponentially below threshold; sigma is its derivative. *)
+let effective_overdrive tech vov =
+  let vt = Mixsyn_util.Units.boltzmann *. tech.Tech.temp /. Mixsyn_util.Units.electron_charge in
+  let nvt = subthreshold_slope *. vt in
+  let x = vov /. nvt in
+  if x > 40.0 then (vov, 1.0)
+  else if x < -40.0 then (nvt *. exp (-40.0), 0.0)
+  else begin
+    let veff = nvt *. log (1.0 +. exp x) in
+    let sigma = 1.0 /. (1.0 +. exp (-.x)) in
+    (veff, sigma)
+  end
+
+(* Core NMOS-oriented evaluation assuming vds >= 0.  Returns (ids, jacobian
+   w.r.t. (vd, vg, vs, vb)) together with reporting values. *)
+let eval_core tech ~vth0 ~kp m ~vd ~vg ~vs ~vb =
+  let vgs = vg -. vs and vds = vd -. vs in
+  let vsb = vs -. vb in
+  let phi = tech.Tech.phi in
+  let sq_arg = Float.max (phi +. vsb) 0.025 in
+  let vth = vth0 +. (tech.Tech.gamma *. (sqrt sq_arg -. sqrt phi)) in
+  let dvth_dvsb = tech.Tech.gamma /. (2.0 *. sqrt sq_arg) in
+  let vov = vgs -. vth in
+  let veff, sigma = effective_overdrive tech vov in
+  let beta = kp *. m.Netlist.w /. m.Netlist.l in
+  let lambda = tech.Tech.lambda_factor /. m.Netlist.l in
+  let clm = 1.0 +. (lambda *. vds) in
+  let saturated = vds >= veff in
+  let ids, gm_raw, gds_raw =
+    if saturated then begin
+      let i0 = 0.5 *. beta *. veff *. veff in
+      (i0 *. clm, beta *. veff *. clm *. sigma, i0 *. lambda)
+    end
+    else begin
+      let i0 = beta *. ((veff *. vds) -. (0.5 *. vds *. vds)) in
+      ( i0 *. clm,
+        beta *. vds *. clm *. sigma,
+        (beta *. (veff -. vds) *. clm) +. (i0 *. lambda) )
+    end
+  in
+  let region = if sigma < 0.5 then Cutoff else if saturated then Saturation else Triode in
+  (* dvov/dvb = +dvth_dvsb (raising vb reduces vsb, lowers vth, raises vov) *)
+  let gmb = gm_raw *. dvth_dvsb in
+  (* Jacobian in terms of terminal voltages:
+       ids = f(vgs, vds, vsb)
+       did/dvg = gm ; did/dvd = gds ; did/dvb = gmb ;
+       did/dvs = -(gm + gds + gmb). *)
+  { ids;
+    did_dvd = gds_raw;
+    did_dvg = gm_raw;
+    did_dvs = -.(gm_raw +. gds_raw +. gmb);
+    did_dvb = gmb;
+    region;
+    vgs;
+    vds;
+    vth;
+    vdsat = veff;
+    gm = gm_raw;
+    gds = gds_raw;
+    gmb }
+
+let evaluate tech m ~vd ~vg ~vs ~vb =
+  match m.Netlist.polarity with
+  | Netlist.Nmos ->
+    if vd >= vs then eval_core tech ~vth0:tech.Tech.vth0_n ~kp:tech.Tech.kp_n m ~vd ~vg ~vs ~vb
+    else begin
+      (* source/drain swap: the device conducts the other way *)
+      let e = eval_core tech ~vth0:tech.Tech.vth0_n ~kp:tech.Tech.kp_n m ~vd:vs ~vg ~vs:vd ~vb in
+      { e with
+        ids = -.e.ids;
+        did_dvd = -.e.did_dvs;
+        did_dvg = -.e.did_dvg;
+        did_dvs = -.e.did_dvd;
+        did_dvb = -.e.did_dvb;
+        vds = vd -. vs;
+        vgs = vg -. vs }
+    end
+  | Netlist.Pmos ->
+    (* mirror all voltages and reuse the NMOS equations:
+       id_p(v) = -id_n(-v); d id_p/dvx = d id_n/dvx' at mirrored point *)
+    let e =
+      let vd' = -.vd and vg' = -.vg and vs' = -.vs and vb' = -.vb in
+      if vd' >= vs' then eval_core tech ~vth0:tech.Tech.vth0_p ~kp:tech.Tech.kp_p m ~vd:vd' ~vg:vg' ~vs:vs' ~vb:vb'
+      else begin
+        let i = eval_core tech ~vth0:tech.Tech.vth0_p ~kp:tech.Tech.kp_p m ~vd:vs' ~vg:vg' ~vs:vd' ~vb:vb' in
+        { i with
+          ids = -.i.ids;
+          did_dvd = -.i.did_dvs;
+          did_dvg = -.i.did_dvg;
+          did_dvs = -.i.did_dvd;
+          did_dvb = -.i.did_dvb;
+          vds = vd' -. vs';
+          vgs = vg' -. vs' }
+      end
+    in
+    { e with
+      ids = -.e.ids;
+      (* derivatives survive double sign flip *)
+      vgs = vg -. vs;
+      vds = vd -. vs;
+      vth = -.e.vth;
+      vdsat = -.e.vdsat }
+
+type caps = { cgs : float; cgd : float; cgb : float; cdb : float; csb : float }
+
+let capacitances tech m region =
+  let w = m.Netlist.w and l = m.Netlist.l in
+  let cgate = tech.Tech.cox *. w *. l in
+  let cover = tech.Tech.cov *. w in
+  let cjunction =
+    (tech.Tech.cj *. w *. tech.Tech.l_diff)
+    +. (tech.Tech.cjsw *. 2.0 *. (w +. tech.Tech.l_diff))
+  in
+  match region with
+  | Saturation ->
+    { cgs = ((2.0 /. 3.0) *. cgate) +. cover; cgd = cover; cgb = 0.0;
+      cdb = cjunction; csb = cjunction }
+  | Triode ->
+    { cgs = (0.5 *. cgate) +. cover; cgd = (0.5 *. cgate) +. cover; cgb = 0.0;
+      cdb = cjunction; csb = cjunction }
+  | Cutoff ->
+    { cgs = cover; cgd = cover; cgb = cgate; cdb = cjunction; csb = cjunction }
+
+let thermal_noise_psd tech ~gm =
+  4.0 *. Mixsyn_util.Units.boltzmann *. tech.Tech.temp *. (2.0 /. 3.0) *. gm
+
+let flicker_noise_psd tech m ~gm ~freq =
+  let f = Float.max freq 1e-3 in
+  tech.Tech.kf *. gm *. gm /. (tech.Tech.cox *. m.Netlist.w *. m.Netlist.l *. f)
+
+let pp_region ppf r =
+  Format.pp_print_string ppf
+    (match r with Cutoff -> "cutoff" | Triode -> "triode" | Saturation -> "saturation")

@@ -1,0 +1,174 @@
+module Netlist = Mixsyn_circuit.Netlist
+module Real = Mixsyn_util.Matrix.Real
+
+type result = {
+  times : float array;
+  samples : float array array;
+  tr_layout : Mna.layout;
+}
+
+(* Assemble the Newton system for one trapezoidal step.  [caps] carries the
+   linearised capacitances with their companion state (voltage and current at
+   the previous accepted timepoint). *)
+let assemble tech nl (layout : Mna.layout) x ~time ~caps ~geq =
+  let n = layout.Mna.size in
+  let a = Real.create n n in
+  let b = Array.make n 0.0 in
+  let v net = if net = Netlist.gnd then 0.0 else x.(Mna.node_index net) in
+  let stamp = Mna.stamp_real a and rhs = Mna.rhs_real b in
+  let branch = ref (layout.Mna.nets - 1) in
+  let each = function
+    | Netlist.Resistor { a = na; b = nb; ohms; _ } ->
+      let g = 1.0 /. ohms in
+      let ia = Mna.node_index na and ib = Mna.node_index nb in
+      stamp ia ia g;
+      stamp ib ib g;
+      stamp ia ib (-.g);
+      stamp ib ia (-.g)
+    | Netlist.Capacitor _ -> ()
+    | Netlist.Vccs { p; n = nn; cp; cn; gm; _ } ->
+      let ip = Mna.node_index p and inn = Mna.node_index nn in
+      let icp = Mna.node_index cp and icn = Mna.node_index cn in
+      stamp ip icp gm;
+      stamp ip icn (-.gm);
+      stamp inn icp (-.gm);
+      stamp inn icn gm
+    | Netlist.Isource { p; n = nn; dc; i_wave; _ } ->
+      let value = Netlist.wave_value i_wave ~dc time in
+      rhs (Mna.node_index p) value;
+      rhs (Mna.node_index nn) (-.value)
+    | Netlist.Vsource { p; n = nn; dc; v_wave; _ } ->
+      let row = !branch in
+      incr branch;
+      let value = Netlist.wave_value v_wave ~dc time in
+      let ip = Mna.node_index p and inn = Mna.node_index nn in
+      stamp ip row 1.0;
+      stamp inn row (-1.0);
+      stamp row ip 1.0;
+      stamp row inn (-1.0);
+      rhs row value
+    | Netlist.Mos m ->
+      let e =
+        Mos_model.evaluate tech m ~vd:(v m.Netlist.drain) ~vg:(v m.Netlist.gate)
+          ~vs:(v m.Netlist.source) ~vb:(v m.Netlist.bulk)
+      in
+      let id = Mna.node_index m.Netlist.drain
+      and ig = Mna.node_index m.Netlist.gate
+      and is = Mna.node_index m.Netlist.source
+      and ib = Mna.node_index m.Netlist.bulk in
+      let open Mos_model in
+      stamp id id e.did_dvd;
+      stamp id ig e.did_dvg;
+      stamp id is e.did_dvs;
+      stamp id ib e.did_dvb;
+      stamp is id (-.e.did_dvd);
+      stamp is ig (-.e.did_dvg);
+      stamp is is (-.e.did_dvs);
+      stamp is ib (-.e.did_dvb);
+      let linear_at_op =
+        (e.did_dvd *. v m.Netlist.drain)
+        +. (e.did_dvg *. v m.Netlist.gate)
+        +. (e.did_dvs *. v m.Netlist.source)
+        +. (e.did_dvb *. v m.Netlist.bulk)
+      in
+      let const = e.ids -. linear_at_op in
+      rhs id (-.const);
+      rhs is const
+  in
+  List.iter each (Netlist.elements nl);
+  (* trapezoidal companion models: g_eq between the plates plus a history
+     current source  I_eq = g_eq * v_prev + i_prev *)
+  Array.iteri
+    (fun k (na, nb, _c, v_prev, i_prev) ->
+      let ia = Mna.node_index na and ib = Mna.node_index nb in
+      let g = geq.(k) in
+      stamp ia ia g;
+      stamp ib ib g;
+      stamp ia ib (-.g);
+      stamp ib ia (-.g);
+      let ieq = (g *. v_prev) +. i_prev in
+      rhs ia ieq;
+      rhs ib (-.ieq))
+    caps;
+  (* small gmin for numerical robustness *)
+  for i = 0 to layout.Mna.nets - 2 do
+    a.(i).(i) <- a.(i).(i) +. 1e-9
+  done;
+  (a, b)
+
+let solve ?(tech = Mixsyn_circuit.Tech.generic_07um) nl op ~t_stop ~dt =
+  let layout = op.Mna.op_layout in
+  let n = layout.Mna.size in
+  let cap_list = Mna.linear_capacitors tech nl op |> List.filter (fun (a, b, c) -> a <> b && c > 0.0) in
+  let v_of x net = if net = Netlist.gnd then 0.0 else x.(Mna.node_index net) in
+  let caps =
+    Array.of_list
+      (List.map
+         (fun (a, b, c) -> (a, b, c, v_of op.Mna.x a -. v_of op.Mna.x b, 0.0))
+         cap_list)
+  in
+  let geq = Array.map (fun (_, _, c, _, _) -> 2.0 *. c /. dt) caps in
+  let steps = int_of_float (Float.ceil (t_stop /. dt)) in
+  let times = Array.init (steps + 1) (fun k -> float_of_int k *. dt) in
+  let samples = Array.make (steps + 1) [||] in
+  samples.(0) <- Array.copy op.Mna.x;
+  let x = Array.copy op.Mna.x in
+  for k = 1 to steps do
+    let time = times.(k) in
+    (* Newton iterate at this timestep *)
+    let rec iterate count =
+      let a, b = assemble tech nl layout x ~time ~caps ~geq in
+      let x_new = Real.solve a b in
+      let max_delta = ref 0.0 in
+      for i = 0 to n - 1 do
+        max_delta := Float.max !max_delta (Float.abs (x_new.(i) -. x.(i)))
+      done;
+      let limit = 0.5 in
+      let scale = if !max_delta > limit then limit /. !max_delta else 1.0 in
+      for i = 0 to n - 1 do
+        x.(i) <- x.(i) +. (scale *. (x_new.(i) -. x.(i)))
+      done;
+      if !max_delta > 1e-9 && count < 50 then iterate (count + 1)
+    in
+    iterate 0;
+    (* update companion state *)
+    Array.iteri
+      (fun i (na, nb, c, v_prev, i_prev) ->
+        let v_now = v_of x na -. v_of x nb in
+        let i_now = (geq.(i) *. (v_now -. v_prev)) -. i_prev in
+        caps.(i) <- (na, nb, c, v_now, i_now))
+      caps;
+    samples.(k) <- Array.copy x
+  done;
+  { times; samples; tr_layout = layout }
+
+let voltage r k net =
+  if net = Netlist.gnd then 0.0 else r.samples.(k).(Mna.node_index net)
+
+let waveform r net = Array.init (Array.length r.times) (fun k -> (r.times.(k), voltage r k net))
+
+let peak w =
+  Array.fold_left
+    (fun ((_, best_v) as best) ((_, v) as sample) ->
+      if Float.abs v > Float.abs best_v then sample else best)
+    w.(0) w
+
+let first_crossing w ~level =
+  let n = Array.length w in
+  let rec scan i =
+    if i >= n then None
+    else begin
+      let t0, v0 = w.(i - 1) and t1, v1 = w.(i) in
+      if (v0 -. level) *. (v1 -. level) <= 0.0 && v0 <> v1 then
+        Some (t0 +. ((level -. v0) *. (t1 -. t0) /. (v1 -. v0)))
+      else scan (i + 1)
+    end
+  in
+  if n < 2 then None else scan 1
+
+let settling_time w ~final ~tolerance =
+  let last_out = ref None in
+  Array.iter
+    (fun (t, v) -> if Float.abs (v -. final) > tolerance then last_out := Some t)
+    w;
+  !last_out

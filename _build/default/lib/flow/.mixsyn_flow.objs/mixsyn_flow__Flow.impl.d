@@ -1,0 +1,1 @@
+lib/flow/flow.ml: Float Format List Mixsyn_circuit Mixsyn_engine Mixsyn_layout Mixsyn_synth Option Printf Unix

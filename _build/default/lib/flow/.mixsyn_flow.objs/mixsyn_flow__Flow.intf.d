@@ -1,0 +1,1 @@
+lib/flow/flow.mli: Format Mixsyn_circuit Mixsyn_layout Mixsyn_synth

@@ -1,0 +1,150 @@
+module Spec = Mixsyn_synth.Spec
+module Sizing = Mixsyn_synth.Sizing
+module Template = Mixsyn_circuit.Template
+
+type stage_log = {
+  stage : string;
+  detail : string;
+  seconds : float;
+}
+
+type outcome = {
+  template : Template.t;
+  sizing : Sizing.result;
+  layout : Mixsyn_layout.Cell_flow.report;
+  pre_layout : Spec.performance;
+  post_layout : Spec.performance;
+  meets_post_layout : bool;
+  redesigns : int;
+  log : stage_log list;
+}
+
+let timed log stage f =
+  let t0 = Unix.gettimeofday () in
+  let result, detail = f () in
+  log := { stage; detail; seconds = Unix.gettimeofday () -. t0 } :: !log;
+  result
+
+let measure_extracted tech template params layout_report =
+  let nl = template.Template.build tech params in
+  let annotated =
+    Mixsyn_layout.Extract.annotate nl layout_report.Mixsyn_layout.Cell_flow.parasitics
+  in
+  match Mixsyn_engine.Dc.solve ~tech annotated with
+  | exception Mixsyn_engine.Dc.No_convergence _ -> []
+  | op ->
+    let out = Mixsyn_circuit.Netlist.find_net annotated "out" in
+    let freqs = Mixsyn_synth.Evaluate.sweep_freqs in
+    let ac = Mixsyn_engine.Ac.solve ~tech annotated op ~freqs in
+    let bode = Mixsyn_engine.Measure.bode ac ~out in
+    let gain = Mixsyn_engine.Measure.dc_gain bode in
+    [ ("gain_db", 20.0 *. log10 (Float.max gain 1e-12));
+      ("ugf_hz", Option.value (Mixsyn_engine.Measure.unity_gain_freq bode) ~default:0.0);
+      ("phase_margin_deg",
+       Option.value (Mixsyn_engine.Measure.phase_margin bode) ~default:0.0);
+      ("power_w", Mixsyn_engine.Dc.power annotated op) ]
+
+let run ?(tech = Mixsyn_circuit.Tech.generic_07um) ?(seed = 13) ?(max_redesigns = 2)
+    ?(candidates = Mixsyn_circuit.Topology.all) ~specs ~objectives ~context () =
+  let log = ref [] in
+  (* 1. topology selection: interval pruning then rule-based ranking *)
+  let template =
+    timed log "topology-selection" (fun () ->
+        let feasible = Mixsyn_synth.Topo_select.interval_feasible specs candidates in
+        let pool = if feasible = [] then candidates else feasible in
+        match Mixsyn_synth.Topo_select.rule_based specs pool with
+        | [] -> failwith "flow: no candidate topology"
+        | best :: _ ->
+          ( best.Mixsyn_synth.Topo_select.template,
+            Printf.sprintf "%d candidates -> %s" (List.length candidates)
+              best.Mixsyn_synth.Topo_select.template.Template.t_name ))
+  in
+  (* 2/3. sizing + verification, 4/5. layout + extraction, with redesign *)
+  let rec attempt redesigns extra_load =
+    let context =
+      match List.assoc_opt "cl" context with
+      | Some cl -> ("cl", cl +. extra_load) :: List.remove_assoc "cl" context
+      | None -> context
+    in
+    (* each redesign sizes against tightened targets so the layout-induced
+       degradation lands inside the original specification *)
+    let margin = 1.0 +. (0.06 *. float_of_int redesigns) in
+    let sizing_specs =
+      List.map
+        (fun (s : Spec.t) ->
+          match s.Spec.bound with
+          | Spec.At_least v when v > 0.0 -> { s with Spec.bound = Spec.At_least (v *. margin) }
+          | Spec.At_most v when v > 0.0 -> { s with Spec.bound = Spec.At_most (v /. margin) }
+          | Spec.At_least _ | Spec.At_most _ | Spec.Between _ -> s)
+        specs
+    in
+    let sizing =
+      timed log
+        (Printf.sprintf "sizing-pass%d" redesigns)
+        (fun () ->
+          let r =
+            Sizing.size ~tech ~seed:(seed + redesigns) ~context Sizing.Awe_annealing template
+              ~specs:sizing_specs ~objectives
+          in
+          (r, Printf.sprintf "cost %.2f, %d evaluations" r.Sizing.cost r.Sizing.evaluations))
+    in
+    let layout =
+      timed log
+        (Printf.sprintf "layout-pass%d" redesigns)
+        (fun () ->
+          let nl = template.Template.build tech sizing.Sizing.params in
+          (* retry placement seeds until the router completes *)
+          let rec best_layout k r =
+            if r.Mixsyn_layout.Cell_flow.complete || k >= 3 then r
+            else best_layout (k + 1)
+                (Mixsyn_layout.Cell_flow.koan ~seed:(seed + (7 * redesigns) + k) nl)
+          in
+          let r = best_layout 1 (Mixsyn_layout.Cell_flow.koan ~seed:(seed + (7 * redesigns)) nl) in
+          ( r,
+            Printf.sprintf "area %.0f um2, %s" (r.Mixsyn_layout.Cell_flow.area_m2 *. 1e12)
+              (if r.Mixsyn_layout.Cell_flow.complete then "routed" else "incomplete") ))
+    in
+    let post_layout =
+      timed log
+        (Printf.sprintf "extraction-pass%d" redesigns)
+        (fun () ->
+          let perf = measure_extracted tech template sizing.Sizing.params layout in
+          (perf, Format.asprintf "%a" Spec.pp_performance perf))
+    in
+    (* post-layout verification only re-checks what extraction changes (the
+       AC metrics); DC-only metrics keep their schematic values *)
+    let check_specs =
+      List.filter
+        (fun (s : Spec.t) -> List.mem_assoc s.Spec.s_name post_layout)
+        specs
+    in
+    let ok = Spec.satisfied check_specs post_layout in
+    if ok || redesigns >= max_redesigns then
+      (sizing, layout, post_layout, ok, redesigns)
+    else begin
+      (* closing the loop: fold the observed wiring load into the next pass *)
+      let wiring_cap =
+        Mixsyn_layout.Extract.total_wiring_cap layout.Mixsyn_layout.Cell_flow.parasitics
+      in
+      attempt (redesigns + 1) (extra_load +. (2.0 *. wiring_cap))
+    end
+  in
+  let sizing, layout, post_layout, ok, redesigns = attempt 0 0.0 in
+  { template;
+    sizing;
+    layout;
+    pre_layout = sizing.Sizing.performance;
+    post_layout;
+    meets_post_layout = ok;
+    redesigns;
+    log = List.rev !log }
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "flow: %s, %d redesign(s), post-layout %s@\n"
+    o.template.Template.t_name o.redesigns
+    (if o.meets_post_layout then "MET" else "violated");
+  List.iter
+    (fun l -> Format.fprintf ppf "  %-22s %6.2fs  %s@\n" l.stage l.seconds l.detail)
+    o.log;
+  Format.fprintf ppf "  pre-layout:  %a@\n" Spec.pp_performance o.pre_layout;
+  Format.fprintf ppf "  post-layout: %a" Spec.pp_performance o.post_layout

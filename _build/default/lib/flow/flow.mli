@@ -1,0 +1,42 @@
+(** Top-to-bottom cell design flow — the Acacia-style prototype ([63]) the
+    paper's conclusion points to: specification to verified layout through
+    every stage of the hierarchical methodology of Section 2.1.
+
+    Top-down: topology selection -> circuit sizing -> design verification.
+    Bottom-up: layout generation -> extraction -> detailed verification.
+    When the extracted circuit misses a specification, the flow "closes the
+    loop" ([51]): it resynthesises with the observed layout parasitics
+    folded into the load and retries (at most [max_redesigns] times). *)
+
+type stage_log = {
+  stage : string;
+  detail : string;
+  seconds : float;
+}
+
+type outcome = {
+  template : Mixsyn_circuit.Template.t;
+  sizing : Mixsyn_synth.Sizing.result;
+  layout : Mixsyn_layout.Cell_flow.report;
+  pre_layout : Mixsyn_synth.Spec.performance;
+  post_layout : Mixsyn_synth.Spec.performance;
+      (** performance of the extracted netlist *)
+  meets_post_layout : bool;
+  redesigns : int;
+  log : stage_log list;
+}
+
+val run :
+  ?tech:Mixsyn_circuit.Tech.t ->
+  ?seed:int ->
+  ?max_redesigns:int ->
+  ?candidates:Mixsyn_circuit.Template.t list ->
+  specs:Mixsyn_synth.Spec.t list ->
+  objectives:Mixsyn_synth.Spec.objective list ->
+  context:(string * float) list ->
+  unit ->
+  outcome
+(** Full flow for a cell-level specification set.
+    @raise Failure when no candidate topology is feasible. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,1 @@
+lib/layout/cell.ml: Geom List

@@ -1,0 +1,1 @@
+lib/layout/cell_flow.ml: Array Cell Extract Generator Geom Hashtbl List Maze_router Mixsyn_circuit Placer Printf Sensitivity Stacker

@@ -1,0 +1,1 @@
+lib/layout/cell_flow.mli: Cell Extract Maze_router Mixsyn_circuit Placer

@@ -1,0 +1,1 @@
+lib/layout/channel_router.ml: Hashtbl List Maze_router Rules

@@ -1,0 +1,1 @@
+lib/layout/channel_router.mli: Maze_router

@@ -1,0 +1,1 @@
+lib/layout/cif.ml: Buffer Cell Float Geom Hashtbl List Maze_router Printf

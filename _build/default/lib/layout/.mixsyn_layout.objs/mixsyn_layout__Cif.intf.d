@@ -1,0 +1,1 @@
+lib/layout/cif.mli: Cell Geom Maze_router

@@ -1,0 +1,1 @@
+lib/layout/compactor.ml: Array Cell Float Geom List Option Rules

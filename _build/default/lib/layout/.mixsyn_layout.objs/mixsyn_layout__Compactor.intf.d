@@ -1,0 +1,1 @@
+lib/layout/compactor.mli: Cell Rules

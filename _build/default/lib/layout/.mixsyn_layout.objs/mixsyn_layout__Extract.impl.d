@@ -1,0 +1,1 @@
+lib/layout/extract.ml: Float Geom Hashtbl List Maze_router Mixsyn_circuit Printf Rules

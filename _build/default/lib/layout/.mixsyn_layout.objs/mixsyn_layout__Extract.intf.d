@@ -1,0 +1,1 @@
+lib/layout/extract.mli: Maze_router Mixsyn_circuit Rules

@@ -1,0 +1,1 @@
+lib/layout/generator.ml: Array Cell Float Geom Hashtbl List Mixsyn_circuit Printf Rules

@@ -1,0 +1,1 @@
+lib/layout/generator.mli: Cell Mixsyn_circuit Rules

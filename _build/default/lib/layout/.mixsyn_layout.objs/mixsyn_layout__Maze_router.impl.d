@@ -1,0 +1,1 @@
+lib/layout/maze_router.ml: Array Cell Float Geom Hashtbl List Option Rules

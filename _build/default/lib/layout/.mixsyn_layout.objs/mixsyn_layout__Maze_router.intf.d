@@ -1,0 +1,1 @@
+lib/layout/maze_router.mli: Cell Geom Rules

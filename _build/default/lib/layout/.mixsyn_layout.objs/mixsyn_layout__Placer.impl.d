@@ -1,0 +1,1 @@
+lib/layout/placer.ml: Array Cell Float Geom Hashtbl List Mixsyn_opt Mixsyn_util Option Rules

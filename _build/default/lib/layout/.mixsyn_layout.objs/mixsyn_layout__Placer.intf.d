@@ -1,0 +1,1 @@
+lib/layout/placer.mli: Cell Geom Mixsyn_opt Rules

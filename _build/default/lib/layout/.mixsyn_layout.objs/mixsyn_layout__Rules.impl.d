@@ -1,0 +1,1 @@
+lib/layout/rules.ml: Geom

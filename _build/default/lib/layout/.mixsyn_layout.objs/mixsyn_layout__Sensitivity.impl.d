@@ -1,0 +1,1 @@
+lib/layout/sensitivity.ml: Float List Mixsyn_circuit

@@ -1,0 +1,1 @@
+lib/layout/sensitivity.mli: Mixsyn_circuit Mixsyn_synth

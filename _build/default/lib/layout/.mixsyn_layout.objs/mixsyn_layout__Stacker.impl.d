@@ -1,0 +1,1 @@
+lib/layout/stacker.ml: Array Float Hashtbl List Mixsyn_circuit Printf

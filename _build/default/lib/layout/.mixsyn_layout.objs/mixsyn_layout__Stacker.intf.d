@@ -1,0 +1,1 @@
+lib/layout/stacker.mli: Mixsyn_circuit

@@ -1,0 +1,42 @@
+type pin = {
+  pin_name : string;
+  pin_net : string;
+  pin_rect : Geom.rect;
+}
+
+type t = {
+  cell_name : string;
+  rects : Geom.rect list;
+  pins : pin list;
+  cw : float;
+  ch : float;
+}
+
+let make cell_name rects pins =
+  let everything = rects @ List.map (fun p -> p.pin_rect) pins in
+  match Geom.bbox everything with
+  | None -> { cell_name; rects = []; pins = []; cw = 0.0; ch = 0.0 }
+  | Some bb ->
+    let dx = -.bb.Geom.x0 and dy = -.bb.Geom.y0 in
+    { cell_name;
+      rects = List.map (Geom.translate dx dy) rects;
+      pins = List.map (fun p -> { p with pin_rect = Geom.translate dx dy p.pin_rect }) pins;
+      cw = Geom.width bb;
+      ch = Geom.height bb }
+
+let transform orient cell =
+  let w = cell.cw and h = cell.ch in
+  let rects = List.map (Geom.transform orient ~w ~h) cell.rects in
+  let pins =
+    List.map (fun p -> { p with pin_rect = Geom.transform orient ~w ~h p.pin_rect }) cell.pins
+  in
+  make cell.cell_name rects pins
+
+let translate dx dy cell =
+  { cell with
+    rects = List.map (Geom.translate dx dy) cell.rects;
+    pins = List.map (fun p -> { p with pin_rect = Geom.translate dx dy p.pin_rect }) cell.pins }
+
+let area cell = cell.cw *. cell.ch
+
+let pin_center p = Geom.center p.pin_rect

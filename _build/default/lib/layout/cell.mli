@@ -1,0 +1,30 @@
+(** Layout cells: geometry plus net-labelled pins.
+
+    A cell is the placer's atom — a generated device (possibly folded), a
+    merged device stack, or a passive component. *)
+
+type pin = {
+  pin_name : string;   (** terminal label, unique within the cell *)
+  pin_net : string;    (** circuit net this pin belongs to *)
+  pin_rect : Geom.rect;
+}
+
+type t = {
+  cell_name : string;
+  rects : Geom.rect list;
+  pins : pin list;
+  cw : float;  (** cell width *)
+  ch : float;  (** cell height *)
+}
+
+val make : string -> Geom.rect list -> pin list -> t
+(** Normalises geometry to the positive quadrant and records the size. *)
+
+val transform : Geom.orientation -> t -> t
+(** The cell in a new orientation (still origin-anchored). *)
+
+val translate : float -> float -> t -> t
+
+val area : t -> float
+
+val pin_center : pin -> float * float

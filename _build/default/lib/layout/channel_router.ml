@@ -1,0 +1,205 @@
+type pin_edge = Top | Bottom
+
+type channel_pin = {
+  column : int;
+  edge : pin_edge;
+  cp_net : string;
+}
+
+type net_style = {
+  cn_net : string;
+  cn_class : Maze_router.net_class;
+  track_width : int;
+}
+
+type routed_net = {
+  rn_net : string;
+  track : int;
+  left : int;
+  right : int;
+}
+
+type channel_result = {
+  routed : routed_net list;
+  shields : int list;
+  tracks_used : int;
+  channel_coupling : (string * string * float) list;
+}
+
+let density ~pins =
+  match pins with
+  | [] -> 0
+  | _ ->
+    let nets = Hashtbl.create 16 in
+    List.iter
+      (fun p ->
+        let lo, hi =
+          try Hashtbl.find nets p.cp_net with Not_found -> (max_int, min_int)
+        in
+        Hashtbl.replace nets p.cp_net (min lo p.column, max hi p.column))
+      pins;
+    let max_col = List.fold_left (fun acc p -> max acc p.column) 0 pins in
+    let best = ref 0 in
+    for col = 0 to max_col do
+      let count =
+        Hashtbl.fold (fun _ (lo, hi) acc -> if lo <= col && col <= hi then acc + 1 else acc)
+          nets 0
+      in
+      best := max !best count
+    done;
+    !best
+
+let route ?(shielding = true) ?(extra_spacing = fun _ _ -> 0) ~pins ~styles () =
+  (* net intervals *)
+  let interval = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      let lo, hi = try Hashtbl.find interval p.cp_net with Not_found -> (max_int, min_int) in
+      Hashtbl.replace interval p.cp_net (min lo p.column, max hi p.column))
+    pins;
+  let net_names = Hashtbl.fold (fun k _ acc -> k :: acc) interval [] |> List.sort compare in
+  let style_of n =
+    match List.find_opt (fun s -> s.cn_net = n) styles with
+    | Some s -> s
+    | None -> { cn_net = n; cn_class = Maze_router.Neutral; track_width = 1 }
+  in
+  (* vertical constraints: at a column with both a top and a bottom pin of
+     different nets, the top net's trunk must lie above the bottom net's *)
+  let above : (string, string list) Hashtbl.t = Hashtbl.create 16 in
+  let add_above a b =
+    let existing = try Hashtbl.find above a with Not_found -> [] in
+    if not (List.mem b existing) then Hashtbl.replace above a (b :: existing)
+  in
+  let columns = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      let tops, bottoms = try Hashtbl.find columns p.column with Not_found -> ([], []) in
+      let entry =
+        match p.edge with
+        | Top -> (p.cp_net :: tops, bottoms)
+        | Bottom -> (tops, p.cp_net :: bottoms)
+      in
+      Hashtbl.replace columns p.column entry)
+    pins;
+  Hashtbl.iter
+    (fun _ (tops, bottoms) ->
+      List.iter (fun t -> List.iter (fun b -> if t <> b then add_above t b) bottoms) tops)
+    columns;
+  (* cycle check by DFS *)
+  let visiting = Hashtbl.create 16 and done_ = Hashtbl.create 16 in
+  let rec dfs n =
+    if Hashtbl.mem done_ n then ()
+    else if Hashtbl.mem visiting n then failwith "channel router: vertical constraint cycle"
+    else begin
+      Hashtbl.add visiting n ();
+      List.iter dfs (try Hashtbl.find above n with Not_found -> []);
+      Hashtbl.remove visiting n;
+      Hashtbl.add done_ n ()
+    end
+  in
+  List.iter dfs net_names;
+  (* bottom-up left-edge: a net is placeable once everything it must be
+     above is already placed *)
+  let placed = Hashtbl.create 16 in
+  let remaining = ref net_names in
+  let levels = ref [] in
+  while !remaining <> [] do
+    let placeable =
+      List.filter
+        (fun n ->
+          List.for_all (fun b -> Hashtbl.mem placed b)
+            (try Hashtbl.find above n with Not_found -> []))
+        !remaining
+    in
+    if placeable = [] then failwith "channel router: stuck (cycle?)";
+    (* greedy left-edge on this level *)
+    let sorted =
+      List.sort
+        (fun a b -> compare (fst (Hashtbl.find interval a)) (fst (Hashtbl.find interval b)))
+        placeable
+    in
+    let level = ref [] in
+    let last_right = ref min_int in
+    List.iter
+      (fun n ->
+        let lo, hi = Hashtbl.find interval n in
+        if lo > !last_right + 1 then begin
+          level := n :: !level;
+          last_right := hi
+        end)
+      sorted;
+    let level = List.rev !level in
+    List.iter (fun n -> Hashtbl.add placed n ()) level;
+    remaining := List.filter (fun n -> not (List.mem n level)) !remaining;
+    levels := level :: !levels
+  done;
+  let levels = List.rev !levels in
+  (* assign tracks: advance by level height, spacing and shields *)
+  let track = ref 0 in
+  let shields = ref [] in
+  let routed = ref [] in
+  let previous_level = ref [] in
+  List.iter
+    (fun level ->
+      (* spacing and shielding against the previous level *)
+      let spacing =
+        List.fold_left
+          (fun acc n ->
+            List.fold_left (fun acc2 m -> max acc2 (extra_spacing n m)) acc !previous_level)
+          0 level
+      in
+      let incompatible =
+        List.exists
+          (fun n ->
+            List.exists
+              (fun m ->
+                not
+                  (Maze_router.compatible (style_of n).cn_class (style_of m).cn_class))
+              !previous_level)
+          level
+      in
+      track := !track + spacing;
+      if shielding && incompatible then begin
+        shields := !track :: !shields;
+        incr track
+      end;
+      let height =
+        List.fold_left (fun acc n -> max acc (style_of n).track_width) 1 level
+      in
+      List.iter
+        (fun n ->
+          let lo, hi = Hashtbl.find interval n in
+          routed := { rn_net = n; track = !track; left = lo; right = hi } :: !routed)
+        level;
+      track := !track + height;
+      previous_level := level)
+    levels;
+  (* coupling between trunks on vertically adjacent tracks *)
+  let routed = List.rev !routed in
+  let pitch = Rules.generic_07um.Rules.route_pitch in
+  let coupling = ref [] in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if a.rn_net < b.rn_net then begin
+            let dt = abs (a.track - b.track) in
+            let overlap = min a.right b.right - max a.left b.left in
+            if dt >= 1 && dt <= 2 && overlap > 0 then begin
+              let shielded =
+                List.exists (fun s -> (s > min a.track b.track) && s < max a.track b.track)
+                  !shields
+              in
+              let attenuation = (if shielded then 10.0 else 1.0) *. float_of_int dt in
+              let c =
+                Rules.cap_coupling_per_length *. pitch *. float_of_int overlap /. attenuation
+              in
+              coupling := (a.rn_net, b.rn_net, c) :: !coupling
+            end
+          end)
+        routed)
+    routed;
+  { routed;
+    shields = !shields;
+    tracks_used = !track;
+    channel_coupling = !coupling }

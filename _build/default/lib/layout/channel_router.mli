@@ -1,0 +1,55 @@
+(** Analog channel routing ([54,55]): classic left-edge/constraint-graph
+    channel routing extended with per-net widths, per-pair spacings and
+    grounded shield insertion between incompatible nets.
+
+    A channel is a horizontal routing region with pins on its top and bottom
+    edges at integer columns.  Each net gets one trunk track (no doglegs);
+    vertical constraint cycles are broken by column shifting at input
+    preparation time, so the router itself always succeeds given enough
+    tracks.  Analog extensions:
+    - a net's trunk is [width] tracks wide (wide low-resistance wires);
+    - [spacing net_a net_b] extra tracks are kept between adjacent trunks;
+    - a grounded shield track is inserted between vertically adjacent
+      incompatible nets when [shielding] is on. *)
+
+type pin_edge = Top | Bottom
+
+type channel_pin = {
+  column : int;
+  edge : pin_edge;
+  cp_net : string;
+}
+
+type net_style = {
+  cn_net : string;
+  cn_class : Maze_router.net_class;
+  track_width : int;  (** trunk thickness in tracks, >= 1 *)
+}
+
+type routed_net = {
+  rn_net : string;
+  track : int;       (** trunk track index (0 = closest to bottom) *)
+  left : int;
+  right : int;
+}
+
+type channel_result = {
+  routed : routed_net list;
+  shields : int list;            (** track indices holding grounded shields *)
+  tracks_used : int;
+  channel_coupling : (string * string * float) list;
+      (** adjacent-trunk coupling per (net, net): F per column span *)
+}
+
+val route :
+  ?shielding:bool ->
+  ?extra_spacing:(string -> string -> int) ->
+  pins:channel_pin list ->
+  styles:net_style list ->
+  unit ->
+  channel_result
+(** @raise Failure on a vertical-constraint cycle (the classic dogleg-free
+    limitation; callers shift pin columns to break cycles). *)
+
+val density : pins:channel_pin list -> int
+(** Channel density — the left-edge lower bound on track count. *)

@@ -1,0 +1,51 @@
+let layer_name = function
+  | Geom.Ndiff -> "CAA"
+  | Geom.Pdiff -> "CSP"
+  | Geom.Poly -> "CPG"
+  | Geom.Metal1 -> "CMF"
+  | Geom.Metal2 -> "CMS"
+  | Geom.Contact -> "CCC"
+  | Geom.Via12 -> "CVA"
+  | Geom.Nwell -> "CWN"
+
+(* CIF unit: centimicron *)
+let cif_units v = int_of_float (Float.round (v *. 1e8))
+
+let emit_rect buf r =
+  (* CIF box: B width height cx cy *)
+  let w = cif_units (Geom.width r) and h = cif_units (Geom.height r) in
+  let cx, cy = Geom.center r in
+  if w > 0 && h > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "  B %d %d %d %d;\n" w h (cif_units cx) (cif_units cy))
+
+let of_layout ?(cell_name = "mixsyn") ~cells ~wires () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "(CIF export of %s by mixsyn);\n" cell_name);
+  Buffer.add_string buf "DS 1 1 1;\n";
+  Buffer.add_string buf (Printf.sprintf "9 %s;\n" cell_name);
+  let by_layer = Hashtbl.create 8 in
+  let add r =
+    Hashtbl.replace by_layer r.Geom.layer
+      (r :: (try Hashtbl.find by_layer r.Geom.layer with Not_found -> []))
+  in
+  List.iter (fun (c : Cell.t) -> List.iter add c.Cell.rects) cells;
+  List.iter (fun (w : Maze_router.wire) -> List.iter add w.Maze_router.rects) wires;
+  List.iter
+    (fun layer ->
+      match Hashtbl.find_opt by_layer layer with
+      | None -> ()
+      | Some rects ->
+        Buffer.add_string buf (Printf.sprintf "L %s;\n" (layer_name layer));
+        List.iter (emit_rect buf) rects)
+    Geom.all_layers;
+  Buffer.add_string buf "DF;\nC 1;\nE\n";
+  Buffer.contents buf
+
+let write_file ~path ~cells ~wires () =
+  let oc = open_out path in
+  (try output_string oc (of_layout ~cells ~wires ())
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc

@@ -1,0 +1,21 @@
+(** CIF (Caltech Intermediate Form) export.
+
+    The 1996-era mask interchange format: lets the generated layouts leave
+    the tool for inspection in any era-appropriate viewer.  Geometry is
+    emitted in CIF's centimicron units (1 unit = 0.01 µm). *)
+
+val layer_name : Geom.layer -> string
+(** CIF layer code (CMF = metal1, CMS = metal2, CPG = poly, CAA = active,
+    CWN = nwell, CCC = contact, CVA = via, CSP = pdiff select). *)
+
+val of_layout :
+  ?cell_name:string ->
+  cells:Cell.t list ->
+  wires:Maze_router.wire list ->
+  unit ->
+  string
+(** A complete CIF file: one definition containing every rectangle of the
+    placed cells and the routed wiring. *)
+
+val write_file :
+  path:string -> cells:Cell.t list -> wires:Maze_router.wire list -> unit -> unit

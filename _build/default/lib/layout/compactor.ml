@@ -1,0 +1,79 @@
+type constraint_edge = {
+  from_idx : int;
+  to_idx : int;
+  min_gap : float;
+}
+
+let cell_box (c : Cell.t) =
+  Geom.bbox (c.Cell.rects @ List.map (fun p -> p.Cell.pin_rect) c.Cell.pins)
+  |> Option.value ~default:(Geom.rect Geom.Metal1 0.0 0.0 0.0 0.0)
+
+(* cells already carry absolute coordinates (translated); compaction works on
+   their bounding boxes *)
+let spacing_between (rules : Rules.t) = rules.Rules.min_spacing Geom.Ndiff
+
+let compact_axis ~horizontal ?(symmetric_pairs = []) rules cells =
+  let cells = Array.of_list cells in
+  let n = Array.length cells in
+  let boxes = Array.map cell_box cells in
+  let lo b = if horizontal then b.Geom.x0 else b.Geom.y0 in
+  let hi b = if horizontal then b.Geom.x1 else b.Geom.y1 in
+  let other_overlap a b =
+    if horizontal then a.Geom.y0 < b.Geom.y1 && b.Geom.y0 < a.Geom.y1
+    else a.Geom.x0 < b.Geom.x1 && b.Geom.x0 < a.Geom.x1
+  in
+  let gap = spacing_between rules in
+  (* order by lower edge; constraint edges between cells that overlap in the
+     perpendicular direction *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare (lo boxes.(a)) (lo boxes.(b))) order;
+  let position = Array.make n 0.0 in
+  Array.iter
+    (fun i ->
+      let min_pos = ref 0.0 in
+      Array.iter
+        (fun j ->
+          if lo boxes.(j) < lo boxes.(i) && other_overlap boxes.(i) boxes.(j) then begin
+            let width_j = hi boxes.(j) -. lo boxes.(j) in
+            min_pos := Float.max !min_pos (position.(j) +. width_j +. gap)
+          end)
+        order;
+      position.(i) <- !min_pos)
+    order;
+  (* restore symmetry in x: move each pair to equalise distance about the
+     common axis by shifting the lighter one right *)
+  if horizontal && symmetric_pairs <> [] then begin
+    List.iter
+      (fun (i, j) ->
+        if i < n && j < n then begin
+          let wi = hi boxes.(i) -. lo boxes.(i) and wj = hi boxes.(j) -. lo boxes.(j) in
+          let ci = position.(i) +. (wi /. 2.0) and cj = position.(j) +. (wj /. 2.0) in
+          (* axis = midpoint; push the inner cell outward *)
+          let axis = 0.5 *. (ci +. cj) in
+          let di = axis -. ci and dj = cj -. axis in
+          let d = Float.max di dj in
+          position.(i) <- axis -. d -. (wi /. 2.0);
+          position.(j) <- axis +. d -. (wj /. 2.0)
+        end)
+      symmetric_pairs
+  end;
+  Array.to_list
+    (Array.mapi
+       (fun i c ->
+         let delta = position.(i) -. lo boxes.(i) in
+         if horizontal then Cell.translate delta 0.0 c else Cell.translate 0.0 delta c)
+       cells)
+
+let compact_x ?(rules = Rules.generic_07um) ?(symmetric_pairs = []) cells =
+  compact_axis ~horizontal:true ~symmetric_pairs rules cells
+
+let compact_y ?(rules = Rules.generic_07um) cells =
+  compact_axis ~horizontal:false ~symmetric_pairs:[] rules cells
+
+let compact ?(rules = Rules.generic_07um) ?(symmetric_pairs = []) cells =
+  compact_y ~rules (compact_x ~rules ~symmetric_pairs cells)
+
+let bounding_area cells =
+  match Geom.bbox (List.concat_map (fun (c : Cell.t) -> c.Cell.rects) cells) with
+  | Some bb -> Geom.area bb
+  | None -> 0.0

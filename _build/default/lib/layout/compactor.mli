@@ -1,0 +1,26 @@
+(** One-dimensional constraint-graph compaction ([48,49]).
+
+    Longest-path scheduling over the spacing constraint graph in x, then in
+    y.  Symmetric pairs move by the mirrored amount so the compaction
+    preserves analog symmetry (the [49] extension). *)
+
+type constraint_edge = {
+  from_idx : int;   (** cell index, or -1 for the left/bottom wall *)
+  to_idx : int;
+  min_gap : float;
+}
+
+val compact_x :
+  ?rules:Rules.t ->
+  ?symmetric_pairs:(int * int) list ->
+  Cell.t list ->
+  Cell.t list
+(** Push every cell as far left as spacing rules allow; mirror pairs end
+    symmetric about their common axis. *)
+
+val compact_y : ?rules:Rules.t -> Cell.t list -> Cell.t list
+
+val compact : ?rules:Rules.t -> ?symmetric_pairs:(int * int) list -> Cell.t list -> Cell.t list
+(** x then y. *)
+
+val bounding_area : Cell.t list -> float

@@ -1,0 +1,86 @@
+module Netlist = Mixsyn_circuit.Netlist
+
+type net_parasitics = {
+  ep_net : string;
+  cap_ground : float;
+  couplings : (string * float) list;
+  wire_resistance : float;
+}
+
+let of_layout ?(rules = Rules.generic_07um) ~wires ~coupling () =
+  ignore rules;
+  let by_net = Hashtbl.create 16 in
+  List.iter
+    (fun (w : Maze_router.wire) ->
+      let cap =
+        List.fold_left
+          (fun acc r ->
+            acc
+            +. (Geom.area r *. Rules.cap_area r.Geom.layer)
+            +. (2.0 *. (Geom.width r +. Geom.height r) *. Rules.cap_fringe r.Geom.layer))
+          0.0 w.Maze_router.rects
+      in
+      let resistance =
+        List.fold_left
+          (fun acc r ->
+            let squares =
+              Float.max (Geom.width r) (Geom.height r)
+              /. Float.max (Float.min (Geom.width r) (Geom.height r)) 1e-9
+            in
+            acc +. (squares *. Rules.sheet_resistance r.Geom.layer))
+          0.0 w.Maze_router.rects
+        /. Float.max 1.0 (float_of_int (List.length w.Maze_router.rects))
+        *. 4.0
+        (* crude trunk estimate: average squares times a path-length factor *)
+      in
+      let prev_cap, prev_res =
+        try Hashtbl.find by_net w.Maze_router.w_net with Not_found -> (0.0, 0.0)
+      in
+      Hashtbl.replace by_net w.Maze_router.w_net (prev_cap +. cap, prev_res +. resistance))
+    wires;
+  let coupling_of net =
+    List.filter_map
+      (fun (a, b, c) ->
+        if a = net then Some (b, c) else if b = net then Some (a, c) else None)
+      coupling
+  in
+  Hashtbl.fold
+    (fun net (cap, res) acc ->
+      { ep_net = net; cap_ground = cap; couplings = coupling_of net; wire_resistance = res }
+      :: acc)
+    by_net []
+
+let annotate nl parasitics =
+  let annotated = Netlist.copy nl in
+  let counter = ref 0 in
+  List.iter
+    (fun p ->
+      match Netlist.find_net annotated p.ep_net with
+      | exception Not_found -> ()
+      | net ->
+        if p.cap_ground > 0.0 then begin
+          incr counter;
+          Netlist.add annotated
+            (Netlist.Capacitor
+               { c_name = Printf.sprintf "xcap%d" !counter; a = net; b = Netlist.gnd;
+                 farads = p.cap_ground })
+        end;
+        List.iter
+          (fun (other, c) ->
+            (* add each coupling once, from the lexicographically smaller net *)
+            if p.ep_net < other then begin
+              match Netlist.find_net annotated other with
+              | exception Not_found -> ()
+              | other_net ->
+                incr counter;
+                Netlist.add annotated
+                  (Netlist.Capacitor
+                     { c_name = Printf.sprintf "xcc%d" !counter; a = net; b = other_net;
+                       farads = c })
+            end)
+          p.couplings)
+    parasitics;
+  annotated
+
+let total_wiring_cap parasitics =
+  List.fold_left (fun acc p -> acc +. p.cap_ground) 0.0 parasitics

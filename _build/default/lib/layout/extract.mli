@@ -1,0 +1,27 @@
+(** Layout parasitic extraction and back-annotation.
+
+    The "detailed design verification (after extraction)" step of the
+    bottom-up path (Section 2.1): wire area/fringe capacitance per net,
+    plus the router's coupling estimates, folded back into the schematic so
+    the engine can re-verify the laid-out circuit. *)
+
+type net_parasitics = {
+  ep_net : string;
+  cap_ground : float;                 (** wiring capacitance to substrate, F *)
+  couplings : (string * float) list;  (** capacitance to other nets, F *)
+  wire_resistance : float;            (** trunk series resistance estimate, ohm *)
+}
+
+val of_layout :
+  ?rules:Rules.t ->
+  wires:Maze_router.wire list ->
+  coupling:(string * string * float) list ->
+  unit ->
+  net_parasitics list
+
+val annotate :
+  Mixsyn_circuit.Netlist.t -> net_parasitics list -> Mixsyn_circuit.Netlist.t
+(** A copy of the netlist with the extracted capacitances added (ground and
+    coupling caps); nets unknown to the netlist are ignored. *)
+
+val total_wiring_cap : net_parasitics list -> float

@@ -1,0 +1,188 @@
+module Netlist = Mixsyn_circuit.Netlist
+
+let default_rules = Rules.generic_07um
+
+(* The diffusion strip of a folded device or a stack:
+   contact column, gate, contact column, gate, ..., contact column.
+   Returns the geometry plus the x-span of each contact column. *)
+let diffusion_strip rules ~polarity ~finger_w ~l ~n_gates =
+  let diff_layer = match polarity with Netlist.Nmos -> Geom.Ndiff | Netlist.Pmos -> Geom.Pdiff in
+  let contact_col = rules.Rules.contact_size +. (2.0 *. rules.Rules.diff_contact_margin) in
+  let total_length = (float_of_int n_gates *. l) +. (float_of_int (n_gates + 1) *. contact_col) in
+  let diff = Geom.rect diff_layer 0.0 0.0 total_length finger_w in
+  let contact_x =
+    Array.init (n_gates + 1) (fun i ->
+        let x0 = float_of_int i *. (contact_col +. l) in
+        (x0, x0 +. contact_col))
+  in
+  let gate_x =
+    Array.init n_gates (fun i ->
+        let x0 = (float_of_int (i + 1) *. contact_col) +. (float_of_int i *. l) in
+        (x0, x0 +. l))
+  in
+  (diff, contact_x, gate_x, total_length)
+
+let contact_stack rules ~x0 ~x1 ~y0 ~y1 =
+  let cx = 0.5 *. (x0 +. x1) and cy = 0.5 *. (y0 +. y1) in
+  let half = rules.Rules.contact_size /. 2.0 in
+  [ Geom.rect Geom.Contact (cx -. half) (cy -. half) (cx +. half) (cy +. half);
+    Geom.rect Geom.Metal1 x0 y0 x1 y1 ]
+
+(* generic folded strip with per-column nets; same-net columns can be
+   strapped with a metal1 bar above (for drains) or below (for sources) *)
+let build_strip rules ~name ~polarity ~finger_w ~l ~column_nets ~gate_nets ~strap =
+  let n_gates = List.length gate_nets in
+  let diff, contact_x, gate_x, total_length =
+    diffusion_strip rules ~polarity ~finger_w ~l ~n_gates
+  in
+  let ext = rules.Rules.poly_gate_extension in
+  let poly_bar_y = finger_w +. ext +. (2.0 *. rules.Rules.lambda) in
+  let poly_bar_h = 2.0 *. rules.Rules.lambda in
+  (* gates: vertical poly, plus a horizontal bar per distinct gate net *)
+  let gate_rects =
+    List.concat
+      (List.mapi
+         (fun i _net ->
+           let x0, x1 = gate_x.(i) in
+           [ Geom.rect Geom.Poly x0 (-.ext) x1 (poly_bar_y +. poly_bar_h) ])
+         gate_nets)
+  in
+  let distinct_gate_nets = List.sort_uniq compare gate_nets in
+  let gate_bars_and_pins =
+    List.map
+      (fun net ->
+        let bar = Geom.rect Geom.Poly 0.0 poly_bar_y total_length (poly_bar_y +. poly_bar_h) in
+        let pin =
+          { Cell.pin_name = name ^ "_g_" ^ net; pin_net = net;
+            pin_rect = Geom.rect Geom.Poly 0.0 poly_bar_y (2.0 *. rules.Rules.lambda) (poly_bar_y +. poly_bar_h) }
+        in
+        (bar, pin))
+      distinct_gate_nets
+  in
+  (* contact columns with metal pads; strap same-net columns when asked *)
+  let columns = Array.of_list column_nets in
+  let contact_rects = ref [] in
+  let pins = ref [] in
+  let strap_rects = ref [] in
+  let strap_y_above = finger_w +. ext +. poly_bar_h +. (4.0 *. rules.Rules.lambda) in
+  let strap_y_below = -.ext -. (5.0 *. rules.Rules.lambda) in
+  let strap_h = 3.0 *. rules.Rules.lambda in
+  let nets_done = Hashtbl.create 4 in
+  Array.iteri
+    (fun i net ->
+      let x0, x1 = contact_x.(i) in
+      contact_rects := contact_stack rules ~x0 ~x1 ~y0:0.0 ~y1:finger_w @ !contact_rects;
+      let columns_of_net =
+        Array.to_list (Array.mapi (fun j n -> (j, n)) columns)
+        |> List.filter (fun (_, n) -> n = net)
+      in
+      if strap && List.length columns_of_net > 1 then begin
+        if not (Hashtbl.mem nets_done net) then begin
+          Hashtbl.add nets_done net ();
+          (* vertical tabs to a shared horizontal bar; alternate above/below
+             per net so two straps never collide *)
+          let above = Hashtbl.length nets_done mod 2 = 1 in
+          let bar_y = if above then strap_y_above else strap_y_below in
+          let xs = List.map (fun (j, _) -> contact_x.(j)) columns_of_net in
+          let min_x = List.fold_left (fun acc (a, _) -> Float.min acc a) infinity xs in
+          let max_x = List.fold_left (fun acc (_, b) -> Float.max acc b) neg_infinity xs in
+          strap_rects :=
+            Geom.rect Geom.Metal1 min_x bar_y max_x (bar_y +. strap_h) :: !strap_rects;
+          List.iter
+            (fun (xa, xb) ->
+              let lo = Float.min bar_y 0.0 and hi = Float.max (bar_y +. strap_h) finger_w in
+              strap_rects := Geom.rect Geom.Metal1 xa lo xb hi :: !strap_rects)
+            xs;
+          pins :=
+            { Cell.pin_name = name ^ "_" ^ net; pin_net = net;
+              pin_rect = Geom.rect Geom.Metal1 min_x bar_y max_x (bar_y +. strap_h) }
+            :: !pins
+        end
+      end
+      else
+        pins :=
+          { Cell.pin_name = Printf.sprintf "%s_%s_%d" name net i; pin_net = net;
+            pin_rect = Geom.rect Geom.Metal1 x0 0.0 x1 finger_w }
+          :: !pins)
+    columns;
+  let well =
+    match polarity with
+    | Netlist.Pmos ->
+      let m = rules.Rules.well_margin in
+      [ Geom.rect Geom.Nwell (-.m) (-.ext -. m) (total_length +. m) (finger_w +. ext +. m) ]
+    | Netlist.Nmos -> []
+  in
+  let rects =
+    (diff :: gate_rects) @ List.map fst gate_bars_and_pins @ !contact_rects @ !strap_rects @ well
+  in
+  Cell.make name rects (List.map snd gate_bars_and_pins @ !pins)
+
+let mos ?(rules = default_rules) ~name ~polarity ~w ~l ~folds ~drain_net ~gate_net ~source_net () =
+  let folds = max 1 folds in
+  let finger_w = w /. float_of_int folds in
+  (* alternate source/drain columns: s d s d ... *)
+  let column_nets =
+    List.init (folds + 1) (fun i -> if i mod 2 = 0 then source_net else drain_net)
+  in
+  let gate_nets = List.init folds (fun _ -> gate_net) in
+  build_strip rules ~name ~polarity ~finger_w ~l ~column_nets ~gate_nets ~strap:true
+
+let stack ?(rules = default_rules) ~name ~polarity ~w ~l ~gates ~nodes () =
+  assert (List.length nodes = List.length gates + 1);
+  build_strip rules ~name ~polarity ~finger_w:w ~l ~column_nets:nodes
+    ~gate_nets:(List.map snd gates) ~strap:false
+
+let cap_density = 1e-3 (* F/m^2 *)
+
+let capacitor ?(rules = default_rules) ~name ~farads ~net_a ~net_b () =
+  let side = sqrt (farads /. cap_density) in
+  let lam = rules.Rules.lambda in
+  let bottom = Geom.rect Geom.Poly 0.0 0.0 side side in
+  let top = Geom.rect Geom.Metal1 lam lam (side -. lam) (side -. lam) in
+  let pin_a =
+    { Cell.pin_name = name ^ "_a"; pin_net = net_a;
+      pin_rect = Geom.rect Geom.Metal1 lam lam (3.0 *. lam) (3.0 *. lam) }
+  in
+  let pin_b =
+    { Cell.pin_name = name ^ "_b"; pin_net = net_b;
+      pin_rect = Geom.rect Geom.Poly 0.0 (side -. (2.0 *. lam)) (2.0 *. lam) side }
+  in
+  Cell.make name [ bottom; top ] [ pin_a; pin_b ]
+
+let resistor ?(rules = default_rules) ~name ~ohms ~net_a ~net_b () =
+  let lam = rules.Rules.lambda in
+  let w = 2.0 *. lam in
+  let squares = ohms /. Rules.sheet_resistance Geom.Poly in
+  let total_length = Float.max (4.0 *. lam) (squares *. w) in
+  (* serpentine with a fixed leg length *)
+  let leg = 40.0 *. lam in
+  let n_legs = max 1 (int_of_float (Float.ceil (total_length /. leg))) in
+  let pitch = 2.0 *. w in
+  let rects = ref [] in
+  for i = 0 to n_legs - 1 do
+    let x = float_of_int i *. pitch in
+    rects := Geom.rect Geom.Poly x 0.0 (x +. w) leg :: !rects;
+    if i < n_legs - 1 then begin
+      let y = if i mod 2 = 0 then leg -. w else 0.0 in
+      rects := Geom.rect Geom.Poly x y (x +. pitch +. w) (y +. w) :: !rects
+    end
+  done;
+  let last_x = float_of_int (n_legs - 1) *. pitch in
+  let pin_a =
+    { Cell.pin_name = name ^ "_a"; pin_net = net_a;
+      pin_rect = Geom.rect Geom.Poly 0.0 0.0 w (2.0 *. lam) }
+  in
+  let pin_b =
+    { Cell.pin_name = name ^ "_b"; pin_net = net_b;
+      pin_rect =
+        Geom.rect Geom.Poly last_x
+          (if (n_legs - 1) mod 2 = 0 then leg -. (2.0 *. lam) else 0.0)
+          (last_x +. w)
+          (if (n_legs - 1) mod 2 = 0 then leg else 2.0 *. lam) }
+  in
+  Cell.make name !rects [ pin_a; pin_b ]
+
+let choose_folds ?(rules = default_rules) ~w target_height =
+  ignore rules;
+  let folds = int_of_float (Float.ceil (w /. Float.max target_height 1e-9)) in
+  max 1 folds

@@ -1,0 +1,49 @@
+(** Procedural device generators — the module-generation layer every
+    macrocell-style system builds on (ILAC's large generator library, KOAN's
+    deliberately small one).
+
+    MOS devices support folding (multiple fingers share one diffusion
+    strip); same-net fingers are strapped in Metal1, so a device cell
+    exposes one pin per terminal.  Device chains produced by the stacker
+    become single cells with merged source/drain diffusions — the layout
+    optimization that minimises junction capacitance (Section 3.1). *)
+
+val mos :
+  ?rules:Rules.t ->
+  name:string ->
+  polarity:Mixsyn_circuit.Netlist.polarity ->
+  w:float ->
+  l:float ->
+  folds:int ->
+  drain_net:string ->
+  gate_net:string ->
+  source_net:string ->
+  unit ->
+  Cell.t
+
+val stack :
+  ?rules:Rules.t ->
+  name:string ->
+  polarity:Mixsyn_circuit.Netlist.polarity ->
+  w:float ->
+  l:float ->
+  gates:(string * string) list ->
+  nodes:string list ->
+  unit ->
+  Cell.t
+(** [stack ~gates ~nodes] lays a chain of equal-width devices on one
+    diffusion strip: [nodes] has length [|gates| + 1] and alternates with
+    the gate list; [gates] carries (device name, gate net). *)
+
+val capacitor :
+  ?rules:Rules.t -> name:string -> farads:float -> net_a:string -> net_b:string -> unit ->
+  Cell.t
+(** Poly/Metal1 plate capacitor at 1 fF/µm². *)
+
+val resistor :
+  ?rules:Rules.t -> name:string -> ohms:float -> net_a:string -> net_b:string -> unit ->
+  Cell.t
+(** Poly serpentine resistor. *)
+
+val choose_folds : ?rules:Rules.t -> w:float -> float -> int
+(** Fold count that keeps the finger width near the given target height. *)

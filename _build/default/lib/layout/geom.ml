@@ -1,0 +1,84 @@
+type layer =
+  | Ndiff
+  | Pdiff
+  | Poly
+  | Metal1
+  | Metal2
+  | Contact
+  | Via12
+  | Nwell
+
+let layer_name = function
+  | Ndiff -> "ndiff"
+  | Pdiff -> "pdiff"
+  | Poly -> "poly"
+  | Metal1 -> "metal1"
+  | Metal2 -> "metal2"
+  | Contact -> "contact"
+  | Via12 -> "via12"
+  | Nwell -> "nwell"
+
+let all_layers = [ Ndiff; Pdiff; Poly; Metal1; Metal2; Contact; Via12; Nwell ]
+
+type rect = {
+  layer : layer;
+  x0 : float;
+  y0 : float;
+  x1 : float;
+  y1 : float;
+}
+
+let rect layer a b c d =
+  { layer; x0 = Float.min a c; y0 = Float.min b d; x1 = Float.max a c; y1 = Float.max b d }
+
+let width r = r.x1 -. r.x0
+let height r = r.y1 -. r.y0
+let area r = width r *. height r
+let center r = (0.5 *. (r.x0 +. r.x1), 0.5 *. (r.y0 +. r.y1))
+
+let overlaps a b = a.x0 < b.x1 && b.x0 < a.x1 && a.y0 < b.y1 && b.y0 < a.y1
+
+let intersection_area a b =
+  let w = Float.min a.x1 b.x1 -. Float.max a.x0 b.x0 in
+  let h = Float.min a.y1 b.y1 -. Float.max a.y0 b.y0 in
+  if w > 0.0 && h > 0.0 then w *. h else 0.0
+
+let bloat d r = { r with x0 = r.x0 -. d; y0 = r.y0 -. d; x1 = r.x1 +. d; y1 = r.y1 +. d }
+
+let translate dx dy r = { r with x0 = r.x0 +. dx; y0 = r.y0 +. dy; x1 = r.x1 +. dx; y1 = r.y1 +. dy }
+
+let bbox = function
+  | [] -> None
+  | r :: rest ->
+    let fold acc q =
+      { acc with
+        x0 = Float.min acc.x0 q.x0;
+        y0 = Float.min acc.y0 q.y0;
+        x1 = Float.max acc.x1 q.x1;
+        y1 = Float.max acc.y1 q.y1 }
+    in
+    Some (List.fold_left fold r rest)
+
+type orientation = R0 | R90 | R180 | R270 | MX | MY | MXR90 | MYR90
+
+let all_orientations = [| R0; R90; R180; R270; MX; MY; MXR90; MYR90 |]
+
+(* map a point of the w x h cell frame into the transformed frame *)
+let transform_point orient ~w ~h (x, y) =
+  match orient with
+  | R0 -> (x, y)
+  | R90 -> (h -. y, x)
+  | R180 -> (w -. x, h -. y)
+  | R270 -> (y, w -. x)
+  | MX -> (x, h -. y)
+  | MY -> (w -. x, y)
+  | MXR90 -> (h -. y, w -. x)
+  | MYR90 -> (y, x)
+
+let transform orient ~w ~h r =
+  let xa, ya = transform_point orient ~w ~h (r.x0, r.y0) in
+  let xb, yb = transform_point orient ~w ~h (r.x1, r.y1) in
+  rect r.layer xa ya xb yb
+
+let pp_rect ppf r =
+  Format.fprintf ppf "%s[%g,%g - %g,%g]" (layer_name r.layer) r.x0 r.y0 r.x1 r.y1

@@ -1,0 +1,54 @@
+(** Mask geometry: layers, rectangles, transforms.
+
+    Coordinates are metres (the whole repository is SI); typical cell-level
+    features are around 1e-6.  Orientations are the eight elements of the
+    rectangle symmetry group, the variant set KOAN-style placers explore. *)
+
+type layer =
+  | Ndiff
+  | Pdiff
+  | Poly
+  | Metal1
+  | Metal2
+  | Contact  (** diffusion/poly to Metal1 *)
+  | Via12    (** Metal1 to Metal2 *)
+  | Nwell
+
+val layer_name : layer -> string
+val all_layers : layer list
+
+type rect = {
+  layer : layer;
+  x0 : float;
+  y0 : float;
+  x1 : float;
+  y1 : float;
+}
+
+val rect : layer -> float -> float -> float -> float -> rect
+(** [rect layer x0 y0 x1 y1], normalising the corner order. *)
+
+val width : rect -> float
+val height : rect -> float
+val area : rect -> float
+val center : rect -> float * float
+val overlaps : rect -> rect -> bool
+(** Strict interior overlap (sharing an edge is not an overlap). *)
+
+val intersection_area : rect -> rect -> float
+val bloat : float -> rect -> rect
+val translate : float -> float -> rect -> rect
+val bbox : rect list -> rect option
+(** Bounding box over all layers; [None] for the empty list. *)
+
+type orientation = R0 | R90 | R180 | R270 | MX | MY | MXR90 | MYR90
+
+val all_orientations : orientation array
+
+val transform : orientation -> w:float -> h:float -> rect -> rect
+(** Transform within the cell's local [w] x [h] frame, so the result stays in
+    the positive quadrant. *)
+
+val transform_point : orientation -> w:float -> h:float -> float * float -> float * float
+
+val pp_rect : Format.formatter -> rect -> unit

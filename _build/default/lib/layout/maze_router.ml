@@ -1,0 +1,491 @@
+type net_class = Sensitive | Noisy | Neutral
+
+let compatible a b =
+  match (a, b) with
+  | Sensitive, Noisy | Noisy, Sensitive -> false
+  | (Sensitive | Noisy | Neutral), (Sensitive | Noisy | Neutral) -> true
+
+type net_spec = {
+  net : string;
+  n_class : net_class;
+  coupling_budget : float option;
+}
+
+type config = {
+  rules : Rules.t;
+  extra_margin : float;
+  adjacency_penalty : float;
+  via_cost : float;
+}
+
+let default_config =
+  { rules = Rules.generic_07um;
+    extra_margin = 6e-6;
+    adjacency_penalty = 12.0;
+    via_cost = 4.0 }
+
+type wire = {
+  w_net : string;
+  rects : Geom.rect list;
+  length : float;
+  vias : int;
+}
+
+type result = {
+  wires : wire list;
+  failed : string list;
+  total_length : float;
+  total_vias : int;
+  coupling : (string * string * float) list;
+  symmetric_ok : int;
+}
+
+(* grid encoding *)
+let free_cell = -1
+let obstacle = -2
+
+type grid = {
+  nx : int;
+  ny : int;
+  pitch : float;
+  ox : float;  (** world x of grid (0,_) *)
+  oy : float;
+  state : int array;  (** 2 layers: metal1 = layer 0, metal2 = layer 1 *)
+  via_base : float;
+}
+
+let index g layer x y = (((layer * g.ny) + y) * g.nx) + x
+
+let in_bounds g x y = x >= 0 && x < g.nx && y >= 0 && y < g.ny
+
+let world_of g x y = (g.ox +. (float_of_int x *. g.pitch), g.oy +. (float_of_int y *. g.pitch))
+
+let grid_of g wx wy =
+  (int_of_float (Float.round ((wx -. g.ox) /. g.pitch)),
+   int_of_float (Float.round ((wy -. g.oy) /. g.pitch)))
+
+let blocks_metal1 (layer : Geom.layer) =
+  match layer with
+  | Geom.Ndiff | Geom.Pdiff | Geom.Poly | Geom.Metal1 | Geom.Contact -> true
+  | Geom.Metal2 | Geom.Via12 | Geom.Nwell -> false
+
+let build_grid config cells =
+  let rules = config.rules in
+  (* route on half the wiring pitch so closely spaced stack contacts land on
+     distinct nodes; wires still reserve a full pitch through the spacing
+     cost *)
+  let pitch = rules.Rules.route_pitch /. 2.0 in
+  let all_rects = List.concat_map (fun (c : Cell.t) -> c.Cell.rects) cells in
+  let bb =
+    match Geom.bbox all_rects with
+    | Some bb -> bb
+    | None -> Geom.rect Geom.Metal1 0.0 0.0 1e-5 1e-5
+  in
+  let m = config.extra_margin in
+  let ox = bb.Geom.x0 -. m and oy = bb.Geom.y0 -. m in
+  let nx = int_of_float (Float.ceil ((Geom.width bb +. (2.0 *. m)) /. pitch)) + 1 in
+  let ny = int_of_float (Float.ceil ((Geom.height bb +. (2.0 *. m)) /. pitch)) + 1 in
+  let g =
+    { nx; ny; pitch; ox; oy; state = Array.make (2 * nx * ny) free_cell;
+      via_base = config.via_cost }
+  in
+  (* block metal1 under cell geometry *)
+  List.iter
+    (fun r ->
+      if blocks_metal1 r.Geom.layer then begin
+        let x0, y0 = grid_of g r.Geom.x0 r.Geom.y0 in
+        let x1, y1 = grid_of g r.Geom.x1 r.Geom.y1 in
+        for x = max 0 x0 to min (nx - 1) x1 do
+          for y = max 0 y0 to min (ny - 1) y1 do
+            g.state.(index g 0 x y) <- obstacle
+          done
+        done
+      end)
+    all_rects;
+  g
+
+(* priority queue: simple binary heap on (cost, key) *)
+module Heap = struct
+  type t = {
+    mutable data : (float * int) array;
+    mutable size : int;
+  }
+
+  let create () = { data = Array.make 256 (0.0, 0); size = 0 }
+
+  let push h item =
+    if h.size = Array.length h.data then begin
+      let bigger = Array.make (2 * h.size) (0.0, 0) in
+      Array.blit h.data 0 bigger 0 h.size;
+      h.data <- bigger
+    end;
+    h.data.(h.size) <- item;
+    let rec up i =
+      if i > 0 then begin
+        let parent = (i - 1) / 2 in
+        if fst h.data.(i) < fst h.data.(parent) then begin
+          let tmp = h.data.(i) in
+          h.data.(i) <- h.data.(parent);
+          h.data.(parent) <- tmp;
+          up parent
+        end
+      end
+    in
+    up h.size;
+    h.size <- h.size + 1
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.size <- h.size - 1;
+      h.data.(0) <- h.data.(h.size);
+      let rec down i =
+        let left = (2 * i) + 1 and right = (2 * i) + 2 in
+        let smallest = ref i in
+        if left < h.size && fst h.data.(left) < fst h.data.(!smallest) then smallest := left;
+        if right < h.size && fst h.data.(right) < fst h.data.(!smallest) then smallest := right;
+        if !smallest <> i then begin
+          let tmp = h.data.(i) in
+          h.data.(i) <- h.data.(!smallest);
+          h.data.(!smallest) <- tmp;
+          down !smallest
+        end
+      in
+      down 0;
+      Some top
+    end
+end
+
+(* Dijkstra from a set of sources to any target; returns the path as node
+   indices.  [step_cost] prices entering a node. *)
+let search g ~sources ~targets ~step_cost =
+  let n = Array.length g.state in
+  let dist = Array.make n infinity in
+  let prev = Array.make n (-1) in
+  let heap = Heap.create () in
+  let target_set = Array.make n false in
+  List.iter (fun t -> target_set.(t) <- true) targets;
+  List.iter
+    (fun s ->
+      dist.(s) <- 0.0;
+      Heap.push heap (0.0, s))
+    sources;
+  let found = ref None in
+  let rec run () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (d, node) ->
+      if !found <> None then ()
+      else if d > dist.(node) then run ()
+      else if target_set.(node) then found := Some node
+      else begin
+        let layer = node / (g.nx * g.ny) in
+        let rest = node mod (g.nx * g.ny) in
+        let y = rest / g.nx and x = rest mod g.nx in
+        let try_neighbor nlayer nx_ ny_ base =
+          if in_bounds g nx_ ny_ then begin
+            let ni = index g nlayer nx_ ny_ in
+            let sc = step_cost ni in
+            if sc < infinity then begin
+              let nd = d +. base +. sc in
+              if nd < dist.(ni) then begin
+                dist.(ni) <- nd;
+                prev.(ni) <- node;
+                Heap.push heap (nd, ni)
+              end
+            end
+          end
+        in
+        try_neighbor layer (x + 1) y 1.0;
+        try_neighbor layer (x - 1) y 1.0;
+        try_neighbor layer x (y + 1) 1.0;
+        try_neighbor layer x (y - 1) 1.0;
+        try_neighbor (1 - layer) x y g.via_base;
+        run ()
+      end
+  in
+  run ();
+  match !found with
+  | None -> None
+  | Some t ->
+    let rec trace node acc = if node = -1 then acc else trace prev.(node) (node :: acc) in
+    Some (trace t [])
+
+let route_pass ?(config = default_config) ?(symmetric_pairs = []) ~priority ~salt ~cells ~nets () =
+  let g = build_grid config cells in
+  let nets = Array.of_list nets in
+  let net_id = Hashtbl.create 16 in
+  Array.iteri (fun i spec -> Hashtbl.replace net_id spec.net i) nets;
+  let class_of = Array.map (fun spec -> spec.n_class) nets in
+  let via_at = Array.make (Array.length g.state) false in
+  (* pin nodes per net *)
+  let pin_nodes = Array.make (Array.length nets) [] in
+  (* snap each pin to the nearest metal1 node that is free or already owned
+     by the same net (pins of distinct nets can sit closer than the pitch) *)
+  let assign_pin id gx gy =
+    let try_node x y =
+      if in_bounds g x y then begin
+        let node = index g 0 x y in
+        let s = g.state.(node) in
+        if s = free_cell || s = obstacle || s = id then begin
+          g.state.(node) <- id;
+          pin_nodes.(id) <- node :: pin_nodes.(id);
+          true
+        end
+        else false
+      end
+      else false
+    in
+    let rec ring r =
+      if r > 4 then ()
+      else begin
+        let hit = ref false in
+        for dx = -r to r do
+          for dy = -r to r do
+            if (not !hit) && max (abs dx) (abs dy) = r then
+              if try_node (gx + dx) (gy + dy) then hit := true
+          done
+        done;
+        if not !hit then ring (r + 1)
+      end
+    in
+    ring 0
+  in
+  List.iter
+    (fun (c : Cell.t) ->
+      List.iter
+        (fun (p : Cell.pin) ->
+          match Hashtbl.find_opt net_id p.Cell.pin_net with
+          | None -> ()
+          | Some id ->
+            let x, y = Cell.pin_center p in
+            let gx, gy = grid_of g x y in
+            assign_pin id gx gy)
+        c.Cell.pins)
+    cells;
+  let incompatible_neighbor id node =
+    (* same-layer 4-neighbourhood *)
+    let layer = node / (g.nx * g.ny) in
+    let rest = node mod (g.nx * g.ny) in
+    let y = rest / g.nx and x = rest mod g.nx in
+    let bad = ref false in
+    let look nx_ ny_ =
+      if in_bounds g nx_ ny_ then begin
+        let s = g.state.(index g layer nx_ ny_) in
+        if s >= 0 && s <> id && not (compatible class_of.(s) class_of.(id)) then bad := true
+      end
+    in
+    look (x + 1) y;
+    look (x - 1) y;
+    look x (y + 1);
+    look x (y - 1);
+    !bad
+  in
+  let step_cost id node =
+    let s = g.state.(node) in
+    if s = obstacle then infinity
+    else if s >= 0 && s <> id then infinity
+    else begin
+      let budget_scale =
+        match nets.(id).coupling_budget with Some _ -> 8.0 | None -> 1.0
+      in
+      let layer = node / (g.nx * g.ny) in
+      let via_extra = if layer = 1 then 0.05 else 0.0 in
+      (* mild preference for metal1 *)
+      (if incompatible_neighbor id node then config.adjacency_penalty *. budget_scale else 0.0)
+      +. via_extra
+    end
+  in
+  let occupy id path =
+    List.iter (fun node -> g.state.(node) <- id) path;
+    (* vias: layer changes along the path *)
+    let rec vias acc = function
+      | a :: (b :: _ as rest) ->
+        let la = a / (g.nx * g.ny) and lb = b / (g.nx * g.ny) in
+        if la <> lb then begin
+          via_at.(a) <- true;
+          vias (acc + 1) rest
+        end
+        else vias acc rest
+      | [ _ ] | [] -> acc
+    in
+    vias 0 path
+  in
+  let rects_of_path path =
+    let half = 0.5 *. config.rules.Rules.min_width Geom.Metal1 in
+    List.filter_map
+      (fun node ->
+        let layer_i = node / (g.nx * g.ny) in
+        let rest = node mod (g.nx * g.ny) in
+        let y = rest / g.nx and x = rest mod g.nx in
+        let wx, wy = world_of g x y in
+        let layer = if layer_i = 0 then Geom.Metal1 else Geom.Metal2 in
+        Some (Geom.rect layer (wx -. half) (wy -. half) (wx +. half) (wy +. half)))
+      path
+  in
+  (* net ordering: sensitive nets first (they get clean tracks), then by pin
+     count *)
+  let order =
+    let ids = Array.to_list (Array.mapi (fun i _ -> i) nets) in
+    let rank i =
+      (* lower ranks route first: rip-up priority, then sensitivity, then
+         pin count; the salt rotates ties so retry passes explore different
+         orderings *)
+      let prio = if List.mem nets.(i).net priority then 0 else 1 in
+      let sens = if class_of.(i) = Sensitive then 0 else 1 in
+      (prio, sens, (i + salt) mod max 1 (Array.length nets), -List.length pin_nodes.(i))
+    in
+    List.sort (fun a b -> compare (rank a) (rank b)) ids
+  in
+  let wires = ref [] and failed = ref [] in
+  let symmetric_ok = ref 0 in
+  let mirrored_paths : (string, int list) Hashtbl.t = Hashtbl.create 4 in
+  (* symmetry: if net is the second of a pair and its partner routed, try the
+     mirror image about the partner's pin-centroid axis *)
+  let partner_of net =
+    List.fold_left
+      (fun acc (a, b) -> if b = net then Some a else acc)
+      None symmetric_pairs
+  in
+  let axis_x =
+    (* the global mirror axis: centroid of all pins of paired nets *)
+    let xs = ref [] in
+    List.iter
+      (fun (a, b) ->
+        List.iter
+          (fun name ->
+            match Hashtbl.find_opt net_id name with
+            | None -> ()
+            | Some id ->
+              List.iter
+                (fun node ->
+                  let rest = node mod (g.nx * g.ny) in
+                  xs := float_of_int (rest mod g.nx) :: !xs)
+                pin_nodes.(id))
+          [ a; b ])
+      symmetric_pairs;
+    match !xs with
+    | [] -> 0.0
+    | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+  in
+  let mirror_node node =
+    let layer = node / (g.nx * g.ny) in
+    let rest = node mod (g.nx * g.ny) in
+    let y = rest / g.nx and x = rest mod g.nx in
+    let mx = int_of_float (Float.round ((2.0 *. axis_x) -. float_of_int x)) in
+    if in_bounds g mx y then Some (index g layer mx y) else None
+  in
+  let route_net id =
+    let spec = nets.(id) in
+    match pin_nodes.(id) with
+    | [] | [ _ ] -> () (* nothing to connect *)
+    | first :: rest ->
+      let try_mirror () =
+        match partner_of spec.net with
+        | None -> None
+        | Some partner_name ->
+          (match Hashtbl.find_opt mirrored_paths partner_name with
+           | None -> None
+           | Some partner_path ->
+             let mirrored = List.filter_map mirror_node partner_path in
+             if List.length mirrored <> List.length partner_path then None
+             else if
+               List.for_all
+                 (fun node ->
+                   let s = g.state.(node) in
+                   s = free_cell || s = id)
+                 mirrored
+             then Some mirrored
+             else None)
+      in
+      (match try_mirror () with
+       | Some path ->
+         incr symmetric_ok;
+         let vias = occupy id path in
+         let rects = rects_of_path path in
+         let length = float_of_int (List.length path) *. g.pitch in
+         wires := { w_net = spec.net; rects; length; vias } :: !wires
+       | None ->
+         let tree = ref [ first ] in
+         let all_path = ref [] in
+         let ok = ref true in
+         List.iter
+           (fun target ->
+             if !ok then begin
+               match search g ~sources:!tree ~targets:[ target ] ~step_cost:(step_cost id) with
+               | None -> ok := false
+               | Some path ->
+                 ignore (occupy id path);
+                 all_path := path @ !all_path;
+                 tree := path @ !tree
+             end)
+           rest;
+         if !ok then begin
+           let path = !all_path in
+           Hashtbl.replace mirrored_paths spec.net path;
+           let vias = occupy id path in
+           let rects = rects_of_path path in
+           let length = float_of_int (List.length path) *. g.pitch in
+           wires := { w_net = spec.net; rects; length; vias } :: !wires
+         end
+         else failed := spec.net :: !failed)
+  in
+  List.iter route_net order;
+  (* coupling: adjacent same-layer cells of incompatible nets *)
+  let coupling_tbl : (int * int, float) Hashtbl.t = Hashtbl.create 16 in
+  for layer = 0 to 1 do
+    for y = 0 to g.ny - 1 do
+      for x = 0 to g.nx - 2 do
+        let a = g.state.(index g layer x y) and b = g.state.(index g layer (x + 1) y) in
+        if a >= 0 && b >= 0 && a <> b then begin
+          let key = (min a b, max a b) in
+          let prev = try Hashtbl.find coupling_tbl key with Not_found -> 0.0 in
+          Hashtbl.replace coupling_tbl key
+            (prev +. (Rules.cap_coupling_per_length *. g.pitch))
+        end
+      done
+    done;
+    for x = 0 to g.nx - 1 do
+      for y = 0 to g.ny - 2 do
+        let a = g.state.(index g layer x y) and b = g.state.(index g layer x (y + 1)) in
+        if a >= 0 && b >= 0 && a <> b then begin
+          let key = (min a b, max a b) in
+          let prev = try Hashtbl.find coupling_tbl key with Not_found -> 0.0 in
+          Hashtbl.replace coupling_tbl key
+            (prev +. (Rules.cap_coupling_per_length *. g.pitch))
+        end
+      done
+    done
+  done;
+  let coupling =
+    Hashtbl.fold (fun (a, b) c acc -> (nets.(a).net, nets.(b).net, c) :: acc) coupling_tbl []
+  in
+  let wires = !wires in
+  { wires;
+    failed = !failed;
+    total_length = List.fold_left (fun acc w -> acc +. w.length) 0.0 wires;
+    total_vias = List.fold_left (fun acc w -> acc + w.vias) 0 wires;
+    coupling;
+    symmetric_ok = !symmetric_ok }
+
+let coupling_on result net =
+  List.fold_left
+    (fun acc (a, b, c) -> if a = net || b = net then acc +. c else acc)
+    0.0 result.coupling
+
+
+let route ?config ?symmetric_pairs ~cells ~nets () =
+  (* rip-up and re-route: nets that failed a pass go first in the next,
+     and the tie-break ordering is rotated; keep the best pass seen *)
+  let rec attempt k salt priority best =
+    let result = route_pass ?config ?symmetric_pairs ~priority ~salt ~cells ~nets () in
+    let best =
+      match best with
+      | Some b when List.length b.failed <= List.length result.failed -> Some b
+      | Some _ | None -> Some result
+    in
+    if result.failed = [] || k = 0 then Option.get best
+    else attempt (k - 1) (salt + 1) (result.failed @ priority) best
+  in
+  attempt 6 0 [] None

@@ -1,0 +1,211 @@
+module Rng = Mixsyn_util.Rng
+
+type item = {
+  item_name : string;
+  variants : Cell.t array;
+}
+
+type site = {
+  variant : int;
+  orient : Geom.orientation;
+  x : float;
+  y : float;
+}
+
+type placement = site array
+
+type symmetry = {
+  mirror_pairs : (int * int) list;
+  self_symmetric : int list;
+}
+
+let no_symmetry = { mirror_pairs = []; self_symmetric = [] }
+
+type weights = {
+  w_overlap : float;
+  w_area : float;
+  w_wire : float;
+  w_symmetry : float;
+}
+
+let default_weights =
+  (* scales: areas ~1e-10 m^2, wires ~1e-4 m; normalise to comparable units *)
+  { w_overlap = 5e12; w_area = 1e12; w_wire = 3e5; w_symmetry = 3e5 }
+
+let realized_cell item site =
+  let cell = Cell.transform site.orient item.variants.(site.variant) in
+  Cell.translate site.x site.y cell
+
+let realized items placement =
+  Array.to_list (Array.mapi (fun i site -> realized_cell items.(i) site) placement)
+
+let footprint item site =
+  let cell = item.variants.(site.variant) in
+  let w, h =
+    match site.orient with
+    | Geom.R90 | Geom.R270 | Geom.MXR90 | Geom.MYR90 -> (cell.Cell.ch, cell.Cell.cw)
+    | Geom.R0 | Geom.R180 | Geom.MX | Geom.MY -> (cell.Cell.cw, cell.Cell.ch)
+  in
+  Geom.rect Geom.Metal1 site.x site.y (site.x +. w) (site.y +. h)
+
+let cost_parts ?(rules = Rules.generic_07um) items sym placement =
+  let n = Array.length items in
+  let boxes = Array.init n (fun i -> footprint items.(i) placement.(i)) in
+  (* overlap with a spacing halo wide enough to leave routing tracks
+     between cells (the "wirespace problem" of Section 3.1) *)
+  let halo = 1.2 *. rules.Rules.route_pitch in
+  let overlap = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      overlap :=
+        !overlap +. Geom.intersection_area (Geom.bloat halo boxes.(i)) (Geom.bloat halo boxes.(j))
+    done
+  done;
+  let bb = Option.get (Geom.bbox (Array.to_list boxes)) in
+  let bbox_area = Geom.area bb in
+  (* wirelength: HPWL per net over realized pin centres *)
+  let net_bounds : (string, float * float * float * float) Hashtbl.t = Hashtbl.create 32 in
+  Array.iteri
+    (fun i site ->
+      let cell = realized_cell items.(i) site in
+      List.iter
+        (fun (p : Cell.pin) ->
+          let x, y = Cell.pin_center p in
+          match Hashtbl.find_opt net_bounds p.Cell.pin_net with
+          | None -> Hashtbl.replace net_bounds p.Cell.pin_net (x, y, x, y)
+          | Some (x0, y0, x1, y1) ->
+            Hashtbl.replace net_bounds p.Cell.pin_net
+              (Float.min x0 x, Float.min y0 y, Float.max x1 x, Float.max y1 y))
+        cell.Cell.pins)
+    placement;
+  let wirelength =
+    Hashtbl.fold (fun _ (x0, y0, x1, y1) acc -> acc +. (x1 -. x0) +. (y1 -. y0)) net_bounds 0.0
+  in
+  (* symmetry: mirror pairs about the mean axis *)
+  let sym_violation = ref 0.0 in
+  if sym.mirror_pairs <> [] || sym.self_symmetric <> [] then begin
+    let centers =
+      List.map
+        (fun (i, j) ->
+          let xi, _ = Geom.center boxes.(i) and xj, _ = Geom.center boxes.(j) in
+          0.5 *. (xi +. xj))
+        sym.mirror_pairs
+      @ List.map (fun i -> fst (Geom.center boxes.(i))) sym.self_symmetric
+    in
+    let axis =
+      match centers with
+      | [] -> 0.0
+      | _ -> List.fold_left ( +. ) 0.0 centers /. float_of_int (List.length centers)
+    in
+    List.iter
+      (fun (i, j) ->
+        let xi, yi = Geom.center boxes.(i) and xj, yj = Geom.center boxes.(j) in
+        sym_violation :=
+          !sym_violation +. Float.abs (xi +. xj -. (2.0 *. axis)) +. Float.abs (yi -. yj))
+      sym.mirror_pairs;
+    List.iter
+      (fun i ->
+        let xi, _ = Geom.center boxes.(i) in
+        sym_violation := !sym_violation +. Float.abs (xi -. axis))
+      sym.self_symmetric
+  end;
+  (!overlap, bbox_area, wirelength, !sym_violation)
+
+let cost ?rules ?(weights = default_weights) items sym placement =
+  let overlap, bbox_area, wl, sym_violation = cost_parts ?rules items sym placement in
+  (weights.w_overlap *. overlap)
+  +. (weights.w_area *. bbox_area)
+  +. (weights.w_wire *. wl)
+  +. (weights.w_symmetry *. sym_violation)
+
+let wirelength items placement =
+  let _, _, wl, _ = cost_parts items no_symmetry placement in
+  wl
+
+let overlap_free ?rules:_ items placement =
+  (* true geometric overlap, without the routing halo the cost uses *)
+  let n = Array.length items in
+  let boxes = Array.init n (fun i -> footprint items.(i) placement.(i)) in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Geom.intersection_area boxes.(i) boxes.(j) > 1e-18 then ok := false
+    done
+  done;
+  !ok
+
+let grid = 0.35e-6 (* placement grid: one lambda *)
+
+let snap v = Float.round (v /. grid) *. grid
+
+let place ?(rules = Rules.generic_07um) ?(weights = default_weights) ?schedule ?(seed = 17)
+    items sym =
+  let n = Array.length items in
+  let rng = Rng.create seed in
+  (* initial spread: cells side by side with spacing *)
+  let initial =
+    let x = ref 0.0 in
+    Array.init n (fun i ->
+        let cell = items.(i).variants.(0) in
+        let site = { variant = 0; orient = Geom.R0; x = !x; y = 0.0 } in
+        x := !x +. cell.Cell.cw +. (4.0 *. rules.Rules.min_spacing Geom.Ndiff);
+        site)
+  in
+  let span () =
+    let boxes = Array.to_list (Array.mapi (fun i s -> footprint items.(i) s) initial) in
+    match Geom.bbox boxes with
+    | Some bb -> Float.max (Geom.width bb) (Geom.height bb)
+    | None -> 1e-5
+  in
+  let full_span = span () in
+  let neighbor rng ~temp01 placement =
+    let p = Array.copy placement in
+    let i = Rng.int rng n in
+    let site = p.(i) in
+    let range = full_span *. (0.05 +. (0.5 *. temp01)) in
+    let choice = Rng.int rng 10 in
+    if choice < 5 then begin
+      (* translate *)
+      p.(i) <-
+        { site with
+          x = snap (site.x +. Rng.uniform rng (-.range) range);
+          y = snap (site.y +. Rng.uniform rng (-.range) range) }
+    end
+    else if choice < 7 then begin
+      (* reorient *)
+      p.(i) <- { site with orient = Rng.choice rng Geom.all_orientations }
+    end
+    else if choice < 8 && n > 1 then begin
+      (* swap positions *)
+      let j = (i + 1 + Rng.int rng (n - 1)) mod n in
+      let si = p.(i) and sj = p.(j) in
+      p.(i) <- { si with x = sj.x; y = sj.y };
+      p.(j) <- { sj with x = si.x; y = si.y }
+    end
+    else begin
+      (* change variant (refold) *)
+      let variants = Array.length items.(i).variants in
+      if variants > 1 then p.(i) <- { site with variant = Rng.int rng variants }
+      else
+        p.(i) <-
+          { site with
+            x = snap (site.x +. Rng.uniform rng (-.range) range);
+            y = snap (site.y +. Rng.uniform rng (-.range) range) }
+    end;
+    p
+  in
+  let initial_cost = cost ~rules ~weights items sym initial in
+  let schedule =
+    match schedule with
+    | Some s -> s
+    | None ->
+      { Mixsyn_opt.Anneal.t_start = 0.5 *. Float.max initial_cost 1.0;
+        t_end = 1e-6 *. Float.max initial_cost 1.0;
+        cooling = 0.93;
+        moves_per_stage = 60 * n }
+  in
+  let problem =
+    { Mixsyn_opt.Anneal.initial; cost = cost ~rules ~weights items sym; neighbor }
+  in
+  let outcome = Mixsyn_opt.Anneal.minimize ~schedule ~rng problem in
+  outcome.Mixsyn_opt.Anneal.best

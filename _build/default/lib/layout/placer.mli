@@ -1,0 +1,67 @@
+(** KOAN-style device placement by simulated annealing ([34,35,36]).
+
+    Items are generated cells (devices, stacks, passives), each with
+    alternative geometry variants (fold counts) and free orientation.  The
+    annealer explores translation, reorientation, swap, and variant moves —
+    the "dynamic folding/reshaping" the paper credits KOAN with — under a
+    cost mixing overlap, bounding-box area, net half-perimeter wirelength,
+    and symmetry-group violations (matched differential structures must
+    mirror about a shared vertical axis). *)
+
+type item = {
+  item_name : string;
+  variants : Cell.t array;  (** alternative geometries (fold counts) *)
+}
+
+type site = {
+  variant : int;
+  orient : Geom.orientation;
+  x : float;
+  y : float;
+}
+
+type placement = site array
+
+(** Symmetry constraints by item index. *)
+type symmetry = {
+  mirror_pairs : (int * int) list;  (** must mirror about the common axis *)
+  self_symmetric : int list;        (** must sit on the axis *)
+}
+
+val no_symmetry : symmetry
+
+type weights = {
+  w_overlap : float;
+  w_area : float;
+  w_wire : float;
+  w_symmetry : float;
+}
+
+val default_weights : weights
+
+val realized : item array -> placement -> Cell.t list
+(** The placed cells (transformed and translated). *)
+
+val cost :
+  ?rules:Rules.t -> ?weights:weights -> item array -> symmetry -> placement -> float
+
+val cost_parts :
+  ?rules:Rules.t -> item array -> symmetry -> placement ->
+  float * float * float * float
+(** (overlap area, bbox area, wirelength, symmetry violation) — raw terms. *)
+
+val place :
+  ?rules:Rules.t ->
+  ?weights:weights ->
+  ?schedule:Mixsyn_opt.Anneal.schedule ->
+  ?seed:int ->
+  item array ->
+  symmetry ->
+  placement
+(** Anneal from a spread-out initial placement. *)
+
+val overlap_free : ?rules:Rules.t -> item array -> placement -> bool
+(** True geometric (halo-free) overlap freedom. *)
+
+val wirelength : item array -> placement -> float
+(** Total half-perimeter wirelength over all nets. *)

@@ -1,0 +1,62 @@
+type t = {
+  lambda : float;
+  min_width : Geom.layer -> float;
+  min_spacing : Geom.layer -> float;
+  contact_size : float;
+  via_size : float;
+  poly_gate_extension : float;
+  diff_contact_margin : float;
+  route_pitch : float;
+  well_margin : float;
+}
+
+let l = 0.35e-6 (* lambda for a 0.7 um process *)
+
+let generic_07um =
+  { lambda = l;
+    min_width =
+      (function
+        | Geom.Ndiff | Geom.Pdiff -> 3.0 *. l
+        | Geom.Poly -> 2.0 *. l
+        | Geom.Metal1 -> 3.0 *. l
+        | Geom.Metal2 -> 3.0 *. l
+        | Geom.Contact | Geom.Via12 -> 2.0 *. l
+        | Geom.Nwell -> 10.0 *. l);
+    min_spacing =
+      (function
+        | Geom.Ndiff | Geom.Pdiff -> 3.0 *. l
+        | Geom.Poly -> 2.0 *. l
+        | Geom.Metal1 -> 3.0 *. l
+        | Geom.Metal2 -> 4.0 *. l
+        | Geom.Contact | Geom.Via12 -> 2.0 *. l
+        | Geom.Nwell -> 10.0 *. l);
+    contact_size = 2.0 *. l;
+    via_size = 2.0 *. l;
+    poly_gate_extension = 2.0 *. l;
+    diff_contact_margin = 1.0 *. l;
+    route_pitch = 7.0 *. l;  (* wire + spacing *)
+    well_margin = 5.0 *. l }
+
+let cap_area = function
+  | Geom.Metal1 -> 30e-6   (* F/m^2 *)
+  | Geom.Metal2 -> 20e-6
+  | Geom.Poly -> 60e-6
+  | Geom.Ndiff | Geom.Pdiff -> 400e-6
+  | Geom.Contact | Geom.Via12 | Geom.Nwell -> 0.0
+
+let cap_fringe = function
+  | Geom.Metal1 -> 40e-12  (* F/m *)
+  | Geom.Metal2 -> 30e-12
+  | Geom.Poly -> 50e-12
+  | Geom.Ndiff | Geom.Pdiff -> 300e-12
+  | Geom.Contact | Geom.Via12 | Geom.Nwell -> 0.0
+
+let cap_coupling_per_length = 50e-12 (* F/m between adjacent tracks *)
+
+let sheet_resistance = function
+  | Geom.Metal1 -> 0.07
+  | Geom.Metal2 -> 0.04
+  | Geom.Poly -> 25.0
+  | Geom.Ndiff | Geom.Pdiff -> 60.0
+  | Geom.Contact | Geom.Via12 -> 2.0 (* per cut *)
+  | Geom.Nwell -> 1500.0

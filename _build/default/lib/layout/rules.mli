@@ -1,0 +1,28 @@
+(** Design rules for the generic 0.7 µm process. *)
+
+type t = {
+  lambda : float;         (** the scalable-rule unit, m *)
+  min_width : Geom.layer -> float;
+  min_spacing : Geom.layer -> float;
+  contact_size : float;
+  via_size : float;
+  poly_gate_extension : float;  (** poly endcap beyond diffusion *)
+  diff_contact_margin : float;  (** diffusion surrounding a contact *)
+  route_pitch : float;          (** routing grid pitch, m *)
+  well_margin : float;          (** nwell surrounding pdiff *)
+}
+
+val generic_07um : t
+
+val cap_area : Geom.layer -> float
+(** Wire capacitance to substrate per area, F/m². *)
+
+val cap_fringe : Geom.layer -> float
+(** Fringe capacitance per perimeter length, F/m. *)
+
+val cap_coupling_per_length : float
+(** Lateral coupling between parallel same-layer wires one pitch apart,
+    F/m. *)
+
+val sheet_resistance : Geom.layer -> float
+(** Ohms per square. *)

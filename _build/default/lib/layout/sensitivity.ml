@@ -1,0 +1,91 @@
+module Netlist = Mixsyn_circuit.Netlist
+
+type sensitivity = {
+  sn_net : string;
+  dperf_dcap : (string * float) list;
+}
+
+let default_probe = 20e-15
+
+let signal_nets nl =
+  let n = Netlist.net_count nl in
+  let skip name = name = "0" || name = "vdd" || name = "vss" in
+  List.filter_map
+    (fun i ->
+      let name = Netlist.net_name nl i in
+      if skip name then None else Some name)
+    (List.init (n - 1) (fun i -> i + 1))
+
+let with_probe nl net_name delta =
+  let probed = Netlist.copy nl in
+  match Netlist.find_net probed net_name with
+  | exception Not_found -> None
+  | net ->
+    Netlist.add probed
+      (Netlist.Capacitor { c_name = "probe"; a = net; b = Netlist.gnd; farads = delta });
+    Some probed
+
+let analyze ?(delta = default_probe) ?nets nl ~measure =
+  let nets = match nets with Some l -> l | None -> signal_nets nl in
+  match measure nl with
+  | None -> []
+  | Some baseline ->
+    List.filter_map
+      (fun net ->
+        match with_probe nl net delta with
+        | None -> None
+        | Some probed ->
+          (match measure probed with
+           | None -> None
+           | Some perturbed ->
+             let dperf_dcap =
+               List.filter_map
+                 (fun (metric, v0) ->
+                   match List.assoc_opt metric perturbed with
+                   | None -> None
+                   | Some v1 -> Some (metric, (v1 -. v0) /. delta))
+                 baseline
+             in
+             Some { sn_net = net; dperf_dcap }))
+      nets
+
+let map_constraints sensitivities ~budgets =
+  let n_nets = max 1 (List.length sensitivities) in
+  List.map
+    (fun s ->
+      let bound =
+        List.fold_left
+          (fun acc (metric, budget) ->
+            match List.assoc_opt metric s.dperf_dcap with
+            | None -> acc
+            | Some slope ->
+              if Float.abs slope < 1e-30 then acc
+              else Float.min acc (budget /. float_of_int n_nets /. Float.abs slope))
+          infinity budgets
+      in
+      (s.sn_net, bound))
+    sensitivities
+
+let matching_pairs nl =
+  let devices = Netlist.mos_list nl in
+  let rec pairs acc = function
+    | [] -> List.rev acc
+    | (m : Netlist.mos) :: rest ->
+      let matches =
+        List.filter
+          (fun (m' : Netlist.mos) ->
+            m'.Netlist.polarity = m.Netlist.polarity
+            && Float.abs (m'.Netlist.w -. m.Netlist.w) < 0.01 *. m.Netlist.w
+            && Float.abs (m'.Netlist.l -. m.Netlist.l) < 0.01 *. m.Netlist.l
+            && m'.Netlist.source = m.Netlist.source
+            && m'.Netlist.m_name <> m.Netlist.m_name)
+          rest
+      in
+      (match matches with
+       | partner :: _ ->
+         pairs
+           ((m.Netlist.m_name, partner.Netlist.m_name) :: acc)
+           (List.filter (fun (x : Netlist.mos) -> x.Netlist.m_name <> partner.Netlist.m_name) rest)
+       | [] -> pairs acc rest)
+  in
+  pairs [] devices

@@ -1,0 +1,38 @@
+(** Sensitivity analysis and constraint mapping — the glue the paper calls
+    out as linking cell layout and system assembly ([46,47]).
+
+    {!analyze} measures how each performance metric moves per farad of
+    parasitic capacitance added to each net (finite differences on the full
+    simulator).  {!map_constraints} inverts the relation in the Choudhury &
+    Sangiovanni-Vincentelli style: given an acceptable degradation per
+    metric, allocate a maximum parasitic capacitance per net that guarantees
+    it.  {!matching_pairs} extracts symmetry/matching constraints directly
+    from the schematic ([47]). *)
+
+type sensitivity = {
+  sn_net : string;
+  dperf_dcap : (string * float) list;
+      (** metric -> d(metric)/d(cap), per farad *)
+}
+
+val analyze :
+  ?delta:float ->
+  ?nets:string list ->
+  Mixsyn_circuit.Netlist.t ->
+  measure:(Mixsyn_circuit.Netlist.t -> Mixsyn_synth.Spec.performance option) ->
+  sensitivity list
+(** [delta] is the probe capacitance (default 20 fF).  [nets] defaults to
+    every named net except supplies and ground. *)
+
+val map_constraints :
+  sensitivity list ->
+  budgets:(string * float) list ->
+  (string * float) list
+(** [(metric, max degradation)] budgets -> [(net, max capacitance)] bounds.
+    Each budget is split equally across the sensitive nets and divided by
+    the local sensitivity; a net's bound is its tightest over all metrics. *)
+
+val matching_pairs : Mixsyn_circuit.Netlist.t -> (string * string) list
+(** Device pairs that must match/mirror, from schematic structure: equal
+    geometry, same polarity, and a common source net (differential pairs,
+    current-mirror legs). *)

@@ -1,0 +1,382 @@
+module Netlist = Mixsyn_circuit.Netlist
+module Tech = Mixsyn_circuit.Tech
+
+type stack = {
+  st_name : string;
+  polarity : Netlist.polarity;
+  st_w : float;
+  st_l : float;
+  devices : string list;
+  gates : (string * string) list;
+  nodes : string list;
+}
+
+type stacking = {
+  stacks : stack list;
+  merged_junctions : int;
+}
+
+type exact_report = {
+  best : stacking;
+  optimal_count : int;
+  states_explored : int;
+  capped : bool;
+}
+
+(* Edges of one compatibility class; terminals are net ids (strings via the
+   caller's naming). *)
+type edge = {
+  e_id : int;
+  dev : Netlist.mos;
+  va : int;
+  vb : int;
+}
+
+let compatibility_classes devices =
+  (* group by polarity and width bucket (10 % bins in log space) *)
+  let key (m : Netlist.mos) =
+    let bucket = int_of_float (Float.round (log m.Netlist.w /. log 1.1)) in
+    (m.Netlist.polarity, bucket, m.Netlist.l)
+  in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      let k = key m in
+      Hashtbl.replace tbl k (m :: (try Hashtbl.find tbl k with Not_found -> [])))
+    devices;
+  Hashtbl.fold (fun _ v acc -> List.rev v :: acc) tbl []
+
+(* net ids local to a class *)
+let build_edges devices =
+  let net_ids = Hashtbl.create 16 in
+  let names = ref [] in
+  let intern n =
+    match Hashtbl.find_opt net_ids n with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length net_ids in
+      Hashtbl.add net_ids n i;
+      names := n :: !names;
+      i
+  in
+  let edges =
+    List.mapi
+      (fun i (m : Netlist.mos) ->
+        { e_id = i; dev = m; va = intern (string_of_int m.Netlist.source);
+          vb = intern (string_of_int m.Netlist.drain) })
+      devices
+  in
+  (edges, Array.of_list (List.rev !names), Hashtbl.length net_ids)
+
+let stack_of_trail ~index ~polarity ~w ~l trail =
+  (* trail: list of (edge, forward) from left to right *)
+  let devices = List.map (fun (e, _) -> e.dev.Netlist.m_name) trail in
+  let gates =
+    List.map (fun (e, _) -> (e.dev.Netlist.m_name, string_of_int e.dev.Netlist.gate)) trail
+  in
+  let nodes =
+    match trail with
+    | [] -> []
+    | (first, fwd) :: _ ->
+      let start = if fwd then first.va else first.vb in
+      let step acc (e, fwd) = (if fwd then e.vb else e.va) :: acc in
+      List.rev (List.fold_left step [ start ] trail)
+  in
+  ignore nodes;
+  (* nodes currently hold local ids; resolve in caller *)
+  { st_name = Printf.sprintf "stack%d" index;
+    polarity;
+    st_w = w;
+    st_l = l;
+    devices;
+    gates;
+    nodes = [] (* filled by caller *) }
+
+(* --- O(n): Hierholzer with odd-vertex pairing -----------------------
+
+   Minimum trail cover of a connected multigraph with 2k odd-degree
+   vertices is max(1, k): pair the odd vertices with k virtual edges, walk
+   the resulting Euler circuit with the stack-splicing Hierholzer
+   algorithm, and cut the circuit at the virtual edges. *)
+
+let linear_class devices =
+  match devices with
+  | [] -> []
+  | (first : Netlist.mos) :: _ ->
+    let edges, names, n_nets = build_edges devices in
+    let edge_array = Array.of_list edges in
+    let n_real = Array.length edge_array in
+    (* connected components over vertices that carry edges *)
+    let parent = Array.init n_nets (fun i -> i) in
+    let rec find i = if parent.(i) = i then i else begin
+        parent.(i) <- find parent.(i);
+        parent.(i)
+      end
+    in
+    let union a b =
+      let ra = find a and rb = find b in
+      if ra <> rb then parent.(ra) <- rb
+    in
+    Array.iter (fun e -> union e.va e.vb) edge_array;
+    let component_edges = Hashtbl.create 4 in
+    Array.iter
+      (fun e ->
+        let root = find e.va in
+        Hashtbl.replace component_edges root
+          (e :: (try Hashtbl.find component_edges root with Not_found -> [])))
+      edge_array;
+    let trails = ref [] in
+    Hashtbl.iter
+      (fun _root comp_edges ->
+        let degree = Hashtbl.create 8 in
+        let bump v = Hashtbl.replace degree v (1 + (try Hashtbl.find degree v with Not_found -> 0)) in
+        List.iter (fun e -> bump e.va; bump e.vb) comp_edges;
+        let odd =
+          Hashtbl.fold (fun v d acc -> if d mod 2 = 1 then v :: acc else acc) degree []
+          |> List.sort compare
+        in
+        (* adjacency including virtual pairing edges (id >= n_real) *)
+        let adj : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create 8 in
+        let adj_of v =
+          match Hashtbl.find_opt adj v with
+          | Some l -> l
+          | None ->
+            let l = ref [] in
+            Hashtbl.replace adj v l;
+            l
+        in
+        let n_virtual = ref 0 in
+        let add_adj id a b =
+          (adj_of a) := (id, b) :: !(adj_of a);
+          (adj_of b) := (id, a) :: !(adj_of b)
+        in
+        List.iter (fun e -> add_adj e.e_id e.va e.vb) comp_edges;
+        let rec pair_odds = function
+          | a :: b :: rest ->
+            add_adj (n_real + !n_virtual) a b;
+            incr n_virtual;
+            pair_odds rest
+          | [ _ ] | [] -> ()
+        in
+        pair_odds odd;
+        (* stack-based Hierholzer from any vertex of the component *)
+        let start = (List.hd comp_edges).va in
+        let used = Hashtbl.create 16 in
+        let circuit = ref [] in
+        let stack = ref [ (start, None) ] in
+        let continue = ref true in
+        while !continue do
+          match !stack with
+          | [] -> continue := false
+          | (v, incoming) :: rest ->
+            let l = adj_of v in
+            let rec next_unused = function
+              | [] -> None
+              | (id, other) :: more ->
+                if Hashtbl.mem used id then next_unused more else Some (id, other, more)
+            in
+            (match next_unused !l with
+             | Some (id, other, remaining_adj) ->
+               l := remaining_adj;
+               Hashtbl.replace used id ();
+               stack := (other, Some (id, v)) :: !stack
+             | None ->
+               stack := rest;
+               (match incoming with
+                | Some (id, from_v) -> circuit := (id, from_v, v) :: !circuit
+                | None -> ()))
+        done;
+        (* !circuit is the Euler circuit in forward order (pops reverse the
+           traversal, and we prepended) ; cut it at the virtual edges *)
+        let segments = ref [] and current = ref [] in
+        let flush () =
+          if !current <> [] then begin
+            segments := List.rev !current :: !segments;
+            current := []
+          end
+        in
+        List.iter
+          (fun (id, from_v, _to_v) ->
+            if id >= n_real then flush ()
+            else begin
+              let e = edge_array.(id) in
+              let fwd = e.va = from_v in
+              current := (e, fwd) :: !current
+            end)
+          !circuit;
+        flush ();
+        (* a closed circuit (no virtual edge) yields one segment; with k
+           virtual edges the circuit is cyclic, so when it neither starts
+           nor ends on a virtual edge the last and first segments are one
+           trail across the wrap-around point *)
+        let ordered = List.rev !segments in
+        let wraps =
+          !n_virtual > 0
+          && (match !circuit with
+              | ((id_first, _, _) :: _ as all) ->
+                let last_id, _, _ = List.nth all (List.length all - 1) in
+                id_first < n_real && last_id < n_real
+              | [] -> false)
+        in
+        let segs =
+          if wraps && List.length ordered > 1 then begin
+            let rec split_last acc = function
+              | [ last ] -> (List.rev acc, last)
+              | x :: rest -> split_last (x :: acc) rest
+              | [] -> assert false
+            in
+            match ordered with
+            | first_seg :: middle ->
+              let middle_front, last_seg = split_last [] middle in
+              (last_seg @ first_seg) :: middle_front
+            | [] -> ordered
+          end
+          else ordered
+        in
+        List.iter (fun seg -> if seg <> [] then trails := seg :: !trails) segs)
+      component_edges;
+    let polarity = first.Netlist.polarity in
+    let w = first.Netlist.w and l = first.Netlist.l in
+    List.mapi
+      (fun i trail ->
+        let s = stack_of_trail ~index:i ~polarity ~w ~l trail in
+        let nodes =
+          match trail with
+          | [] -> []
+          | (e0, fwd) :: _ ->
+            let start = if fwd then e0.va else e0.vb in
+            List.rev
+              (List.fold_left (fun acc (e, f) -> (if f then e.vb else e.va) :: acc)
+                 [ start ] trail)
+        in
+        { s with nodes = List.map (fun id -> names.(id)) nodes })
+      !trails
+
+let merged_of stacks =
+  List.fold_left (fun acc s -> acc + (List.length s.devices - 1)) 0 stacks
+
+let rename_stacks stacks =
+  List.mapi (fun i s -> { s with st_name = Printf.sprintf "stack%d" i }) stacks
+
+let linear devices =
+  let stacks = List.concat_map linear_class (compatibility_classes devices) in
+  let stacks = rename_stacks stacks in
+  { stacks; merged_junctions = merged_of stacks }
+
+(* --- exact: exhaustive trail-partition enumeration ------------------ *)
+
+let exact_class ~state_cap ~states ~capped devices =
+  match devices with
+  | [] -> ([], 0)
+  | (first : Netlist.mos) :: _ ->
+    let edges, names, _n_nets = build_edges devices in
+    let edge_array = Array.of_list edges in
+    let n = Array.length edge_array in
+    let used = Array.make n false in
+    let best_count = ref max_int in
+    let best = ref [] in
+    let optimal_count = ref 0 in
+    (* Enumerate partitions of the edge set into trails.  A trail is grown
+       from one of its end edges in either direction; a fresh trail may
+       start at any unused edge, so no partition is missed (the count is of
+       construction orderings, an upper bound on distinct partitions). *)
+    let rec extend open_end current_trail finished remaining =
+      incr states;
+      if !states > state_cap then capped := true
+      else if remaining = 0 then record (List.rev current_trail :: finished)
+      else begin
+        (* grow the open trail *)
+        for i = 0 to n - 1 do
+          if not used.(i) then begin
+            let e = edge_array.(i) in
+            let dir =
+              if e.va = open_end then Some true
+              else if e.vb = open_end then Some false
+              else None
+            in
+            match dir with
+            | Some fwd ->
+              used.(i) <- true;
+              let next = if fwd then e.vb else e.va in
+              extend next ((e, fwd) :: current_trail) finished (remaining - 1);
+              used.(i) <- false
+            | None -> ()
+          end
+        done;
+        (* or close it and open a new one *)
+        start_new (List.rev current_trail :: finished) remaining
+      end
+    and start_new finished remaining =
+      if remaining = 0 then record finished
+      else begin
+        (* lower bound: the trails already closed plus at least one more *)
+        if List.length finished + 1 <= !best_count then
+          for i = 0 to n - 1 do
+            if not used.(i) then begin
+              let e = edge_array.(i) in
+              used.(i) <- true;
+              extend e.vb [ (e, true) ] finished (remaining - 1);
+              extend e.va [ (e, false) ] finished (remaining - 1);
+              used.(i) <- false
+            end
+          done
+      end
+    and record all =
+      let count = List.length all in
+      if count < !best_count then begin
+        best_count := count;
+        best := List.rev all;
+        optimal_count := 1
+      end
+      else if count = !best_count then incr optimal_count
+    in
+    start_new [] n;
+    let polarity = first.Netlist.polarity in
+    let w = first.Netlist.w and l = first.Netlist.l in
+    let stacks =
+      List.mapi
+        (fun i trail ->
+          let s = stack_of_trail ~index:i ~polarity ~w ~l trail in
+          let nodes =
+            match trail with
+            | [] -> []
+            | (e0, fwd) :: _ ->
+              let start = if fwd then e0.va else e0.vb in
+              List.rev
+                (List.fold_left (fun acc (e, f) -> (if f then e.vb else e.va) :: acc)
+                   [ start ] trail)
+          in
+          { s with nodes = List.map (fun id -> names.(id)) nodes })
+        !best
+    in
+    (stacks, !optimal_count)
+
+let exact ?(state_cap = 2_000_000) devices =
+  let states = ref 0 and capped = ref false in
+  let per_class =
+    List.map (exact_class ~state_cap ~states ~capped) (compatibility_classes devices)
+  in
+  let stacks = rename_stacks (List.concat_map fst per_class) in
+  let optimal_count = List.fold_left (fun acc (_, c) -> acc * max 1 c) 1 per_class in
+  { best = { stacks; merged_junctions = merged_of stacks };
+    optimal_count;
+    states_explored = !states;
+    capped = !capped }
+
+let junction_capacitance tech devices stacking =
+  (* each diffusion contact column of width W costs cj*W*Ldiff + perimeter
+     sidewall; merging adjacent devices shares columns *)
+  let column_cap w =
+    (tech.Tech.cj *. w *. tech.Tech.l_diff)
+    +. (tech.Tech.cjsw *. 2.0 *. (w +. tech.Tech.l_diff))
+  in
+  let unstacked_columns =
+    List.fold_left (fun acc (m : Netlist.mos) -> acc +. (2.0 *. column_cap m.Netlist.w)) 0.0 devices
+  in
+  let saved =
+    List.fold_left
+      (fun acc st ->
+        acc +. (float_of_int (List.length st.devices - 1) *. column_cap st.st_w))
+      0.0 stacking.stacks
+  in
+  unstacked_columns -. saved

@@ -1,0 +1,48 @@
+(** Device stacking: partition the MOS devices into chains that share
+    source/drain diffusions (Section 3.1's "stacks").
+
+    The diffusion graph has a vertex per net and an edge per device
+    (source-drain); a stack is a trail, and a stacking is a partition of the
+    edges into trails.  Fewer trails = more merged junctions = less parasitic
+    capacitance.  Two extractors, the paper's two references:
+    - {!exact}: exhaustive trail-partition enumeration ([43], exponential) —
+      finds the minimum trail count and counts the optimal stackings;
+    - {!linear}: Hierholzer construction ([45], O(n)) — produces one optimal
+      stacking directly.
+
+    Devices are only stacked within a compatibility class: same polarity and
+    equal width within 10 %. *)
+
+type stack = {
+  st_name : string;
+  polarity : Mixsyn_circuit.Netlist.polarity;
+  st_w : float;
+  st_l : float;
+  devices : string list;             (** device names along the strip *)
+  gates : (string * string) list;    (** (device, gate net) along the strip *)
+  nodes : string list;               (** diffusion nets, length = devices+1 *)
+}
+
+type stacking = {
+  stacks : stack list;
+  merged_junctions : int;  (** diffusion contacts saved vs unstacked layout *)
+}
+
+type exact_report = {
+  best : stacking;
+  optimal_count : int;     (** optimal stackings enumerated (capped) *)
+  states_explored : int;
+  capped : bool;
+}
+
+val exact : ?state_cap:int -> Mixsyn_circuit.Netlist.mos list -> exact_report
+(** Exhaustive enumeration; [state_cap] (default 2_000_000) bounds the
+    search, setting [capped] when hit. *)
+
+val linear : Mixsyn_circuit.Netlist.mos list -> stacking
+(** One optimal stacking in time linear in the device count. *)
+
+val junction_capacitance :
+  Mixsyn_circuit.Tech.t -> Mixsyn_circuit.Netlist.mos list -> stacking -> float
+(** Total source/drain junction capacitance of the stacked layout, F — the
+    quantity stacking exists to minimise. *)

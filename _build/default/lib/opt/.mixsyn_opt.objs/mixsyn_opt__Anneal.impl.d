@@ -1,0 +1,1 @@
+lib/opt/anneal.ml: Mixsyn_util

@@ -1,0 +1,1 @@
+lib/opt/anneal.mli: Mixsyn_util

@@ -1,0 +1,1 @@
+lib/opt/corner_search.ml: Array List Mixsyn_circuit Nelder_mead

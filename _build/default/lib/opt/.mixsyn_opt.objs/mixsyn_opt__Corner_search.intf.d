@@ -1,0 +1,1 @@
+lib/opt/corner_search.mli: Mixsyn_circuit

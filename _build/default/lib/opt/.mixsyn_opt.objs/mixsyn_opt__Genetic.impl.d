@@ -1,0 +1,1 @@
+lib/opt/genetic.ml: Array Float Mixsyn_util

@@ -1,0 +1,1 @@
+lib/opt/genetic.mli: Mixsyn_util

@@ -1,0 +1,59 @@
+type schedule = {
+  t_start : float;
+  t_end : float;
+  cooling : float;
+  moves_per_stage : int;
+}
+
+let default_schedule = { t_start = 10.0; t_end = 1e-4; cooling = 0.93; moves_per_stage = 200 }
+
+let auto_schedule ?(moves_per_stage = 200) ~cost_scale () =
+  { t_start = 3.0 *. cost_scale; t_end = 1e-5 *. cost_scale; cooling = 0.93; moves_per_stage }
+
+type 'a problem = {
+  initial : 'a;
+  cost : 'a -> float;
+  neighbor : Mixsyn_util.Rng.t -> temp01:float -> 'a -> 'a;
+}
+
+type 'a outcome = {
+  best : 'a;
+  best_cost : float;
+  accepted : int;
+  proposed : int;
+  stages : int;
+}
+
+let minimize ?(schedule = default_schedule) ~rng problem =
+  let accepted = ref 0 and proposed = ref 0 and stages = ref 0 in
+  let current = ref problem.initial in
+  let current_cost = ref (problem.cost problem.initial) in
+  let best = ref !current and best_cost = ref !current_cost in
+  let log_span = log (schedule.t_start /. schedule.t_end) in
+  let temp = ref schedule.t_start in
+  while !temp > schedule.t_end do
+    incr stages;
+    let temp01 =
+      if log_span <= 0.0 then 0.0 else log (!temp /. schedule.t_end) /. log_span
+    in
+    for _ = 1 to schedule.moves_per_stage do
+      incr proposed;
+      let candidate = problem.neighbor rng ~temp01 !current in
+      let cost = problem.cost candidate in
+      let delta = cost -. !current_cost in
+      let accept =
+        delta <= 0.0 || Mixsyn_util.Rng.float rng 1.0 < exp (-.delta /. !temp)
+      in
+      if accept then begin
+        incr accepted;
+        current := candidate;
+        current_cost := cost;
+        if cost < !best_cost then begin
+          best := candidate;
+          best_cost := cost
+        end
+      end
+    done;
+    temp := !temp *. schedule.cooling
+  done;
+  { best = !best; best_cost = !best_cost; accepted = !accepted; proposed = !proposed; stages = !stages }

@@ -1,0 +1,37 @@
+(** Generic simulated annealing.
+
+    The workhorse of both the frontend (OPTIMAN, FRIDGE, OBLX sizing) and the
+    backend (KOAN placement, WRIGHT floorplanning), so it is polymorphic in
+    the state type and fully deterministic given the RNG. *)
+
+type schedule = {
+  t_start : float;       (** initial temperature (cost units) *)
+  t_end : float;         (** stop when the temperature drops below this *)
+  cooling : float;       (** geometric factor per stage, e.g. 0.93 *)
+  moves_per_stage : int; (** proposals at each temperature *)
+}
+
+val default_schedule : schedule
+
+val auto_schedule : ?moves_per_stage:int -> cost_scale:float -> unit -> schedule
+(** Schedule whose initial temperature accepts almost any move of magnitude
+    [cost_scale] and whose final temperature freezes them. *)
+
+type 'a problem = {
+  initial : 'a;
+  cost : 'a -> float;
+  neighbor : Mixsyn_util.Rng.t -> temp01:float -> 'a -> 'a;
+      (** propose a move; [temp01] falls 1 -> 0 over the run, for
+          range-limited moves near freeze-out *)
+}
+
+type 'a outcome = {
+  best : 'a;
+  best_cost : float;
+  accepted : int;
+  proposed : int;
+  stages : int;
+}
+
+val minimize :
+  ?schedule:schedule -> rng:Mixsyn_util.Rng.t -> 'a problem -> 'a outcome

@@ -1,0 +1,32 @@
+(** Worst-case corner search (the manufacturability extension of ASTRX/OBLX,
+    [31] in the paper).
+
+    The paper casts robust synthesis as nonlinear infinite programming: find
+    the environment/process corner at which the evolving circuit violates its
+    specifications the most, and optimize against that corner.  We search the
+    4-dimensional disturbance box (relative Vdd, temperature delta, Vth
+    shift, relative Kp) with the deterministic extreme-corner sweep followed
+    by a Nelder–Mead refinement inside the box. *)
+
+type box = {
+  vdd_rel : float * float;   (** e.g. (-0.1, 0.1) *)
+  temp_delta : float * float;
+  vth_shift : float * float;
+  kp_rel : float * float;
+}
+
+val default_box : box
+
+val corner_of_point : string -> float array -> Mixsyn_circuit.Tech.corner
+(** [corner_of_point name [|dvdd; dtemp; dvth; dkp|]]. *)
+
+val worst_corner :
+  ?box:box ->
+  ?refine:bool ->
+  violation:(Mixsyn_circuit.Tech.corner -> float) ->
+  unit ->
+  Mixsyn_circuit.Tech.corner * float * int
+(** Returns (worst corner, its violation, evaluation count).  [violation]
+    must be >= 0 with 0 meaning all specifications met; the search maximises
+    it.  With [refine] (default true) the best vertex is polished by
+    Nelder–Mead inside the box. *)

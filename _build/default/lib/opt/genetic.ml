@@ -1,0 +1,88 @@
+module Rng = Mixsyn_util.Rng
+
+type options = {
+  population : int;
+  generations : int;
+  crossover_rate : float;
+  mutation_rate : float;
+  elite : int;
+}
+
+let default_options =
+  { population = 40; generations = 60; crossover_rate = 0.8; mutation_rate = 0.08; elite = 2 }
+
+(* Generic machinery over a representation given by (random, crossover,
+   mutate). Tournament selection of size 2. *)
+let run options rng ~random_individual ~crossover ~mutate ~fitness =
+  let pop = Array.init options.population (fun _ -> random_individual ()) in
+  let scores = Array.map fitness pop in
+  let best = ref pop.(0) and best_fit = ref scores.(0) in
+  let update_best () =
+    Array.iteri
+      (fun i s ->
+        if s > !best_fit then begin
+          best_fit := s;
+          best := pop.(i)
+        end)
+      scores
+  in
+  update_best ();
+  let tournament () =
+    let a = Rng.int rng options.population and b = Rng.int rng options.population in
+    if scores.(a) >= scores.(b) then pop.(a) else pop.(b)
+  in
+  for _gen = 1 to options.generations do
+    (* rank for elitism *)
+    let order = Array.init options.population (fun i -> i) in
+    Array.sort (fun i j -> compare scores.(j) scores.(i)) order;
+    let next = Array.make options.population pop.(0) in
+    for e = 0 to options.elite - 1 do
+      next.(e) <- pop.(order.(e))
+    done;
+    for slot = options.elite to options.population - 1 do
+      let parent_a = tournament () and parent_b = tournament () in
+      let child =
+        if Rng.float rng 1.0 < options.crossover_rate then crossover rng parent_a parent_b
+        else parent_a
+      in
+      next.(slot) <- mutate rng child
+    done;
+    Array.blit next 0 pop 0 options.population;
+    Array.iteri (fun i ind -> scores.(i) <- fitness ind) pop;
+    update_best ()
+  done;
+  (!best, !best_fit)
+
+let optimize_real ?(options = default_options) ~rng ~lower ~upper ~fitness () =
+  let n = Array.length lower in
+  let random_individual () =
+    Array.init n (fun i -> Rng.uniform rng lower.(i) upper.(i))
+  in
+  let crossover rng a b =
+    (* blend crossover *)
+    Array.init n (fun i ->
+        let t = Rng.float rng 1.0 in
+        (t *. a.(i)) +. ((1.0 -. t) *. b.(i)))
+  in
+  let mutate rng x =
+    Array.mapi
+      (fun i v ->
+        if Rng.float rng 1.0 < options.mutation_rate then
+          let sigma = 0.1 *. (upper.(i) -. lower.(i)) in
+          Float.min upper.(i) (Float.max lower.(i) (Rng.gaussian rng ~mean:v ~sigma))
+        else v)
+      x
+  in
+  run options rng ~random_individual ~crossover ~mutate ~fitness
+
+let optimize_bits ?(options = default_options) ~rng ~length ~fitness () =
+  let random_individual () = Array.init length (fun _ -> Rng.bool rng) in
+  let crossover rng a b =
+    (* single point *)
+    let point = Rng.int rng length in
+    Array.init length (fun i -> if i < point then a.(i) else b.(i))
+  in
+  let mutate rng x =
+    Array.map (fun b -> if Rng.float rng 1.0 < options.mutation_rate then not b else b) x
+  in
+  run options rng ~random_individual ~crossover ~mutate ~fitness

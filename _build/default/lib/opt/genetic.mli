@@ -1,0 +1,33 @@
+(** Genetic search over fixed-length real vectors and bitstrings.
+
+    The bitstring form implements topology selection in the optimization loop
+    as in DARWIN [28] and the mixed boolean formulations of [26]: genes are
+    topology choices, fitness is the sized circuit's merit. *)
+
+type options = {
+  population : int;
+  generations : int;
+  crossover_rate : float;
+  mutation_rate : float;
+  elite : int;  (** unconditionally surviving top individuals *)
+}
+
+val default_options : options
+
+val optimize_real :
+  ?options:options ->
+  rng:Mixsyn_util.Rng.t ->
+  lower:float array ->
+  upper:float array ->
+  fitness:(float array -> float) ->
+  unit ->
+  float array * float
+(** Maximises [fitness] over the box; returns the best individual. *)
+
+val optimize_bits :
+  ?options:options ->
+  rng:Mixsyn_util.Rng.t ->
+  length:int ->
+  fitness:(bool array -> float) ->
+  unit ->
+  bool array * float

@@ -1,0 +1,79 @@
+type options = {
+  max_evals : int;
+  tolerance : float;
+}
+
+let default_options = { max_evals = 2000; tolerance = 1e-10 }
+
+let minimize ?(options = default_options) ~lower ~upper ~f x0 =
+  let n = Array.length x0 in
+  let evals = ref 0 in
+  let clamp x =
+    Array.mapi (fun i v -> Float.min upper.(i) (Float.max lower.(i) v)) x
+  in
+  let eval x =
+    incr evals;
+    f x
+  in
+  (* initial simplex: x0 plus a 5 % of-range step along each axis *)
+  let vertex i =
+    if i = 0 then clamp x0
+    else begin
+      let x = Array.copy x0 in
+      let j = i - 1 in
+      let step = 0.05 *. (upper.(j) -. lower.(j)) in
+      x.(j) <- x.(j) +. (if x.(j) +. step <= upper.(j) then step else -.step);
+      clamp x
+    end
+  in
+  let simplex = Array.init (n + 1) (fun i -> let v = vertex i in (v, eval v)) in
+  let sort () = Array.sort (fun (_, a) (_, b) -> compare a b) simplex in
+  sort ();
+  let centroid () =
+    let c = Array.make n 0.0 in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        c.(j) <- c.(j) +. (fst simplex.(i)).(j)
+      done
+    done;
+    Array.map (fun v -> v /. float_of_int n) c
+  in
+  let combine a alpha b beta =
+    Array.init n (fun i -> (alpha *. a.(i)) +. (beta *. b.(i)))
+  in
+  let rec loop () =
+    sort ();
+    let _, f_best = simplex.(0) and _, f_worst = simplex.(n) in
+    if !evals >= options.max_evals || f_worst -. f_best < options.tolerance then ()
+    else begin
+      let c = centroid () in
+      let xw, fw = simplex.(n) in
+      let reflect = clamp (combine c 2.0 xw (-1.0)) in
+      let fr = eval reflect in
+      if fr < f_best then begin
+        let expand = clamp (combine c 3.0 xw (-2.0)) in
+        let fe = eval expand in
+        simplex.(n) <- (if fe < fr then (expand, fe) else (reflect, fr))
+      end
+      else if fr < snd simplex.(n - 1) then simplex.(n) <- (reflect, fr)
+      else begin
+        let contract = clamp (combine c 0.5 xw 0.5) in
+        let fc = eval contract in
+        if fc < fw then simplex.(n) <- (contract, fc)
+        else begin
+          (* shrink toward the best vertex *)
+          let xb = fst simplex.(0) in
+          for i = 1 to n do
+            let xi = fst simplex.(i) in
+            let shrunk = clamp (combine xb 0.5 xi 0.5) in
+            simplex.(i) <- (shrunk, eval shrunk)
+          done
+        end
+      end;
+      loop ()
+    end
+  in
+  loop ();
+  sort ();
+  let x_best, f_best = simplex.(0) in
+  (x_best, f_best, !evals)

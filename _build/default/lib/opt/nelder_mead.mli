@@ -1,0 +1,21 @@
+(** Nelder–Mead downhill simplex with box clamping.
+
+    Used as the local polisher after global annealing (the "optimize sizes"
+    inner loop of Fig. 1b) and by the continuous worst-case corner search. *)
+
+type options = {
+  max_evals : int;
+  tolerance : float;  (** stop when the simplex cost spread falls below this *)
+}
+
+val default_options : options
+
+val minimize :
+  ?options:options ->
+  lower:float array ->
+  upper:float array ->
+  f:(float array -> float) ->
+  float array ->
+  float array * float * int
+(** [minimize ~lower ~upper ~f x0] returns (best point, best cost,
+    evaluations used).  [x0] is clamped into the box. *)

@@ -1,0 +1,1 @@
+lib/symbolic/analyze.ml: Array Complex Expr Float Format Hashtbl List Mixsyn_circuit Mixsyn_engine String

@@ -1,0 +1,1 @@
+lib/symbolic/analyze.mli: Complex Expr Format Mixsyn_circuit Mixsyn_engine

@@ -1,0 +1,1 @@
+lib/symbolic/expr.ml: Array Complex Format Hashtbl List

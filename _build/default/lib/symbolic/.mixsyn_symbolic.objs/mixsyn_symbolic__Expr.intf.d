@@ -1,0 +1,1 @@
+lib/symbolic/expr.mli: Complex Format

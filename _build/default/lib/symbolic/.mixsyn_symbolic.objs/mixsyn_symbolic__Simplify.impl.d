@@ -1,0 +1,1 @@
+lib/symbolic/simplify.ml: Analyze Array Complex Expr Float List

@@ -1,0 +1,175 @@
+module Netlist = Mixsyn_circuit.Netlist
+module Mna = Mixsyn_engine.Mna
+module Mos_model = Mixsyn_engine.Mos_model
+
+type rational = {
+  num : Expr.t;
+  den : Expr.t;
+}
+
+(* Build the symbolic MNA system: matrix of Expr and symbolic RHS. *)
+let build_symbolic nl =
+  let layout = Mna.layout_of nl in
+  let n = layout.Mna.size in
+  let a = Array.make_matrix n n Expr.zero in
+  let b = Array.make n Expr.zero in
+  let stamp i j e = if i >= 0 && j >= 0 then a.(i).(j) <- Expr.add a.(i).(j) e in
+  let rhs i e = if i >= 0 then b.(i) <- Expr.add b.(i) e in
+  let idx = Mna.node_index in
+  let branch = ref (layout.Mna.nets - 1) in
+  let conductance_stamp na nb e =
+    stamp (idx na) (idx na) e;
+    stamp (idx nb) (idx nb) e;
+    stamp (idx na) (idx nb) (Expr.neg e);
+    stamp (idx nb) (idx na) (Expr.neg e)
+  in
+  let vccs_stamp p nn cp cn e =
+    stamp (idx p) (idx cp) e;
+    stamp (idx p) (idx cn) (Expr.neg e);
+    stamp (idx nn) (idx cp) (Expr.neg e);
+    stamp (idx nn) (idx cn) e
+  in
+  let each = function
+    | Netlist.Resistor { r_name; a = na; b = nb; _ } ->
+      conductance_stamp na nb (Expr.sym ("g_" ^ r_name))
+    | Netlist.Capacitor { c_name; a = na; b = nb; _ } ->
+      conductance_stamp na nb (Expr.s_times 1 (Expr.sym ("c_" ^ c_name)))
+    | Netlist.Vccs { g_name; p; n = nn; cp; cn; _ } ->
+      vccs_stamp p nn cp cn (Expr.sym ("gm_" ^ g_name))
+    | Netlist.Isource { p; n = nn; ac; _ } ->
+      if ac <> 0.0 then begin
+        rhs (idx p) (Expr.const ac);
+        rhs (idx nn) (Expr.const (-.ac))
+      end
+    | Netlist.Vsource { ac; p; n = nn; _ } ->
+      let row = !branch in
+      incr branch;
+      stamp (idx p) row Expr.one;
+      stamp (idx nn) row (Expr.neg Expr.one);
+      stamp row (idx p) Expr.one;
+      stamp row (idx nn) (Expr.neg Expr.one);
+      if ac <> 0.0 then rhs row (Expr.const ac)
+    | Netlist.Mos m ->
+      let name = m.Netlist.m_name in
+      let d = m.Netlist.drain and g = m.Netlist.gate and s = m.Netlist.source
+      and bk = m.Netlist.bulk in
+      (* transconductances: current gm*vgs, gmb*vbs into the drain *)
+      vccs_stamp d s g s (Expr.sym ("gm_" ^ name));
+      vccs_stamp d s bk s (Expr.sym ("gmb_" ^ name));
+      conductance_stamp d s (Expr.sym ("gds_" ^ name));
+      conductance_stamp g s (Expr.s_times 1 (Expr.sym ("cgs_" ^ name)));
+      conductance_stamp g d (Expr.s_times 1 (Expr.sym ("cgd_" ^ name)));
+      conductance_stamp d bk (Expr.s_times 1 (Expr.sym ("cdb_" ^ name)));
+      conductance_stamp s bk (Expr.s_times 1 (Expr.sym ("csb_" ^ name)))
+  in
+  List.iter each (Netlist.elements nl);
+  (layout, a, b)
+
+let determinant matrix =
+  let n = Array.length matrix in
+  if n = 0 then Expr.one
+  else begin
+    let memo : (int, Expr.t) Hashtbl.t = Hashtbl.create 256 in
+    (* det of the submatrix using columns [col..n-1] and the rows set in
+       [mask]; expansion along column [col] *)
+    let rec det col mask =
+      if col = n then Expr.one
+      else
+        match Hashtbl.find_opt memo mask with
+        | Some d -> d
+        | None ->
+          let acc = ref Expr.zero in
+          let sign = ref 1.0 in
+          for row = 0 to n - 1 do
+            if mask land (1 lsl row) <> 0 then begin
+              let entry = matrix.(row).(col) in
+              if not (Expr.is_zero entry) then begin
+                let minor = det (col + 1) (mask lxor (1 lsl row)) in
+                let contrib = Expr.mul entry minor in
+                acc :=
+                  Expr.add !acc (if !sign > 0.0 then contrib else Expr.neg contrib)
+              end;
+              sign := -. !sign
+            end
+          done;
+          Hashtbl.add memo mask !acc;
+          !acc
+    in
+    det 0 ((1 lsl n) - 1)
+  end
+
+let transfer nl ~out =
+  let layout, a, b = build_symbolic nl in
+  let j = Mna.node_index out in
+  assert (j >= 0 && j < layout.Mna.size);
+  let den = determinant a in
+  let a_substituted =
+    Array.mapi (fun i row -> Array.mapi (fun k e -> if k = j then b.(i) else e) row) a
+  in
+  let num = determinant a_substituted in
+  { num; den }
+
+let valuation ?(tech = Mixsyn_circuit.Tech.generic_07um) nl op name =
+  match String.index_opt name '_' with
+  | None -> raise Not_found
+  | Some i ->
+    let kind = String.sub name 0 i in
+    let dev = String.sub name (i + 1) (String.length name - i - 1) in
+    let find_mos () =
+      let rec search = function
+        | [] -> raise Not_found
+        | ((m : Netlist.mos), e) :: rest ->
+          if m.Netlist.m_name = dev then (m, e) else search rest
+      in
+      search op.Mna.mos_evals
+    in
+    let find_element pred =
+      let rec search = function
+        | [] -> raise Not_found
+        | e :: rest -> (match pred e with Some v -> v | None -> search rest)
+      in
+      search (Netlist.elements nl)
+    in
+    (match kind with
+     | "gm" ->
+       (* VCCS or MOS *)
+       (try
+          let _, e = find_mos () in
+          Float.abs e.Mos_model.gm
+        with Not_found ->
+          find_element (function
+            | Netlist.Vccs { g_name; gm; _ } when g_name = dev -> Some gm
+            | Netlist.Vccs _ | Netlist.Mos _ | Netlist.Resistor _ | Netlist.Capacitor _
+            | Netlist.Vsource _ | Netlist.Isource _ -> None))
+     | "gds" -> let _, e = find_mos () in Float.abs e.Mos_model.gds
+     | "gmb" -> let _, e = find_mos () in Float.abs e.Mos_model.gmb
+     | "g" ->
+       find_element (function
+         | Netlist.Resistor { r_name; ohms; _ } when r_name = dev -> Some (1.0 /. ohms)
+         | Netlist.Resistor _ | Netlist.Vccs _ | Netlist.Mos _ | Netlist.Capacitor _
+         | Netlist.Vsource _ | Netlist.Isource _ -> None)
+     | "c" ->
+       find_element (function
+         | Netlist.Capacitor { c_name; farads; _ } when c_name = dev -> Some farads
+         | Netlist.Capacitor _ | Netlist.Resistor _ | Netlist.Vccs _ | Netlist.Mos _
+         | Netlist.Vsource _ | Netlist.Isource _ -> None)
+     | "cgs" | "cgd" | "cdb" | "csb" ->
+       let m, e = find_mos () in
+       let caps = Mos_model.capacitances tech m e.Mos_model.region in
+       (match kind with
+        | "cgs" -> caps.Mos_model.cgs
+        | "cgd" -> caps.Mos_model.cgd
+        | "cdb" -> caps.Mos_model.cdb
+        | _ -> caps.Mos_model.csb)
+     | _ -> raise Not_found)
+
+let eval_rational value r sval =
+  Complex.div (Expr.eval value r.num sval) (Expr.eval value r.den sval)
+
+let num_den_coeffs value r =
+  (Expr.eval_s_coeffs value r.num, Expr.eval_s_coeffs value r.den)
+
+let term_count r = Expr.term_count r.num + Expr.term_count r.den
+
+let pp ppf r =
+  Format.fprintf ppf "N(s) = %a@\nD(s) = %a" Expr.pp r.num Expr.pp r.den

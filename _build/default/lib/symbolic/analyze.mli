@@ -1,0 +1,41 @@
+(** ISAAC-style symbolic small-signal analysis.
+
+    Builds the MNA matrix with symbolic entries (gm_<dev>, gds_<dev>,
+    g_<res>, c_<cap>, cgs_<dev>, ...) and extracts exact transfer functions
+    by Cramer's rule with a memoised Laplace determinant expansion.  Circuit
+    sizes up to full-opamp complexity (10-12 system unknowns) are practical,
+    matching the capability the paper reports for ISAAC. *)
+
+type rational = {
+  num : Expr.t;
+  den : Expr.t;
+}
+
+val transfer :
+  Mixsyn_circuit.Netlist.t ->
+  out:Mixsyn_circuit.Netlist.net ->
+  rational
+(** Symbolic transfer from the netlist's AC excitation (the sources with a
+    nonzero [ac] field) to the output net voltage. *)
+
+val determinant : Expr.t array array -> Expr.t
+(** Memoised Laplace expansion; exposed for tests. *)
+
+val valuation :
+  ?tech:Mixsyn_circuit.Tech.t ->
+  Mixsyn_circuit.Netlist.t ->
+  Mixsyn_engine.Mna.op ->
+  string ->
+  float
+(** Symbol values at an operating point: [valuation nl op "gm_m1"] etc.
+    @raise Not_found for unknown symbols. *)
+
+val eval_rational : (string -> float) -> rational -> Complex.t -> Complex.t
+
+val num_den_coeffs : (string -> float) -> rational -> float array * float array
+(** Numeric numerator/denominator polynomial coefficients in [s]. *)
+
+val term_count : rational -> int
+(** Total number of symbolic terms (numerator + denominator). *)
+
+val pp : Format.formatter -> rational -> unit

@@ -1,0 +1,122 @@
+type mono = (string * int) list
+
+type term = { coeff : float; mono : mono; s_pow : int }
+
+type t = term list
+
+let compare_mono (a : mono) (b : mono) = compare a b
+
+let compare_term_key t1 t2 =
+  match compare t1.s_pow t2.s_pow with
+  | 0 -> compare_mono t1.mono t2.mono
+  | c -> c
+
+(* merge equal keys, drop zeros, keep sorted *)
+let normalize terms =
+  let sorted = List.sort compare_term_key terms in
+  let rec merge = function
+    | [] -> []
+    | [ t ] -> if t.coeff = 0.0 then [] else [ t ]
+    | t1 :: t2 :: rest ->
+      if compare_term_key t1 t2 = 0 then
+        merge ({ t1 with coeff = t1.coeff +. t2.coeff } :: rest)
+      else if t1.coeff = 0.0 then merge (t2 :: rest)
+      else t1 :: merge (t2 :: rest)
+  in
+  merge sorted
+
+let zero = []
+let one = [ { coeff = 1.0; mono = []; s_pow = 0 } ]
+let const c = if c = 0.0 then [] else [ { coeff = c; mono = []; s_pow = 0 } ]
+let sym name = [ { coeff = 1.0; mono = [ (name, 1) ]; s_pow = 0 } ]
+let s = [ { coeff = 1.0; mono = []; s_pow = 1 } ]
+
+let s_times k p = List.map (fun t -> { t with s_pow = t.s_pow + k }) p
+
+let add a b = normalize (a @ b)
+
+let neg a = List.map (fun t -> { t with coeff = -.t.coeff }) a
+
+let sub a b = add a (neg b)
+
+let mul_mono (a : mono) (b : mono) : mono =
+  let rec go a b =
+    match (a, b) with
+    | [], m | m, [] -> m
+    | (na, pa) :: ra, (nb, pb) :: rb ->
+      if na = nb then (na, pa + pb) :: go ra rb
+      else if na < nb then (na, pa) :: go ra b
+      else (nb, pb) :: go a rb
+  in
+  go a b
+
+let mul a b =
+  let products =
+    List.concat_map
+      (fun ta ->
+        List.map
+          (fun tb ->
+            { coeff = ta.coeff *. tb.coeff;
+              mono = mul_mono ta.mono tb.mono;
+              s_pow = ta.s_pow + tb.s_pow })
+          b)
+      a
+  in
+  normalize products
+
+let scale c a = if c = 0.0 then [] else List.map (fun t -> { t with coeff = c *. t.coeff }) a
+
+let is_zero = function [] -> true | _ :: _ -> false
+
+let term_count = List.length
+
+let degree_s p = List.fold_left (fun acc t -> max acc t.s_pow) 0 p
+
+let by_s_power p =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun t ->
+      let existing = try Hashtbl.find tbl t.s_pow with Not_found -> [] in
+      Hashtbl.replace tbl t.s_pow ({ t with s_pow = 0 } :: existing))
+    p;
+  Hashtbl.fold (fun k v acc -> (k, normalize v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let eval_mono value t =
+  List.fold_left (fun acc (name, pow) -> acc *. (value name ** float_of_int pow)) t.coeff t.mono
+
+let eval value p sval =
+  List.fold_left
+    (fun acc t ->
+      let v = eval_mono value t in
+      let spow =
+        let rec power acc k = if k = 0 then acc else power (Complex.mul acc sval) (k - 1) in
+        power Complex.one t.s_pow
+      in
+      Complex.add acc (Complex.mul { Complex.re = v; im = 0.0 } spow))
+    Complex.zero p
+
+let eval_s_coeffs value p =
+  let deg = degree_s p in
+  let coeffs = Array.make (deg + 1) 0.0 in
+  List.iter (fun t -> coeffs.(t.s_pow) <- coeffs.(t.s_pow) +. eval_mono value t) p;
+  coeffs
+
+let pp_mono ppf (m : mono) =
+  List.iter
+    (fun (name, pow) ->
+      if pow = 1 then Format.fprintf ppf "*%s" name else Format.fprintf ppf "*%s^%d" name pow)
+    m
+
+let pp ppf p =
+  match p with
+  | [] -> Format.pp_print_string ppf "0"
+  | terms ->
+    List.iteri
+      (fun i t ->
+        if i > 0 then Format.fprintf ppf " + ";
+        Format.fprintf ppf "%g" t.coeff;
+        pp_mono ppf t.mono;
+        if t.s_pow = 1 then Format.fprintf ppf "*s"
+        else if t.s_pow > 1 then Format.fprintf ppf "*s^%d" t.s_pow)
+      terms

@@ -1,0 +1,48 @@
+(** Sparse multivariate polynomials in named circuit symbols and the Laplace
+    variable [s] — the term representation of the ISAAC symbolic simulator.
+
+    A term is [coeff * s^s_pow * prod symbols^powers]; a polynomial is a
+    normalised term list (sorted, zero-free, merged). *)
+
+type mono = (string * int) list
+(** Symbol powers, sorted by name, powers >= 1. *)
+
+type term = { coeff : float; mono : mono; s_pow : int }
+
+type t = term list
+
+val zero : t
+val one : t
+val const : float -> t
+val sym : string -> t
+val s : t
+(** The Laplace variable. *)
+
+val s_times : int -> t -> t
+(** Multiply by s^k. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+val scale : float -> t -> t
+val is_zero : t -> bool
+val term_count : t -> int
+
+val degree_s : t -> int
+(** Highest power of [s]. *)
+
+val by_s_power : t -> (int * t) list
+(** Split into (s-power, s-free polynomial) groups, ascending. *)
+
+val eval_mono : (string -> float) -> term -> float
+(** Numeric value of a term's coefficient times its symbol product ([s]
+    excluded). *)
+
+val eval : (string -> float) -> t -> Complex.t -> Complex.t
+(** Substitute symbol values and a complex [s]. *)
+
+val eval_s_coeffs : (string -> float) -> t -> float array
+(** Numeric coefficient of each s-power, index = power. *)
+
+val pp : Format.formatter -> t -> unit

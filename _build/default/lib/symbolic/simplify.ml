@@ -1,0 +1,51 @@
+type report = {
+  simplified : Analyze.rational;
+  terms_before : int;
+  terms_after : int;
+  max_coeff_error : float;
+}
+
+let prune_poly ~value ~threshold p =
+  let groups = Expr.by_s_power p in
+  let errors = ref 0.0 in
+  let kept =
+    List.concat_map
+      (fun (s_pow, group) ->
+        let magnitudes =
+          List.map (fun t -> Float.abs (Expr.eval_mono value t)) group
+        in
+        let dominant = List.fold_left Float.max 0.0 magnitudes in
+        let total = List.fold_left ( +. ) 0.0
+            (List.map (fun t -> Expr.eval_mono value t) group)
+        in
+        let cut = threshold *. dominant in
+        let survivors =
+          List.filter (fun t -> Float.abs (Expr.eval_mono value t) >= cut) group
+        in
+        let kept_total =
+          List.fold_left ( +. ) 0.0 (List.map (fun t -> Expr.eval_mono value t) survivors)
+        in
+        if Float.abs total > 0.0 then
+          errors := Float.max !errors (Float.abs ((kept_total -. total) /. total));
+        List.map (fun t -> { t with Expr.s_pow }) survivors)
+      groups
+  in
+  (Expr.add kept Expr.zero, !errors)
+
+let prune ~value ~threshold (r : Analyze.rational) =
+  let num, e1 = prune_poly ~value ~threshold r.Analyze.num in
+  let den, e2 = prune_poly ~value ~threshold r.Analyze.den in
+  { simplified = { Analyze.num; den };
+    terms_before = Analyze.term_count r;
+    terms_after = Expr.term_count num + Expr.term_count den;
+    max_coeff_error = Float.max e1 e2 }
+
+let magnitude_error ~value ~exact ~approx ~freqs =
+  Array.fold_left
+    (fun acc f ->
+      let sval = { Complex.re = 0.0; im = 2.0 *. Float.pi *. f } in
+      let h_exact = Complex.norm (Analyze.eval_rational value exact sval) in
+      let h_approx = Complex.norm (Analyze.eval_rational value approx sval) in
+      if h_exact > 0.0 then Float.max acc (Float.abs ((h_approx -. h_exact) /. h_exact))
+      else acc)
+    0.0 freqs

@@ -1,0 +1,30 @@
+(** Magnitude-based simplification of symbolic transfer functions.
+
+    ISAAC's key insight: a raw symbolic determinant has far too many terms
+    for human insight or fast evaluation, but at a nominal operating point
+    most terms are negligible.  Pruning drops, within each power of [s],
+    every term whose magnitude is below [threshold] times the dominant term
+    of that power — the same coefficient-wise criterion ISAAC applies. *)
+
+type report = {
+  simplified : Analyze.rational;
+  terms_before : int;
+  terms_after : int;
+  max_coeff_error : float;
+      (** worst relative change of any kept s-coefficient *)
+}
+
+val prune :
+  value:(string -> float) ->
+  threshold:float ->
+  Analyze.rational ->
+  report
+
+val magnitude_error :
+  value:(string -> float) ->
+  exact:Analyze.rational ->
+  approx:Analyze.rational ->
+  freqs:float array ->
+  float
+(** Maximum relative magnitude deviation of [approx] from [exact] over the
+    frequency grid. *)

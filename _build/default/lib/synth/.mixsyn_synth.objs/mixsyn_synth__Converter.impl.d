@@ -1,0 +1,1 @@
+lib/synth/converter.ml: Float List Mixsyn_circuit Mixsyn_opt Option Printf Sizing Spec

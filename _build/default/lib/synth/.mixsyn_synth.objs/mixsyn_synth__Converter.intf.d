@@ -1,0 +1,1 @@
+lib/synth/converter.mli: Mixsyn_circuit Sizing Spec

@@ -1,0 +1,1 @@
+lib/synth/design_plan.ml: Float List Mixsyn_circuit Printf Spec

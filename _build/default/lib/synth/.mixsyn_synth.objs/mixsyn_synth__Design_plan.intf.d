@@ -1,0 +1,1 @@
+lib/synth/design_plan.mli: Mixsyn_circuit Spec

@@ -1,0 +1,1 @@
+lib/synth/equations.ml: Float List Mixsyn_circuit Mixsyn_util

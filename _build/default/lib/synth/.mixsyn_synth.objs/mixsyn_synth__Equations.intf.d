@@ -1,0 +1,1 @@
+lib/synth/equations.mli: Mixsyn_circuit Spec

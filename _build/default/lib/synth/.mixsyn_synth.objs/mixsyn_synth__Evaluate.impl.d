@@ -1,0 +1,1 @@
+lib/synth/evaluate.ml: Complex Float Mixsyn_awe Mixsyn_circuit Mixsyn_engine Mixsyn_util Option

@@ -1,0 +1,1 @@
+lib/synth/evaluate.mli: Mixsyn_circuit Spec

@@ -1,0 +1,1 @@
+lib/synth/hierarchy.ml: Float Format Hashtbl List Mixsyn_circuit Option Sizing Spec

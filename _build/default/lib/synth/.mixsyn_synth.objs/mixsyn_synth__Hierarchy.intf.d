@@ -1,0 +1,1 @@
+lib/synth/hierarchy.mli: Format Mixsyn_circuit Sizing Spec

@@ -1,0 +1,1 @@
+lib/synth/manufacturability.ml: Equations Evaluate Float List Mixsyn_circuit Mixsyn_opt Mixsyn_util Option Sizing Spec Unix

@@ -1,0 +1,1 @@
+lib/synth/manufacturability.mli: Mixsyn_circuit Sizing Spec

@@ -1,0 +1,1 @@
+lib/synth/pulse_detector.ml: Array Float Format List Mixsyn_awe Mixsyn_circuit Mixsyn_engine Mixsyn_opt Mixsyn_util Option Printf Spec String Unix

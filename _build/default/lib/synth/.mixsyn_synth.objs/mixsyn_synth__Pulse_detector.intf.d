@@ -1,0 +1,1 @@
+lib/synth/pulse_detector.mli: Format Mixsyn_circuit Spec

@@ -1,0 +1,1 @@
+lib/synth/sizing.ml: Array Design_plan Equations Evaluate Format List Mixsyn_circuit Mixsyn_opt Mixsyn_util Option Spec Unix

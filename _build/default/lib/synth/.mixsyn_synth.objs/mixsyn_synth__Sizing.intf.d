@@ -1,0 +1,1 @@
+lib/synth/sizing.mli: Design_plan Format Mixsyn_circuit Mixsyn_opt Spec

@@ -1,0 +1,1 @@
+lib/synth/spec.ml: Float Format List

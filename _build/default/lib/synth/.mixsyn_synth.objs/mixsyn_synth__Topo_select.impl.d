@@ -1,0 +1,1 @@
+lib/synth/topo_select.ml: Array Equations Float List Mixsyn_circuit Mixsyn_opt Mixsyn_util Printf Spec

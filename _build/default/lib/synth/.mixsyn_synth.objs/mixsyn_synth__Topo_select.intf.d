@@ -1,0 +1,1 @@
+lib/synth/topo_select.mli: Mixsyn_circuit Mixsyn_opt Spec

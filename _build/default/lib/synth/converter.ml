@@ -1,0 +1,167 @@
+type architecture = Flash | Sar | Pipeline | Delta_sigma
+
+let architecture_name = function
+  | Flash -> "flash"
+  | Sar -> "sar"
+  | Pipeline -> "pipeline"
+  | Delta_sigma -> "delta-sigma"
+
+let all_architectures = [ Flash; Sar; Pipeline; Delta_sigma ]
+
+type adc_spec = {
+  bits : int;
+  rate_hz : float;
+  vref : float;
+}
+
+type estimate = {
+  arch : architecture;
+  feasible : bool;
+  infeasible_reason : string option;
+  power_w : float;
+  area_m2 : float;
+  comparator_count : int;
+  comparator_bw_hz : float;
+  comparator_gain_db : float;
+}
+
+(* behavioural constants for the generic 0.7 um class *)
+let comparator_power_per_bw = 2e-10   (* W per Hz of comparator bandwidth *)
+let comparator_area = 2.5e-9          (* m^2 each *)
+let dac_area_per_bit = 4e-9
+let digital_power_per_hz_bit = 2e-12
+let max_comparator_bw = 400e6         (* what the technology supports *)
+let oversampling = 64                 (* delta-sigma OSR *)
+
+(* gain to resolve half an LSB from a ~Vref/4 overdrive reference point *)
+let gain_needed_db spec =
+  let lsb = spec.vref /. (2.0 ** float_of_int spec.bits) in
+  20.0 *. log10 (Float.max 10.0 (spec.vref /. lsb *. 2.0))
+
+let estimate spec arch =
+  let two_n = 2.0 ** float_of_int spec.bits in
+  let gain = gain_needed_db spec in
+  let make ~count ~bw ~extra_power ~extra_area =
+    let feasible, why =
+      if bw > max_comparator_bw then
+        (false, Some (Printf.sprintf "comparators need %.0f MHz > %.0f MHz available"
+                        (bw /. 1e6) (max_comparator_bw /. 1e6)))
+      else if count > 4096 then (false, Some "comparator count explodes")
+      else (true, None)
+    in
+    { arch;
+      feasible;
+      infeasible_reason = why;
+      power_w =
+        (float_of_int count *. comparator_power_per_bw *. bw)
+        +. extra_power
+        +. (digital_power_per_hz_bit *. spec.rate_hz *. float_of_int spec.bits);
+      area_m2 = (float_of_int count *. comparator_area) +. extra_area;
+      comparator_count = count;
+      comparator_bw_hz = bw;
+      comparator_gain_db = gain }
+  in
+  match arch with
+  | Flash ->
+    (* 2^N - 1 comparators, each settling in one sample period *)
+    make
+      ~count:(int_of_float two_n - 1)
+      ~bw:(3.0 *. spec.rate_hz)
+      ~extra_power:0.0
+      ~extra_area:(dac_area_per_bit *. float_of_int spec.bits)
+  | Sar ->
+    (* one comparator cycled N times per sample *)
+    make ~count:1
+      ~bw:(3.0 *. spec.rate_hz *. float_of_int spec.bits)
+      ~extra_power:(1e-12 *. spec.rate_hz *. float_of_int spec.bits)
+      ~extra_area:(2.0 *. dac_area_per_bit *. float_of_int spec.bits)
+  | Pipeline ->
+    (* one 1.5-bit stage per bit: N comparator pairs plus residue amps *)
+    make ~count:(2 * spec.bits)
+      ~bw:(4.0 *. spec.rate_hz)
+      ~extra_power:(float_of_int spec.bits *. 3e-11 *. spec.rate_hz)
+      ~extra_area:(float_of_int spec.bits *. 3.0 *. dac_area_per_bit)
+  | Delta_sigma ->
+    (* one comparator at the oversampled rate; the loop filter dominates *)
+    make ~count:1
+      ~bw:(3.0 *. spec.rate_hz *. float_of_int oversampling)
+      ~extra_power:(2e-11 *. spec.rate_hz *. float_of_int oversampling)
+      ~extra_area:(6.0 *. dac_area_per_bit *. float_of_int spec.bits)
+
+let select spec =
+  let estimates = List.map (estimate spec) all_architectures in
+  let best =
+    List.fold_left
+      (fun acc e ->
+        if not e.feasible then acc
+        else
+          match acc with
+          | None -> Some e
+          | Some b -> if e.power_w < b.power_w then Some e else Some b)
+      None estimates
+  in
+  (estimates, best)
+
+let translate spec chosen =
+  [ Spec.spec "gain_db" (Spec.At_least chosen.comparator_gain_db);
+    Spec.spec "ugf_hz" (Spec.At_least chosen.comparator_bw_hz);
+    Spec.spec "swing_high_v" (Spec.At_least (0.6 *. spec.vref)) ]
+
+type synthesis = {
+  chosen : estimate;
+  comparator_specs : Spec.t list;
+  comparator : Sizing.result;
+  total_power_w : float;
+}
+
+let synthesize ?(tech = Mixsyn_circuit.Tech.generic_07um) ?(seed = 29) spec =
+  let _, best = select spec in
+  match best with
+  | None -> failwith "converter: no feasible architecture"
+  | Some chosen ->
+    let comparator_specs = translate spec chosen in
+    (* size against 8%-guard-banded targets (standard budgeting practice),
+       verify against the translated specs proper; retry seeds if needed *)
+    let guarded =
+      List.map
+        (fun (s : Spec.t) ->
+          match s.Spec.bound with
+          | Spec.At_least v -> { s with Spec.bound = Spec.At_least (1.08 *. v) }
+          | Spec.At_most v -> { s with Spec.bound = Spec.At_most (v /. 1.08) }
+          | Spec.Between _ -> s)
+        comparator_specs
+    in
+    let schedule =
+      { Mixsyn_opt.Anneal.t_start = 50.0; t_end = 1e-3; cooling = 0.88; moves_per_stage = 60 }
+    in
+    let attempt k =
+      let r =
+        Sizing.size ~tech ~seed:(seed + k) ~schedule Sizing.Awe_annealing
+          Mixsyn_circuit.Topology.comparator ~specs:guarded
+          ~objectives:[ Spec.minimize "power_w" ]
+      in
+      { r with
+        Sizing.meets_specs = Spec.satisfied comparator_specs r.Sizing.performance;
+        cost = Spec.cost ~specs:comparator_specs ~objectives:[ Spec.minimize "power_w" ]
+            r.Sizing.performance }
+    in
+    let rec search k best =
+      if k >= 3 then best
+      else begin
+        let r = attempt k in
+        if r.Sizing.meets_specs then r
+        else search (k + 1) (if r.Sizing.cost < best.Sizing.cost then r else best)
+      end
+    in
+    let first = attempt 0 in
+    let comparator = if first.Sizing.meets_specs then first else search 1 first in
+    let comparator_power =
+      Option.value (Spec.lookup comparator.Sizing.performance "power_w") ~default:0.0
+    in
+    let total_power_w =
+      chosen.power_w
+      -. (float_of_int chosen.comparator_count *. comparator_power_per_bw
+          *. chosen.comparator_bw_hz)
+      +. (float_of_int chosen.comparator_count *. comparator_power)
+    in
+    { chosen; comparator_specs; comparator; total_power_w }

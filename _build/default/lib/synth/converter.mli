@@ -1,0 +1,59 @@
+(** High-level synthesis of A/D converters — the paper's opening
+    hierarchical example ("for an analog-to-digital converter ... selecting
+    between a flash, a successive approximation, a Delta-Sigma or any other
+    topology") and the AZTECA/CATALYST / SDOPT line ([19,20]).
+
+    Architectures are captured as behavioural models: feasibility rules plus
+    power/area estimators parametrised by resolution and sample rate.
+    {!select} picks the feasible architecture of least estimated power
+    (topology selection), {!translate} maps the converter specification onto
+    its critical subblock — the comparator — and {!synthesize} closes the
+    loop by sizing that comparator on the device-level template with a real
+    sizing engine: high-level synthesis feeding cell-level synthesis, the
+    §2.1 methodology across two hierarchy levels. *)
+
+type architecture = Flash | Sar | Pipeline | Delta_sigma
+
+val architecture_name : architecture -> string
+val all_architectures : architecture list
+
+(** Converter requirement. *)
+type adc_spec = {
+  bits : int;           (** resolution *)
+  rate_hz : float;      (** output sample rate *)
+  vref : float;         (** full-scale reference, V *)
+}
+
+(** Behavioural estimate for one architecture at one spec point. *)
+type estimate = {
+  arch : architecture;
+  feasible : bool;
+  infeasible_reason : string option;
+  power_w : float;
+  area_m2 : float;
+  comparator_count : int;
+  comparator_bw_hz : float;   (** bandwidth each comparator must reach *)
+  comparator_gain_db : float; (** gain needed to resolve half an LSB *)
+}
+
+val estimate : adc_spec -> architecture -> estimate
+
+val select : adc_spec -> estimate list * estimate option
+(** All estimates (for reporting) and the feasible one of least power. *)
+
+val translate : adc_spec -> estimate -> Spec.t list
+(** Comparator specifications implied by the chosen architecture
+    (specification translation, §2.1). *)
+
+type synthesis = {
+  chosen : estimate;
+  comparator_specs : Spec.t list;
+  comparator : Sizing.result;
+  total_power_w : float;  (** behavioural estimate refined with the sized comparator *)
+}
+
+val synthesize :
+  ?tech:Mixsyn_circuit.Tech.t -> ?seed:int -> adc_spec -> synthesis
+(** Architecture selection, spec translation, and device-level sizing of the
+    comparator with the AWE-annealing engine.
+    @raise Failure when no architecture is feasible. *)

@@ -1,0 +1,234 @@
+module Tech = Mixsyn_circuit.Tech
+
+type env = (string * float) list
+
+exception Plan_failed of string
+
+type step =
+  | Compute of string * (Tech.t -> env -> (string * float) list)
+  | Check of string * (Tech.t -> env -> bool)
+
+let compute label f = Compute (label, f)
+let check label f = Check (label, f)
+
+type t = {
+  plan_name : string;
+  topology : Mixsyn_circuit.Template.t;
+  steps : step list;
+  emit : env -> float array;
+}
+
+let get env key =
+  match List.assoc_opt key env with
+  | Some v -> v
+  | None -> raise (Plan_failed (Printf.sprintf "missing design variable %s" key))
+
+let seed_env specs =
+  List.map
+    (fun (s : Spec.t) ->
+      let edge =
+        match s.Spec.bound with
+        | Spec.At_least v -> v
+        | Spec.At_most v -> v
+        | Spec.Between (lo, hi) -> 0.5 *. (lo +. hi)
+      in
+      ("spec_" ^ s.Spec.s_name, edge))
+    specs
+
+let run_steps tech steps env0 =
+  List.fold_left
+    (fun env step ->
+      match step with
+      | Compute (_, f) -> f tech env @ env
+      | Check (label, f) ->
+        if f tech env then env
+        else raise (Plan_failed (Printf.sprintf "check failed: %s" label)))
+    env0 steps
+
+let execute ?(tech = Tech.generic_07um) ?(context = []) plan specs =
+  let seeded =
+    List.map (fun (name, v) -> ("spec_" ^ name, v)) context @ seed_env specs
+  in
+  let env = run_steps tech plan.steps seeded in
+  (plan.emit env, env)
+
+(* ------------------------------------------------------------------ *)
+(* Shared design knowledge: sizing a differential input stage for a
+   target transconductance at a chosen overdrive.                      *)
+
+let default_vov = 0.2
+
+let diff_stage_steps ~gm_key ~out_prefix =
+  let key suffix = out_prefix ^ "_" ^ suffix in
+  [ compute "bias the pair at the standard overdrive"
+      (fun _tech env ->
+        let gm = get env gm_key in
+        let id = gm *. default_vov /. 2.0 in
+        [ (key "id", id) ]);
+    compute "input device width from gm and bias"
+      (fun tech env ->
+        let gm = get env gm_key in
+        let id = get env (key "id") in
+        let l = get env "l" in
+        let w1 = gm *. gm *. l /. (2.0 *. tech.Tech.kp_n *. id) in
+        [ (key "w1", Float.max tech.Tech.w_min w1) ]);
+    compute "mirror load width at matched overdrive"
+      (fun tech env ->
+        let id = get env (key "id") in
+        let l = get env "l" in
+        let vov = 0.25 in
+        let w3 = 2.0 *. id *. l /. (tech.Tech.kp_p *. vov *. vov) in
+        [ (key "w3", Float.max tech.Tech.w_min w3) ]);
+    check "input pair remains in moderate inversion"
+      (fun _tech env ->
+        let gm = get env gm_key in
+        let id = get env (key "id") in
+        gm /. id < 25.0) ]
+
+(* tail current source at a fixed overdrive *)
+let tail_step ~id_key ~out_key =
+  compute "tail current source width"
+    (fun tech env ->
+      let ib = 2.0 *. get env id_key in
+      let l = get env "l" in
+      let vov = 0.25 in
+      let w5 = 2.0 *. ib *. l /. (tech.Tech.kp_n *. vov *. vov) in
+      [ (out_key, Float.max tech.Tech.w_min w5); ("ib", ib) ])
+
+(* choose channel length from the gain requirement: first-order gain of a
+   single stage is ~ 2/(vov*lambda) = 2L/(vov*lambda_factor) *)
+let choose_length ~stages ~gain_key =
+  compute "channel length from the gain requirement"
+    (fun tech env ->
+      let gain_db = get env gain_key in
+      let gain = 10.0 ** (gain_db /. 20.0) in
+      let per_stage = gain ** (1.0 /. float_of_int stages) in
+      (* per-stage gain ~ gm/(2*lambda*id) = 1/(vov*lambda) with margin 2x *)
+      let l =
+        2.0 *. per_stage *. default_vov *. tech.Tech.lambda_factor /. 2.0
+      in
+      [ ("l", Float.min 5e-6 (Float.max tech.Tech.l_min l)) ])
+
+let plan_ota_5t =
+  { plan_name = "plan-ota-5t";
+    topology = Mixsyn_circuit.Topology.ota_5t;
+    steps =
+      [ compute "load capacitance from context"
+          (fun _tech env ->
+            [ ("cl", try get env "spec_load_cap_f" with Plan_failed _ -> 2e-12) ]);
+        choose_length ~stages:1 ~gain_key:"spec_gain_db";
+        compute "input gm from the unity-gain frequency"
+          (fun _tech env ->
+            let ugf = get env "spec_ugf_hz" in
+            let cl = get env "cl" in
+            [ ("gm1", 2.0 *. Float.pi *. ugf *. cl *. 1.3) ]) ]
+      @ diff_stage_steps ~gm_key:"gm1" ~out_prefix:"in"
+      @ [ tail_step ~id_key:"in_id" ~out_key:"w5";
+          check "power budget respected when specified"
+            (fun tech env ->
+              match List.assoc_opt "spec_power_w" env with
+              | None -> true
+              | Some budget -> 2.0 *. tech.Tech.vdd *. get env "ib" <= budget) ];
+    emit =
+      (fun env ->
+        [| get env "in_w1"; get env "in_w3"; get env "w5"; get env "l";
+           get env "ib"; get env "cl" |]) }
+
+let plan_miller =
+  { plan_name = "plan-miller";
+    topology = Mixsyn_circuit.Topology.miller_ota;
+    steps =
+      [ compute "load capacitance from context"
+          (fun _tech env ->
+            [ ("cl", try get env "spec_load_cap_f" with Plan_failed _ -> 5e-12) ]);
+        choose_length ~stages:2 ~gain_key:"spec_gain_db";
+        compute "compensation capacitor for the phase-margin target"
+          (fun _tech env ->
+            let cl = get env "cl" in
+            let pm = try get env "spec_phase_margin_deg" with Plan_failed _ -> 60.0 in
+            (* cc/cl = 0.22 gives ~60 deg; scale with the requirement *)
+            let ratio = 0.22 *. (1.0 +. ((pm -. 60.0) /. 60.0)) in
+            [ ("cc", Float.max 0.2e-12 (ratio *. cl)) ]);
+        compute "input gm from the unity-gain frequency"
+          (fun _tech env ->
+            let ugf = get env "spec_ugf_hz" in
+            let cc = get env "cc" in
+            [ ("gm1", 2.0 *. Float.pi *. ugf *. cc *. 1.3) ]) ]
+      @ diff_stage_steps ~gm_key:"gm1" ~out_prefix:"in"
+      @ [ tail_step ~id_key:"in_id" ~out_key:"w5";
+          compute "second-stage gm to push out the output pole"
+            (fun _tech env ->
+              let ugf = get env "spec_ugf_hz" in
+              let cl = get env "cl" in
+              [ ("gm6", 2.0 *. Float.pi *. 2.5 *. ugf *. cl) ]);
+          compute "second-stage device sizes"
+            (fun tech env ->
+              let gm6 = get env "gm6" in
+              let l = get env "l" in
+              let vov6 = 0.25 in
+              let i7 = gm6 *. vov6 /. 2.0 in
+              let w6 = gm6 *. gm6 *. l /. (2.0 *. tech.Tech.kp_p *. i7) in
+              let ib = get env "ib" in
+              let w5 = get env "w5" in
+              let w7 = w5 *. i7 /. ib in
+              [ ("i7", i7); ("w6", Float.max tech.Tech.w_min w6);
+                ("w7", Float.max tech.Tech.w_min w7) ]);
+          check "second stage current stays practical"
+            (fun _tech env -> get env "i7" < 50e-3) ];
+    emit =
+      (fun env ->
+        [| get env "in_w1"; get env "in_w3"; get env "w5"; get env "w6";
+           get env "w7"; get env "l"; get env "ib"; get env "cc"; get env "cl" |]) }
+
+let plan_folded_cascode =
+  { plan_name = "plan-folded-cascode";
+    topology = Mixsyn_circuit.Topology.folded_cascode;
+    steps =
+      [ compute "load capacitance from context"
+          (fun _tech env ->
+            [ ("cl", try get env "spec_load_cap_f" with Plan_failed _ -> 2e-12) ]);
+        (* cascoding squares the per-stage gain, but the fixed cascode
+           gate biases and body effect eat margin: budget the length as a
+           two-stage design with an extra 2x *)
+        choose_length ~stages:2 ~gain_key:"spec_gain_db";
+        compute "derate the length for bias margins"
+          (fun tech env -> [ ("l", Float.min 5e-6 (Float.max tech.Tech.l_min (1.5 *. get env "l"))) ]);
+        compute "input gm from the unity-gain frequency"
+          (fun _tech env ->
+            let ugf = get env "spec_ugf_hz" in
+            let cl = get env "cl" in
+            [ ("gm1", 2.0 *. Float.pi *. ugf *. cl *. 1.3) ]) ]
+      (* OASYS-style reuse: the same differential-stage subplan the other
+         plans use *)
+      @ diff_stage_steps ~gm_key:"gm1" ~out_prefix:"in"
+      @ [ compute "fold the branches: current sources and cascodes"
+            (fun tech env ->
+              let id = get env "in_id" in
+              let l = get env "l" in
+              let ib = 2.0 *. id in
+              (* structural ratios of the template: the top sources mirror
+                 the bias diode 2:1 (carry 2*ib), so each folded branch
+                 carries 2*ib - ib/2 = 1.5*ib *)
+              let i_top = 2.0 *. ib in
+              let i_branch = 1.5 *. ib in
+              let size kp i vov = 2.0 *. i *. l /. (kp *. vov *. vov) in
+              let wp = size tech.Tech.kp_p i_top 0.25 in
+              (* cascode gates sit at fixed 1.6 V from the rails: overdrives
+                 chosen so every device keeps saturation headroom *)
+              let wcp = size tech.Tech.kp_p i_branch 0.25 in
+              let wcn = size tech.Tech.kp_n i_branch 0.32 in
+              let wn = size tech.Tech.kp_n i_branch 0.22 in
+              [ ("ib", ib); ("wp", Float.max tech.Tech.w_min wp);
+                ("wcp", Float.max tech.Tech.w_min wcp);
+                ("wcn", Float.max tech.Tech.w_min wcn);
+                ("wn", Float.max tech.Tech.w_min wn) ]);
+          check "output swing survives two cascodes per side"
+            (fun tech env ->
+              ignore env;
+              tech.Tech.vdd -. (4.0 *. 0.25) -. 0.6 > 0.5) ];
+    emit =
+      (fun env ->
+        [| get env "in_w1"; get env "wp"; get env "wcp"; get env "wn";
+           get env "wcn"; get env "l"; get env "ib"; get env "cl" |]) }
+
+let all = [ plan_ota_5t; plan_miller; plan_folded_cascode ]

@@ -1,0 +1,61 @@
+(** Knowledge-based circuit sizing: executable design plans (Fig. 1a).
+
+    A plan is the IDAC/OASYS artifact: an ordered list of named steps that a
+    human expert authored, each computing derived quantities from the
+    specifications, earlier results and the technology, with explicit
+    design-knowledge checks.  Execution is microseconds — the strength the
+    paper credits to the approach — and the weakness is equally visible: a
+    plan exists only for topologies someone took the time to encode
+    (the 4x-the-design-effort observation of [5]).
+
+    OASYS's contribution, hierarchical reuse, appears here as step-list
+    combinators: {!plan_miller} reuses the differential-stage steps of
+    {!plan_ota_5t} rather than duplicating them. *)
+
+type env = (string * float) list
+
+exception Plan_failed of string
+(** A check step rejected the intermediate design. *)
+
+type step
+
+val compute : string -> (Mixsyn_circuit.Tech.t -> env -> (string * float) list) -> step
+(** A derivation step: its bindings are appended to the environment. *)
+
+val check : string -> (Mixsyn_circuit.Tech.t -> env -> bool) -> step
+(** A design-knowledge guard; failure aborts the plan. *)
+
+type t = {
+  plan_name : string;
+  topology : Mixsyn_circuit.Template.t;
+  steps : step list;
+  emit : env -> float array;  (** assemble the template parameter vector *)
+}
+
+val get : env -> string -> float
+(** @raise Plan_failed when the key is missing. *)
+
+val seed_env : Spec.t list -> env
+(** Specification targets as [spec_<name>] bindings (the bound's edge
+    value). *)
+
+val execute :
+  ?tech:Mixsyn_circuit.Tech.t ->
+  ?context:(string * float) list ->
+  t -> Spec.t list -> float array * env
+(** Run the plan; returns the sized parameter vector and the full trace
+    environment.  [context] entries become [spec_<name>] bindings alongside
+    the specification targets.  @raise Plan_failed *)
+
+val diff_stage_steps : gm_key:string -> out_prefix:string -> step list
+(** Reusable subplan: size an NMOS differential pair + PMOS mirror for a
+    required transconductance.  Reads [gm_key], ["l"]; writes
+    [<prefix>_id], [<prefix>_w1], [<prefix>_w3]. *)
+
+val plan_ota_5t : t
+val plan_miller : t
+
+val plan_folded_cascode : t
+(** Reuses {!diff_stage_steps} a second time — the OASYS leverage story. *)
+
+val all : t list

@@ -1,0 +1,27 @@
+(** First-order design equations for the topology library.
+
+    These are the hand-derived square-law expressions a designer (or IDAC's
+    plan author, or ISAAC's simplifier) writes down: transconductances from
+    W/L and bias, gain from gm/gds ratios, poles from node capacitances.
+    Evaluation costs nanoseconds, which is what makes design plans and
+    equation-based optimization fast (Fig. 1a and the OPASYN/OPTIMAN row of
+    the paper); the price is first-order accuracy. *)
+
+val supported : Mixsyn_circuit.Template.t -> bool
+
+val evaluate :
+  ?tech:Mixsyn_circuit.Tech.t ->
+  Mixsyn_circuit.Template.t ->
+  float array ->
+  Spec.performance option
+(** Same metric names as {!Evaluate.full_simulation}; [None] for templates
+    without an equation model. *)
+
+val gm_of : Mixsyn_circuit.Tech.t -> kp:float -> w:float -> l:float -> id:float -> float
+(** Square-law transconductance sqrt(2 kp (W/L) Id). *)
+
+val gds_of : Mixsyn_circuit.Tech.t -> l:float -> id:float -> float
+(** Channel-length-modulation output conductance lambda(L) * Id. *)
+
+val vov_of : kp:float -> w:float -> l:float -> id:float -> float
+(** Overdrive voltage sqrt(2 Id / (kp W/L)). *)

@@ -1,0 +1,28 @@
+(** Performance evaluation of a sized OTA template — the oracle inside every
+    optimization loop of Fig. 1b.
+
+    Three evaluators with the paper's cost/accuracy trade-off:
+    - {!full_simulation}: DC Newton + AC sweep on the engine (FRIDGE [22]);
+    - {!awe_hybrid}: DC Newton + AWE instead of the frequency sweep
+      (the ASTRX/OBLX style [23], here with the dc part retained);
+    - {!Equations}: closed-form square-law design equations, no matrix work
+      at all (the evaluation inside design plans and OPTIMAN [10]).
+
+    All evaluators produce the same metric names: [gain_db], [ugf_hz],
+    [phase_margin_deg], [power_w], [area_m2], [swing_low_v], [swing_high_v]. *)
+
+val full_simulation :
+  ?tech:Mixsyn_circuit.Tech.t ->
+  Mixsyn_circuit.Template.t ->
+  float array ->
+  Spec.performance option
+(** [None] when the operating point does not converge. *)
+
+val awe_hybrid :
+  ?tech:Mixsyn_circuit.Tech.t ->
+  Mixsyn_circuit.Template.t ->
+  float array ->
+  Spec.performance option
+
+val sweep_freqs : float array
+(** The AC grid used by [full_simulation]. *)

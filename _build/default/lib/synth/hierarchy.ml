@@ -1,0 +1,138 @@
+type node =
+  | Leaf of {
+      leaf_name : string;
+      template : Mixsyn_circuit.Template.t;
+      strategy : Sizing.strategy;
+      context : (string * float) list;
+    }
+  | Composite of {
+      comp_name : string;
+      children : node list;
+      translate : margin:float -> Spec.t list -> (string * Spec.t list) list;
+      compose : (string * Spec.performance) list -> Spec.performance;
+    }
+
+type result = {
+  node_name : string;
+  performance : Spec.performance;
+  children : result list;
+  sizing : Sizing.result option;
+  redesigns : int;
+}
+
+let node_name = function
+  | Leaf { leaf_name; _ } -> leaf_name
+  | Composite { comp_name; _ } -> comp_name
+
+let rec design ?(tech = Mixsyn_circuit.Tech.generic_07um) ?(seed = 21) ?(max_redesigns = 2)
+    node specs =
+  match node with
+  | Leaf { leaf_name; template; strategy; context } ->
+    let sizing =
+      Sizing.size ~tech ~seed ~context strategy template ~specs
+        ~objectives:[ Spec.minimize "power_w" ]
+    in
+    { node_name = leaf_name;
+      performance = sizing.Sizing.performance;
+      children = [];
+      sizing = Some sizing;
+      redesigns = 0 }
+  | Composite { comp_name; children; translate; compose } ->
+    (* top-down: translate, design children; bottom-up: compose, verify;
+       tighten the translation margin when the composition falls short *)
+    let rec attempt k margin =
+      let child_specs = translate ~margin specs in
+      let child_results =
+        List.map
+          (fun child ->
+            let name = node_name child in
+            let specs_for_child =
+              match List.assoc_opt name child_specs with
+              | Some s -> s
+              | None -> []
+            in
+            design ~tech ~seed:(seed + (Hashtbl.hash name mod 97)) ~max_redesigns child
+              specs_for_child)
+          children
+      in
+      let performance =
+        compose (List.map (fun r -> (r.node_name, r.performance)) child_results)
+      in
+      if Spec.satisfied specs performance || k >= max_redesigns then
+        { node_name = comp_name;
+          performance;
+          children = child_results;
+          sizing = None;
+          redesigns = k }
+      else attempt (k + 1) (margin *. 1.1)
+    in
+    attempt 0 1.0
+
+let meets result specs = Spec.satisfied specs result.performance
+
+(* ------------------------------------------------------------------ *)
+(* Worked composite: a two-stage amplification chain.                  *)
+
+let get_or specs name default =
+  List.fold_left
+    (fun acc (s : Spec.t) ->
+      if s.Spec.s_name = name then
+        match s.Spec.bound with
+        | Spec.At_least v -> v
+        | Spec.At_most v -> v
+        | Spec.Between (lo, hi) -> 0.5 *. (lo +. hi)
+      else acc)
+    default specs
+
+let two_stage_amplifier =
+  let translate ~margin specs =
+    let gain = get_or specs "gain_db" 80.0 *. margin in
+    let ugf = get_or specs "ugf_hz" 10e6 *. margin in
+    let pm = get_or specs "phase_margin_deg" 60.0 in
+    (* gain budget: the front stage carries most of it; both stages need
+       bandwidth beyond the chain target since cascading erodes it *)
+    let stage_specs fraction =
+      [ Spec.spec "gain_db" (Spec.At_least (gain *. fraction));
+        Spec.spec "ugf_hz" (Spec.At_least (1.3 *. ugf));
+        Spec.spec "phase_margin_deg" (Spec.At_least (pm +. 10.0)) ]
+    in
+    [ ("gain-stage", stage_specs 0.65); ("output-stage", stage_specs 0.35) ]
+  in
+  let compose child_perfs =
+    let get name metric default =
+      match List.assoc_opt name child_perfs with
+      | None -> default
+      | Some p -> Option.value (Spec.lookup p metric) ~default
+    in
+    let g1 = get "gain-stage" "gain_db" 0.0 and g2 = get "output-stage" "gain_db" 0.0 in
+    let u1 = get "gain-stage" "ugf_hz" 0.0 and u2 = get "output-stage" "ugf_hz" 0.0 in
+    let p1 = get "gain-stage" "phase_margin_deg" 0.0 in
+    let p2 = get "output-stage" "phase_margin_deg" 0.0 in
+    [ ("gain_db", g1 +. g2);
+      (* the chain crosses unity near the slower stage, slightly below *)
+      ("ugf_hz", 0.8 *. Float.min u1 u2);
+      ("phase_margin_deg", Float.min p1 p2 -. 10.0);
+      ("power_w",
+       get "gain-stage" "power_w" 0.0 +. get "output-stage" "power_w" 0.0);
+      ("area_m2", get "gain-stage" "area_m2" 0.0 +. get "output-stage" "area_m2" 0.0) ]
+  in
+  Composite
+    { comp_name = "two-stage-chain";
+      children =
+        [ Leaf
+            { leaf_name = "gain-stage";
+              template = Mixsyn_circuit.Topology.miller_ota;
+              strategy = Sizing.Awe_annealing;
+              context = [ ("cl", 1e-12) ] };
+          Leaf
+            { leaf_name = "output-stage";
+              template = Mixsyn_circuit.Topology.ota_5t;
+              strategy = Sizing.Awe_annealing;
+              context = [ ("cl", 5e-12) ] } ];
+      translate;
+      compose }
+
+let rec pp ppf r =
+  Format.fprintf ppf "%s (%d redesigns): %a@\n" r.node_name r.redesigns Spec.pp_performance
+    r.performance;
+  List.iter (fun c -> Format.fprintf ppf "  %a" pp c) r.children

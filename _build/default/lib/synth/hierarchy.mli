@@ -1,0 +1,55 @@
+(** The hierarchical, performance-driven design methodology of Section 2.1.
+
+    A design node is either a leaf cell (sized directly by a {!Sizing}
+    strategy) or a composite whose specifications are first *translated*
+    into specifications for its subblocks (top-down), after which each
+    subblock is designed and the achieved performances are *composed* back
+    into block-level performance (bottom-up).  When composition misses the
+    block specs, the translation is retried with a tightened margin — the
+    "redesign iterations" the methodology prescribes.
+
+    The translation step is the AMGIE/[29]-style budgeting move: split a
+    block-level budget across subblocks using designer-provided weights. *)
+
+type node =
+  | Leaf of {
+      leaf_name : string;
+      template : Mixsyn_circuit.Template.t;
+      strategy : Sizing.strategy;
+      context : (string * float) list;
+    }
+  | Composite of {
+      comp_name : string;
+      children : node list;
+      translate : margin:float -> Spec.t list -> (string * Spec.t list) list;
+          (** block specs -> per-child spec sets, keyed by child name *)
+      compose : (string * Spec.performance) list -> Spec.performance;
+          (** child performances -> block performance *)
+    }
+
+type result = {
+  node_name : string;
+  performance : Spec.performance;
+  children : result list;
+  sizing : Sizing.result option;  (** present on leaves *)
+  redesigns : int;
+}
+
+val design :
+  ?tech:Mixsyn_circuit.Tech.t ->
+  ?seed:int ->
+  ?max_redesigns:int ->
+  node ->
+  Spec.t list ->
+  result
+(** Run the top-down/bottom-up alternation.  Redesign loops tighten the
+    translation margin by 10 % per retry. *)
+
+val meets : result -> Spec.t list -> bool
+
+val two_stage_amplifier : node
+(** Worked composite: an amplification chain decomposed into a gain stage
+    and an output stage, each a Miller/5T leaf — gain budget split in dB,
+    bandwidth budget passed through, power summed on the way up. *)
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,94 @@
+module Tech = Mixsyn_circuit.Tech
+module Template = Mixsyn_circuit.Template
+
+type report = {
+  nominal : Sizing.result;
+  robust : Sizing.result;
+  nominal_worst_violation : float;
+  robust_worst_violation : float;
+  worst_corner : Tech.corner;
+  cpu_ratio : float;
+}
+
+let violation_at tech template x ~specs corner =
+  let cornered = Tech.apply_corner tech corner in
+  match Equations.evaluate ~tech:cornered template x with
+  | None -> 10.0
+  | Some perf -> Spec.total_violation specs perf
+
+let worst_case_violation ?(tech = Tech.generic_07um) template x ~specs =
+  List.fold_left
+    (fun ((_, best_v) as best) corner ->
+      let v = violation_at tech template x ~specs corner in
+      if v > best_v then (corner, v) else best)
+    (Tech.nominal_corner, violation_at tech template x ~specs Tech.nominal_corner)
+    Tech.corner_space
+
+let synthesize ?(tech = Tech.generic_07um) ?(seed = 3) template ~specs ~objectives =
+  let t0 = Unix.gettimeofday () in
+  let nominal = Sizing.size ~tech ~seed Sizing.Equation_annealing template ~specs ~objectives in
+  let t1 = Unix.gettimeofday () in
+  (* robust synthesis: the annealing cost becomes the worst-corner cost,
+     i.e. every move pays one evaluation per corner *)
+  let evaluations = ref 0 in
+  let robust_cost x =
+    incr evaluations;
+    List.fold_left
+      (fun worst corner ->
+        let cornered = Tech.apply_corner tech corner in
+        match Equations.evaluate ~tech:cornered template x with
+        | None -> Float.max worst 1e7
+        | Some perf -> Float.max worst (Spec.cost ~specs ~objectives perf))
+      neg_infinity Tech.corner_space
+  in
+  let rng = Mixsyn_util.Rng.create seed in
+  let schedule =
+    { Mixsyn_opt.Anneal.t_start = 50.0; t_end = 1e-3; cooling = 0.90; moves_per_stage = 120 }
+  in
+  let problem =
+    { Mixsyn_opt.Anneal.initial = Template.midpoint template;
+      cost = robust_cost;
+      neighbor =
+        (fun rng ~temp01 x -> Template.perturb template rng ~scale:(0.02 +. (0.3 *. temp01)) x) }
+  in
+  let outcome = Mixsyn_opt.Anneal.minimize ~schedule ~rng problem in
+  let robust_params = outcome.Mixsyn_opt.Anneal.best in
+  let t2 = Unix.gettimeofday () in
+  let robust_perf =
+    Option.value (Evaluate.full_simulation ~tech template robust_params) ~default:[]
+  in
+  let robust : Sizing.result =
+    { strategy_name = "corner-robust-annealing";
+      params = robust_params;
+      performance = robust_perf;
+      predicted = Option.value (Equations.evaluate ~tech template robust_params) ~default:[];
+      cost = outcome.Mixsyn_opt.Anneal.best_cost;
+      evaluations = !evaluations;
+      elapsed_s = t2 -. t1;
+      meets_specs = Spec.satisfied specs robust_perf }
+  in
+  let _, nominal_worst = worst_case_violation ~tech template nominal.Sizing.params ~specs in
+  let worst_corner, robust_worst = worst_case_violation ~tech template robust_params ~specs in
+  { nominal;
+    robust;
+    nominal_worst_violation = nominal_worst;
+    robust_worst_violation = robust_worst;
+    worst_corner;
+    cpu_ratio = (t2 -. t1) /. Float.max (t1 -. t0) 1e-9 }
+
+let yield_estimate ?(tech = Tech.generic_07um) ?(seed = 19) ?(samples = 2000) template x ~specs =
+  let rng = Mixsyn_util.Rng.create seed in
+  let pass = ref 0 in
+  for _ = 1 to samples do
+    let corner =
+      { Tech.corner_name = "mc";
+        d_vdd = Mixsyn_util.Rng.uniform rng (-0.1) 0.1;
+        d_temp = Mixsyn_util.Rng.uniform rng (-60.0) 125.0;
+        d_vth = Mixsyn_util.Rng.gaussian rng ~mean:0.0 ~sigma:0.015;
+        d_kp = Mixsyn_util.Rng.gaussian rng ~mean:0.0 ~sigma:0.03 }
+    in
+    match Equations.evaluate ~tech:(Tech.apply_corner tech corner) template x with
+    | Some perf when Spec.satisfied specs perf -> incr pass
+    | Some _ | None -> ()
+  done;
+  float_of_int !pass /. float_of_int samples

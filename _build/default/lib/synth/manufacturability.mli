@@ -1,0 +1,50 @@
+(** Manufacturability-aware synthesis — the worst-case extension of
+    ASTRX/OBLX ([31]).
+
+    The robust cost of a candidate sizing is its violation at the worst
+    corner of the disturbance space (supply, temperature, threshold, Kp),
+    found by the {!Mixsyn_opt.Corner_search} sweep.  The paper reports a
+    4X-10X CPU increase over nominal synthesis; the benchmark records the
+    measured ratio. *)
+
+type report = {
+  nominal : Sizing.result;
+  robust : Sizing.result;
+  nominal_worst_violation : float;  (** nominal design scored at its worst corner *)
+  robust_worst_violation : float;
+  worst_corner : Mixsyn_circuit.Tech.corner;
+  cpu_ratio : float;                (** robust synthesis time / nominal time *)
+}
+
+val worst_case_violation :
+  ?tech:Mixsyn_circuit.Tech.t ->
+  Mixsyn_circuit.Template.t ->
+  float array ->
+  specs:Spec.t list ->
+  Mixsyn_circuit.Tech.corner * float
+(** Worst corner of a fixed design over {!Mixsyn_circuit.Tech.corner_space}
+    (evaluated with the equation models for speed). *)
+
+val synthesize :
+  ?tech:Mixsyn_circuit.Tech.t ->
+  ?seed:int ->
+  Mixsyn_circuit.Template.t ->
+  specs:Spec.t list ->
+  objectives:Spec.objective list ->
+  report
+(** Nominal equation-annealing synthesis, then the corner-robust rerun
+    whose cost is the worst over all corners. *)
+
+val yield_estimate :
+  ?tech:Mixsyn_circuit.Tech.t ->
+  ?seed:int ->
+  ?samples:int ->
+  Mixsyn_circuit.Template.t ->
+  float array ->
+  specs:Spec.t list ->
+  float
+(** Monte-Carlo parametric yield: the fraction of sampled process/environment
+    points (Gaussian Vth/Kp, uniform supply and temperature) at which the
+    design meets every spec — the "statistical process tolerances" concern
+    the paper raises for industrial practice.  Uses the equation models, so
+    thousands of samples cost milliseconds. *)

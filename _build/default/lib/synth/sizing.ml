@@ -1,0 +1,119 @@
+module Template = Mixsyn_circuit.Template
+
+type strategy =
+  | Design_plan of Design_plan.t
+  | Equation_annealing
+  | Simulation_annealing
+  | Awe_annealing
+
+type result = {
+  strategy_name : string;
+  params : float array;
+  performance : Spec.performance;
+  predicted : Spec.performance;
+  cost : float;
+  evaluations : int;
+  elapsed_s : float;
+  meets_specs : bool;
+}
+
+let strategy_name = function
+  | Design_plan p -> p.Design_plan.plan_name
+  | Equation_annealing -> "equation-annealing"
+  | Simulation_annealing -> "simulation-annealing"
+  | Awe_annealing -> "awe-annealing"
+
+let evaluator_of_strategy ?(tech = Mixsyn_circuit.Tech.generic_07um) strategy template x =
+  match strategy with
+  | Design_plan _ | Equation_annealing -> Equations.evaluate ~tech template x
+  | Simulation_annealing -> Evaluate.full_simulation ~tech template x
+  | Awe_annealing -> Evaluate.awe_hybrid ~tech template x
+
+let failed_cost = 1e7
+
+let size ?(tech = Mixsyn_circuit.Tech.generic_07um) ?(seed = 1) ?schedule ?(polish = true)
+    ?(context = []) ?(guardband = 1.0) strategy template ~specs ~objectives =
+  let t0 = Unix.gettimeofday () in
+  (* the optimizer chases tightened bounds; verification keeps the originals *)
+  let optimizer_specs =
+    if guardband = 1.0 then specs
+    else
+      List.map
+        (fun (s : Spec.t) ->
+          match s.Spec.bound with
+          | Spec.At_least v when v > 0.0 -> { s with Spec.bound = Spec.At_least (v *. guardband) }
+          | Spec.At_most v when v > 0.0 -> { s with Spec.bound = Spec.At_most (v /. guardband) }
+          | Spec.At_least _ | Spec.At_most _ | Spec.Between _ -> s)
+        specs
+  in
+  let template =
+    let pinnable =
+      List.filter
+        (fun (name, _) ->
+          Array.exists (fun p -> p.Template.p_name = name) template.Template.params)
+        context
+    in
+    Template.with_fixed template pinnable
+  in
+  let evaluations = ref 0 in
+  let evaluator = evaluator_of_strategy ~tech strategy template in
+  let cost_of x =
+    incr evaluations;
+    match evaluator x with
+    | None -> failed_cost
+    | Some perf -> Spec.cost ~specs:optimizer_specs ~objectives perf
+  in
+  let params =
+    match strategy with
+    | Design_plan plan ->
+      let x, _env = Design_plan.execute ~tech ~context plan specs in
+      Template.clamp template x
+    | Equation_annealing | Simulation_annealing | Awe_annealing ->
+      let rng = Mixsyn_util.Rng.create seed in
+      let schedule =
+        match schedule with
+        | Some s -> s
+        | None ->
+          (* simulation in the loop is ~10^3 x the cost of an equation
+             evaluation, so budget fewer moves (exactly FRIDGE's dilemma) *)
+          (match strategy with
+           | Equation_annealing -> { Mixsyn_opt.Anneal.t_start = 50.0; t_end = 1e-3; cooling = 0.90; moves_per_stage = 120 }
+           | Simulation_annealing | Awe_annealing | Design_plan _ ->
+             { Mixsyn_opt.Anneal.t_start = 50.0; t_end = 1e-2; cooling = 0.85; moves_per_stage = 25 })
+      in
+      let problem =
+        { Mixsyn_opt.Anneal.initial = Template.midpoint template;
+          cost = cost_of;
+          neighbor =
+            (fun rng ~temp01 x ->
+              Template.perturb template rng ~scale:(0.02 +. (0.3 *. temp01)) x) }
+      in
+      let outcome = Mixsyn_opt.Anneal.minimize ~schedule ~rng problem in
+      let annealed = outcome.Mixsyn_opt.Anneal.best in
+      if polish then begin
+        let lower = Array.map (fun p -> p.Template.lo) template.Template.params in
+        let upper = Array.map (fun p -> p.Template.hi) template.Template.params in
+        let options = { Mixsyn_opt.Nelder_mead.max_evals = 300; tolerance = 1e-12 } in
+        let x, _, _ = Mixsyn_opt.Nelder_mead.minimize ~options ~lower ~upper ~f:cost_of annealed in
+        x
+      end
+      else annealed
+  in
+  let predicted = Option.value (evaluator params) ~default:[] in
+  (* design verification: always score the result with the full simulator *)
+  let performance = Option.value (Evaluate.full_simulation ~tech template params) ~default:[] in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  { strategy_name = strategy_name strategy;
+    params;
+    performance;
+    predicted;
+    cost = Spec.cost ~specs ~objectives performance;
+    evaluations = !evaluations;
+    elapsed_s;
+    meets_specs = Spec.satisfied specs performance }
+
+let pp_result ppf r =
+  Format.fprintf ppf "%s: cost=%.3f evals=%d time=%.3fs specs=%s@\n  %a"
+    r.strategy_name r.cost r.evaluations r.elapsed_s
+    (if r.meets_specs then "MET" else "violated")
+    Spec.pp_performance r.performance

@@ -1,0 +1,62 @@
+(** Circuit sizing: the frontend strategies of Section 2.2, one API.
+
+    - [Design_plan p] — knowledge-based execution (IDAC/OASYS, Fig. 1a);
+    - [Equation_annealing] — simulated annealing over the analytic design
+      equations (OPTIMAN [10] with ISAAC-style models);
+    - [Simulation_annealing] — full DC+AC simulation inside the annealing
+      loop (FRIDGE [22]);
+    - [Awe_annealing] — DC solve + AWE small-signal evaluation
+      (the ASTRX/OBLX [23] cost-function style).
+
+    Whatever the strategy, the result is verified with a full simulation —
+    the "design verification" step of the hierarchical methodology
+    (Section 2.1). *)
+
+type strategy =
+  | Design_plan of Design_plan.t
+  | Equation_annealing
+  | Simulation_annealing
+  | Awe_annealing
+
+type result = {
+  strategy_name : string;
+  params : float array;
+  performance : Spec.performance;  (** from the verifying full simulation *)
+  predicted : Spec.performance;    (** what the strategy's own evaluator saw *)
+  cost : float;
+  evaluations : int;
+  elapsed_s : float;
+  meets_specs : bool;
+}
+
+val size :
+  ?tech:Mixsyn_circuit.Tech.t ->
+  ?seed:int ->
+  ?schedule:Mixsyn_opt.Anneal.schedule ->
+  ?polish:bool ->
+  ?context:(string * float) list ->
+  ?guardband:float ->
+  strategy ->
+  Mixsyn_circuit.Template.t ->
+  specs:Spec.t list ->
+  objectives:Spec.objective list ->
+  result
+(** [context] carries environment quantities (e.g. [("cl", 5e-12)] for the
+    load capacitance): entries naming template parameters are pinned during
+    optimization, and all entries are visible to design plans as
+    [spec_<name>] bindings.
+
+    [guardband] (default 1.0) tightens every one-sided bound by that factor
+    *inside the optimizer only*; the result is still verified and scored
+    against the original specifications.  This is how equation-based flows
+    compensate their first-order model error in practice. *)
+
+val evaluator_of_strategy :
+  ?tech:Mixsyn_circuit.Tech.t ->
+  strategy ->
+  Mixsyn_circuit.Template.t ->
+  float array ->
+  Spec.performance option
+(** The raw evaluator each strategy uses internally. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,68 @@
+type bound =
+  | At_least of float
+  | At_most of float
+  | Between of float * float
+
+type t = {
+  s_name : string;
+  bound : bound;
+  weight : float;
+}
+
+type objective = {
+  o_name : string;
+  direction : [ `Minimize | `Maximize ];
+  o_weight : float;
+}
+
+type performance = (string * float) list
+
+let spec ?(weight = 1.0) s_name bound = { s_name; bound; weight }
+
+let minimize ?(weight = 1.0) o_name = { o_name; direction = `Minimize; o_weight = weight }
+let maximize ?(weight = 1.0) o_name = { o_name; direction = `Maximize; o_weight = weight }
+
+let lookup perf name = List.assoc_opt name perf
+
+(* normalised shortfall relative to the bound magnitude *)
+let relative shortfall reference =
+  shortfall /. Float.max (Float.abs reference) 1e-30
+
+let violation_of s perf =
+  match lookup perf s.s_name with
+  | None -> s.weight *. 10.0 (* missing metric: heavily penalised *)
+  | Some v ->
+    let raw =
+      match s.bound with
+      | At_least target -> if v >= target then 0.0 else relative (target -. v) target
+      | At_most target -> if v <= target then 0.0 else relative (v -. target) target
+      | Between (lo, hi) ->
+        if v < lo then relative (lo -. v) lo
+        else if v > hi then relative (v -. hi) hi
+        else 0.0
+    in
+    s.weight *. raw
+
+let total_violation specs perf =
+  List.fold_left (fun acc s -> acc +. violation_of s perf) 0.0 specs
+
+let satisfied specs perf = List.for_all (fun s -> violation_of s perf = 0.0) specs
+
+let objective_value objectives perf =
+  List.fold_left
+    (fun acc o ->
+      match lookup perf o.o_name with
+      | None -> acc
+      | Some v ->
+        let magnitude = log (Float.max (Float.abs v) 1e-30) in
+        acc +. (o.o_weight *. (match o.direction with `Minimize -> magnitude | `Maximize -> -.magnitude)))
+    0.0 objectives
+
+let violation_dominance = 100.0
+
+let cost ~specs ~objectives perf =
+  let v = total_violation specs perf in
+  (violation_dominance *. v) +. objective_value objectives perf
+
+let pp_performance ppf perf =
+  List.iter (fun (name, v) -> Format.fprintf ppf "%s=%g " name v) perf

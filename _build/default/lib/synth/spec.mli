@@ -1,0 +1,48 @@
+(** Performance specifications and their scoring.
+
+    A specification set is the input of every frontend strategy (Fig. 1 of
+    the paper): hard bounds plus optional optimization objectives.  Violation
+    is normalised per-spec so one cost function serves annealing, genetic
+    search and corner analysis alike. *)
+
+type bound =
+  | At_least of float
+  | At_most of float
+  | Between of float * float
+
+type t = {
+  s_name : string;  (** performance metric name, e.g. ["gain_db"] *)
+  bound : bound;
+  weight : float;   (** relative importance in the violation sum *)
+}
+
+type objective = {
+  o_name : string;
+  direction : [ `Minimize | `Maximize ];
+  o_weight : float;
+}
+
+type performance = (string * float) list
+
+val spec : ?weight:float -> string -> bound -> t
+val minimize : ?weight:float -> string -> objective
+val maximize : ?weight:float -> string -> objective
+
+val lookup : performance -> string -> float option
+
+val violation_of : t -> performance -> float
+(** Normalised violation of one spec (0 when met). *)
+
+val total_violation : t list -> performance -> float
+
+val satisfied : t list -> performance -> bool
+
+val objective_value : objective list -> performance -> float
+(** Scalarised objective: sum of weighted log-magnitudes, oriented so that
+    smaller is better. *)
+
+val cost : specs:t list -> objectives:objective list -> performance -> float
+(** The standard synthesis cost: a large violation term that dominates until
+    all specs are met, plus the scalarised objectives. *)
+
+val pp_performance : Format.formatter -> performance -> unit

@@ -1,0 +1,124 @@
+module Template = Mixsyn_circuit.Template
+module I = Mixsyn_util.Interval
+
+type verdict = {
+  template : Template.t;
+  score : float;
+  rationale : string list;
+}
+
+let spec_target (s : Spec.t) =
+  match s.Spec.bound with
+  | Spec.At_least v -> v
+  | Spec.At_most v -> v
+  | Spec.Between (lo, hi) -> 0.5 *. (lo +. hi)
+
+(* Heuristic rules in the OASYS style: prefer the simplest topology that can
+   plausibly meet each spec, penalise overkill. *)
+let rule_based specs candidates =
+  let judge template =
+    let rationale = ref [] in
+    let note fmt = Printf.ksprintf (fun s -> rationale := s :: !rationale) fmt in
+    let score = ref 0.0 in
+    let feas name = List.assoc_opt name template.Template.feasibility in
+    List.iter
+      (fun (s : Spec.t) ->
+        match feas s.Spec.s_name with
+        | None -> ()
+        | Some interval ->
+          let target = spec_target s in
+          let ok =
+            match s.Spec.bound with
+            | Spec.At_least v -> I.hi interval >= v
+            | Spec.At_most v -> I.lo interval <= v
+            | Spec.Between (lo, hi) -> I.intersects interval (I.make lo hi)
+          in
+          if ok then begin
+            score := !score +. 1.0;
+            (* margin bonus: being comfortably inside the achievable range *)
+            let margin =
+              match s.Spec.bound with
+              | Spec.At_least v -> (I.hi interval -. v) /. Float.max (Float.abs v) 1e-30
+              | Spec.At_most v -> (v -. I.lo interval) /. Float.max (Float.abs v) 1e-30
+              | Spec.Between _ -> 0.5
+            in
+            score := !score +. Float.min 0.5 (0.1 *. margin)
+          end
+          else begin
+            score := !score -. 3.0;
+            note "%s target %g outside achievable %g..%g" s.Spec.s_name target
+              (I.lo interval) (I.hi interval)
+          end)
+      specs;
+    (* simplicity preference: fewer parameters = cheaper, more robust *)
+    score := !score -. (0.05 *. float_of_int (Array.length template.Template.params));
+    note "simplicity penalty for %d free parameters" (Array.length template.Template.params);
+    { template; score = !score; rationale = List.rev !rationale }
+  in
+  List.sort (fun a b -> compare b.score a.score) (List.map judge candidates)
+
+let interval_feasible specs candidates =
+  let feasible template =
+    List.for_all
+      (fun (s : Spec.t) ->
+        match List.assoc_opt s.Spec.s_name template.Template.feasibility with
+        | None -> true (* unknown metric: cannot prune *)
+        | Some interval ->
+          (match s.Spec.bound with
+           | Spec.At_least v -> I.hi interval >= v
+           | Spec.At_most v -> I.lo interval <= v
+           | Spec.Between (lo, hi) -> I.intersects interval (I.make lo hi)))
+      specs
+  in
+  List.filter feasible candidates
+
+(* Genome layout: [selection bits][bits_per_param * max_params].
+   The parameter field is decoded per-topology over its own box. *)
+let bits_per_param = 8
+
+let decode_bits bits offset count =
+  let acc = ref 0 in
+  for i = 0 to count - 1 do
+    acc := (!acc lsl 1) lor (if bits.(offset + i) then 1 else 0)
+  done;
+  !acc
+
+let ga_select ?(tech = Mixsyn_circuit.Tech.generic_07um) ?(seed = 7) ?options specs ~objectives
+    candidates =
+  let candidates = Array.of_list candidates in
+  let n_topologies = Array.length candidates in
+  assert (n_topologies > 0);
+  let sel_bits =
+    let rec bits_needed k acc = if 1 lsl acc >= k then acc else bits_needed k (acc + 1) in
+    max 1 (bits_needed n_topologies 0)
+  in
+  let max_params =
+    Array.fold_left (fun acc t -> max acc (Array.length t.Template.params)) 0 candidates
+  in
+  let genome_length = sel_bits + (bits_per_param * max_params) in
+  let decode bits =
+    let topo_index = decode_bits bits 0 sel_bits mod n_topologies in
+    let template = candidates.(topo_index) in
+    let params =
+      Array.mapi
+        (fun i (p : Template.param) ->
+          let raw = decode_bits bits (sel_bits + (i * bits_per_param)) bits_per_param in
+          let frac = float_of_int raw /. float_of_int ((1 lsl bits_per_param) - 1) in
+          if p.Template.log_scale then p.Template.lo *. ((p.Template.hi /. p.Template.lo) ** frac)
+          else p.Template.lo +. (frac *. (p.Template.hi -. p.Template.lo)))
+        template.Template.params
+    in
+    (template, params)
+  in
+  let fitness bits =
+    let template, params = decode bits in
+    match Equations.evaluate ~tech template params with
+    | None -> -1e9
+    | Some perf -> -.Spec.cost ~specs ~objectives perf
+  in
+  let rng = Mixsyn_util.Rng.create seed in
+  let best_bits, best_fitness =
+    Mixsyn_opt.Genetic.optimize_bits ?options ~rng ~length:genome_length ~fitness ()
+  in
+  let template, params = decode best_bits in
+  (template, params, best_fitness)

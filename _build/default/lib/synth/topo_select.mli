@@ -1,0 +1,36 @@
+(** Topology selection — the first top-down step of the methodology
+    (Section 2.1), in the three styles the paper surveys:
+
+    - {!rule_based}: heuristic scoring of each candidate against the
+      specification profile (OPASYN [8], OASYS [1]);
+    - {!interval_feasible}: boundary checking of specifications against each
+      topology's achievable performance intervals ([15], the AMGIE
+      selector);
+    - {!ga_select}: topology bits inside the optimization loop, sized by the
+      equation evaluator (DARWIN [28] / mixed formulation [26]). *)
+
+type verdict = {
+  template : Mixsyn_circuit.Template.t;
+  score : float;          (** larger is better *)
+  rationale : string list;
+}
+
+val rule_based : Spec.t list -> Mixsyn_circuit.Template.t list -> verdict list
+(** All candidates, scored, best first. *)
+
+val interval_feasible :
+  Spec.t list -> Mixsyn_circuit.Template.t list -> Mixsyn_circuit.Template.t list
+(** The candidates whose feasibility intervals can satisfy every spec that
+    names a published metric. *)
+
+val ga_select :
+  ?tech:Mixsyn_circuit.Tech.t ->
+  ?seed:int ->
+  ?options:Mixsyn_opt.Genetic.options ->
+  Spec.t list ->
+  objectives:Spec.objective list ->
+  Mixsyn_circuit.Template.t list ->
+  Mixsyn_circuit.Template.t * float array * float
+(** Returns (chosen topology, sized parameters, fitness).  The genome is
+    topology-selection bits plus a quantised parameter vector; fitness is
+    the negated equation-based synthesis cost. *)

@@ -1,0 +1,67 @@
+let glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@' |]
+
+let render ?(width = 64) ?(height = 16) ?(log_x = false) series =
+  let xform x = if log_x then log10 (Float.max x 1e-300) else x in
+  let all_points = List.concat_map (fun (_, pts) -> Array.to_list pts) series in
+  match all_points with
+  | [] -> "(no data)\n"
+  | _ ->
+    let xs = List.map (fun (x, _) -> xform x) all_points in
+    let ys = List.map snd all_points in
+    let x_min = List.fold_left Float.min infinity xs in
+    let x_max = List.fold_left Float.max neg_infinity xs in
+    let y_min = List.fold_left Float.min infinity ys in
+    let y_max = List.fold_left Float.max neg_infinity ys in
+    let x_span = Float.max (x_max -. x_min) 1e-300 in
+    let y_span = Float.max (y_max -. y_min) 1e-300 in
+    let grid = Array.make_matrix height width ' ' in
+    List.iteri
+      (fun si (_, pts) ->
+        let glyph = glyphs.(si mod Array.length glyphs) in
+        Array.iter
+          (fun (x, y) ->
+            let cx =
+              int_of_float (Float.round ((xform x -. x_min) /. x_span *. float_of_int (width - 1)))
+            in
+            let cy =
+              int_of_float (Float.round ((y -. y_min) /. y_span *. float_of_int (height - 1)))
+            in
+            if cx >= 0 && cx < width && cy >= 0 && cy < height then
+              grid.(height - 1 - cy).(cx) <- glyph)
+          pts)
+      series;
+    let buf = Buffer.create ((width + 16) * (height + 3)) in
+    Array.iteri
+      (fun row line ->
+        let y_here =
+          y_max -. (float_of_int row /. float_of_int (height - 1) *. y_span)
+        in
+        Buffer.add_string buf (Printf.sprintf "%10.3g |" y_here);
+        Array.iter (Buffer.add_char buf) line;
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (Printf.sprintf "%10s +%s\n" "" (String.make width '-'));
+    Buffer.add_string buf
+      (Printf.sprintf "%10s  %.3g%s%.3g%s\n" ""
+         (if log_x then 10.0 ** x_min else x_min)
+         (String.make (max 1 (width - 16)) ' ')
+         (if log_x then 10.0 ** x_max else x_max)
+         (if log_x then " (log)" else ""));
+    Buffer.contents buf
+
+let line ?width ?height ?(x_label = "") ?(y_label = "") ?log_x pts =
+  let header =
+    if x_label = "" && y_label = "" then ""
+    else Printf.sprintf "%s vs %s\n" (if y_label = "" then "y" else y_label)
+        (if x_label = "" then "x" else x_label)
+  in
+  header ^ render ?width ?height ?log_x [ ("", pts) ]
+
+let multi ?width ?height ?log_x series =
+  let legend =
+    String.concat "   "
+      (List.mapi
+         (fun i (name, _) -> Printf.sprintf "%c = %s" glyphs.(i mod Array.length glyphs) name)
+         series)
+  in
+  render ?width ?height ?log_x series ^ legend ^ "\n"

@@ -1,0 +1,23 @@
+(** Minimal ASCII charts for CLI output: waveforms, Bode magnitudes,
+    pulse shapes.  No external plotting dependency — the examples and the
+    benchmark harness render directly into the terminal. *)
+
+val line :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  ?log_x:bool ->
+  (float * float) array ->
+  string
+(** Render one series.  Points are linearly binned onto a [width] x
+    [height] character grid; axes are annotated with the data ranges. *)
+
+val multi :
+  ?width:int ->
+  ?height:int ->
+  ?log_x:bool ->
+  (string * (float * float) array) list ->
+  string
+(** Several series on shared axes, each drawn with its own glyph and
+    listed in a legend. *)

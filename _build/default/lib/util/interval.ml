@@ -1,0 +1,41 @@
+type t = { lo : float; hi : float }
+
+let make a b = if a <= b then { lo = a; hi = b } else { lo = b; hi = a }
+
+let point x = { lo = x; hi = x }
+
+let lo t = t.lo
+let hi t = t.hi
+let width t = t.hi -. t.lo
+let mid t = 0.5 *. (t.lo +. t.hi)
+let contains t x = t.lo <= x && x <= t.hi
+let subset a b = b.lo <= a.lo && a.hi <= b.hi
+let intersects a b = a.lo <= b.hi && b.lo <= a.hi
+
+let intersect a b =
+  if intersects a b then Some { lo = Float.max a.lo b.lo; hi = Float.min a.hi b.hi }
+  else None
+
+let hull a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+
+let add a b = { lo = a.lo +. b.lo; hi = a.hi +. b.hi }
+let sub a b = { lo = a.lo -. b.hi; hi = a.hi -. b.lo }
+
+let mul a b =
+  let p1 = a.lo *. b.lo and p2 = a.lo *. b.hi and p3 = a.hi *. b.lo and p4 = a.hi *. b.hi in
+  { lo = Float.min (Float.min p1 p2) (Float.min p3 p4);
+    hi = Float.max (Float.max p1 p2) (Float.max p3 p4) }
+
+let div a b =
+  if contains b 0.0 then None
+  else Some (mul a { lo = 1.0 /. b.hi; hi = 1.0 /. b.lo })
+
+let neg t = { lo = -.t.hi; hi = -.t.lo }
+
+let scale s t = if s >= 0.0 then { lo = s *. t.lo; hi = s *. t.hi } else { lo = s *. t.hi; hi = s *. t.lo }
+
+let split t =
+  let m = mid t in
+  ({ lo = t.lo; hi = m }, { lo = m; hi = t.hi })
+
+let pp ppf t = Format.fprintf ppf "[%g, %g]" t.lo t.hi

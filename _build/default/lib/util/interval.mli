@@ -1,0 +1,35 @@
+(** Closed interval arithmetic.
+
+    Used by the topology-selection subsystem ([15] in the paper): each
+    candidate topology exports achievable performance ranges, and feasibility
+    of a specification set is decided by interval boundary checking. *)
+
+type t = { lo : float; hi : float }
+
+val make : float -> float -> t
+(** [make lo hi]; the bounds are reordered if necessary. *)
+
+val point : float -> t
+val lo : t -> float
+val hi : t -> float
+val width : t -> float
+val mid : t -> float
+val contains : t -> float -> bool
+val subset : t -> t -> bool
+(** [subset a b] is true when [a] lies within [b]. *)
+
+val intersects : t -> t -> bool
+val intersect : t -> t -> t option
+val hull : t -> t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t option
+(** [None] when the divisor spans zero. *)
+
+val neg : t -> t
+val scale : float -> t -> t
+val split : t -> t * t
+(** Bisection at the midpoint. *)
+
+val pp : Format.formatter -> t -> unit

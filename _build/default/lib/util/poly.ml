@@ -1,0 +1,115 @@
+type t = float array
+
+let trim c =
+  let n = ref (Array.length c) in
+  while !n > 1 && Float.abs c.(!n - 1) = 0.0 do
+    decr n
+  done;
+  Array.sub c 0 !n
+
+let of_coeffs c = trim (Array.copy c)
+
+let degree c = Array.length c - 1
+
+let eval c x =
+  let acc = ref 0.0 in
+  for k = Array.length c - 1 downto 0 do
+    acc := (!acc *. x) +. c.(k)
+  done;
+  !acc
+
+let eval_complex c z =
+  let acc = ref Complex.zero in
+  for k = Array.length c - 1 downto 0 do
+    acc := Complex.add (Complex.mul !acc z) { Complex.re = c.(k); im = 0.0 }
+  done;
+  !acc
+
+let add a b =
+  let n = max (Array.length a) (Array.length b) in
+  let get c k = if k < Array.length c then c.(k) else 0.0 in
+  trim (Array.init n (fun k -> get a k +. get b k))
+
+let scale s c = trim (Array.map (( *. ) s) c)
+
+let sub a b = add a (scale (-1.0) b)
+
+let mul a b =
+  let n = Array.length a + Array.length b - 1 in
+  let r = Array.make n 0.0 in
+  Array.iteri (fun i ai -> Array.iteri (fun j bj -> r.(i + j) <- r.(i + j) +. (ai *. bj)) b) a;
+  trim r
+
+let derivative c =
+  if Array.length c <= 1 then [| 0.0 |]
+  else trim (Array.init (Array.length c - 1) (fun k -> float_of_int (k + 1) *. c.(k + 1)))
+
+(* Durand–Kerner: simultaneous iteration on all roots of the monic polynomial.
+   The initial guesses lie on a circle of radius based on the coefficient
+   bound, rotated off the real axis so real-rooted polynomials converge. *)
+let roots ?(iterations = 400) c =
+  let c = trim c in
+  let n = degree c in
+  if n <= 0 then [||]
+  else begin
+    let lead = c.(n) in
+    let monic = Array.map (fun x -> x /. lead) c in
+    let radius =
+      1.0
+      +. Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0
+           (Array.sub monic 0 n)
+    in
+    let angle k = (2.0 *. Float.pi *. float_of_int k /. float_of_int n) +. 0.4 in
+    let z =
+      Array.init n (fun k -> Complex.polar (radius *. (0.5 +. (0.5 *. float_of_int (k + 1) /. float_of_int n))) (angle k))
+    in
+    let eval_monic w = eval_complex monic w in
+    let step () =
+      let moved = ref 0.0 in
+      for i = 0 to n - 1 do
+        let zi = z.(i) in
+        let denom = ref Complex.one in
+        for j = 0 to n - 1 do
+          if j <> i then denom := Complex.mul !denom (Complex.sub zi z.(j))
+        done;
+        if Complex.norm !denom > 1e-300 then begin
+          let delta = Complex.div (eval_monic zi) !denom in
+          z.(i) <- Complex.sub zi delta;
+          moved := Float.max !moved (Complex.norm delta)
+        end
+      done;
+      !moved
+    in
+    let rec iterate k =
+      if k < iterations then
+        let moved = step () in
+        if moved > 1e-13 then iterate (k + 1)
+    in
+    iterate 0;
+    z
+  end
+
+let from_roots rs =
+  let p = ref [| 1.0 |] in
+  (* multiply (x - r) factors pairwise; conjugate pairs combine to real
+     quadratics, so accumulate in complex then drop the imaginary part. *)
+  let cp = ref [| Complex.one |] in
+  Array.iter
+    (fun r ->
+      let old = !cp in
+      let n = Array.length old in
+      let next = Array.make (n + 1) Complex.zero in
+      for k = 0 to n - 1 do
+        next.(k + 1) <- Complex.add next.(k + 1) old.(k);
+        next.(k) <- Complex.sub next.(k) (Complex.mul r old.(k))
+      done;
+      cp := next)
+    rs;
+  p := Array.map (fun z -> z.Complex.re) !cp;
+  trim !p
+
+let pp ppf c =
+  Array.iteri
+    (fun k v ->
+      if k = 0 then Format.fprintf ppf "%g" v else Format.fprintf ppf " %+g s^%d" v k)
+    c

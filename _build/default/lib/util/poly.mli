@@ -1,0 +1,27 @@
+(** Polynomials with real coefficients, with complex root extraction.
+
+    Used for transfer-function denominators produced by AWE and the symbolic
+    simulator.  Coefficient order is ascending: [c.(k)] multiplies [x^k]. *)
+
+type t = float array
+
+val of_coeffs : float array -> t
+(** Copies and trims trailing (near-)zero coefficients. *)
+
+val degree : t -> int
+val eval : t -> float -> float
+val eval_complex : t -> Complex.t -> Complex.t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val scale : float -> t -> t
+val derivative : t -> t
+
+val roots : ?iterations:int -> t -> Complex.t array
+(** All complex roots by Durand–Kerner iteration.  Degree 0 yields [||]. *)
+
+val from_roots : Complex.t array -> t
+(** Monic real polynomial with the given conjugate-closed root set.
+    Imaginary residue from numerical noise is discarded. *)
+
+val pp : Format.formatter -> t -> unit

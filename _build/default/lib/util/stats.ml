@@ -1,0 +1,49 @@
+let mean xs =
+  if Array.length xs = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    acc /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let minimum xs = Array.fold_left Float.min infinity xs
+let maximum xs = Array.fold_left Float.max neg_infinity xs
+
+let percentile xs p =
+  let n = Array.length xs in
+  assert (n > 0);
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let low = int_of_float (Float.floor rank) in
+  let high = int_of_float (Float.ceil rank) in
+  if low = high then sorted.(low)
+  else begin
+    let frac = rank -. float_of_int low in
+    (sorted.(low) *. (1.0 -. frac)) +. (sorted.(high) *. frac)
+  end
+
+let linear_fit pts =
+  let n = float_of_int (Array.length pts) in
+  let sx = Array.fold_left (fun a (x, _) -> a +. x) 0.0 pts in
+  let sy = Array.fold_left (fun a (_, y) -> a +. y) 0.0 pts in
+  let sxx = Array.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 pts in
+  let sxy = Array.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 pts in
+  let denom = (n *. sxx) -. (sx *. sx) in
+  if Float.abs denom < 1e-300 then (0.0, sy /. n)
+  else begin
+    let slope = ((n *. sxy) -. (sx *. sy)) /. denom in
+    (slope, (sy -. (slope *. sx)) /. n)
+  end
+
+let geometric_mean xs =
+  assert (Array.length xs > 0);
+  let acc = Array.fold_left (fun a x -> a +. log x) 0.0 xs in
+  exp (acc /. float_of_int (Array.length xs))

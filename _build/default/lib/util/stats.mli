@@ -1,0 +1,19 @@
+(** Small statistics helpers for benchmark reporting and Monte-Carlo runs. *)
+
+val mean : float array -> float
+val variance : float array -> float
+(** Unbiased sample variance; 0 for fewer than two samples. *)
+
+val stddev : float array -> float
+val minimum : float array -> float
+val maximum : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0,100]; linear interpolation on the sorted
+    copy of [xs]. *)
+
+val linear_fit : (float * float) array -> float * float
+(** Least-squares line: returns [(slope, intercept)]. *)
+
+val geometric_mean : float array -> float
+(** Requires strictly positive samples. *)

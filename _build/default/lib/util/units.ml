@@ -1,0 +1,26 @@
+let boltzmann = 1.380649e-23
+let electron_charge = 1.602176634e-19
+let room_temperature = 300.0
+
+let kelvin_of_celsius c = c +. 273.15
+
+let prefixes =
+  [ (1e12, "T"); (1e9, "G"); (1e6, "M"); (1e3, "k"); (1.0, ""); (1e-3, "m");
+    (1e-6, "u"); (1e-9, "n"); (1e-12, "p"); (1e-15, "f"); (1e-18, "a") ]
+
+let format ?(digits = 3) v unit_name =
+  if v = 0.0 then Printf.sprintf "0 %s" unit_name
+  else begin
+    let mag = Float.abs v in
+    let scale, prefix =
+      let rec find = function
+        | [] -> (1e-18, "a")
+        | (s, p) :: rest -> if mag >= s then (s, p) else find rest
+      in
+      find prefixes
+    in
+    Printf.sprintf "%.*g %s%s" digits (v /. scale) prefix unit_name
+  end
+
+let db x = 20.0 *. log10 x
+let undb x = 10.0 ** (x /. 20.0)

@@ -1,0 +1,21 @@
+(** Engineering-notation formatting and common physical constants. *)
+
+val boltzmann : float
+(** J/K *)
+
+val electron_charge : float
+(** C *)
+
+val room_temperature : float
+(** 300 K, the nominal simulation temperature. *)
+
+val kelvin_of_celsius : float -> float
+
+val format : ?digits:int -> float -> string -> string
+(** [format v unit] renders with an SI prefix: [format 2.2e-5 "F"] is
+    ["22 uF"]-style output (ASCII prefixes; micro is ["u"]). *)
+
+val db : float -> float
+(** [db x] is [20 log10 x]. *)
+
+val undb : float -> float

@@ -1,0 +1,1 @@
+test/test_assembly.ml: Alcotest Array Float List Mixsyn_assembly Mixsyn_layout Printf

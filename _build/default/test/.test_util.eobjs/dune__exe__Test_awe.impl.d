@@ -1,0 +1,1 @@
+test/test_awe.ml: Alcotest Array Complex Float List Mixsyn_awe Mixsyn_circuit Mixsyn_engine Mixsyn_util Printf

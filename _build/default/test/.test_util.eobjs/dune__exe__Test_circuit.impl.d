@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Float List Mixsyn_circuit Mixsyn_engine Mixsyn_util Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Format List Mixsyn_circuit Mixsyn_flow Mixsyn_synth String

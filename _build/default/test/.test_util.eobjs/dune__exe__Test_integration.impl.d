@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Complex Float Lazy List Mixsyn_awe Mixsyn_circuit Mixsyn_engine Mixsyn_layout Mixsyn_symbolic Mixsyn_synth Option Printf String

@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array Filename Float List Mixsyn_circuit Mixsyn_engine Mixsyn_layout Mixsyn_util Option Printf QCheck QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Float Mixsyn_circuit Mixsyn_opt Mixsyn_util

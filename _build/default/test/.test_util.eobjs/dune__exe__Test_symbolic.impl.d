@@ -1,0 +1,1 @@
+test/test_symbolic.ml: Alcotest Array Complex Float List Mixsyn_circuit Mixsyn_engine Mixsyn_symbolic Mixsyn_util Printf QCheck QCheck_alcotest

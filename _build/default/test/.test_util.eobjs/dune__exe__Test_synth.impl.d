@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array Float Format List Mixsyn_circuit Mixsyn_synth Option

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Complex Float Gen List Mixsyn_util QCheck QCheck_alcotest String

@@ -1,0 +1,248 @@
+(* Tests for the circuit database, technology and topology templates. *)
+
+module N = Mixsyn_circuit.Netlist
+module Tech = Mixsyn_circuit.Tech
+module Tp = Mixsyn_circuit.Template
+module Top = Mixsyn_circuit.Topology
+module D = Mixsyn_circuit.Detector
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps *. Float.max 1.0 (Float.abs expected) then
+    Alcotest.failf "%s: expected %g, got %g" msg expected actual
+
+(* --- netlist ----------------------------------------------------------- *)
+
+let test_netlist_nets () =
+  let c = N.create () in
+  let a = N.new_net ~name:"alpha" c in
+  let b = N.new_net c in
+  Alcotest.(check int) "ground is 0" 0 N.gnd;
+  Alcotest.(check int) "first net" 1 a;
+  Alcotest.(check int) "second net" 2 b;
+  Alcotest.(check int) "count" 3 (N.net_count c);
+  Alcotest.(check int) "lookup" a (N.find_net c "alpha");
+  Alcotest.(check string) "name" "alpha" (N.net_name c a);
+  Alcotest.(check string) "auto name" "n2" (N.net_name c b)
+
+let test_netlist_elements () =
+  let c = N.create () in
+  let a = N.new_net c in
+  N.add c (N.Resistor { r_name = "r1"; a; b = N.gnd; ohms = 100.0 });
+  N.add c (N.Mos { m_name = "m1"; drain = a; gate = a; source = N.gnd; bulk = N.gnd;
+                   w = 1e-6; l = 1e-6; polarity = N.Nmos });
+  Alcotest.(check int) "device count" 2 (N.device_count c);
+  Alcotest.(check int) "mos count" 1 (List.length (N.mos_list c));
+  let m = N.find_mos c "m1" in
+  Alcotest.(check string) "mos name" "m1" m.N.m_name;
+  (match N.find_mos c "nope" with
+   | exception Not_found -> ()
+   | _ -> Alcotest.fail "expected Not_found");
+  Alcotest.(check (list string)) "element order" [ "r1"; "m1" ]
+    (List.map N.element_name (N.elements c))
+
+let test_netlist_copy_independent () =
+  let c = N.create () in
+  let a = N.new_net c in
+  N.add c (N.Resistor { r_name = "r1"; a; b = N.gnd; ohms = 100.0 });
+  let c2 = N.copy c in
+  N.add c2 (N.Resistor { r_name = "r2"; a; b = N.gnd; ohms = 200.0 });
+  Alcotest.(check int) "original unchanged" 1 (N.device_count c);
+  Alcotest.(check int) "copy extended" 2 (N.device_count c2)
+
+let test_wave_pulse () =
+  let w = N.Pulse { v0 = 0.0; v1 = 2.0; delay = 1.0; rise = 0.5; width = 3.0 } in
+  check_close "before" 0.0 (N.wave_value w ~dc:9.0 0.5);
+  check_close "mid rise" 1.0 (N.wave_value w ~dc:9.0 1.25);
+  check_close "plateau" 2.0 (N.wave_value w ~dc:9.0 2.0);
+  check_close "after fall" 0.0 (N.wave_value w ~dc:9.0 6.0)
+
+let test_wave_pwl () =
+  let w = N.Pwl [ (0.0, 0.0); (1.0, 2.0); (3.0, 2.0) ] in
+  check_close "interp" 1.0 (N.wave_value w ~dc:0.0 0.5);
+  check_close "hold" 2.0 (N.wave_value w ~dc:0.0 5.0)
+
+let test_wave_sine () =
+  let w = N.Sine { offset = 1.0; ampl = 2.0; freq = 1.0 } in
+  check_close ~eps:1e-9 "quarter period" 3.0 (N.wave_value w ~dc:0.0 0.25)
+
+(* --- technology --------------------------------------------------------- *)
+
+let test_corner_nominal_is_identity () =
+  let t = Tech.generic_07um in
+  let t' = Tech.apply_corner t Tech.nominal_corner in
+  check_close "vdd" t.Tech.vdd t'.Tech.vdd;
+  check_close "vth" t.Tech.vth0_n t'.Tech.vth0_n;
+  check_close "kp" t.Tech.kp_n t'.Tech.kp_n
+
+let test_corner_hot_degrades_mobility () =
+  let t = Tech.generic_07um in
+  let hot = Tech.apply_corner t { Tech.corner_name = "hot"; d_vdd = 0.0; d_temp = 100.0; d_vth = 0.0; d_kp = 0.0 } in
+  if hot.Tech.kp_n >= t.Tech.kp_n then Alcotest.fail "mobility should degrade when hot";
+  if hot.Tech.vth0_n >= t.Tech.vth0_n then Alcotest.fail "vth should drop when hot";
+  check_close "temp" (t.Tech.temp +. 100.0) hot.Tech.temp
+
+let test_corner_space_has_nominal () =
+  Alcotest.(check bool) "nominal present" true
+    (List.exists (fun c -> c.Tech.corner_name = "nominal") Tech.corner_space)
+
+(* --- templates ----------------------------------------------------------- *)
+
+let test_template_clamp () =
+  let t = Top.ota_5t in
+  let x = Array.make (Array.length t.Tp.params) 1e9 in
+  let clamped = Tp.clamp t x in
+  Array.iteri
+    (fun i v ->
+      if v > t.Tp.params.(i).Tp.hi +. 1e-30 then Alcotest.fail "clamp exceeded hi")
+    clamped
+
+let test_template_midpoint_in_box () =
+  List.iter
+    (fun t ->
+      let m = Tp.midpoint t in
+      Array.iteri
+        (fun i v ->
+          let p = t.Tp.params.(i) in
+          if v < p.Tp.lo || v > p.Tp.hi then
+            Alcotest.failf "%s midpoint out of box" t.Tp.t_name)
+        m)
+    Top.all
+
+let test_template_with_fixed () =
+  let t = Tp.with_fixed Top.miller_ota [ ("cl", 7e-12) ] in
+  let i = Tp.param_index t "cl" in
+  check_close "lo pinned" 7e-12 t.Tp.params.(i).Tp.lo;
+  check_close "hi pinned" 7e-12 t.Tp.params.(i).Tp.hi;
+  check_close "midpoint pinned" 7e-12 (Tp.midpoint t).(i);
+  match Tp.with_fixed Top.miller_ota [ ("nonexistent", 1.0) ] with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "expected Not_found for unknown parameter"
+
+let prop_perturb_stays_in_box =
+  QCheck.Test.make ~name:"perturb stays inside the parameter box" ~count:300
+    QCheck.(pair (int_range 0 10000) (float_range 0.01 0.5))
+    (fun (seed, scale) ->
+      let t = Top.miller_ota in
+      let rng = Mixsyn_util.Rng.create seed in
+      let x = Tp.random_point t rng in
+      let x' = Tp.perturb t rng ~scale x in
+      Array.for_all (fun ok -> ok)
+        (Array.mapi
+           (fun i v -> v >= t.Tp.params.(i).Tp.lo -. 1e-30 && v <= t.Tp.params.(i).Tp.hi +. 1e-30)
+           x'))
+
+(* --- topologies ------------------------------------------------------------ *)
+
+let build t = t.Tp.build Tech.generic_07um (Tp.midpoint t)
+
+let test_topologies_build () =
+  List.iter
+    (fun t ->
+      let nl = build t in
+      (* every OTA exposes the standard ports *)
+      List.iter
+        (fun name ->
+          match N.find_net nl name with
+          | exception Not_found -> Alcotest.failf "%s lacks net %s" t.Tp.t_name name
+          | _ -> ())
+        [ "vdd"; "inp"; "inn"; "out" ];
+      if List.length (N.mos_list nl) < 4 then
+        Alcotest.failf "%s has suspiciously few devices" t.Tp.t_name)
+    Top.all
+
+let test_topology_device_counts () =
+  let count t = List.length (N.mos_list (build t)) in
+  Alcotest.(check int) "ota-5t devices" 6 (count Top.ota_5t);
+  Alcotest.(check int) "miller devices" 8 (count Top.miller_ota);
+  Alcotest.(check int) "folded-cascode devices" 13 (count Top.folded_cascode)
+
+let test_detector_build () =
+  let nl = D.build Tech.generic_07um D.expert_manual_sizing in
+  List.iter
+    (fun name ->
+      match N.find_net nl name with
+      | exception Not_found -> Alcotest.failf "detector lacks net %s" name
+      | _ -> ())
+    [ "csa_in"; "csa_out"; "out"; "vdd" ];
+  (* 4 shaper stages -> s0..s3 + out *)
+  (match N.find_net nl "s3" with
+   | exception Not_found -> Alcotest.fail "detector lacks stage net s3"
+   | _ -> ());
+  Alcotest.(check int) "one MOS device" 1 (List.length (N.mos_list nl))
+
+let test_detector_vector_roundtrip () =
+  let s = D.expert_manual_sizing in
+  let s' = D.sizing_of_vector (D.vector_of_sizing s) in
+  check_close "w1" s.D.w1 s'.D.w1;
+  check_close "tau" s.D.tau s'.D.tau
+
+let test_detector_power_model_monotone () =
+  let t = Tech.generic_07um in
+  let base = D.estimated_power t D.expert_manual_sizing D.default_config in
+  let hotter =
+    D.estimated_power t { D.expert_manual_sizing with D.id1 = 2.0 *. D.expert_manual_sizing.D.id1 }
+      D.default_config
+  in
+  if hotter <= base then Alcotest.fail "power should grow with bias current"
+
+(* --- sc filter ---------------------------------------------------------- *)
+
+module SC = Mixsyn_circuit.Sc_filter
+
+let test_sc_biquad_matches_prototype () =
+  let spec = { SC.f_clock = 1e6; f0 = 10e3; q = 0.707; gain = 2.0 } in
+  let nl = SC.biquad_lowpass spec in
+  let op = Mixsyn_engine.Dc.solve nl in
+  let out = N.find_net nl "out" in
+  let freqs = [| 100.0; 5e3; 10e3; 50e3 |] in
+  let ac = Mixsyn_engine.Ac.solve nl op ~freqs in
+  Array.iteri
+    (fun k f ->
+      check_close ~eps:0.01 (Printf.sprintf "f=%g" f) (SC.expected_magnitude spec f)
+        (Mixsyn_engine.Ac.magnitude ac k out))
+    freqs
+
+let test_sc_clock_guard () =
+  match SC.biquad_lowpass { SC.f_clock = 1e5; f0 = 50e3; q = 1.0; gain = 1.0 } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for f0 too close to f_clock"
+
+let test_sc_resistance () =
+  check_close "equivalence" 1e6 (SC.sc_resistance ~f_clock:1e6 ~farads:1e-12)
+
+let test_sc_spread () =
+  let spread = SC.capacitor_spread { SC.f_clock = 1e6; f0 = 10e3; q = 0.707; gain = 2.0 } in
+  if spread < 1.0 then Alcotest.fail "spread below 1";
+  if spread > 1000.0 then Alcotest.failf "implausible spread %g" spread
+
+let () =
+  let qt t = QCheck_alcotest.to_alcotest t in
+  Alcotest.run "circuit"
+    [ ( "netlist",
+        [ Alcotest.test_case "nets" `Quick test_netlist_nets;
+          Alcotest.test_case "elements" `Quick test_netlist_elements;
+          Alcotest.test_case "copy independent" `Quick test_netlist_copy_independent;
+          Alcotest.test_case "pulse wave" `Quick test_wave_pulse;
+          Alcotest.test_case "pwl wave" `Quick test_wave_pwl;
+          Alcotest.test_case "sine wave" `Quick test_wave_sine ] );
+      ( "tech",
+        [ Alcotest.test_case "nominal corner identity" `Quick test_corner_nominal_is_identity;
+          Alcotest.test_case "hot corner degrades" `Quick test_corner_hot_degrades_mobility;
+          Alcotest.test_case "corner space sane" `Quick test_corner_space_has_nominal ] );
+      ( "template",
+        [ Alcotest.test_case "clamp" `Quick test_template_clamp;
+          Alcotest.test_case "midpoint in box" `Quick test_template_midpoint_in_box;
+          Alcotest.test_case "with_fixed" `Quick test_template_with_fixed;
+          qt prop_perturb_stays_in_box ] );
+      ( "topology",
+        [ Alcotest.test_case "all build" `Quick test_topologies_build;
+          Alcotest.test_case "device counts" `Quick test_topology_device_counts ] );
+      ( "sc-filter",
+        [ Alcotest.test_case "matches prototype" `Quick test_sc_biquad_matches_prototype;
+          Alcotest.test_case "clock guard" `Quick test_sc_clock_guard;
+          Alcotest.test_case "sc resistance" `Quick test_sc_resistance;
+          Alcotest.test_case "capacitor spread" `Quick test_sc_spread ] );
+      ( "detector",
+        [ Alcotest.test_case "build" `Quick test_detector_build;
+          Alcotest.test_case "vector roundtrip" `Quick test_detector_vector_roundtrip;
+          Alcotest.test_case "power model monotone" `Quick test_detector_power_model_monotone ] ) ]

@@ -1,0 +1,392 @@
+(* Engine tests: every analysis checked against closed-form circuit theory. *)
+
+module N = Mixsyn_circuit.Netlist
+module Tech = Mixsyn_circuit.Tech
+module Mos = Mixsyn_engine.Mos_model
+module Dc = Mixsyn_engine.Dc
+module Ac = Mixsyn_engine.Ac
+module Tran = Mixsyn_engine.Tran
+module Noise = Mixsyn_engine.Noise
+module Measure = Mixsyn_engine.Measure
+module Mna = Mixsyn_engine.Mna
+
+let tech = Tech.generic_07um
+
+let check_close ?(eps = 1e-6) msg expected actual =
+  if Float.abs (expected -. actual) > eps *. Float.max 1e-30 (Float.abs expected) then
+    Alcotest.failf "%s: expected %g, got %g" msg expected actual
+
+let divider () =
+  let c = N.create () in
+  let vin = N.new_net ~name:"vin" c and out = N.new_net ~name:"out" c in
+  N.add c (N.Vsource { v_name = "v1"; p = vin; n = N.gnd; dc = 2.0; ac = 1.0; v_wave = N.Dc_wave });
+  N.add c (N.Resistor { r_name = "r1"; a = vin; b = out; ohms = 1000.0 });
+  N.add c (N.Resistor { r_name = "r2"; a = out; b = N.gnd; ohms = 1000.0 });
+  N.add c (N.Capacitor { c_name = "c1"; a = out; b = N.gnd; farads = 1e-6 });
+  (c, out)
+
+(* --- DC ---------------------------------------------------------------- *)
+
+let test_dc_divider () =
+  let c, out = divider () in
+  let op = Dc.solve ~tech c in
+  check_close "midpoint" 1.0 (Mna.voltage op out)
+
+let test_dc_current_source_into_resistor () =
+  let c = N.create () in
+  let a = N.new_net c in
+  N.add c (N.Isource { i_name = "i1"; p = a; n = N.gnd; dc = 1e-3; ac = 0.0; i_wave = N.Dc_wave });
+  N.add c (N.Resistor { r_name = "r1"; a; b = N.gnd; ohms = 2000.0 });
+  let op = Dc.solve ~tech c in
+  check_close ~eps:1e-5 "ohm's law" 2.0 (Mna.voltage op a)
+
+let test_dc_vccs () =
+  (* VCCS of 1 mS sensing 1 V drives 1 mA into 1 kohm: 1 V *)
+  let c = N.create () in
+  let ctl = N.new_net c and out = N.new_net c in
+  N.add c (N.Vsource { v_name = "vc"; p = ctl; n = N.gnd; dc = 1.0; ac = 0.0; v_wave = N.Dc_wave });
+  N.add c (N.Vccs { g_name = "g1"; p = N.gnd; n = out; cp = ctl; cn = N.gnd; gm = 1e-3 });
+  N.add c (N.Resistor { r_name = "rl"; a = out; b = N.gnd; ohms = 1000.0 });
+  let op = Dc.solve ~tech c in
+  check_close ~eps:1e-5 "vccs gain" 1.0 (Mna.voltage op out)
+
+let test_dc_power_balance () =
+  (* power from the source equals dissipation in the resistors *)
+  let c, _ = divider () in
+  let op = Dc.solve ~tech c in
+  (* 2 V across 2 kohm: 2 mW delivered *)
+  check_close ~eps:1e-5 "power" 2e-3 (Dc.power c op)
+
+let test_dc_branch_current () =
+  let c, _ = divider () in
+  let op = Dc.solve ~tech c in
+  let layout = op.Mna.op_layout in
+  (* current into the + terminal: the source delivers 1 mA, so -1 mA *)
+  check_close ~eps:1e-5 "branch current" (-1e-3) (Mna.branch_current op ~layout "v1")
+
+(* --- MOS model --------------------------------------------------------- *)
+
+let nmos w l = { N.m_name = "m"; drain = 1; gate = 2; source = 0; bulk = 0; w; l; polarity = N.Nmos }
+let pmos w l = { (nmos w l) with N.polarity = N.Pmos }
+
+let test_mos_square_law () =
+  let m = nmos 10e-6 1e-6 in
+  let e = Mos.evaluate tech m ~vd:3.0 ~vg:1.75 ~vs:0.0 ~vb:0.0 in
+  (* vov = 1.0, saturation: ids = 0.5*kp*(W/L)*vov^2*(1+lambda*vds) *)
+  let lambda = tech.Tech.lambda_factor /. 1e-6 in
+  let expected = 0.5 *. tech.Tech.kp_n *. 10.0 *. 1.0 *. (1.0 +. (lambda *. 3.0)) in
+  check_close ~eps:0.02 "saturation current" expected e.Mos.ids;
+  Alcotest.(check bool) "saturated" true (e.Mos.region = Mos.Saturation)
+
+let test_mos_cutoff () =
+  let m = nmos 10e-6 1e-6 in
+  let e = Mos.evaluate tech m ~vd:3.0 ~vg:0.2 ~vs:0.0 ~vb:0.0 in
+  if e.Mos.ids > 1e-9 then Alcotest.failf "cutoff leaks too much: %g" e.Mos.ids;
+  Alcotest.(check bool) "cutoff region" true (e.Mos.region = Mos.Cutoff)
+
+let test_mos_triode () =
+  let m = nmos 10e-6 1e-6 in
+  let e = Mos.evaluate tech m ~vd:0.1 ~vg:2.75 ~vs:0.0 ~vb:0.0 in
+  Alcotest.(check bool) "triode region" true (e.Mos.region = Mos.Triode);
+  (* small vds: ids ~ kp W/L vov vds *)
+  let expected = tech.Tech.kp_n *. 10.0 *. 2.0 *. 0.1 in
+  check_close ~eps:0.1 "triode current" expected e.Mos.ids
+
+let test_mos_pmos_mirror_symmetry () =
+  let mn = nmos 10e-6 1e-6 and mp = pmos 10e-6 1e-6 in
+  let en = Mos.evaluate tech mn ~vd:2.0 ~vg:1.75 ~vs:0.0 ~vb:0.0 in
+  (* mirrored PMOS with kp_p: scale expectation by kp ratio *)
+  let ep = Mos.evaluate { tech with Tech.vth0_p = tech.Tech.vth0_n; kp_p = tech.Tech.kp_n }
+      mp ~vd:(-2.0) ~vg:(-1.75) ~vs:0.0 ~vb:0.0 in
+  check_close ~eps:1e-9 "pmos mirrors nmos" en.Mos.ids (-.ep.Mos.ids)
+
+let test_mos_source_drain_swap () =
+  let m = nmos 10e-6 1e-6 in
+  let fwd = Mos.evaluate tech m ~vd:1.0 ~vg:2.0 ~vs:0.0 ~vb:0.0 in
+  let rev = Mos.evaluate tech m ~vd:0.0 ~vg:2.0 ~vs:1.0 ~vb:0.0 in
+  (* exchanging drain and source (same gate and bulk) reverses the current *)
+  check_close ~eps:1e-6 "swap antisymmetry" fwd.Mos.ids (-.rev.Mos.ids)
+
+let test_mos_jacobian_consistency () =
+  (* finite differences confirm the analytic Jacobian *)
+  let m = nmos 20e-6 1.4e-6 in
+  let at vd vg vs vb = (Mos.evaluate tech m ~vd ~vg ~vs ~vb).Mos.ids in
+  let e = Mos.evaluate tech m ~vd:1.8 ~vg:1.4 ~vs:0.2 ~vb:0.0 in
+  let h = 1e-7 in
+  let fd f x0 = (f (x0 +. h) -. f (x0 -. h)) /. (2.0 *. h) in
+  check_close ~eps:1e-3 "did/dvd" (fd (fun v -> at v 1.4 0.2 0.0) 1.8) e.Mos.did_dvd;
+  check_close ~eps:1e-3 "did/dvg" (fd (fun v -> at 1.8 v 0.2 0.0) 1.4) e.Mos.did_dvg;
+  check_close ~eps:1e-3 "did/dvs" (fd (fun v -> at 1.8 1.4 v 0.0) 0.2) e.Mos.did_dvs;
+  check_close ~eps:1e-3 "did/dvb" (fd (fun v -> at 1.8 1.4 0.2 v) 0.0) e.Mos.did_dvb
+
+let test_mos_diode_bias () =
+  let c = N.create () in
+  let d = N.new_net c in
+  N.add c (N.Isource { i_name = "ib"; p = d; n = N.gnd; dc = 100e-6; ac = 0.0; i_wave = N.Dc_wave });
+  N.add c (N.Mos { m_name = "m1"; drain = d; gate = d; source = N.gnd; bulk = N.gnd;
+                   w = 7e-6; l = 0.7e-6; polarity = N.Nmos });
+  let op = Dc.solve ~tech c in
+  let vgs = Mna.voltage op d in
+  (* vth + sqrt(2 I / beta) with beta = kp W/L = 1e-3 *)
+  check_close ~eps:0.03 "diode vgs" (tech.Tech.vth0_n +. sqrt 0.2) vgs
+
+(* --- AC ------------------------------------------------------------------ *)
+
+let test_ac_rc_pole () =
+  let c, out = divider () in
+  let op = Dc.solve ~tech c in
+  let freqs = Ac.log_sweep ~decades_from:0.0 ~decades_to:5.0 ~points_per_decade:20 in
+  let ac = Ac.solve ~tech c op ~freqs in
+  let bode = Measure.bode ac ~out in
+  check_close ~eps:1e-3 "dc gain" 0.5 (Measure.dc_gain bode);
+  (* pole of the divided source: f = 1/(2 pi (R1||R2) C) = 318.3 Hz *)
+  (match Measure.bandwidth_3db bode with
+   | Some f -> check_close ~eps:0.02 "3 dB" 318.3 f
+   | None -> Alcotest.fail "no 3 dB point");
+  (* phase at the pole is -45 degrees *)
+  let k = ref 0 in
+  Array.iteri (fun i p -> if Float.abs (p.Measure.f -. 318.0) < 20.0 && !k = 0 then k := i) bode;
+  check_close ~eps:0.05 "pole phase" (-45.0) bode.(!k).Measure.phase
+
+let test_ac_sweep_grid () =
+  let freqs = Ac.log_sweep ~decades_from:0.0 ~decades_to:2.0 ~points_per_decade:10 in
+  Alcotest.(check int) "grid points" 21 (Array.length freqs);
+  check_close "first" 1.0 freqs.(0);
+  check_close ~eps:1e-9 "last" 100.0 freqs.(20)
+
+let test_ac_ota_gain_formula () =
+  (* 5T OTA gain ~ gm1/(gds2+gds4): check the simulator against the
+     small-signal parameters it itself reports *)
+  let t = Mixsyn_circuit.Topology.ota_5t in
+  let nl = t.Mixsyn_circuit.Template.build tech [| 50e-6; 25e-6; 40e-6; 1e-6; 100e-6; 2e-12 |] in
+  let op = Dc.solve ~tech nl in
+  let find name =
+    List.find (fun ((m : N.mos), _) -> m.N.m_name = name) op.Mna.mos_evals |> snd
+  in
+  let gm1 = (find "m2").Mos.gm in
+  let gds2 = (find "m2").Mos.gds and gds4 = (find "m4").Mos.gds in
+  let out = N.find_net nl "out" in
+  let freqs = [| 1.0 |] in
+  let ac = Ac.solve ~tech nl op ~freqs in
+  let gain = Ac.magnitude ac 0 out in
+  check_close ~eps:0.1 "gm/gds gain" (gm1 /. (gds2 +. gds4)) gain
+
+(* --- transient -------------------------------------------------------------- *)
+
+let test_tran_rc_step () =
+  let c = N.create () in
+  let vin = N.new_net c and out = N.new_net ~name:"out" c in
+  N.add c (N.Vsource { v_name = "v1"; p = vin; n = N.gnd; dc = 0.0; ac = 0.0;
+                       v_wave = N.Pulse { v0 = 0.0; v1 = 1.0; delay = 1e-5; rise = 1e-7; width = 1.0 } });
+  N.add c (N.Resistor { r_name = "r1"; a = vin; b = out; ohms = 1000.0 });
+  N.add c (N.Capacitor { c_name = "c1"; a = out; b = N.gnd; farads = 1e-7 });
+  let op = Dc.solve ~tech c in
+  let tr = Tran.solve ~tech c op ~t_stop:1e-3 ~dt:1e-6 in
+  let w = Tran.waveform tr out in
+  (match Tran.first_crossing w ~level:(1.0 -. exp (-1.0)) with
+   | Some t -> check_close ~eps:0.02 "tau" 1.1e-4 t
+   | None -> Alcotest.fail "no crossing");
+  (* final value *)
+  let _, v_final = w.(Array.length w - 1) in
+  check_close ~eps:1e-3 "settles to 1" 1.0 v_final
+
+let test_tran_settling_time () =
+  let w = Array.init 100 (fun i -> (float_of_int i, 1.0 -. exp (-.float_of_int i /. 10.0))) in
+  match Tran.settling_time w ~final:1.0 ~tolerance:0.02 with
+  | Some t -> if t < 30.0 || t > 50.0 then Alcotest.failf "settling %g out of range" t
+  | None -> Alcotest.fail "expected settling time"
+
+let test_tran_energy_conservation () =
+  (* charging a capacitor through a resistor: the capacitor ends with CV^2/2 *)
+  let c = N.create () in
+  let vin = N.new_net c and out = N.new_net c in
+  N.add c (N.Vsource { v_name = "v1"; p = vin; n = N.gnd; dc = 0.0; ac = 0.0;
+                       v_wave = N.Pulse { v0 = 0.0; v1 = 2.0; delay = 0.0; rise = 1e-9; width = 1.0 } });
+  N.add c (N.Resistor { r_name = "r1"; a = vin; b = out; ohms = 100.0 });
+  N.add c (N.Capacitor { c_name = "c1"; a = out; b = N.gnd; farads = 1e-6 });
+  let op = Dc.solve ~tech c in
+  let tr = Tran.solve ~tech c op ~t_stop:2e-3 ~dt:2e-6 in
+  let w = Tran.waveform tr out in
+  let _, v_final = w.(Array.length w - 1) in
+  check_close ~eps:1e-2 "fully charged" 2.0 v_final
+
+(* --- noise ------------------------------------------------------------------ *)
+
+let test_noise_resistor_4ktr () =
+  let c, out = divider () in
+  let op = Dc.solve ~tech c in
+  let freqs = [| 10.0 |] in
+  let r = Noise.analyze ~tech c op ~out ~freqs in
+  (* two 1k resistors in parallel seen from out: 500 ohm -> 4kT*500 *)
+  let expected = 4.0 *. Mixsyn_util.Units.boltzmann *. tech.Tech.temp *. 500.0 in
+  check_close ~eps:0.01 "thermal floor" expected r.Noise.points.(0).Noise.total_psd
+
+let test_noise_ktc () =
+  (* integrated noise of an RC is kT/C regardless of R *)
+  let total r_ohms =
+    let c = N.create () in
+    let out = N.new_net ~name:"out" c in
+    N.add c (N.Resistor { r_name = "r1"; a = out; b = N.gnd; ohms = r_ohms });
+    N.add c (N.Capacitor { c_name = "c1"; a = out; b = N.gnd; farads = 1e-9 });
+    let op = Dc.solve ~tech c in
+    let freqs = Ac.log_sweep ~decades_from:0.0 ~decades_to:9.0 ~points_per_decade:16 in
+    let r = Noise.analyze ~tech c op ~out ~freqs in
+    r.Noise.integrated_rms
+  in
+  let expected = sqrt (Mixsyn_util.Units.boltzmann *. tech.Tech.temp /. 1e-9) in
+  check_close ~eps:0.05 "kT/C at 10k" expected (total 1e4);
+  check_close ~eps:0.05 "kT/C at 1M" expected (total 1e6)
+
+let test_noise_flicker_corner () =
+  (* flicker PSD falls as 1/f *)
+  let m = nmos 10e-6 1e-6 in
+  let p1 = Mos.flicker_noise_psd tech m ~gm:1e-3 ~freq:100.0 in
+  let p2 = Mos.flicker_noise_psd tech m ~gm:1e-3 ~freq:1000.0 in
+  check_close ~eps:1e-9 "1/f" 10.0 (p1 /. p2)
+
+(* --- measure ----------------------------------------------------------------- *)
+
+let test_measure_swing () =
+  let t = Mixsyn_circuit.Topology.ota_5t in
+  let nl = t.Mixsyn_circuit.Template.build tech [| 50e-6; 25e-6; 40e-6; 1e-6; 100e-6; 2e-12 |] in
+  let op = Dc.solve ~tech nl in
+  let out = N.find_net nl "out" and vdd = N.find_net nl "vdd" in
+  let low, high = Measure.output_swing nl op ~out ~vdd_net:vdd in
+  if low >= high then Alcotest.fail "inverted swing";
+  if high > tech.Tech.vdd then Alcotest.fail "swing above the rail"
+
+let test_measure_ugf_pm () =
+  (* all topologies at midpoint must produce a finite, positive UGF *)
+  List.iter
+    (fun t ->
+      let nl = t.Mixsyn_circuit.Template.build tech (Mixsyn_circuit.Template.midpoint t) in
+      match Dc.solve ~tech nl with
+      | exception Dc.No_convergence _ -> Alcotest.failf "%s: no DC" t.Mixsyn_circuit.Template.t_name
+      | op ->
+        let out = N.find_net nl "out" in
+        let freqs = Ac.log_sweep ~decades_from:0.0 ~decades_to:9.5 ~points_per_decade:8 in
+        let ac = Ac.solve ~tech nl op ~freqs in
+        let bode = Measure.bode ac ~out in
+        (match Measure.unity_gain_freq bode with
+         | Some f when f > 0.0 -> ()
+         | Some _ | None -> Alcotest.failf "%s: no unity-gain crossing" t.Mixsyn_circuit.Template.t_name))
+    Mixsyn_circuit.Topology.all
+
+(* --- cross-analysis properties ------------------------------------------- *)
+
+(* random RC ladder driven by a voltage source *)
+let random_ladder seed n =
+  let rng = Mixsyn_util.Rng.create seed in
+  let c = N.create () in
+  let vin = N.new_net ~name:"vin" c in
+  N.add c (N.Vsource { v_name = "v1"; p = vin; n = N.gnd; dc = 1.0; ac = 1.0; v_wave = N.Dc_wave });
+  let prev = ref vin in
+  let last = ref vin in
+  for k = 1 to n do
+    let node = N.new_net ~name:(Printf.sprintf "l%d" k) c in
+    N.add c (N.Resistor { r_name = Printf.sprintf "r%d" k; a = !prev; b = node;
+                          ohms = Mixsyn_util.Rng.uniform rng 100.0 10e3 });
+    N.add c (N.Capacitor { c_name = Printf.sprintf "c%d" k; a = node; b = N.gnd;
+                           farads = Mixsyn_util.Rng.uniform rng 1e-12 1e-9 });
+    (* occasional shunt resistor so the DC value is nontrivial *)
+    if Mixsyn_util.Rng.bool rng then
+      N.add c (N.Resistor { r_name = Printf.sprintf "rs%d" k; a = node; b = N.gnd;
+                            ohms = Mixsyn_util.Rng.uniform rng 1e3 100e3 });
+    prev := node;
+    last := node
+  done;
+  (c, !last)
+
+let prop_ac_dc_consistency =
+  QCheck.Test.make ~name:"AC at ~0 Hz equals the DC solution" ~count:60
+    QCheck.(pair (int_range 0 5000) (int_range 1 6))
+    (fun (seed, n) ->
+      let c, out = random_ladder seed n in
+      let op = Dc.solve ~tech c in
+      let v_dc = Mna.voltage op out in
+      let ac = Ac.solve ~tech c op ~freqs:[| 1e-3 |] in
+      let v_ac = Ac.magnitude ac 0 out in
+      (* the DC solve biases every node with gmin = 1e-9 S; across up to
+         6 x 10 kohm of ladder that shifts the bias by ~1e-4 at most *)
+      Float.abs (v_dc -. v_ac) < 1e-4 +. (1e-4 *. Float.abs v_dc))
+
+let prop_transient_settles_to_dc =
+  QCheck.Test.make ~name:"transient settles to the DC solution" ~count:20
+    QCheck.(pair (int_range 0 5000) (int_range 1 4))
+    (fun (seed, n) ->
+      let c, out = random_ladder seed n in
+      let op = Dc.solve ~tech c in
+      (* time constants max ~ 10k * 1n = 1e-5; simulate 10x that *)
+      let tr = Tran.solve ~tech c op ~t_stop:1e-4 ~dt:2e-7 in
+      let w = Tran.waveform tr out in
+      let _, v_final = w.(Array.length w - 1) in
+      Float.abs (v_final -. Mna.voltage op out) < 1e-6 +. (1e-4 *. Float.abs v_final))
+
+(* --- dc sweep ------------------------------------------------------------ *)
+
+let test_dc_sweep_divider () =
+  let c, out = divider () in
+  let values = [| 0.0; 1.0; 2.0; 4.0 |] in
+  let results = Dc.sweep ~tech c ~source:"v1" ~values in
+  Array.iter
+    (fun (v, op) -> check_close ~eps:1e-6 "half the source" (v /. 2.0) (Mna.voltage op out))
+    results
+
+let test_dc_sweep_unknown_source () =
+  let c, _ = divider () in
+  match Dc.sweep ~tech c ~source:"nonexistent" ~values:[| 1.0 |] with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "expected Not_found"
+
+let test_dc_sweep_comparator_transfer () =
+  (* sweeping the + input of the open-loop comparator walks the output
+     from one rail toward the other *)
+  let t = Mixsyn_circuit.Topology.comparator in
+  let nl = t.Mixsyn_circuit.Template.build tech (Mixsyn_circuit.Template.midpoint t) in
+  let out = N.find_net nl "out" in
+  let vcm = Mixsyn_circuit.Topology.common_mode_fraction *. tech.Tech.vdd in
+  let values = Array.init 9 (fun i -> vcm -. 0.02 +. (0.005 *. float_of_int i)) in
+  let results = Dc.sweep ~tech nl ~source:"vip" ~values in
+  let v_low = Mna.voltage (snd results.(0)) out in
+  let v_high = Mna.voltage (snd results.(8)) out in
+  if Float.abs (v_high -. v_low) < 1.0 then
+    Alcotest.failf "comparator transfer too shallow: %.3f -> %.3f" v_low v_high
+
+let () =
+  Alcotest.run "engine"
+    [ ( "dc",
+        [ Alcotest.test_case "divider" `Quick test_dc_divider;
+          Alcotest.test_case "current source" `Quick test_dc_current_source_into_resistor;
+          Alcotest.test_case "vccs" `Quick test_dc_vccs;
+          Alcotest.test_case "power balance" `Quick test_dc_power_balance;
+          Alcotest.test_case "branch current" `Quick test_dc_branch_current;
+          Alcotest.test_case "mos diode bias" `Quick test_mos_diode_bias ] );
+      ( "mos-model",
+        [ Alcotest.test_case "square law" `Quick test_mos_square_law;
+          Alcotest.test_case "cutoff" `Quick test_mos_cutoff;
+          Alcotest.test_case "triode" `Quick test_mos_triode;
+          Alcotest.test_case "pmos mirror symmetry" `Quick test_mos_pmos_mirror_symmetry;
+          Alcotest.test_case "source/drain swap" `Quick test_mos_source_drain_swap;
+          Alcotest.test_case "jacobian consistency" `Quick test_mos_jacobian_consistency ] );
+      ( "ac",
+        [ Alcotest.test_case "rc pole" `Quick test_ac_rc_pole;
+          Alcotest.test_case "sweep grid" `Quick test_ac_sweep_grid;
+          Alcotest.test_case "ota gain formula" `Quick test_ac_ota_gain_formula ] );
+      ( "transient",
+        [ Alcotest.test_case "rc step" `Quick test_tran_rc_step;
+          Alcotest.test_case "settling time" `Quick test_tran_settling_time;
+          Alcotest.test_case "charge completion" `Quick test_tran_energy_conservation ] );
+      ( "noise",
+        [ Alcotest.test_case "4kTR floor" `Quick test_noise_resistor_4ktr;
+          Alcotest.test_case "kT/C invariant" `Quick test_noise_ktc;
+          Alcotest.test_case "flicker 1/f" `Quick test_noise_flicker_corner ] );
+      ( "cross-analysis",
+        [ QCheck_alcotest.to_alcotest prop_ac_dc_consistency;
+          QCheck_alcotest.to_alcotest prop_transient_settles_to_dc ] );
+      ( "dc-sweep",
+        [ Alcotest.test_case "divider" `Quick test_dc_sweep_divider;
+          Alcotest.test_case "unknown source" `Quick test_dc_sweep_unknown_source;
+          Alcotest.test_case "comparator transfer" `Quick test_dc_sweep_comparator_transfer ] );
+      ( "measure",
+        [ Alcotest.test_case "swing" `Quick test_measure_swing;
+          Alcotest.test_case "ugf on all topologies" `Quick test_measure_ugf_pm ] ) ]

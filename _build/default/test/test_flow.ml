@@ -1,0 +1,41 @@
+(* End-to-end flow test: specification to verified layout. *)
+
+module Spec = Mixsyn_synth.Spec
+module Flow = Mixsyn_flow.Flow
+
+let specs =
+  [ Spec.spec "gain_db" (Spec.At_least 70.0);
+    Spec.spec "ugf_hz" (Spec.At_least 10e6);
+    Spec.spec "phase_margin_deg" (Spec.At_least 55.0) ]
+
+let objectives = [ Spec.minimize "power_w" ]
+
+let test_flow_end_to_end () =
+  let o = Flow.run ~seed:13 ~specs ~objectives ~context:[ ("cl", 5e-12) ] () in
+  if not o.Flow.meets_post_layout then
+    Alcotest.failf "flow failed post-layout: %s"
+      (Format.asprintf "%a" Spec.pp_performance o.Flow.post_layout);
+  (* topology selection must not pick the 5T OTA at 70 dB *)
+  if o.Flow.template.Mixsyn_circuit.Template.t_name = "ota-5t" then
+    Alcotest.fail "infeasible topology selected";
+  (* the log shows every methodology stage *)
+  let stages = List.map (fun l -> l.Flow.stage) o.Flow.log in
+  List.iter
+    (fun prefix ->
+      if not (List.exists (fun s -> String.length s >= String.length prefix
+                                    && String.sub s 0 (String.length prefix) = prefix) stages)
+      then Alcotest.failf "missing stage %s" prefix)
+    [ "topology-selection"; "sizing"; "layout"; "extraction" ]
+
+let test_flow_post_layout_never_faster () =
+  let o = Flow.run ~seed:13 ~specs ~objectives ~context:[ ("cl", 5e-12) ] () in
+  match (Spec.lookup o.Flow.pre_layout "ugf_hz", Spec.lookup o.Flow.post_layout "ugf_hz") with
+  | Some pre, Some post ->
+    if post > pre *. 1.01 then Alcotest.fail "extraction made the circuit faster"
+  | _ -> Alcotest.fail "missing ugf"
+
+let () =
+  Alcotest.run "flow"
+    [ ( "end-to-end",
+        [ Alcotest.test_case "specs to layout" `Quick test_flow_end_to_end;
+          Alcotest.test_case "parasitic direction" `Quick test_flow_post_layout_never_faster ] ) ]

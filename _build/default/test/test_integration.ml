@@ -1,0 +1,143 @@
+(* Cross-library integration: pipelines that span frontend, backend and
+   verification, beyond what the per-library suites cover. *)
+
+module N = Mixsyn_circuit.Netlist
+module Tech = Mixsyn_circuit.Tech
+module Spec = Mixsyn_synth.Spec
+module Sizing = Mixsyn_synth.Sizing
+module DP = Mixsyn_synth.Design_plan
+module CF = Mixsyn_layout.Cell_flow
+
+let tech = Tech.generic_07um
+
+let check_close ?(eps = 1e-6) msg expected actual =
+  if Float.abs (expected -. actual) > eps *. Float.max 1e-30 (Float.abs expected) then
+    Alcotest.failf "%s: expected %g, got %g" msg expected actual
+
+let ota_specs =
+  [ Spec.spec "gain_db" (Spec.At_least 70.0);
+    Spec.spec "ugf_hz" (Spec.At_least 10e6);
+    Spec.spec "phase_margin_deg" (Spec.At_least 60.0) ]
+
+let context = [ ("cl", 5e-12); ("load_cap_f", 5e-12) ]
+
+let measure_ac nl =
+  let op = Mixsyn_engine.Dc.solve ~tech nl in
+  let out = N.find_net nl "out" in
+  let freqs = Mixsyn_engine.Ac.log_sweep ~decades_from:0.0 ~decades_to:9.5 ~points_per_decade:8 in
+  let ac = Mixsyn_engine.Ac.solve ~tech nl op ~freqs in
+  let bode = Mixsyn_engine.Measure.bode ac ~out in
+  ( 20.0 *. log10 (Float.max (Mixsyn_engine.Measure.dc_gain bode) 1e-12),
+    Option.value (Mixsyn_engine.Measure.unity_gain_freq bode) ~default:0.0,
+    Option.value (Mixsyn_engine.Measure.phase_margin bode) ~default:0.0 )
+
+(* 1. plan -> layout -> extraction -> re-verified performance *)
+let test_plan_to_silicon () =
+  let r =
+    Sizing.size ~context (Sizing.Design_plan DP.plan_miller)
+      Mixsyn_circuit.Topology.miller_ota ~specs:ota_specs
+      ~objectives:[ Spec.minimize "power_w" ]
+  in
+  Alcotest.(check bool) "plan meets pre-layout" true r.Sizing.meets_specs;
+  let nl = Mixsyn_circuit.Topology.miller_ota.Mixsyn_circuit.Template.build tech r.Sizing.params in
+  let layout = CF.koan ~seed:23 nl in
+  Alcotest.(check bool) "layout routed" true layout.CF.complete;
+  let annotated = Mixsyn_layout.Extract.annotate nl layout.CF.parasitics in
+  let gain, ugf, pm = measure_ac annotated in
+  (* the plan has margin; layout parasitics must not consume all of it *)
+  if gain < 70.0 then Alcotest.failf "post-layout gain %.1f dB below spec" gain;
+  if ugf < 9e6 then Alcotest.failf "post-layout ugf %.3g collapsed" ugf;
+  if pm < 50.0 then Alcotest.failf "post-layout pm %.1f collapsed" pm
+
+(* shared laid-out-and-extracted miller instance for the read-only tests *)
+let extracted_miller =
+  lazy
+    (let x = [| 60e-6; 20e-6; 30e-6; 60e-6; 45e-6; 1e-6; 50e-6; 3e-12; 5e-12 |] in
+     let nl = Mixsyn_circuit.Topology.miller_ota.Mixsyn_circuit.Template.build tech x in
+     let layout = CF.koan ~seed:23 nl in
+     Mixsyn_layout.Extract.annotate nl layout.CF.parasitics)
+
+(* 2. the symbolic simulator handles the extracted netlist too *)
+let test_symbolic_on_extracted () =
+  let annotated = Lazy.force extracted_miller in
+  let out = N.find_net annotated "out" in
+  let r = Mixsyn_symbolic.Analyze.transfer annotated ~out in
+  let op = Mixsyn_engine.Dc.solve ~tech annotated in
+  let v = Mixsyn_symbolic.Analyze.valuation ~tech annotated op in
+  let freqs = [| 10.0; 1e5; 1e7 |] in
+  let ac = Mixsyn_engine.Ac.solve ~tech annotated op ~freqs in
+  Array.iteri
+    (fun k f ->
+      let numeric = Mixsyn_engine.Ac.magnitude ac k out in
+      let symbolic =
+        Complex.norm
+          (Mixsyn_symbolic.Analyze.eval_rational v r { Complex.re = 0.0; im = 2.0 *. Float.pi *. f })
+      in
+      check_close ~eps:1e-3 (Printf.sprintf "f=%g" f) numeric symbolic)
+    freqs
+
+(* 3. AWE agrees with AC on the extracted netlist *)
+let test_awe_on_extracted () =
+  let annotated = Lazy.force extracted_miller in
+  let op = Mixsyn_engine.Dc.solve ~tech annotated in
+  let out = N.find_net annotated "out" in
+  let tf = Mixsyn_awe.Awe.of_circuit ~tech annotated op ~out ~order:4 in
+  let freqs = [| 1.0; 1e4 |] in
+  let ac = Mixsyn_engine.Ac.solve ~tech annotated op ~freqs in
+  Array.iteri
+    (fun k f ->
+      check_close ~eps:0.02 (Printf.sprintf "f=%g" f)
+        (Mixsyn_engine.Ac.magnitude ac k out)
+        (Mixsyn_awe.Awe.magnitude tf f))
+    freqs
+
+(* 4. SC filter: electrical spec survives its own layout *)
+let test_sc_filter_through_layout () =
+  let spec = { Mixsyn_circuit.Sc_filter.f_clock = 1e6; f0 = 10e3; q = 0.707; gain = 2.0 } in
+  let nl = Mixsyn_circuit.Sc_filter.biquad_lowpass spec in
+  let layout = CF.procedural ~style:0 nl in
+  let annotated = Mixsyn_layout.Extract.annotate nl layout.CF.parasitics in
+  let op = Mixsyn_engine.Dc.solve ~tech annotated in
+  let out = N.find_net annotated "out" in
+  let ac = Mixsyn_engine.Ac.solve ~tech annotated op ~freqs:[| 1e3 |] in
+  let measured = Mixsyn_engine.Ac.magnitude ac 0 out in
+  check_close ~eps:0.05 "passband gain survives layout"
+    (Mixsyn_circuit.Sc_filter.expected_magnitude spec 1e3)
+    measured
+
+(* 5. SPICE export names every element of the netlist *)
+let test_spice_deck_complete () =
+  let x = [| 60e-6; 20e-6; 30e-6; 60e-6; 45e-6; 1e-6; 50e-6; 3e-12; 5e-12 |] in
+  let nl = Mixsyn_circuit.Topology.miller_ota.Mixsyn_circuit.Template.build tech x in
+  let deck = N.to_spice nl in
+  let contains needle =
+    let nl_ = String.length needle and sl = String.length deck in
+    let rec scan i = i + nl_ <= sl && (String.sub deck i nl_ = needle || scan (i + 1)) in
+    scan 0
+  in
+  List.iter
+    (fun e ->
+      let name = N.element_name e in
+      if not (contains name) then Alcotest.failf "deck lacks element %s" name)
+    (N.elements nl);
+  Alcotest.(check bool) ".END present" true (contains ".END")
+
+(* 6. the detector's synthesized sizing still biases at a hot corner *)
+let test_detector_sizing_survives_corner () =
+  let hot = Tech.apply_corner tech { Tech.corner_name = "hot"; d_vdd = -0.05; d_temp = 60.0; d_vth = 0.02; d_kp = -0.05 } in
+  match Mixsyn_synth.Pulse_detector.measure ~tech:hot Mixsyn_synth.Pulse_detector.manual with
+  | None -> Alcotest.fail "manual detector fails to bias at the hot corner"
+  | Some m ->
+    (* functionality persists even if margins shrink *)
+    let gain = Option.value (Spec.lookup m "gain_v_per_fc") ~default:0.0 in
+    if gain < 10.0 then Alcotest.failf "hot-corner gain collapsed to %.1f V/fC" gain
+
+let () =
+  Alcotest.run "integration"
+    [ ( "pipelines",
+        [ Alcotest.test_case "plan to silicon" `Quick test_plan_to_silicon;
+          Alcotest.test_case "symbolic on extracted" `Quick test_symbolic_on_extracted;
+          Alcotest.test_case "awe on extracted" `Quick test_awe_on_extracted;
+          Alcotest.test_case "sc filter through layout" `Quick test_sc_filter_through_layout;
+          Alcotest.test_case "spice deck complete" `Quick test_spice_deck_complete;
+          Alcotest.test_case "detector at hot corner" `Quick test_detector_sizing_survives_corner ] ) ]

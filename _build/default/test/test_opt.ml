@@ -1,0 +1,133 @@
+(* Optimization-engine tests: each algorithm must solve a problem with a
+   known optimum. *)
+
+module Rng = Mixsyn_util.Rng
+module Anneal = Mixsyn_opt.Anneal
+module NM = Mixsyn_opt.Nelder_mead
+module GA = Mixsyn_opt.Genetic
+module CS = Mixsyn_opt.Corner_search
+
+let check_close ?(eps = 1e-6) msg expected actual =
+  if Float.abs (expected -. actual) > eps *. Float.max 1e-30 (Float.abs expected) then
+    Alcotest.failf "%s: expected %g, got %g" msg expected actual
+
+(* --- annealing -------------------------------------------------------- *)
+
+let test_anneal_quadratic () =
+  let rng = Rng.create 1 in
+  let problem =
+    { Anneal.initial = [| 8.0; -6.0 |];
+      cost = (fun x -> ((x.(0) -. 2.0) ** 2.0) +. ((x.(1) +. 1.0) ** 2.0));
+      neighbor =
+        (fun rng ~temp01 x ->
+          let x' = Array.copy x in
+          let i = Rng.int rng 2 in
+          x'.(i) <- x'.(i) +. Rng.uniform rng (-1.0) 1.0 *. (0.1 +. temp01);
+          x') }
+  in
+  let schedule = { Anneal.t_start = 10.0; t_end = 1e-6; cooling = 0.9; moves_per_stage = 100 } in
+  let r = Anneal.minimize ~schedule ~rng problem in
+  if r.Anneal.best_cost > 0.01 then Alcotest.failf "annealing stalled at %g" r.Anneal.best_cost;
+  if r.Anneal.proposed <= 0 || r.Anneal.accepted <= 0 then Alcotest.fail "no moves recorded"
+
+let test_anneal_deterministic () =
+  let run seed =
+    let rng = Rng.create seed in
+    let problem =
+      { Anneal.initial = [| 5.0 |];
+        cost = (fun x -> Float.abs x.(0));
+        neighbor =
+          (fun rng ~temp01:_ x -> [| x.(0) +. Rng.uniform rng (-0.5) 0.5 |]) }
+    in
+    (Anneal.minimize ~rng problem).Anneal.best_cost
+  in
+  check_close "same seed same result" (run 42) (run 42);
+  ()
+
+let test_auto_schedule () =
+  let s = Anneal.auto_schedule ~cost_scale:100.0 () in
+  if s.Anneal.t_start <= s.Anneal.t_end then Alcotest.fail "degenerate schedule"
+
+(* --- nelder-mead -------------------------------------------------------- *)
+
+let test_nm_rosenbrock () =
+  let f x =
+    let a = 1.0 -. x.(0) and b = x.(1) -. (x.(0) ** 2.0) in
+    (a ** 2.0) +. (20.0 *. (b ** 2.0))
+  in
+  let options = { NM.max_evals = 4000; tolerance = 1e-14 } in
+  let x, fx, evals =
+    NM.minimize ~options ~lower:[| -5.0; -5.0 |] ~upper:[| 5.0; 5.0 |] ~f [| -2.0; 2.0 |]
+  in
+  if fx > 1e-5 then Alcotest.failf "rosenbrock stalled at %g" fx;
+  check_close ~eps:0.01 "x0" 1.0 x.(0);
+  check_close ~eps:0.02 "x1" 1.0 x.(1);
+  if evals > 4000 then Alcotest.fail "budget exceeded"
+
+let test_nm_respects_bounds () =
+  (* optimum outside the box: solution must sit on the boundary *)
+  let f x = (x.(0) -. 10.0) ** 2.0 in
+  let x, _, _ = NM.minimize ~lower:[| 0.0 |] ~upper:[| 2.0 |] ~f [| 1.0 |] in
+  check_close ~eps:1e-6 "clamped to boundary" 2.0 x.(0)
+
+(* --- genetic -------------------------------------------------------------- *)
+
+let test_ga_onemax () =
+  let rng = Rng.create 3 in
+  let fitness bits = float_of_int (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 bits) in
+  let best, fit = GA.optimize_bits ~rng ~length:24 ~fitness () in
+  if fit < 22.0 then Alcotest.failf "onemax reached only %g/24" fit;
+  Alcotest.(check int) "length preserved" 24 (Array.length best)
+
+let test_ga_real_sphere () =
+  let rng = Rng.create 5 in
+  let fitness x = -.(((x.(0) -. 1.0) ** 2.0) +. ((x.(1) +. 2.0) ** 2.0)) in
+  let best, _ =
+    GA.optimize_real ~rng ~lower:[| -10.0; -10.0 |] ~upper:[| 10.0; 10.0 |] ~fitness ()
+  in
+  if Float.abs (best.(0) -. 1.0) > 0.5 || Float.abs (best.(1) +. 2.0) > 0.5 then
+    Alcotest.failf "sphere optimum missed: (%g, %g)" best.(0) best.(1)
+
+(* --- corner search ----------------------------------------------------------- *)
+
+let test_corner_search_monotone () =
+  (* violation grows with vdd deviation: worst corner is at a vdd extreme *)
+  let violation (c : Mixsyn_circuit.Tech.corner) = Float.abs c.Mixsyn_circuit.Tech.d_vdd in
+  let corner, value, evals = CS.worst_corner ~refine:false ~violation () in
+  check_close ~eps:1e-9 "worst value" 0.1 value;
+  check_close ~eps:1e-9 "at the extreme" 0.1 (Float.abs corner.Mixsyn_circuit.Tech.d_vdd);
+  if evals < 16 then Alcotest.fail "did not sweep the vertices"
+
+let test_corner_search_refinement () =
+  (* maximum in the interior: refinement must beat the vertices *)
+  let violation (c : Mixsyn_circuit.Tech.corner) =
+    1.0 -. ((c.Mixsyn_circuit.Tech.d_temp -. 30.0) /. 100.0) ** 2.0
+  in
+  let _, value, _ = CS.worst_corner ~violation () in
+  let _, vertex_value, _ = CS.worst_corner ~refine:false ~violation () in
+  if value < vertex_value -. 1e-12 then Alcotest.fail "refinement made things worse"
+
+let test_corner_of_point () =
+  let c = CS.corner_of_point "x" [| 0.1; -40.0; 0.02; -0.05 |] in
+  check_close "vdd" 0.1 c.Mixsyn_circuit.Tech.d_vdd;
+  check_close "temp" (-40.0) c.Mixsyn_circuit.Tech.d_temp;
+  match CS.corner_of_point "x" [| 1.0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let () =
+  Alcotest.run "opt"
+    [ ( "anneal",
+        [ Alcotest.test_case "quadratic" `Quick test_anneal_quadratic;
+          Alcotest.test_case "deterministic" `Quick test_anneal_deterministic;
+          Alcotest.test_case "auto schedule" `Quick test_auto_schedule ] );
+      ( "nelder-mead",
+        [ Alcotest.test_case "rosenbrock" `Quick test_nm_rosenbrock;
+          Alcotest.test_case "bounds" `Quick test_nm_respects_bounds ] );
+      ( "genetic",
+        [ Alcotest.test_case "onemax" `Quick test_ga_onemax;
+          Alcotest.test_case "real sphere" `Quick test_ga_real_sphere ] );
+      ( "corner-search",
+        [ Alcotest.test_case "monotone" `Quick test_corner_search_monotone;
+          Alcotest.test_case "refinement" `Quick test_corner_search_refinement;
+          Alcotest.test_case "corner_of_point" `Quick test_corner_of_point ] ) ]

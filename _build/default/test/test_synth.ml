@@ -1,0 +1,401 @@
+(* Frontend synthesis tests: specs, plans, evaluators, sizing strategies,
+   topology selection, manufacturability, the Table 1 machinery. *)
+
+module Spec = Mixsyn_synth.Spec
+module DP = Mixsyn_synth.Design_plan
+module Sizing = Mixsyn_synth.Sizing
+module Eq = Mixsyn_synth.Equations
+module Ev = Mixsyn_synth.Evaluate
+module TS = Mixsyn_synth.Topo_select
+module Man = Mixsyn_synth.Manufacturability
+module PD = Mixsyn_synth.Pulse_detector
+module Top = Mixsyn_circuit.Topology
+module Tp = Mixsyn_circuit.Template
+
+let check_close ?(eps = 1e-6) msg expected actual =
+  if Float.abs (expected -. actual) > eps *. Float.max 1e-30 (Float.abs expected) then
+    Alcotest.failf "%s: expected %g, got %g" msg expected actual
+
+(* --- specs -------------------------------------------------------------- *)
+
+let test_spec_violation () =
+  let s = Spec.spec "gain_db" (Spec.At_least 60.0) in
+  check_close "met" 0.0 (Spec.violation_of s [ ("gain_db", 70.0) ]);
+  if Spec.violation_of s [ ("gain_db", 54.0) ] <= 0.0 then Alcotest.fail "missed violation";
+  if Spec.violation_of s [] <= 0.0 then Alcotest.fail "missing metric not penalised"
+
+let test_spec_between () =
+  let s = Spec.spec "gain_v_per_fc" (Spec.Between (19.0, 22.0)) in
+  check_close "inside" 0.0 (Spec.violation_of s [ ("gain_v_per_fc", 20.0) ]);
+  if Spec.violation_of s [ ("gain_v_per_fc", 25.0) ] <= 0.0 then Alcotest.fail "above band";
+  if Spec.violation_of s [ ("gain_v_per_fc", 10.0) ] <= 0.0 then Alcotest.fail "below band"
+
+let test_spec_cost_orders_designs () =
+  let specs = [ Spec.spec "gain_db" (Spec.At_least 60.0) ] in
+  let objectives = [ Spec.minimize "power_w" ] in
+  let good = [ ("gain_db", 65.0); ("power_w", 1e-3) ] in
+  let better = [ ("gain_db", 65.0); ("power_w", 1e-4) ] in
+  let broken = [ ("gain_db", 40.0); ("power_w", 1e-6) ] in
+  let c = Spec.cost ~specs ~objectives in
+  if c better >= c good then Alcotest.fail "lower power should cost less";
+  if c broken <= c good then Alcotest.fail "violations must dominate objectives"
+
+(* --- design plans --------------------------------------------------------- *)
+
+let ota_specs =
+  [ Spec.spec "gain_db" (Spec.At_least 70.0);
+    Spec.spec "ugf_hz" (Spec.At_least 10e6);
+    Spec.spec "phase_margin_deg" (Spec.At_least 60.0) ]
+
+let context = [ ("cl", 5e-12); ("load_cap_f", 5e-12) ]
+
+let test_plan_miller_meets_specs () =
+  let r =
+    Sizing.size ~context (Sizing.Design_plan DP.plan_miller) Top.miller_ota ~specs:ota_specs
+      ~objectives:[ Spec.minimize "power_w" ]
+  in
+  if not r.Sizing.meets_specs then
+    Alcotest.failf "plan result violates specs: %s"
+      (Format.asprintf "%a" Spec.pp_performance r.Sizing.performance);
+  (* plans execute without a single simulator call *)
+  Alcotest.(check int) "no evaluator calls" 0 r.Sizing.evaluations
+
+let test_plan_ota5t_runs () =
+  let specs =
+    [ Spec.spec "gain_db" (Spec.At_least 35.0);
+      Spec.spec "ugf_hz" (Spec.At_least 20e6) ]
+  in
+  let x, env = DP.execute ~context:[ ("load_cap_f", 2e-12) ] DP.plan_ota_5t specs in
+  Alcotest.(check int) "parameter count" 6 (Array.length x);
+  if DP.get env "gm1" <= 0.0 then Alcotest.fail "plan derived nonpositive gm"
+
+let test_plan_check_fails_loudly () =
+  (* an impossible power budget trips the plan's check step *)
+  let specs =
+    [ Spec.spec "gain_db" (Spec.At_least 35.0);
+      Spec.spec "ugf_hz" (Spec.At_least 50e6);
+      Spec.spec "power_w" (Spec.At_most 1e-9) ]
+  in
+  match DP.execute ~context:[ ("load_cap_f", 10e-12) ] DP.plan_ota_5t specs with
+  | exception DP.Plan_failed _ -> ()
+  | _ -> Alcotest.fail "expected Plan_failed on impossible budget"
+
+let test_plan_env_seeding () =
+  let env = DP.seed_env ota_specs in
+  check_close "gain seeded" 70.0 (DP.get env "spec_gain_db");
+  match DP.get env "spec_missing" with
+  | exception DP.Plan_failed _ -> ()
+  | _ -> Alcotest.fail "expected Plan_failed for missing key"
+
+(* --- evaluators -------------------------------------------------------------- *)
+
+let test_equations_close_to_simulation () =
+  (* at the plan's design point, equations and simulation should agree on
+     gain within a few dB and on ugf within ~40% (first-order accuracy) *)
+  let x, _ = DP.execute ~context DP.plan_miller ota_specs in
+  let x = Tp.clamp Top.miller_ota x in
+  match (Eq.evaluate Top.miller_ota x, Ev.full_simulation Top.miller_ota x) with
+  | Some eq, Some sim ->
+    let get p n = Option.get (Spec.lookup p n) in
+    if Float.abs (get eq "gain_db" -. get sim "gain_db") > 8.0 then
+      Alcotest.failf "gain mismatch: eq %.1f dB vs sim %.1f dB" (get eq "gain_db")
+        (get sim "gain_db");
+    let ratio = get eq "ugf_hz" /. get sim "ugf_hz" in
+    if ratio < 0.6 || ratio > 1.7 then Alcotest.failf "ugf ratio %.2f out of band" ratio
+  | _ -> Alcotest.fail "evaluators failed"
+
+let test_awe_hybrid_close_to_simulation () =
+  let x = Tp.midpoint Top.ota_5t in
+  match (Ev.awe_hybrid Top.ota_5t x, Ev.full_simulation Top.ota_5t x) with
+  | Some a, Some s ->
+    let get p n = Option.get (Spec.lookup p n) in
+    check_close ~eps:0.05 "gain agreement" (get s "gain_db") (get a "gain_db");
+    let ratio = get a "ugf_hz" /. get s "ugf_hz" in
+    if ratio < 0.9 || ratio > 1.1 then Alcotest.failf "awe ugf ratio %.3f" ratio
+  | _ -> Alcotest.fail "evaluators failed"
+
+let test_equations_unsupported () =
+  let fake = { Top.ota_5t with Tp.t_name = "unknown-topology" } in
+  Alcotest.(check bool) "unsupported" false (Eq.supported fake);
+  match Eq.evaluate fake (Tp.midpoint fake) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected None for unsupported topology"
+
+(* --- sizing strategies --------------------------------------------------------- *)
+
+let test_sizing_simulation_annealing () =
+  let r =
+    Sizing.size ~seed:5 ~context Sizing.Simulation_annealing Top.miller_ota ~specs:ota_specs
+      ~objectives:[ Spec.minimize "power_w" ]
+  in
+  if not r.Sizing.meets_specs then
+    Alcotest.failf "simulation annealing failed: %s"
+      (Format.asprintf "%a" Spec.pp_performance r.Sizing.performance)
+
+let test_sizing_awe_annealing () =
+  let r =
+    Sizing.size ~seed:5 ~context Sizing.Awe_annealing Top.miller_ota ~specs:ota_specs
+      ~objectives:[ Spec.minimize "power_w" ]
+  in
+  if not r.Sizing.meets_specs then Alcotest.fail "awe annealing failed"
+
+let test_sizing_pins_context_params () =
+  let r =
+    Sizing.size ~seed:5 ~context Sizing.Awe_annealing Top.miller_ota ~specs:ota_specs
+      ~objectives:[]
+  in
+  let i = Tp.param_index Top.miller_ota "cl" in
+  check_close ~eps:1e-9 "cl pinned" 5e-12 r.Sizing.params.(i)
+
+let test_sizing_guardband_fixes_equations () =
+  (* raw equation sizing misses PM at verification; a 25% guardband lands it *)
+  let banded =
+    Sizing.size ~seed:5 ~context ~guardband:1.25 Sizing.Equation_annealing Top.miller_ota
+      ~specs:ota_specs ~objectives:[ Spec.minimize "power_w" ]
+  in
+  if not banded.Sizing.meets_specs then
+    Alcotest.failf "guard-banded equation sizing still misses: %s"
+      (Format.asprintf "%a" Spec.pp_performance banded.Sizing.performance)
+
+(* --- topology selection ----------------------------------------------------------- *)
+
+let test_interval_pruning () =
+  let hard = [ Spec.spec "gain_db" (Spec.At_least 85.0) ] in
+  let feasible = TS.interval_feasible hard Top.all in
+  if List.exists (fun (t : Tp.t) -> t.Tp.t_name = "ota-5t") feasible then
+    Alcotest.fail "5T OTA cannot reach 85 dB";
+  if not (List.exists (fun (t : Tp.t) -> t.Tp.t_name = "folded-cascode") feasible) then
+    Alcotest.fail "folded cascode should survive"
+
+let test_rule_based_ranking () =
+  let easy = [ Spec.spec "gain_db" (Spec.At_least 30.0) ] in
+  match TS.rule_based easy Top.all with
+  | [] -> Alcotest.fail "no verdicts"
+  | best :: rest ->
+    List.iter
+      (fun (v : TS.verdict) -> if v.TS.score > best.TS.score then Alcotest.fail "not sorted")
+      rest
+
+let test_ga_select_picks_feasible () =
+  let specs =
+    [ Spec.spec "gain_db" (Spec.At_least 75.0); Spec.spec "ugf_hz" (Spec.At_least 5e6) ]
+  in
+  let template, params, _fitness =
+    TS.ga_select ~seed:3 specs ~objectives:[ Spec.minimize "power_w" ] Top.all
+  in
+  if template.Tp.t_name = "ota-5t" then Alcotest.fail "GA chose an infeasible topology";
+  Alcotest.(check int) "params decoded" (Array.length template.Tp.params) (Array.length params)
+
+(* --- manufacturability ----------------------------------------------------------- *)
+
+let test_worst_case_violation () =
+  let x, _ = DP.execute ~context DP.plan_miller ota_specs in
+  let x = Tp.clamp Top.miller_ota x in
+  let _, worst = Man.worst_case_violation Top.miller_ota x ~specs:ota_specs in
+  let nominal =
+    match Eq.evaluate Top.miller_ota x with
+    | Some p -> Spec.total_violation ota_specs p
+    | None -> infinity
+  in
+  if worst < nominal -. 1e-12 then Alcotest.fail "worst corner better than nominal"
+
+let test_manufacturability_cpu_ratio () =
+  let report =
+    Man.synthesize ~seed:3 Top.ota_5t
+      ~specs:
+        [ Spec.spec "gain_db" (Spec.At_least 35.0);
+          Spec.spec "ugf_hz" (Spec.At_least 5e6) ]
+      ~objectives:[ Spec.minimize "power_w" ]
+  in
+  (* the paper reports 4x-10x; we only require a clear overhead *)
+  if report.Man.cpu_ratio < 2.0 then
+    Alcotest.failf "corner synthesis suspiciously cheap: %.1fx" report.Man.cpu_ratio;
+  if report.Man.robust_worst_violation > report.Man.nominal_worst_violation +. 1e-9 then
+    Alcotest.fail "robust synthesis should improve the worst corner"
+
+(* --- hierarchy -------------------------------------------------------------- *)
+
+module H = Mixsyn_synth.Hierarchy
+
+let test_hierarchy_two_stage () =
+  let specs =
+    [ Spec.spec "gain_db" (Spec.At_least 100.0);
+      Spec.spec "ugf_hz" (Spec.At_least 5e6) ]
+  in
+  let r = H.design ~seed:21 H.two_stage_amplifier specs in
+  if not (H.meets r specs) then
+    Alcotest.failf "hierarchical design misses specs: %s"
+      (Format.asprintf "%a" Spec.pp_performance r.H.performance);
+  Alcotest.(check int) "two children" 2 (List.length r.H.children);
+  (* the chain-level specs must hold; individual leaves may run out of
+     margin on their (deliberately tightened) translated specs *)
+  List.iter
+    (fun (c : H.result) ->
+      match c.H.sizing with
+      | Some _ ->
+        if c.H.performance = [] then Alcotest.failf "%s has no performance" c.H.node_name
+      | None -> Alcotest.fail "leaf without sizing")
+    r.H.children
+
+let test_hierarchy_composition_sums_power () =
+  let specs = [ Spec.spec "gain_db" (Spec.At_least 90.0) ] in
+  let r = H.design ~seed:21 H.two_stage_amplifier specs in
+  let child_power =
+    List.fold_left
+      (fun acc (c : H.result) ->
+        acc +. Option.value (Spec.lookup c.H.performance "power_w") ~default:0.0)
+      0.0 r.H.children
+  in
+  let total = Option.value (Spec.lookup r.H.performance "power_w") ~default:0.0 in
+  check_close ~eps:1e-9 "power sums" child_power total
+
+(* --- yield ------------------------------------------------------------------- *)
+
+let test_yield_robust_beats_nominal () =
+  let specs =
+    [ Spec.spec "gain_db" (Spec.At_least 70.0);
+      Spec.spec "ugf_hz" (Spec.At_least 8e6);
+      Spec.spec "phase_margin_deg" (Spec.At_least 55.0) ]
+  in
+  let report =
+    Man.synthesize ~seed:3 Top.miller_ota ~specs ~objectives:[ Spec.minimize "power_w" ]
+  in
+  let y_nom =
+    Man.yield_estimate ~samples:500 Top.miller_ota report.Man.nominal.Sizing.params ~specs
+  in
+  let y_rob =
+    Man.yield_estimate ~samples:500 Top.miller_ota report.Man.robust.Sizing.params ~specs
+  in
+  if y_rob < y_nom then Alcotest.failf "robust yield %.2f below nominal %.2f" y_rob y_nom;
+  if y_rob < 0.9 then Alcotest.failf "robust design yield only %.2f" y_rob
+
+let test_yield_bounds () =
+  let y =
+    Man.yield_estimate ~samples:200 Top.ota_5t (Tp.midpoint Top.ota_5t)
+      ~specs:[ Spec.spec "gain_db" (Spec.At_least 0.0) ]
+  in
+  if y < 0.0 || y > 1.0 then Alcotest.failf "yield %g out of [0,1]" y
+
+(* --- folded-cascode plan ------------------------------------------------------ *)
+
+let test_plan_folded_cascode_meets () =
+  let specs =
+    [ Spec.spec "gain_db" (Spec.At_least 80.0);
+      Spec.spec "ugf_hz" (Spec.At_least 20e6);
+      Spec.spec "phase_margin_deg" (Spec.At_least 60.0) ]
+  in
+  let r =
+    Sizing.size ~context:[ ("cl", 2e-12); ("load_cap_f", 2e-12) ]
+      (Sizing.Design_plan DP.plan_folded_cascode) Top.folded_cascode ~specs
+      ~objectives:[ Spec.minimize "power_w" ]
+  in
+  if not r.Sizing.meets_specs then
+    Alcotest.failf "folded plan violates: %s"
+      (Format.asprintf "%a" Spec.pp_performance r.Sizing.performance)
+
+(* --- converter ---------------------------------------------------------------- *)
+
+module C = Mixsyn_synth.Converter
+
+let test_converter_regions () =
+  (* slow + any resolution -> SAR; fast + low resolution -> pipeline or flash *)
+  let best spec = snd (C.select spec) in
+  (match best { C.bits = 12; rate_hz = 100e3; vref = 2.0 } with
+   | Some e -> Alcotest.(check string) "12b/100k" "sar" (C.architecture_name e.C.arch)
+   | None -> Alcotest.fail "no architecture for 12b/100k");
+  (match best { C.bits = 6; rate_hz = 50e6; vref = 2.0 } with
+   | Some e ->
+     if e.C.arch = C.Sar then Alcotest.fail "SAR cannot cycle at 50 MS/s"
+   | None -> Alcotest.fail "no architecture for 6b/50M")
+
+let test_converter_flash_explodes () =
+  let e = C.estimate { C.bits = 14; rate_hz = 44.1e3; vref = 2.0 } C.Flash in
+  Alcotest.(check bool) "14-bit flash infeasible" false e.C.feasible
+
+let test_converter_power_monotone_in_rate () =
+  let p rate =
+    (C.estimate { C.bits = 10; rate_hz = rate; vref = 2.0 } C.Sar).C.power_w
+  in
+  if p 1e6 <= p 100e3 then Alcotest.fail "power should grow with rate"
+
+let test_converter_synthesize () =
+  let s = C.synthesize ~seed:29 { C.bits = 10; rate_hz = 1e6; vref = 2.0 } in
+  Alcotest.(check string) "architecture" "sar" (C.architecture_name s.C.chosen.C.arch);
+  if not s.C.comparator.Sizing.meets_specs then
+    Alcotest.failf "comparator misses translated specs: %s"
+      (Format.asprintf "%a" Spec.pp_performance s.C.comparator.Sizing.performance);
+  if s.C.total_power_w <= 0.0 then Alcotest.fail "nonpositive refined power"
+
+(* --- pulse detector ----------------------------------------------------------------- *)
+
+let test_detector_measure_consistency () =
+  match (PD.measure PD.manual, PD.measure ~use_transient:true PD.manual) with
+  | Some fast, Some slow ->
+    List.iter
+      (fun (name, v) ->
+        let v' = Option.get (Spec.lookup slow name) in
+        check_close ~eps:0.05 name v' v)
+      fast
+  | _ -> Alcotest.fail "measurement failed"
+
+let test_detector_manual_meets_specs () =
+  match PD.measure ~use_transient:true PD.manual with
+  | Some m ->
+    if not (Spec.satisfied PD.specs m) then
+      Alcotest.failf "manual baseline violates Table 1 specs: %s"
+        (Format.asprintf "%a" Spec.pp_performance m)
+  | None -> Alcotest.fail "manual design failed to measure"
+
+let test_detector_gain_tracks_a_stage () =
+  let module D = Mixsyn_circuit.Detector in
+  let gain a =
+    match PD.measure { PD.manual with D.a_stage = a } with
+    | Some m -> Option.get (Spec.lookup m "gain_v_per_fc")
+    | None -> Alcotest.fail "measure failed"
+  in
+  if gain 9.0 <= gain 7.0 then Alcotest.fail "gain should grow with stage gain"
+
+let () =
+  Alcotest.run "synth"
+    [ ( "spec",
+        [ Alcotest.test_case "violation" `Quick test_spec_violation;
+          Alcotest.test_case "between" `Quick test_spec_between;
+          Alcotest.test_case "cost ordering" `Quick test_spec_cost_orders_designs ] );
+      ( "design-plan",
+        [ Alcotest.test_case "miller meets specs" `Quick test_plan_miller_meets_specs;
+          Alcotest.test_case "ota-5t runs" `Quick test_plan_ota5t_runs;
+          Alcotest.test_case "check fails loudly" `Quick test_plan_check_fails_loudly;
+          Alcotest.test_case "env seeding" `Quick test_plan_env_seeding ] );
+      ( "evaluators",
+        [ Alcotest.test_case "equations vs simulation" `Quick test_equations_close_to_simulation;
+          Alcotest.test_case "awe vs simulation" `Quick test_awe_hybrid_close_to_simulation;
+          Alcotest.test_case "unsupported template" `Quick test_equations_unsupported ] );
+      ( "sizing",
+        [ Alcotest.test_case "simulation annealing" `Quick test_sizing_simulation_annealing;
+          Alcotest.test_case "awe annealing" `Quick test_sizing_awe_annealing;
+          Alcotest.test_case "context pinning" `Quick test_sizing_pins_context_params;
+          Alcotest.test_case "guardband" `Quick test_sizing_guardband_fixes_equations ] );
+      ( "topology-selection",
+        [ Alcotest.test_case "interval pruning" `Quick test_interval_pruning;
+          Alcotest.test_case "rule ranking" `Quick test_rule_based_ranking;
+          Alcotest.test_case "ga selection" `Quick test_ga_select_picks_feasible ] );
+      ( "manufacturability",
+        [ Alcotest.test_case "worst-case violation" `Quick test_worst_case_violation;
+          Alcotest.test_case "cpu ratio" `Quick test_manufacturability_cpu_ratio ] );
+      ( "hierarchy",
+        [ Alcotest.test_case "two-stage chain" `Quick test_hierarchy_two_stage;
+          Alcotest.test_case "power composition" `Quick test_hierarchy_composition_sums_power ] );
+      ( "yield",
+        [ Alcotest.test_case "robust beats nominal" `Quick test_yield_robust_beats_nominal;
+          Alcotest.test_case "bounds" `Quick test_yield_bounds ] );
+      ( "folded-plan",
+        [ Alcotest.test_case "meets specs" `Quick test_plan_folded_cascode_meets ] );
+      ( "converter",
+        [ Alcotest.test_case "architecture regions" `Quick test_converter_regions;
+          Alcotest.test_case "flash explodes" `Quick test_converter_flash_explodes;
+          Alcotest.test_case "power vs rate" `Quick test_converter_power_monotone_in_rate;
+          Alcotest.test_case "synthesize" `Quick test_converter_synthesize ] );
+      ( "pulse-detector",
+        [ Alcotest.test_case "awe vs transient" `Quick test_detector_measure_consistency;
+          Alcotest.test_case "manual meets specs" `Quick test_detector_manual_meets_specs;
+          Alcotest.test_case "gain tracks stage gain" `Quick test_detector_gain_tracks_a_stage ] ) ]

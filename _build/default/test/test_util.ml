@@ -1,0 +1,334 @@
+(* Unit and property tests for the numerical substrate. *)
+
+module Rng = Mixsyn_util.Rng
+module Real = Mixsyn_util.Matrix.Real
+module Cplx = Mixsyn_util.Matrix.Cplx
+module Poly = Mixsyn_util.Poly
+module I = Mixsyn_util.Interval
+module Stats = Mixsyn_util.Stats
+module Units = Mixsyn_util.Units
+
+let close ?(eps = 1e-9) a b =
+  Float.abs (a -. b) <= eps *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if not (close ~eps expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* --- rng -------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "int out of bounds: %d" v;
+    let f = Rng.float rng 3.5 in
+    if f < 0.0 || f >= 3.5 then Alcotest.failf "float out of bounds: %g" f;
+    let u = Rng.uniform rng (-2.0) 5.0 in
+    if u < -2.0 || u >= 5.0 then Alcotest.failf "uniform out of bounds: %g" u
+  done
+
+let test_rng_gauss_moments () =
+  let rng = Rng.create 11 in
+  let n = 40_000 in
+  let samples = Array.init n (fun _ -> Rng.gauss rng) in
+  if Float.abs (Stats.mean samples) > 0.02 then
+    Alcotest.failf "gauss mean too far from 0: %g" (Stats.mean samples);
+  if Float.abs (Stats.stddev samples -. 1.0) > 0.02 then
+    Alcotest.failf "gauss stddev too far from 1: %g" (Stats.stddev samples)
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 3 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_split_independent () =
+  let parent = Rng.create 5 in
+  let child = Rng.split parent in
+  let a = Array.init 10 (fun _ -> Rng.int parent 1000) in
+  let b = Array.init 10 (fun _ -> Rng.int child 1000) in
+  if a = b then Alcotest.fail "split streams identical"
+
+(* --- matrices --------------------------------------------------------- *)
+
+let random_system rng n =
+  let a =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            Rng.uniform rng (-1.0) 1.0 +. if i = j then 4.0 else 0.0))
+  in
+  let x = Array.init n (fun _ -> Rng.uniform rng (-5.0) 5.0) in
+  (a, x)
+
+let test_real_solve_roundtrip () =
+  let rng = Rng.create 17 in
+  for _ = 1 to 50 do
+    let n = 1 + Rng.int rng 12 in
+    let a, x = random_system rng n in
+    let b = Real.mat_vec a x in
+    let x' = Real.solve a b in
+    Array.iteri (fun i xi -> check_close ~eps:1e-8 "solve" xi x'.(i)) x
+  done
+
+let test_real_identity () =
+  let i5 = Real.identity 5 in
+  let b = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Alcotest.(check (array (float 1e-12))) "identity solve" b (Real.solve i5 b)
+
+let test_real_singular () =
+  let a = [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  match Real.lu_factor a with
+  | exception Real.Singular _ -> ()
+  | _ -> Alcotest.fail "singular matrix not detected"
+
+let test_real_determinant () =
+  let a = [| [| 2.0; 0.0; 0.0 |]; [| 0.0; 3.0; 0.0 |]; [| 1.0; 1.0; 4.0 |] |] in
+  check_close "det" 24.0 (Real.determinant a);
+  let b = [| a.(1); a.(0); a.(2) |] in
+  check_close "det sign" (-24.0) (Real.determinant b)
+
+let test_cplx_solve () =
+  let j = { Complex.re = 0.0; im = 1.0 } in
+  let one = Complex.one in
+  (* (1+j) x = 2 -> x = 1-j *)
+  let a = [| [| Complex.add one j |] |] in
+  let b = [| { Complex.re = 2.0; im = 0.0 } |] in
+  let x = Cplx.solve a b in
+  check_close "re" 1.0 x.(0).Complex.re;
+  check_close "im" (-1.0) x.(0).Complex.im
+
+let test_mat_mul_assoc () =
+  let rng = Rng.create 23 in
+  let m () = Array.init 4 (fun _ -> Array.init 4 (fun _ -> Rng.uniform rng (-1.0) 1.0)) in
+  let a = m () and b = m () and c = m () in
+  let left = Real.mat_mul (Real.mat_mul a b) c in
+  let right = Real.mat_mul a (Real.mat_mul b c) in
+  Array.iteri
+    (fun i row -> Array.iteri (fun k v -> check_close ~eps:1e-10 "assoc" v right.(i).(k)) row)
+    left
+
+(* --- polynomials ------------------------------------------------------ *)
+
+let test_poly_eval () =
+  let p = Poly.of_coeffs [| 1.0; -3.0; 2.0 |] in
+  check_close "p(0.5)" 0.0 (Poly.eval p 0.5);
+  check_close "p(1)" 0.0 (Poly.eval p 1.0);
+  check_close "p(2)" 3.0 (Poly.eval p 2.0)
+
+let test_poly_roots_quadratic () =
+  let p = Poly.of_coeffs [| 2.0; -3.0; 1.0 |] in
+  let roots = Poly.roots p in
+  let reals = Array.map (fun (z : Complex.t) -> z.Complex.re) roots in
+  Array.sort compare reals;
+  check_close ~eps:1e-6 "root 1" 1.0 reals.(0);
+  check_close ~eps:1e-6 "root 2" 2.0 reals.(1)
+
+let test_poly_roots_complex () =
+  let roots = Poly.roots (Poly.of_coeffs [| 1.0; 0.0; 1.0 |]) in
+  Array.iter
+    (fun (z : Complex.t) ->
+      check_close ~eps:1e-6 "re" 0.0 z.Complex.re;
+      check_close ~eps:1e-6 "im magnitude" 1.0 (Float.abs z.Complex.im))
+    roots
+
+let test_poly_from_roots_roundtrip () =
+  let roots = [| { Complex.re = -1.0; im = 0.0 }; { Complex.re = -2.0; im = 3.0 };
+                 { Complex.re = -2.0; im = -3.0 } |] in
+  let p = Poly.from_roots roots in
+  Array.iter
+    (fun r ->
+      let v = Poly.eval_complex p r in
+      if Complex.norm v > 1e-9 then Alcotest.failf "root not preserved: |p(r)|=%g" (Complex.norm v))
+    roots
+
+let test_poly_derivative () =
+  let p = Poly.of_coeffs [| 5.0; 1.0; 3.0 |] in
+  let p' = Poly.derivative p in
+  check_close "d/dx at 2" 13.0 (Poly.eval p' 2.0)
+
+(* --- intervals --------------------------------------------------------- *)
+
+let test_interval_basic () =
+  let a = I.make 1.0 3.0 in
+  Alcotest.(check bool) "contains" true (I.contains a 2.0);
+  Alcotest.(check bool) "not contains" false (I.contains a 4.0);
+  check_close "mid" 2.0 (I.mid a);
+  check_close "width" 2.0 (I.width a)
+
+let test_interval_reorder () =
+  let a = I.make 3.0 1.0 in
+  check_close "lo" 1.0 (I.lo a);
+  check_close "hi" 3.0 (I.hi a)
+
+let test_interval_div_by_zero_span () =
+  match I.div (I.make 1.0 2.0) (I.make (-1.0) 1.0) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "division by zero-spanning interval should be None"
+
+let test_interval_intersect () =
+  (match I.intersect (I.make 0.0 2.0) (I.make 1.0 3.0) with
+   | Some r ->
+     check_close "lo" 1.0 (I.lo r);
+     check_close "hi" 2.0 (I.hi r)
+   | None -> Alcotest.fail "expected intersection");
+  match I.intersect (I.make 0.0 1.0) (I.make 2.0 3.0) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected disjoint"
+
+(* --- stats ------------------------------------------------------------- *)
+
+let test_stats_known () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  check_close "mean" 5.0 (Stats.mean xs);
+  check_close ~eps:1e-6 "stddev" (sqrt (32.0 /. 7.0)) (Stats.stddev xs);
+  check_close "median" 4.5 (Stats.percentile xs 50.0);
+  check_close "min" 2.0 (Stats.minimum xs);
+  check_close "max" 9.0 (Stats.maximum xs)
+
+let test_stats_linear_fit () =
+  let pts = Array.init 10 (fun i -> (float_of_int i, (3.0 *. float_of_int i) +. 1.0)) in
+  let slope, intercept = Stats.linear_fit pts in
+  check_close "slope" 3.0 slope;
+  check_close "intercept" 1.0 intercept
+
+let test_stats_geometric_mean () =
+  check_close "geomean" 4.0 (Stats.geometric_mean [| 2.0; 8.0 |])
+
+(* --- units ------------------------------------------------------------- *)
+
+let test_units_format () =
+  Alcotest.(check string) "milli" "2.2 mW" (Units.format 2.2e-3 "W");
+  Alcotest.(check string) "micro" "15 uA" (Units.format 15e-6 "A");
+  Alcotest.(check string) "zero" "0 F" (Units.format 0.0 "F")
+
+let test_units_db () =
+  check_close "db" 40.0 (Units.db 100.0);
+  check_close "undb" 100.0 (Units.undb 40.0)
+
+(* --- properties -------------------------------------------------------- *)
+
+let prop_interval_add_contains =
+  QCheck.Test.make ~name:"interval add contains pointwise sum" ~count:500
+    QCheck.(quad (float_range (-100.) 100.) (float_range 0. 10.)
+              (float_range (-100.) 100.) (float_range 0. 10.))
+    (fun (a, wa, b, wb) ->
+      let ia = I.make a (a +. wa) and ib = I.make b (b +. wb) in
+      let x = a +. (wa /. 3.0) and y = b +. (wb /. 2.0) in
+      I.contains (I.add ia ib) (x +. y))
+
+let prop_interval_mul_contains =
+  QCheck.Test.make ~name:"interval mul contains pointwise product" ~count:500
+    QCheck.(quad (float_range (-10.) 10.) (float_range 0. 5.)
+              (float_range (-10.) 10.) (float_range 0. 5.))
+    (fun (a, wa, b, wb) ->
+      let ia = I.make a (a +. wa) and ib = I.make b (b +. wb) in
+      let x = a +. (wa /. 2.0) and y = b +. (wb /. 4.0) in
+      I.contains (I.mul ia ib) (x *. y))
+
+let prop_poly_add_eval =
+  QCheck.Test.make ~name:"poly add is pointwise" ~count:300
+    QCheck.(pair (list_of_size (Gen.int_range 1 6) (float_range (-5.) 5.))
+              (list_of_size (Gen.int_range 1 6) (float_range (-5.) 5.)))
+    (fun (ca, cb) ->
+      let pa = Poly.of_coeffs (Array.of_list ca) and pb = Poly.of_coeffs (Array.of_list cb) in
+      let s = Poly.add pa pb in
+      List.for_all
+        (fun x -> close ~eps:1e-9 (Poly.eval s x) (Poly.eval pa x +. Poly.eval pb x))
+        [ -2.0; -0.5; 0.0; 1.0; 3.0 ])
+
+let prop_poly_mul_eval =
+  QCheck.Test.make ~name:"poly mul is pointwise" ~count:300
+    QCheck.(pair (list_of_size (Gen.int_range 1 5) (float_range (-3.) 3.))
+              (list_of_size (Gen.int_range 1 5) (float_range (-3.) 3.)))
+    (fun (ca, cb) ->
+      let pa = Poly.of_coeffs (Array.of_list ca) and pb = Poly.of_coeffs (Array.of_list cb) in
+      let m = Poly.mul pa pb in
+      List.for_all
+        (fun x -> close ~eps:1e-7 (Poly.eval m x) (Poly.eval pa x *. Poly.eval pb x))
+        [ -1.5; 0.0; 0.7; 2.0 ])
+
+let prop_matrix_solve_residual =
+  QCheck.Test.make ~name:"LU solve has small residual" ~count:100
+    QCheck.(int_range 1 10)
+    (fun n ->
+      let rng = Rng.create (n * 7919) in
+      let a, x = random_system rng n in
+      let b = Real.mat_vec a x in
+      let x' = Real.solve a b in
+      let b' = Real.mat_vec a x' in
+      Array.for_all (fun ok -> ok) (Array.mapi (fun i u -> close ~eps:1e-8 u b'.(i)) b))
+
+(* --- ascii plot ----------------------------------------------------------- *)
+
+let test_ascii_plot_shapes () =
+  let pts = Array.init 50 (fun i -> (float_of_int i, sin (float_of_int i /. 5.0))) in
+  let chart = Mixsyn_util.Ascii_plot.line ~width:40 ~height:10 pts in
+  let lines = String.split_on_char '\n' chart in
+  if List.length lines < 10 then Alcotest.fail "chart too short";
+  if not (String.contains chart '*') then Alcotest.fail "no data glyphs"
+
+let test_ascii_plot_multi_legend () =
+  let a = [| (0.0, 0.0); (1.0, 1.0) |] and b = [| (0.0, 1.0); (1.0, 0.0) |] in
+  let chart = Mixsyn_util.Ascii_plot.multi [ ("up", a); ("down", b) ] in
+  List.iter
+    (fun needle ->
+      let nl_ = String.length needle and sl = String.length chart in
+      let rec scan i = i + nl_ <= sl && (String.sub chart i nl_ = needle || scan (i + 1)) in
+      if not (scan 0) then Alcotest.failf "legend lacks %s" needle)
+    [ "up"; "down" ]
+
+let test_ascii_plot_empty () =
+  Alcotest.(check string) "empty series" "(no data)\n" (Mixsyn_util.Ascii_plot.line [||])
+
+let () =
+  let qt t = QCheck_alcotest.to_alcotest t in
+  Alcotest.run "util"
+    [ ( "rng",
+        [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gauss_moments;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent ] );
+      ( "matrix",
+        [ Alcotest.test_case "solve roundtrip" `Quick test_real_solve_roundtrip;
+          Alcotest.test_case "identity" `Quick test_real_identity;
+          Alcotest.test_case "singular detected" `Quick test_real_singular;
+          Alcotest.test_case "determinant" `Quick test_real_determinant;
+          Alcotest.test_case "complex solve" `Quick test_cplx_solve;
+          Alcotest.test_case "mat_mul associative" `Quick test_mat_mul_assoc;
+          qt prop_matrix_solve_residual ] );
+      ( "poly",
+        [ Alcotest.test_case "eval" `Quick test_poly_eval;
+          Alcotest.test_case "quadratic roots" `Quick test_poly_roots_quadratic;
+          Alcotest.test_case "complex roots" `Quick test_poly_roots_complex;
+          Alcotest.test_case "from_roots roundtrip" `Quick test_poly_from_roots_roundtrip;
+          Alcotest.test_case "derivative" `Quick test_poly_derivative;
+          qt prop_poly_add_eval;
+          qt prop_poly_mul_eval ] );
+      ( "interval",
+        [ Alcotest.test_case "basics" `Quick test_interval_basic;
+          Alcotest.test_case "reorder" `Quick test_interval_reorder;
+          Alcotest.test_case "div by zero-span" `Quick test_interval_div_by_zero_span;
+          Alcotest.test_case "intersect" `Quick test_interval_intersect;
+          qt prop_interval_add_contains;
+          qt prop_interval_mul_contains ] );
+      ( "stats",
+        [ Alcotest.test_case "known values" `Quick test_stats_known;
+          Alcotest.test_case "linear fit" `Quick test_stats_linear_fit;
+          Alcotest.test_case "geometric mean" `Quick test_stats_geometric_mean ] );
+      ( "ascii-plot",
+        [ Alcotest.test_case "shapes" `Quick test_ascii_plot_shapes;
+          Alcotest.test_case "legend" `Quick test_ascii_plot_multi_legend;
+          Alcotest.test_case "empty" `Quick test_ascii_plot_empty ] );
+      ( "units",
+        [ Alcotest.test_case "format" `Quick test_units_format;
+          Alcotest.test_case "db" `Quick test_units_db ] ) ]
