@@ -534,16 +534,24 @@ let all =
     ("adc", run_adc);
     ("ablations", run_ablations) ]
 
+(* run one experiment inside a fresh telemetry scope and print its report,
+   so each table/figure comes with the counters and spans that produced it *)
+let run_one (name, f) =
+  Mixsyn_util.Telemetry.reset ();
+  f ();
+  Printf.printf "\n-- telemetry: %s --\n" name;
+  Format.printf "%a@." Mixsyn_util.Telemetry.pp_report ()
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   match args with
-  | [] -> List.iter (fun (_, f) -> f ()) all
+  | [] -> List.iter run_one all
   | [ "micro" ] -> micro ()
   | names ->
     List.iter
       (fun name ->
         match List.assoc_opt name all with
-        | Some f -> f ()
+        | Some f -> run_one (name, f)
         | None ->
           Printf.eprintf "unknown experiment %s; available: micro %s\n" name
             (String.concat " " (List.map fst all));

@@ -44,6 +44,14 @@ let cl_arg =
 
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
 
+let telemetry_arg =
+  Arg.(value & flag
+       & info [ "telemetry" ]
+           ~doc:"Print the flow-wide telemetry report (counters and timed spans) after the command.")
+
+let report_telemetry enabled =
+  if enabled then Format.printf "@.%a@." Mixsyn_util.Telemetry.pp_report ()
+
 let topology_arg =
   Arg.(value & opt string "miller-ota" & info [ "topology" ] ~docv:"NAME" ~doc:"Topology name.")
 
@@ -54,7 +62,7 @@ let strategy_arg =
 (* --- size ------------------------------------------------------------ *)
 
 let size_cmd =
-  let run topology strategy gain ugf pm cl seed =
+  let run topology strategy gain ugf pm cl seed telemetry =
     let template = find_template topology in
     let strategy =
       match strategy with
@@ -85,15 +93,17 @@ let size_cmd =
       (fun i p ->
         Format.printf "  %-6s = %s@." p.Mixsyn_circuit.Template.p_name
           (Mixsyn_util.Units.format result.Mixsyn_synth.Sizing.params.(i) ""))
-      template.Mixsyn_circuit.Template.params
+      template.Mixsyn_circuit.Template.params;
+    report_telemetry telemetry
   in
   Cmd.v (Cmd.info "size" ~doc:"Size a topology against specifications.")
-    Term.(const run $ topology_arg $ strategy_arg $ gain_arg $ ugf_arg $ pm_arg $ cl_arg $ seed_arg)
+    Term.(const run $ topology_arg $ strategy_arg $ gain_arg $ ugf_arg $ pm_arg $ cl_arg $ seed_arg
+          $ telemetry_arg)
 
 (* --- topo ------------------------------------------------------------ *)
 
 let topo_cmd =
-  let run gain ugf pm =
+  let run gain ugf pm telemetry =
     let specs = specs_of ~gain ~ugf ~pm in
     let feasible = Mixsyn_synth.Topo_select.interval_feasible specs Mixsyn_circuit.Topology.all in
     Format.printf "interval-feasible: %s@."
@@ -104,15 +114,16 @@ let topo_cmd =
         Format.printf "%-16s score %6.2f@." v.Mixsyn_synth.Topo_select.template.Mixsyn_circuit.Template.t_name
           v.Mixsyn_synth.Topo_select.score;
         List.iter (Format.printf "    %s@.") v.Mixsyn_synth.Topo_select.rationale)
-      (Mixsyn_synth.Topo_select.rule_based specs Mixsyn_circuit.Topology.all)
+      (Mixsyn_synth.Topo_select.rule_based specs Mixsyn_circuit.Topology.all);
+    report_telemetry telemetry
   in
   Cmd.v (Cmd.info "topo" ~doc:"Rank candidate topologies for a specification set.")
-    Term.(const run $ gain_arg $ ugf_arg $ pm_arg)
+    Term.(const run $ gain_arg $ ugf_arg $ pm_arg $ telemetry_arg)
 
 (* --- layout ----------------------------------------------------------- *)
 
 let layout_cmd =
-  let run topology seed =
+  let run topology seed telemetry =
     let template = find_template topology in
     let tech = Mixsyn_circuit.Tech.generic_07um in
     let params = Mixsyn_circuit.Template.midpoint template in
@@ -128,28 +139,30 @@ let layout_cmd =
         (if r.Mixsyn_layout.Cell_flow.complete then "routed" else "INCOMPLETE")
     in
     show proc;
-    show koan
+    show koan;
+    report_telemetry telemetry
   in
   Cmd.v (Cmd.info "layout" ~doc:"Lay out a midpoint-sized topology, procedural vs KOAN.")
-    Term.(const run $ topology_arg $ seed_arg)
+    Term.(const run $ topology_arg $ seed_arg $ telemetry_arg)
 
 (* --- table1 ----------------------------------------------------------- *)
 
 let table1_cmd =
-  let run seed moves =
+  let run seed moves telemetry =
     let rows = Mixsyn_synth.Pulse_detector.table1 ~seed ~moves () in
-    Format.printf "%a@." Mixsyn_synth.Pulse_detector.pp_rows rows
+    Format.printf "%a@." Mixsyn_synth.Pulse_detector.pp_rows rows;
+    report_telemetry telemetry
   in
   let moves_arg =
     Arg.(value & opt int 40 & info [ "moves" ] ~docv:"N" ~doc:"Annealing moves per stage.")
   in
   Cmd.v (Cmd.info "table1" ~doc:"Reproduce the paper's Table 1 synthesis experiment.")
-    Term.(const run $ seed_arg $ moves_arg)
+    Term.(const run $ seed_arg $ moves_arg $ telemetry_arg)
 
 (* --- floorplan / powergrid / wren -------------------------------------- *)
 
 let floorplan_cmd =
-  let run seed =
+  let run seed telemetry =
     let blocks = Mixsyn_assembly.Block.data_channel_testbench () in
     let fp = Mixsyn_assembly.Floorplan.floorplan ~seed blocks in
     Format.printf "chip %.2f x %.2f mm, wirelength %.2f mm@."
@@ -165,13 +178,14 @@ let floorplan_cmd =
       fp.Mixsyn_assembly.Floorplan.placements;
     List.iter
       (fun (name, v) -> Format.printf "  substrate noise at %-14s %.1f mV@." name (v *. 1e3))
-      fp.Mixsyn_assembly.Floorplan.victim_noise
+      fp.Mixsyn_assembly.Floorplan.victim_noise;
+    report_telemetry telemetry
   in
   Cmd.v (Cmd.info "floorplan" ~doc:"WRIGHT-style substrate-aware floorplan of the testbench chip.")
-    Term.(const run $ seed_arg)
+    Term.(const run $ seed_arg $ telemetry_arg)
 
 let powergrid_cmd =
-  let run seed =
+  let run seed telemetry =
     let blocks = Mixsyn_assembly.Block.data_channel_testbench () in
     let fp = Mixsyn_assembly.Floorplan.floorplan ~seed blocks in
     let r = Mixsyn_assembly.Power_grid.synthesize fp in
@@ -187,13 +201,14 @@ let powergrid_cmd =
     show "before" r.Mixsyn_assembly.Power_grid.before;
     show "after" r.Mixsyn_assembly.Power_grid.after;
     Format.printf "%d iterations, constraints %s@." r.Mixsyn_assembly.Power_grid.iterations
-      (if r.Mixsyn_assembly.Power_grid.meets then "MET" else "violated")
+      (if r.Mixsyn_assembly.Power_grid.meets then "MET" else "violated");
+    report_telemetry telemetry
   in
   Cmd.v (Cmd.info "powergrid" ~doc:"RAIL-style power-grid synthesis (the Fig. 3 experiment).")
-    Term.(const run $ seed_arg)
+    Term.(const run $ seed_arg $ telemetry_arg)
 
 let wren_cmd =
-  let run seed =
+  let run seed telemetry =
     let blocks = Mixsyn_assembly.Block.data_channel_testbench () in
     let fp = Mixsyn_assembly.Floorplan.floorplan ~seed blocks in
     List.iter
@@ -207,15 +222,16 @@ let wren_cmd =
           (r.Mixsyn_assembly.Wren.shared_length *. 1e6))
       [ ("noise-blind", Mixsyn_assembly.Wren.Noise_blind);
         ("snr", Mixsyn_assembly.Wren.Snr_constrained);
-        ("segregated", Mixsyn_assembly.Wren.Segregated) ]
+        ("segregated", Mixsyn_assembly.Wren.Segregated) ];
+    report_telemetry telemetry
   in
   Cmd.v (Cmd.info "wren" ~doc:"WREN global routing under the three noise disciplines.")
-    Term.(const run $ seed_arg)
+    Term.(const run $ seed_arg $ telemetry_arg)
 
 (* --- hierarchy ---------------------------------------------------------- *)
 
 let hierarchy_cmd =
-  let run gain ugf =
+  let run gain ugf telemetry =
     let specs =
       [ Mixsyn_synth.Spec.spec "gain_db" (Mixsyn_synth.Spec.At_least gain);
         Mixsyn_synth.Spec.spec "ugf_hz" (Mixsyn_synth.Spec.At_least ugf) ]
@@ -223,17 +239,18 @@ let hierarchy_cmd =
     let r = Mixsyn_synth.Hierarchy.design Mixsyn_synth.Hierarchy.two_stage_amplifier specs in
     Format.printf "%a@." Mixsyn_synth.Hierarchy.pp r;
     Format.printf "chain specs %s@."
-      (if Mixsyn_synth.Hierarchy.meets r specs then "MET" else "violated")
+      (if Mixsyn_synth.Hierarchy.meets r specs then "MET" else "violated");
+    report_telemetry telemetry
   in
   Cmd.v
     (Cmd.info "hierarchy"
        ~doc:"Hierarchical top-down/bottom-up design of a two-stage amplification chain.")
-    Term.(const run $ gain_arg $ ugf_arg)
+    Term.(const run $ gain_arg $ ugf_arg $ telemetry_arg)
 
 (* --- yield --------------------------------------------------------------- *)
 
 let yield_cmd =
-  let run gain ugf pm seed =
+  let run gain ugf pm seed telemetry =
     let specs = specs_of ~gain ~ugf ~pm in
     let report =
       Mixsyn_synth.Manufacturability.synthesize ~seed Mixsyn_circuit.Topology.miller_ota
@@ -249,11 +266,12 @@ let yield_cmd =
     y "nominal sizing" report.Mixsyn_synth.Manufacturability.nominal.Mixsyn_synth.Sizing.params;
     y "corner-robust sizing" report.Mixsyn_synth.Manufacturability.robust.Mixsyn_synth.Sizing.params;
     Format.printf "corner-synthesis CPU overhead: %.1fx@."
-      report.Mixsyn_synth.Manufacturability.cpu_ratio
+      report.Mixsyn_synth.Manufacturability.cpu_ratio;
+    report_telemetry telemetry
   in
   Cmd.v
     (Cmd.info "yield" ~doc:"Monte-Carlo parametric yield of nominal vs corner-robust sizing.")
-    Term.(const run $ gain_arg $ ugf_arg $ pm_arg $ seed_arg)
+    Term.(const run $ gain_arg $ ugf_arg $ pm_arg $ seed_arg $ telemetry_arg)
 
 (* --- adc ----------------------------------------------------------------- *)
 
@@ -262,7 +280,7 @@ let adc_cmd =
   let rate_arg =
     Arg.(value & opt float 1e6 & info [ "rate" ] ~docv:"HZ" ~doc:"Sample rate.")
   in
-  let run bits rate seed =
+  let run bits rate seed telemetry =
     let module C = Mixsyn_synth.Converter in
     let spec = { C.bits; rate_hz = rate; vref = 2.0 } in
     let estimates, _ = C.select spec in
@@ -280,24 +298,26 @@ let adc_cmd =
             (Mixsyn_synth.Spec.lookup s.C.comparator.Mixsyn_synth.Sizing.performance "power_w")
             ~default:0.0)
          "W")
-      (if s.C.comparator.Mixsyn_synth.Sizing.meets_specs then "MET" else "MISSED")
+      (if s.C.comparator.Mixsyn_synth.Sizing.meets_specs then "MET" else "MISSED");
+    report_telemetry telemetry
   in
   Cmd.v
     (Cmd.info "adc" ~doc:"High-level A/D converter synthesis: architecture selection and comparator sizing.")
-    Term.(const run $ bits_arg $ rate_arg $ seed_arg)
+    Term.(const run $ bits_arg $ rate_arg $ seed_arg $ telemetry_arg)
 
 (* --- flow -------------------------------------------------------------- *)
 
 let flow_cmd =
-  let run gain ugf pm cl seed =
+  let run gain ugf pm cl seed telemetry =
     let o =
       Mixsyn_flow.Flow.run ~seed ~specs:(specs_of ~gain ~ugf ~pm) ~objectives
         ~context:[ ("cl", cl) ] ()
     in
-    Format.printf "%a@." Mixsyn_flow.Flow.pp_outcome o
+    Format.printf "%a@." Mixsyn_flow.Flow.pp_outcome o;
+    report_telemetry telemetry
   in
   Cmd.v (Cmd.info "flow" ~doc:"Full top-to-bottom flow: specs to verified layout.")
-    Term.(const run $ gain_arg $ ugf_arg $ pm_arg $ cl_arg $ seed_arg)
+    Term.(const run $ gain_arg $ ugf_arg $ pm_arg $ cl_arg $ seed_arg $ telemetry_arg)
 
 let main =
   let doc = "mixed-signal circuit synthesis and layout (DAC'96 reproduction)" in

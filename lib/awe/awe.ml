@@ -99,9 +99,17 @@ let try_pade ms q =
   { poles; residues; moments = Array.copy ms; order = q }
 
 let pade ms ~order =
+  Mixsyn_util.Telemetry.count "awe.pade_calls";
   let max_q = Array.length ms / 2 in
+  let fallback q =
+    Mixsyn_util.Telemetry.count "awe.order_fallbacks";
+    q - 1
+  in
   let rec attempt q =
-    if q < 1 then failwith "awe: no Pade approximant at any order"
+    if q < 1 then begin
+      Mixsyn_util.Telemetry.count "awe.pade_failures";
+      failwith "awe: no Pade approximant at any order"
+    end
     else
       match try_pade ms q with
       | tf ->
@@ -110,8 +118,8 @@ let pade ms ~order =
             (fun (p : Complex.t) -> Float.is_finite p.Complex.re && Float.is_finite p.Complex.im)
             tf.poles
         in
-        if finite then tf else attempt (q - 1)
-      | exception Real.Singular _ -> attempt (q - 1)
+        if finite then tf else attempt (fallback q)
+      | exception Real.Singular _ -> attempt (fallback q)
   in
   attempt (min order max_q)
 

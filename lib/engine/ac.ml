@@ -89,6 +89,8 @@ let complex_system g c b omega =
   a
 
 let solve ?(tech = Mixsyn_circuit.Tech.generic_07um) nl op ~freqs =
+  Mixsyn_util.Telemetry.count "ac.solves";
+  Mixsyn_util.Telemetry.add "ac.freq_points" (Array.length freqs);
   let g, c, b = build_system tech nl op in
   let solutions =
     Array.map

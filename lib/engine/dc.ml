@@ -83,7 +83,9 @@ let assemble tech nl (layout : Mna.layout) x ~alpha ~gmin =
 let newton tech nl layout ~x0 ~alpha ~gmin ~max_iterations =
   let x = Array.copy x0 in
   let n = layout.Mna.size in
+  let iterations_run = ref 0 in
   let rec loop iter =
+    incr iterations_run;
     if iter > max_iterations then None
     else begin
       let a, b, evals = assemble tech nl layout x ~alpha ~gmin in
@@ -104,9 +106,13 @@ let newton tech nl layout ~x0 ~alpha ~gmin ~max_iterations =
         else loop (iter + 1)
     end
   in
-  loop 1
+  let r = loop 1 in
+  Mixsyn_util.Telemetry.add "dc.newton_iterations" !iterations_run;
+  (match r with None -> Mixsyn_util.Telemetry.count "dc.newton_failures" | Some _ -> ());
+  r
 
 let solve ?(tech = Mixsyn_circuit.Tech.generic_07um) ?(gmin = 1e-9) ?(max_iterations = 200) nl =
+  Mixsyn_util.Telemetry.count "dc.solves";
   let layout = Mna.layout_of nl in
   let zeros = Array.make layout.Mna.size 0.0 in
   let finish (x, evals, iterations) = { Mna.op_layout = layout; x; mos_evals = evals; iterations } in
@@ -114,6 +120,7 @@ let solve ?(tech = Mixsyn_circuit.Tech.generic_07um) ?(gmin = 1e-9) ?(max_iterat
   | Some result -> finish result
   | None ->
     (* source stepping with warm starts *)
+    Mixsyn_util.Telemetry.count "dc.source_stepping_runs";
     let steps = [ 0.1; 0.25; 0.4; 0.55; 0.7; 0.85; 1.0 ] in
     let rec continue x0 = function
       | [] -> None
@@ -127,6 +134,7 @@ let solve ?(tech = Mixsyn_circuit.Tech.generic_07um) ?(gmin = 1e-9) ?(max_iterat
      | Some result -> finish result
      | None ->
        (* gmin stepping as a last resort *)
+       Mixsyn_util.Telemetry.count "dc.gmin_stepping_runs";
        let rec gmin_steps x0 = function
          | [] -> None
          | g :: rest ->
@@ -137,7 +145,9 @@ let solve ?(tech = Mixsyn_circuit.Tech.generic_07um) ?(gmin = 1e-9) ?(max_iterat
        in
        (match gmin_steps zeros [ 1e-3; 1e-5; 1e-7; gmin ] with
         | Some result -> finish result
-        | None -> raise (No_convergence "dc: newton, source and gmin stepping all failed")))
+        | None ->
+          Mixsyn_util.Telemetry.count "dc.no_convergence";
+          raise (No_convergence "dc: newton, source and gmin stepping all failed")))
 
 let power nl op =
   let layout = op.Mna.op_layout in

@@ -19,11 +19,23 @@ type outcome = {
   log : stage_log list;
 }
 
+(* each stage runs inside a telemetry span; the outcome keeps the legacy
+   [stage_log] list so callers see the same shape as before *)
 let timed log stage f =
   let t0 = Unix.gettimeofday () in
-  let result, detail = f () in
+  let result, detail = Mixsyn_util.Telemetry.with_span ("flow." ^ stage) f in
   log := { stage; detail; seconds = Unix.gettimeofday () -. t0 } :: !log;
   result
+
+(* layout preference across placement retries: a completely routed layout
+   beats any incomplete one; within the same completeness, smaller area
+   wins *)
+let better_layout (a : Mixsyn_layout.Cell_flow.report) (b : Mixsyn_layout.Cell_flow.report) =
+  match (a.Mixsyn_layout.Cell_flow.complete, b.Mixsyn_layout.Cell_flow.complete) with
+  | true, false -> a
+  | false, true -> b
+  | true, true | false, false ->
+    if a.Mixsyn_layout.Cell_flow.area_m2 <= b.Mixsyn_layout.Cell_flow.area_m2 then a else b
 
 let measure_extracted tech template params layout_report =
   let nl = template.Template.build tech params in
@@ -46,6 +58,7 @@ let measure_extracted tech template params layout_report =
 
 let run ?(tech = Mixsyn_circuit.Tech.generic_07um) ?(seed = 13) ?(max_redesigns = 2)
     ?(candidates = Mixsyn_circuit.Topology.all) ~specs ~objectives ~context () =
+  Mixsyn_util.Telemetry.with_span "flow.run" @@ fun () ->
   let log = ref [] in
   (* 1. topology selection: interval pruning then rule-based ranking *)
   let template =
@@ -64,6 +77,10 @@ let run ?(tech = Mixsyn_circuit.Tech.generic_07um) ?(seed = 13) ?(max_redesigns 
     let context =
       match List.assoc_opt "cl" context with
       | Some cl -> ("cl", cl +. extra_load) :: List.remove_assoc "cl" context
+      | None when extra_load > 0.0 ->
+        (* no load entry yet: the observed wiring capacitance must still
+           reach the next sizing pass rather than being dropped *)
+        ("cl", extra_load) :: context
       | None -> context
     in
     (* each redesign sizes against tightened targets so the layout-induced
@@ -93,11 +110,15 @@ let run ?(tech = Mixsyn_circuit.Tech.generic_07um) ?(seed = 13) ?(max_redesigns 
         (Printf.sprintf "layout-pass%d" redesigns)
         (fun () ->
           let nl = template.Template.build tech sizing.Sizing.params in
-          (* retry placement seeds until the router completes *)
-          let rec best_layout k r =
-            if r.Mixsyn_layout.Cell_flow.complete || k >= 3 then r
-            else best_layout (k + 1)
-                (Mixsyn_layout.Cell_flow.koan ~seed:(seed + (7 * redesigns) + k) nl)
+          (* retry placement seeds until the router completes, keeping the
+             best attempt seen (complete first, then minimum area) rather
+             than whatever the last retry produced *)
+          let rec best_layout k best =
+            if best.Mixsyn_layout.Cell_flow.complete || k >= 3 then best
+            else
+              best_layout (k + 1)
+                (better_layout best
+                   (Mixsyn_layout.Cell_flow.koan ~seed:(seed + (7 * redesigns) + k) nl))
           in
           let r = best_layout 1 (Mixsyn_layout.Cell_flow.koan ~seed:(seed + (7 * redesigns)) nl) in
           ( r,
@@ -126,6 +147,7 @@ let run ?(tech = Mixsyn_circuit.Tech.generic_07um) ?(seed = 13) ?(max_redesigns 
       let wiring_cap =
         Mixsyn_layout.Extract.total_wiring_cap layout.Mixsyn_layout.Cell_flow.parasitics
       in
+      Mixsyn_util.Telemetry.count "flow.redesigns";
       attempt (redesigns + 1) (extra_load +. (2.0 *. wiring_cap))
     end
   in

@@ -26,6 +26,13 @@ type outcome = {
   log : stage_log list;
 }
 
+val better_layout :
+  Mixsyn_layout.Cell_flow.report ->
+  Mixsyn_layout.Cell_flow.report ->
+  Mixsyn_layout.Cell_flow.report
+(** Preference order across placement retries: a completely routed layout
+    beats any incomplete one; at equal completeness the smaller area wins. *)
+
 val run :
   ?tech:Mixsyn_circuit.Tech.t ->
   ?seed:int ->

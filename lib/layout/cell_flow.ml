@@ -155,6 +155,7 @@ let symmetric_net_pairs nets =
   if List.mem "inp" names && List.mem "inn" names then [ ("inp", "inn") ] else []
 
 let koan ?(seed = 23) ?(coupling_budgets = []) nl =
+  Mixsyn_util.Telemetry.with_span "layout.koan" @@ fun () ->
   let items, nets, symmetry = items_of_netlist nl in
   let nets =
     List.map
@@ -167,9 +168,14 @@ let koan ?(seed = 23) ?(coupling_budgets = []) nl =
   (* routability is a property of the placement: when the router cannot
      complete, try further annealing seeds and keep the best attempt *)
   let attempt k =
-    let placement = Placer.place ~seed:(seed + (1000 * k)) items symmetry in
-    finish ~flow_name:(Printf.sprintf "koan-seed%d" seed) ~items ~placement ~nets
-      ~symmetric_pairs:(symmetric_net_pairs nets)
+    Mixsyn_util.Telemetry.count "layout.placement_attempts";
+    let placement =
+      Mixsyn_util.Telemetry.with_span "layout.place" (fun () ->
+          Placer.place ~seed:(seed + (1000 * k)) items symmetry)
+    in
+    Mixsyn_util.Telemetry.with_span "layout.route" (fun () ->
+        finish ~flow_name:(Printf.sprintf "koan-seed%d" seed) ~items ~placement ~nets
+          ~symmetric_pairs:(symmetric_net_pairs nets))
   in
   let rec search k best =
     if k >= 4 then best

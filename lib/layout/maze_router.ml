@@ -172,10 +172,12 @@ let search g ~sources ~targets ~step_cost =
       Heap.push heap (0.0, s))
     sources;
   let found = ref None in
+  let expansions = ref 0 in
   let rec run () =
     match Heap.pop heap with
     | None -> ()
     | Some (d, node) ->
+      incr expansions;
       if !found <> None then ()
       else if d > dist.(node) then run ()
       else if target_set.(node) then found := Some node
@@ -206,6 +208,7 @@ let search g ~sources ~targets ~step_cost =
       end
   in
   run ();
+  Mixsyn_util.Telemetry.add "router.grid_expansions" !expansions;
   match !found with
   | None -> None
   | Some t ->
@@ -485,7 +488,15 @@ let route ?config ?symmetric_pairs ~cells ~nets () =
       | Some b when List.length b.failed <= List.length result.failed -> Some b
       | Some _ | None -> Some result
     in
-    if result.failed = [] || k = 0 then Option.get best
-    else attempt (k - 1) (salt + 1) (result.failed @ priority) best
+    if result.failed = [] || k = 0 then begin
+      let final = Option.get best in
+      Mixsyn_util.Telemetry.add "router.failed_nets" (List.length final.failed);
+      final
+    end
+    else begin
+      Mixsyn_util.Telemetry.count "router.ripup_passes";
+      attempt (k - 1) (salt + 1) (result.failed @ priority) best
+    end
   in
+  Mixsyn_util.Telemetry.count "router.routes";
   attempt 6 0 [] None

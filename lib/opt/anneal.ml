@@ -24,14 +24,26 @@ type 'a outcome = {
   stages : int;
 }
 
+(* a geometric schedule with [cooling >= 1] or [t_end <= 0] never crosses
+   its stopping temperature; reject those up front and cap the stage count
+   as a backstop against pathological-but-valid schedules *)
+let max_stages = 100_000
+
 let minimize ?(schedule = default_schedule) ~rng problem =
+  if not (schedule.cooling > 0.0 && schedule.cooling < 1.0) then
+    invalid_arg
+      (Printf.sprintf "Anneal.minimize: cooling %g outside (0, 1)" schedule.cooling);
+  if schedule.t_end <= 0.0 then
+    invalid_arg (Printf.sprintf "Anneal.minimize: t_end %g not positive" schedule.t_end);
+  if schedule.t_start <= 0.0 then
+    invalid_arg (Printf.sprintf "Anneal.minimize: t_start %g not positive" schedule.t_start);
   let accepted = ref 0 and proposed = ref 0 and stages = ref 0 in
   let current = ref problem.initial in
   let current_cost = ref (problem.cost problem.initial) in
   let best = ref !current and best_cost = ref !current_cost in
   let log_span = log (schedule.t_start /. schedule.t_end) in
   let temp = ref schedule.t_start in
-  while !temp > schedule.t_end do
+  while !temp > schedule.t_end && !stages < max_stages do
     incr stages;
     let temp01 =
       if log_span <= 0.0 then 0.0 else log (!temp /. schedule.t_end) /. log_span
@@ -56,4 +68,8 @@ let minimize ?(schedule = default_schedule) ~rng problem =
     done;
     temp := !temp *. schedule.cooling
   done;
+  Mixsyn_util.Telemetry.count "anneal.runs";
+  Mixsyn_util.Telemetry.add "anneal.proposed" !proposed;
+  Mixsyn_util.Telemetry.add "anneal.accepted" !accepted;
+  Mixsyn_util.Telemetry.add "anneal.stages" !stages;
   { best = !best; best_cost = !best_cost; accepted = !accepted; proposed = !proposed; stages = !stages }

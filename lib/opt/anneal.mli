@@ -35,3 +35,9 @@ type 'a outcome = {
 
 val minimize :
   ?schedule:schedule -> rng:Mixsyn_util.Rng.t -> 'a problem -> 'a outcome
+(** Reports move statistics to {!Mixsyn_util.Telemetry} under
+    ["anneal.proposed"] / ["anneal.accepted"] / ["anneal.stages"].  The
+    stage count is additionally capped at an internal backstop so a nearly
+    flat (yet valid) schedule still terminates.
+    @raise Invalid_argument when the schedule cannot terminate:
+    [cooling] outside [(0, 1)], or [t_start]/[t_end] not positive. *)

@@ -75,5 +75,7 @@ let minimize ?(options = default_options) ~lower ~upper ~f x0 =
   in
   loop ();
   sort ();
+  Mixsyn_util.Telemetry.count "nelder_mead.runs";
+  Mixsyn_util.Telemetry.add "nelder_mead.evaluations" !evals;
   let x_best, f_best = simplex.(0) in
   (x_best, f_best, !evals)

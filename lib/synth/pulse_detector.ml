@@ -112,12 +112,24 @@ type synthesis = {
 }
 
 let synthesize ?(tech = Tech.generic_07um) ?(seed = 11) ?(moves = 40) () =
+  Mixsyn_util.Telemetry.with_span "detector.synthesize" @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let template = Detector.template () in
   let evaluations = ref 0 in
+  (* same memoization as Sizing.size: the annealer and the polish revisit
+     clamped vectors, and each revisit used to re-run the full AWE measure *)
+  let memo : (float array, metrics option) Mixsyn_util.Eval_cache.t =
+    Mixsyn_util.Eval_cache.create "detector.cache"
+  in
   let cost_of x =
-    incr evaluations;
-    match measure ~tech (Detector.sizing_of_vector x) with
+    let perf =
+      Mixsyn_util.Eval_cache.find_or_compute memo
+        (Mixsyn_circuit.Template.clamp template x)
+        (fun key ->
+          incr evaluations;
+          measure ~tech (Detector.sizing_of_vector key))
+    in
+    match perf with
     | None -> 1e7
     | Some perf -> Spec.cost ~specs ~objectives perf
   in

@@ -32,7 +32,8 @@ let evaluator_of_strategy ?(tech = Mixsyn_circuit.Tech.generic_07um) strategy te
 let failed_cost = 1e7
 
 let size ?(tech = Mixsyn_circuit.Tech.generic_07um) ?(seed = 1) ?schedule ?(polish = true)
-    ?(context = []) ?(guardband = 1.0) strategy template ~specs ~objectives =
+    ?(context = []) ?(guardband = 1.0) ?(cache = true) strategy template ~specs ~objectives =
+  Mixsyn_util.Telemetry.with_span "sizing.size" @@ fun () ->
   let t0 = Unix.gettimeofday () in
   (* the optimizer chases tightened bounds; verification keeps the originals *)
   let optimizer_specs =
@@ -56,10 +57,29 @@ let size ?(tech = Mixsyn_circuit.Tech.generic_07um) ?(seed = 1) ?schedule ?(poli
     Template.with_fixed template pinnable
   in
   let evaluations = ref 0 in
-  let evaluator = evaluator_of_strategy ~tech strategy template in
+  let raw_evaluator = evaluator_of_strategy ~tech strategy template in
+  (* memoize on the clamped vector: every evaluator clamps before building
+     the netlist, so two proposals that clamp to the same point are the
+     same evaluation.  The annealer re-visits points at the bounds and the
+     Nelder-Mead polish re-scores the annealed optimum; with the cache
+     those revisits are free and the results stay bit-identical (the
+     evaluators are deterministic). *)
+  let memo : (float array, Spec.performance option) Mixsyn_util.Eval_cache.t =
+    Mixsyn_util.Eval_cache.create "sizing.cache"
+  in
+  (* [count] marks optimizer-loop evaluations; the final prediction read-out
+     is free, exactly as in the uncached path *)
+  let evaluator ~count x =
+    let key = Template.clamp template x in
+    let compute key =
+      if count then incr evaluations;
+      raw_evaluator key
+    in
+    if cache then Mixsyn_util.Eval_cache.find_or_compute memo key compute
+    else compute key
+  in
   let cost_of x =
-    incr evaluations;
-    match evaluator x with
+    match evaluator ~count:true x with
     | None -> failed_cost
     | Some perf -> Spec.cost ~specs:optimizer_specs ~objectives perf
   in
@@ -88,20 +108,30 @@ let size ?(tech = Mixsyn_circuit.Tech.generic_07um) ?(seed = 1) ?schedule ?(poli
             (fun rng ~temp01 x ->
               Template.perturb template rng ~scale:(0.02 +. (0.3 *. temp01)) x) }
       in
-      let outcome = Mixsyn_opt.Anneal.minimize ~schedule ~rng problem in
+      let outcome =
+        Mixsyn_util.Telemetry.with_span "sizing.anneal" (fun () ->
+            Mixsyn_opt.Anneal.minimize ~schedule ~rng problem)
+      in
       let annealed = outcome.Mixsyn_opt.Anneal.best in
       if polish then begin
         let lower = Array.map (fun p -> p.Template.lo) template.Template.params in
         let upper = Array.map (fun p -> p.Template.hi) template.Template.params in
         let options = { Mixsyn_opt.Nelder_mead.max_evals = 300; tolerance = 1e-12 } in
-        let x, _, _ = Mixsyn_opt.Nelder_mead.minimize ~options ~lower ~upper ~f:cost_of annealed in
+        let x, _, _ =
+          Mixsyn_util.Telemetry.with_span "sizing.polish" (fun () ->
+              Mixsyn_opt.Nelder_mead.minimize ~options ~lower ~upper ~f:cost_of annealed)
+        in
         x
       end
       else annealed
   in
-  let predicted = Option.value (evaluator params) ~default:[] in
+  let predicted = Option.value (evaluator ~count:false params) ~default:[] in
   (* design verification: always score the result with the full simulator *)
-  let performance = Option.value (Evaluate.full_simulation ~tech template params) ~default:[] in
+  let performance =
+    Mixsyn_util.Telemetry.with_span "sizing.verification" (fun () ->
+        Option.value (Evaluate.full_simulation ~tech template params) ~default:[])
+  in
+  Mixsyn_util.Telemetry.add "sizing.evaluator_invocations" !evaluations;
   let elapsed_s = Unix.gettimeofday () -. t0 in
   { strategy_name = strategy_name strategy;
     params;

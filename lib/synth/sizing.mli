@@ -36,6 +36,7 @@ val size :
   ?polish:bool ->
   ?context:(string * float) list ->
   ?guardband:float ->
+  ?cache:bool ->
   strategy ->
   Mixsyn_circuit.Template.t ->
   specs:Spec.t list ->
@@ -49,7 +50,15 @@ val size :
     [guardband] (default 1.0) tightens every one-sided bound by that factor
     *inside the optimizer only*; the result is still verified and scored
     against the original specifications.  This is how equation-based flows
-    compensate their first-order model error in practice. *)
+    compensate their first-order model error in practice.
+
+    [cache] (default [true]) memoizes the strategy evaluator on the clamped
+    parameter vector, so annealer re-visits and the Nelder-Mead polish stop
+    re-running the full simulation/AWE for points already scored.  Results
+    are bit-identical with the cache on or off; [evaluations] counts actual
+    evaluator invocations, and hit/miss counts appear in
+    {!Mixsyn_util.Telemetry} under ["sizing.cache.hits"] /
+    ["sizing.cache.misses"]. *)
 
 val evaluator_of_strategy :
   ?tech:Mixsyn_circuit.Tech.t ->

@@ -1,0 +1,38 @@
+(* Memoization for the expensive evaluators inside optimization loops.
+
+   Annealers and the Nelder-Mead polish revisit parameter vectors —
+   rejected moves at clamped bounds, the polish re-scoring the annealed
+   optimum — and each revisit used to re-run a full DC + AC/AWE
+   evaluation.  The cache keys on the exact (clamped) vector, so results
+   are bit-identical to the uncached path; hit/miss counts flow into the
+   telemetry registry under "<name>.hits" / "<name>.misses". *)
+
+type ('k, 'v) t = {
+  cache_name : string;
+  table : ('k, 'v) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(size = 256) name = { cache_name = name; table = Hashtbl.create size; hits = 0; misses = 0 }
+
+let find_or_compute c key f =
+  match Hashtbl.find_opt c.table key with
+  | Some v ->
+    c.hits <- c.hits + 1;
+    Telemetry.count (c.cache_name ^ ".hits");
+    v
+  | None ->
+    c.misses <- c.misses + 1;
+    Telemetry.count (c.cache_name ^ ".misses");
+    let v = f key in
+    Hashtbl.replace c.table key v;
+    v
+
+let hits c = c.hits
+let misses c = c.misses
+let length c = Hashtbl.length c.table
+
+let hit_rate c =
+  let total = c.hits + c.misses in
+  if total = 0 then 0.0 else float_of_int c.hits /. float_of_int total

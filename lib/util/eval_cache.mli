@@ -1,0 +1,20 @@
+(** Memoizing evaluation cache for simulation-in-the-loop optimizers.
+
+    Keys are compared with structural equality, so a [float array]
+    parameter vector works directly.  Hit/miss counts are mirrored into
+    {!Telemetry} under ["<name>.hits"] / ["<name>.misses"]. *)
+
+type ('k, 'v) t
+
+val create : ?size:int -> string -> ('k, 'v) t
+
+val find_or_compute : ('k, 'v) t -> 'k -> ('k -> 'v) -> 'v
+(** Return the cached value for the key, computing and storing it on the
+    first visit.  The computation runs at most once per distinct key. *)
+
+val hits : ('k, 'v) t -> int
+val misses : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+val hit_rate : ('k, 'v) t -> float
+(** Hits over total lookups; 0 before any lookup. *)

@@ -19,8 +19,9 @@ let maximum xs = Array.fold_left Float.max neg_infinity xs
 let percentile xs p =
   let n = Array.length xs in
   assert (n > 0);
+  let p = Float.min 100.0 (Float.max 0.0 p) in
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let rank = p /. 100.0 *. float_of_int (n - 1) in
   let low = int_of_float (Float.floor rank) in
   let high = int_of_float (Float.ceil rank) in

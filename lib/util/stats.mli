@@ -9,8 +9,8 @@ val minimum : float array -> float
 val maximum : float array -> float
 
 val percentile : float array -> float -> float
-(** [percentile xs p] with [p] in [0,100]; linear interpolation on the sorted
-    copy of [xs]. *)
+(** [percentile xs p] with [p] clamped into [0,100]; linear interpolation on
+    the sorted copy of [xs]. *)
 
 val linear_fit : (float * float) array -> float * float
 (** Least-squares line: returns [(slope, intercept)]. *)

@@ -1,0 +1,155 @@
+(* Flow-wide observability: named monotonic counters and nested timed spans
+   in one global registry.  Zero dependencies beyond the stdlib (the clock is
+   [Sys.time], so span durations are CPU seconds). *)
+
+type span = {
+  span_name : string;
+  calls : int;
+  seconds : float;
+  children : span list;
+}
+
+(* internal mutable span node; [n_children] is kept in reverse creation
+   order and reversed on snapshot *)
+type node = {
+  n_name : string;
+  mutable n_calls : int;
+  mutable n_seconds : float;
+  mutable n_children : node list;
+}
+
+let make_node name = { n_name = name; n_calls = 0; n_seconds = 0.0; n_children = [] }
+
+let root = make_node "<root>"
+let stack : node list ref = ref []
+let counters : (string, int ref) Hashtbl.t = Hashtbl.create 64
+
+let reset () =
+  Hashtbl.reset counters;
+  root.n_calls <- 0;
+  root.n_seconds <- 0.0;
+  root.n_children <- [];
+  stack := []
+
+let add name k =
+  match Hashtbl.find_opt counters name with
+  | Some r -> r := !r + k
+  | None -> Hashtbl.replace counters name (ref k)
+
+let count name = add name 1
+
+let counter name =
+  match Hashtbl.find_opt counters name with Some r -> !r | None -> 0
+
+let counters_alist () =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let child_of parent name =
+  match List.find_opt (fun n -> n.n_name = name) parent.n_children with
+  | Some n -> n
+  | None ->
+    let n = make_node name in
+    parent.n_children <- n :: parent.n_children;
+    n
+
+let with_span name f =
+  let parent = match !stack with [] -> root | n :: _ -> n in
+  let node = child_of parent name in
+  stack := node :: !stack;
+  let t0 = Sys.time () in
+  Fun.protect
+    ~finally:(fun () ->
+      node.n_calls <- node.n_calls + 1;
+      node.n_seconds <- node.n_seconds +. (Sys.time () -. t0);
+      match !stack with
+      | n :: rest when n == node -> stack := rest
+      | _ -> ())
+    f
+
+let rec freeze n =
+  { span_name = n.n_name;
+    calls = n.n_calls;
+    seconds = n.n_seconds;
+    children = List.rev_map freeze n.n_children }
+
+let spans () = (freeze root).children
+
+let span_seconds name =
+  let rec sum acc n =
+    let acc = if n.n_name = name then acc +. n.n_seconds else acc in
+    List.fold_left sum acc n.n_children
+  in
+  sum 0.0 root
+
+let span_calls name =
+  let rec sum acc n =
+    let acc = if n.n_name = name then acc + n.n_calls else acc in
+    List.fold_left sum acc n.n_children
+  in
+  sum 0 root
+
+let pp_report ppf () =
+  let cs = counters_alist () in
+  let ss = spans () in
+  if cs = [] && ss = [] then Format.fprintf ppf "telemetry: (empty)"
+  else begin
+    Format.fprintf ppf "telemetry report@\n";
+    if cs <> [] then begin
+      Format.fprintf ppf "  counters:@\n";
+      List.iter (fun (name, v) -> Format.fprintf ppf "    %-36s %12d@\n" name v) cs
+    end;
+    if ss <> [] then begin
+      Format.fprintf ppf "  spans:@\n";
+      let rec walk depth s =
+        Format.fprintf ppf "    %s%-*s %6d call%s %9.3fs@\n"
+          (String.make (2 * depth) ' ')
+          (max 1 (34 - (2 * depth)))
+          s.span_name s.calls
+          (if s.calls = 1 then " " else "s")
+          s.seconds;
+        List.iter (walk (depth + 1)) s.children
+      in
+      List.iter (walk 0) ss
+    end
+  end
+
+let report () = Format.asprintf "%a" pp_report ()
+
+(* minimal JSON encoding; names are internal identifiers but escape the
+   characters that would break the framing anyway *)
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"counters\":{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":%d" (json_escape name) v))
+    (counters_alist ());
+  Buffer.add_string buf "},\"spans\":";
+  let rec span_json s =
+    Printf.sprintf "{\"name\":\"%s\",\"calls\":%d,\"seconds\":%.6f,\"children\":[%s]}"
+      (json_escape s.span_name) s.calls s.seconds
+      (String.concat "," (List.map span_json s.children))
+  in
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (span_json s))
+    (spans ());
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

@@ -1,0 +1,58 @@
+(** Flow-wide observability: named monotonic counters and nested timed
+    spans in one global registry.
+
+    Every hot path of the synthesis flow reports here — DC Newton
+    iterations, AWE order fallbacks, annealer move statistics, router grid
+    expansions, sizing-cache hits — so the evaluation-count cost story of
+    the paper (simulation-in-the-loop is ~10^3 x an equation evaluation) is
+    measurable rather than anecdotal.
+
+    The registry is global and process-wide; call {!reset} between
+    experiments.  Span durations use [Sys.time], i.e. CPU seconds. *)
+
+type span = {
+  span_name : string;
+  calls : int;
+  seconds : float;  (** cumulative CPU seconds across all calls *)
+  children : span list;  (** in creation order *)
+}
+
+val reset : unit -> unit
+(** Clear every counter and span, and abandon any open span stack. *)
+
+(** {2 Counters} *)
+
+val count : string -> unit
+(** Increment a named counter by one, creating it at zero first. *)
+
+val add : string -> int -> unit
+(** Increment a named counter by an arbitrary amount. *)
+
+val counter : string -> int
+(** Current value; 0 for a counter never touched. *)
+
+val counters_alist : unit -> (string * int) list
+(** All counters, sorted by name. *)
+
+(** {2 Spans} *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a span: nested [with_span] calls
+    attach as children, repeated calls at the same position accumulate
+    [calls]/[seconds] into one node.  Exception-safe: the span closes on
+    raise and the exception propagates. *)
+
+val spans : unit -> span list
+(** Snapshot of the span forest. *)
+
+val span_seconds : string -> float
+(** Total seconds across every span with this name, anywhere in the forest. *)
+
+val span_calls : string -> int
+(** Total calls across every span with this name. *)
+
+(** {2 Reports} *)
+
+val pp_report : Format.formatter -> unit -> unit
+val report : unit -> string
+val to_json : unit -> string

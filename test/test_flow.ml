@@ -27,6 +27,42 @@ let test_flow_end_to_end () =
       then Alcotest.failf "missing stage %s" prefix)
     [ "topology-selection"; "sizing"; "layout"; "extraction" ]
 
+(* --- layout retry preference ------------------------------------------- *)
+
+let report ~complete ~area =
+  { Mixsyn_layout.Cell_flow.flow_name = "test";
+    placed = [];
+    route =
+      { Mixsyn_layout.Maze_router.wires = [];
+        failed = [];
+        total_length = 0.0;
+        total_vias = 0;
+        coupling = [];
+        symmetric_ok = 0 };
+    area_m2 = area;
+    wirelength_m = 0.0;
+    vias = 0;
+    complete;
+    sensitive_coupling_f = 0.0;
+    parasitics = [] }
+
+let test_better_layout_keeps_routed () =
+  let area r = r.Mixsyn_layout.Cell_flow.area_m2 in
+  let routed_big = report ~complete:true ~area:9e-9 in
+  let routed_small = report ~complete:true ~area:4e-9 in
+  let unrouted_tiny = report ~complete:false ~area:1e-9 in
+  let unrouted_small = report ~complete:false ~area:2e-9 in
+  (* completeness dominates area, in both argument orders *)
+  Alcotest.(check (float 0.0)) "routed beats smaller unrouted" (area routed_big)
+    (area (Flow.better_layout routed_big unrouted_tiny));
+  Alcotest.(check (float 0.0)) "routed beats smaller unrouted (flipped)" (area routed_big)
+    (area (Flow.better_layout unrouted_tiny routed_big));
+  (* at equal completeness the smaller area wins *)
+  Alcotest.(check (float 0.0)) "smaller routed wins" (area routed_small)
+    (area (Flow.better_layout routed_big routed_small));
+  Alcotest.(check (float 0.0)) "smaller unrouted wins" (area unrouted_tiny)
+    (area (Flow.better_layout unrouted_small unrouted_tiny))
+
 let test_flow_post_layout_never_faster () =
   let o = Flow.run ~seed:13 ~specs ~objectives ~context:[ ("cl", 5e-12) ] () in
   match (Spec.lookup o.Flow.pre_layout "ugf_hz", Spec.lookup o.Flow.post_layout "ugf_hz") with
@@ -38,4 +74,6 @@ let () =
   Alcotest.run "flow"
     [ ( "end-to-end",
         [ Alcotest.test_case "specs to layout" `Quick test_flow_end_to_end;
-          Alcotest.test_case "parasitic direction" `Quick test_flow_post_layout_never_faster ] ) ]
+          Alcotest.test_case "parasitic direction" `Quick test_flow_post_layout_never_faster ] );
+      ( "layout-retry",
+        [ Alcotest.test_case "keeps routed layout" `Quick test_better_layout_keeps_routed ] ) ]

@@ -48,6 +48,41 @@ let test_auto_schedule () =
   let s = Anneal.auto_schedule ~cost_scale:100.0 () in
   if s.Anneal.t_start <= s.Anneal.t_end then Alcotest.fail "degenerate schedule"
 
+let scalar_problem =
+  { Anneal.initial = [| 5.0 |];
+    cost = (fun x -> x.(0) ** 2.0);
+    neighbor = (fun rng ~temp01:_ x -> [| x.(0) +. Rng.uniform rng (-0.5) 0.5 |]) }
+
+let test_anneal_rejects_divergent_schedule () =
+  let rng = Rng.create 1 in
+  let expect_invalid name schedule =
+    match Anneal.minimize ~schedule ~rng scalar_problem with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "non-terminating schedule accepted: %s" name
+  in
+  let base = { Anneal.t_start = 10.0; t_end = 1e-3; cooling = 0.9; moves_per_stage = 5 } in
+  expect_invalid "cooling = 1" { base with Anneal.cooling = 1.0 };
+  expect_invalid "cooling > 1" { base with Anneal.cooling = 1.5 };
+  expect_invalid "cooling = 0" { base with Anneal.cooling = 0.0 };
+  expect_invalid "cooling < 0" { base with Anneal.cooling = -0.5 };
+  expect_invalid "t_end = 0" { base with Anneal.t_end = 0.0 };
+  expect_invalid "t_end < 0" { base with Anneal.t_end = -1.0 };
+  expect_invalid "t_start = 0" { base with Anneal.t_start = 0.0 };
+  (* a valid schedule still runs *)
+  ignore (Anneal.minimize ~schedule:base ~rng scalar_problem)
+
+let test_anneal_stage_cap_backstop () =
+  (* cooling this close to 1 would take ~10^8 stages to reach t_end; the
+     backstop must terminate the run instead *)
+  let rng = Rng.create 2 in
+  let schedule =
+    { Anneal.t_start = 10.0; t_end = 1e-3; cooling = 0.9999999; moves_per_stage = 1 }
+  in
+  let r = Anneal.minimize ~schedule ~rng scalar_problem in
+  if r.Anneal.stages > 100_000 then
+    Alcotest.failf "stage cap not applied: %d stages" r.Anneal.stages;
+  Alcotest.(check int) "one proposal per capped stage" r.Anneal.stages r.Anneal.proposed
+
 (* --- nelder-mead -------------------------------------------------------- *)
 
 let test_nm_rosenbrock () =
@@ -120,7 +155,10 @@ let () =
     [ ( "anneal",
         [ Alcotest.test_case "quadratic" `Quick test_anneal_quadratic;
           Alcotest.test_case "deterministic" `Quick test_anneal_deterministic;
-          Alcotest.test_case "auto schedule" `Quick test_auto_schedule ] );
+          Alcotest.test_case "auto schedule" `Quick test_auto_schedule;
+          Alcotest.test_case "rejects divergent schedule" `Quick
+            test_anneal_rejects_divergent_schedule;
+          Alcotest.test_case "stage cap backstop" `Quick test_anneal_stage_cap_backstop ] );
       ( "nelder-mead",
         [ Alcotest.test_case "rosenbrock" `Quick test_nm_rosenbrock;
           Alcotest.test_case "bounds" `Quick test_nm_respects_bounds ] );

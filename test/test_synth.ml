@@ -157,6 +157,31 @@ let test_sizing_guardband_fixes_equations () =
     Alcotest.failf "guard-banded equation sizing still misses: %s"
       (Format.asprintf "%a" Spec.pp_performance banded.Sizing.performance)
 
+let test_sizing_cache_bit_identical () =
+  (* a short fixed-seed schedule: cache on and cache off must walk the same
+     trajectory and land on the same answer, with the cache strictly not
+     increasing evaluator work *)
+  let schedule =
+    { Mixsyn_opt.Anneal.t_start = 5.0; t_end = 0.5; cooling = 0.7; moves_per_stage = 10 }
+  in
+  let run cache =
+    Sizing.size ~seed:7 ~schedule ~cache ~context Sizing.Awe_annealing Top.miller_ota
+      ~specs:ota_specs ~objectives:[ Spec.minimize "power_w" ]
+  in
+  Mixsyn_util.Telemetry.reset ();
+  let cached = run true in
+  let hits = Mixsyn_util.Telemetry.counter "sizing.cache.hits" in
+  let uncached = run false in
+  Alcotest.(check (array (float 0.0))) "params bit-identical"
+    uncached.Sizing.params cached.Sizing.params;
+  check_close ~eps:0.0 "cost identical" uncached.Sizing.cost cached.Sizing.cost;
+  if cached.Sizing.performance <> uncached.Sizing.performance then
+    Alcotest.fail "verified performance differs with the cache on";
+  if cached.Sizing.evaluations > uncached.Sizing.evaluations then
+    Alcotest.failf "cache increased evaluator invocations: %d > %d"
+      cached.Sizing.evaluations uncached.Sizing.evaluations;
+  if hits <= 0 then Alcotest.fail "cache never hit on an annealing run"
+
 (* --- topology selection ----------------------------------------------------------- *)
 
 let test_interval_pruning () =
@@ -374,7 +399,8 @@ let () =
         [ Alcotest.test_case "simulation annealing" `Quick test_sizing_simulation_annealing;
           Alcotest.test_case "awe annealing" `Quick test_sizing_awe_annealing;
           Alcotest.test_case "context pinning" `Quick test_sizing_pins_context_params;
-          Alcotest.test_case "guardband" `Quick test_sizing_guardband_fixes_equations ] );
+          Alcotest.test_case "guardband" `Quick test_sizing_guardband_fixes_equations;
+          Alcotest.test_case "cache bit-identical" `Quick test_sizing_cache_bit_identical ] );
       ( "topology-selection",
         [ Alcotest.test_case "interval pruning" `Quick test_interval_pruning;
           Alcotest.test_case "rule ranking" `Quick test_rule_based_ranking;

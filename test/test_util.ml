@@ -7,6 +7,8 @@ module Poly = Mixsyn_util.Poly
 module I = Mixsyn_util.Interval
 module Stats = Mixsyn_util.Stats
 module Units = Mixsyn_util.Units
+module T = Mixsyn_util.Telemetry
+module EC = Mixsyn_util.Eval_cache
 
 let close ?(eps = 1e-9) a b =
   Float.abs (a -. b) <= eps *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
@@ -203,6 +205,105 @@ let test_stats_linear_fit () =
 let test_stats_geometric_mean () =
   check_close "geomean" 4.0 (Stats.geometric_mean [| 2.0; 8.0 |])
 
+let test_stats_percentile_clamps_and_sorts () =
+  (* deliberately unsorted input; out-of-range p clamps to the extremes *)
+  let xs = [| 3.0; 1.0; 2.0 |] in
+  check_close "p < 0 clamps to minimum" 1.0 (Stats.percentile xs (-10.0));
+  check_close "p > 100 clamps to maximum" 3.0 (Stats.percentile xs 250.0);
+  check_close "p = 0 is minimum" 1.0 (Stats.percentile xs 0.0);
+  check_close "p = 100 is maximum" 3.0 (Stats.percentile xs 100.0);
+  check_close "median of unsorted input" 2.0 (Stats.percentile xs 50.0)
+
+(* --- telemetry ---------------------------------------------------------- *)
+
+let test_telemetry_counters () =
+  T.reset ();
+  Alcotest.(check int) "untouched counter reads 0" 0 (T.counter "a");
+  T.count "a";
+  T.count "a";
+  T.add "b" 5;
+  Alcotest.(check int) "count increments" 2 (T.counter "a");
+  Alcotest.(check int) "add accumulates" 5 (T.counter "b");
+  Alcotest.(check (list (pair string int))) "alist sorted by name"
+    [ ("a", 2); ("b", 5) ] (T.counters_alist ());
+  T.reset ();
+  Alcotest.(check int) "reset clears" 0 (T.counter "a");
+  Alcotest.(check (list (pair string int))) "reset empties alist" [] (T.counters_alist ())
+
+let test_telemetry_spans_nest_and_accumulate () =
+  T.reset ();
+  T.with_span "outer" (fun () ->
+      T.with_span "inner" (fun () -> ());
+      T.with_span "inner" (fun () -> ()));
+  T.with_span "outer" (fun () -> ());
+  (match T.spans () with
+   | [ o ] ->
+     Alcotest.(check string) "root name" "outer" o.T.span_name;
+     Alcotest.(check int) "outer calls accumulate" 2 o.T.calls;
+     (match o.T.children with
+      | [ i ] ->
+        Alcotest.(check string) "child name" "inner" i.T.span_name;
+        Alcotest.(check int) "inner calls accumulate" 2 i.T.calls
+      | l -> Alcotest.failf "expected one child span, got %d" (List.length l))
+   | l -> Alcotest.failf "expected one root span, got %d" (List.length l));
+  Alcotest.(check int) "span_calls sums the forest" 2 (T.span_calls "inner");
+  if T.span_seconds "outer" < 0.0 then Alcotest.fail "negative span time"
+
+let test_telemetry_span_exception_safe () =
+  T.reset ();
+  let result = T.with_span "ok" (fun () -> 41 + 1) in
+  Alcotest.(check int) "with_span returns the body's value" 42 result;
+  (try T.with_span "boom" (fun () -> failwith "x") with Failure _ -> ());
+  Alcotest.(check int) "span closed on raise" 1 (T.span_calls "boom");
+  (* the stack must have popped: the next span is a sibling root, not a
+     child of the raising span *)
+  T.with_span "after" (fun () -> ());
+  Alcotest.(check int) "three roots" 3 (List.length (T.spans ()));
+  T.reset ();
+  Alcotest.(check (list pass)) "reset clears spans" [] (T.spans ())
+
+let test_telemetry_report_and_json () =
+  T.reset ();
+  T.count "hits";
+  T.with_span "work" (fun () -> ());
+  let r = T.report () in
+  let contains needle hay =
+    let nl_ = String.length needle and sl = String.length hay in
+    let rec scan i = i + nl_ <= sl && (String.sub hay i nl_ = needle || scan (i + 1)) in
+    scan 0
+  in
+  if not (contains "hits" r) then Alcotest.fail "report lacks the counter";
+  if not (contains "work" r) then Alcotest.fail "report lacks the span";
+  let j = T.to_json () in
+  if not (contains "\"hits\"" j && contains "\"work\"" j) then
+    Alcotest.fail "json dump lacks entries"
+
+(* --- eval cache --------------------------------------------------------- *)
+
+let test_eval_cache_memoizes () =
+  T.reset ();
+  let c = EC.create "test.cache" in
+  let calls = ref 0 in
+  let f k = incr calls; k * 2 in
+  Alcotest.(check int) "first lookup computes" 4 (EC.find_or_compute c 2 f);
+  Alcotest.(check int) "second lookup replays" 4 (EC.find_or_compute c 2 f);
+  Alcotest.(check int) "distinct key computes" 6 (EC.find_or_compute c 3 f);
+  Alcotest.(check int) "computation ran once per key" 2 !calls;
+  Alcotest.(check int) "hits" 1 (EC.hits c);
+  Alcotest.(check int) "misses" 2 (EC.misses c);
+  Alcotest.(check int) "length" 2 (EC.length c);
+  check_close "hit rate" (1.0 /. 3.0) (EC.hit_rate c);
+  Alcotest.(check int) "hits mirrored to telemetry" 1 (T.counter "test.cache.hits");
+  Alcotest.(check int) "misses mirrored to telemetry" 2 (T.counter "test.cache.misses")
+
+let test_eval_cache_float_array_keys () =
+  let c = EC.create "test.veccache" in
+  let f (k : float array) = Array.fold_left ( +. ) 0.0 k in
+  ignore (EC.find_or_compute c [| 1.0; 2.0 |] f);
+  (* a structurally equal but physically distinct array must hit *)
+  check_close "structural key equality" 3.0 (EC.find_or_compute c [| 1.0; 2.0 |] f);
+  Alcotest.(check int) "hit on equal array" 1 (EC.hits c)
+
 (* --- units ------------------------------------------------------------- *)
 
 let test_units_format () =
@@ -324,7 +425,16 @@ let () =
       ( "stats",
         [ Alcotest.test_case "known values" `Quick test_stats_known;
           Alcotest.test_case "linear fit" `Quick test_stats_linear_fit;
-          Alcotest.test_case "geometric mean" `Quick test_stats_geometric_mean ] );
+          Alcotest.test_case "geometric mean" `Quick test_stats_geometric_mean;
+          Alcotest.test_case "percentile clamps" `Quick test_stats_percentile_clamps_and_sorts ] );
+      ( "telemetry",
+        [ Alcotest.test_case "counters" `Quick test_telemetry_counters;
+          Alcotest.test_case "spans nest" `Quick test_telemetry_spans_nest_and_accumulate;
+          Alcotest.test_case "exception safety" `Quick test_telemetry_span_exception_safe;
+          Alcotest.test_case "report and json" `Quick test_telemetry_report_and_json ] );
+      ( "eval-cache",
+        [ Alcotest.test_case "memoizes" `Quick test_eval_cache_memoizes;
+          Alcotest.test_case "float array keys" `Quick test_eval_cache_float_array_keys ] );
       ( "ascii-plot",
         [ Alcotest.test_case "shapes" `Quick test_ascii_plot_shapes;
           Alcotest.test_case "legend" `Quick test_ascii_plot_multi_legend;
