@@ -305,24 +305,193 @@ let adc_cmd =
     (Cmd.info "adc" ~doc:"High-level A/D converter synthesis: architecture selection and comparator sizing.")
     Term.(const run $ bits_arg $ rate_arg $ seed_arg $ telemetry_arg)
 
+(* --- lint -------------------------------------------------------------- *)
+
+let lint_cmd =
+  let module D = Mixsyn_check.Diagnostic in
+  let module L = Mixsyn_check.Lint in
+  let lint_topology_arg =
+    Arg.(value & opt string "all"
+         & info [ "topology" ] ~docv:"NAME" ~doc:"Topology to check, or $(b,all) for every one.")
+  in
+  let layout_arg =
+    Arg.(value & flag
+         & info [ "layout" ]
+             ~doc:"Also lay each topology out (KOAN flow at midpoint sizing) and run the \
+                   layout DRC and constraint-audit passes on it.")
+  in
+  let flow_arg =
+    Arg.(value & flag
+         & info [ "flow" ]
+             ~doc:"Run the full synthesis flow once and lint its finished design with all \
+                   three passes.  Overrides $(b,--topology) and $(b,--layout).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as a JSON array.")
+  in
+  let suppress_arg =
+    Arg.(value & opt_all string []
+         & info [ "suppress" ] ~docv:"RULE"
+             ~doc:"Drop warnings/infos with this rule id (repeatable).  Errors are never \
+                   suppressed.")
+  in
+  let inject_arg =
+    Arg.(value & opt string "none"
+         & info [ "inject" ] ~docv:"FAULT"
+             ~doc:"Deliberately break the design before linting, to prove the gate trips: \
+                   $(b,floating-gate) disconnects a MOS gate, $(b,broken-symmetry) splits a \
+                   matched pair and mis-places one half (implies $(b,--layout)).")
+  in
+  let run topology layout flow json suppress inject seed telemetry =
+    let module Netlist = Mixsyn_circuit.Netlist in
+    let tech = Mixsyn_circuit.Tech.generic_07um in
+    (* prefix each location with the design it came from so a combined run
+       stays readable *)
+    let tag name ds = List.map (fun (d : D.t) -> { d with D.loc = name ^ "/" ^ d.D.loc }) ds in
+    let break_gate nl =
+      (* reconnect the first MOS gate to a fresh, otherwise untouched net *)
+      let nl = Netlist.copy nl in
+      let orphan = Netlist.new_net ~name:"orphan" nl in
+      let first = ref true in
+      Netlist.map_elements nl (function
+        | Netlist.Mos m when !first ->
+          first := false;
+          Netlist.Mos { m with Netlist.gate = orphan }
+        | e -> e)
+    in
+    let split_pair nl =
+      (* nudge one half of the first matched pair out of its stacking
+         compatibility class (stacking needs exact L equality, matching
+         tolerates 1 %) so the pair is realized as two separate cells *)
+      match Mixsyn_layout.Sensitivity.matching_pairs nl with
+      | [] ->
+        Printf.eprintf "lint --inject broken-symmetry: design has no matched pair\n";
+        exit 2
+      | (_, b) :: _ ->
+        ( Netlist.map_elements nl (function
+            | Netlist.Mos m when m.Netlist.m_name = b ->
+              Netlist.Mos { m with Netlist.l = m.Netlist.l *. 1.005 }
+            | e -> e),
+          b )
+    in
+    let displace_cell nl device (r : Mixsyn_layout.Cell_flow.report) =
+      (* nudge the cell realizing [device] off its mirror position *)
+      let stacking = Mixsyn_layout.Stacker.linear (Netlist.mos_list nl) in
+      let item =
+        match
+          List.find_opt
+            (fun (st : Mixsyn_layout.Stacker.stack) ->
+              List.mem device st.Mixsyn_layout.Stacker.devices)
+            stacking.Mixsyn_layout.Stacker.stacks
+        with
+        | Some { Mixsyn_layout.Stacker.devices = [ single ]; _ } -> single
+        | Some st -> st.Mixsyn_layout.Stacker.st_name
+        | None -> device
+      in
+      { r with
+        Mixsyn_layout.Cell_flow.placed =
+          List.map
+            (fun (c : Mixsyn_layout.Cell.t) ->
+              if c.Mixsyn_layout.Cell.cell_name = item then
+                Mixsyn_layout.Cell.translate 0.0 8e-6 c
+              else c)
+            r.Mixsyn_layout.Cell_flow.placed }
+    in
+    let lint_one (t : Mixsyn_circuit.Template.t) =
+      let nl = t.Mixsyn_circuit.Template.build tech (Mixsyn_circuit.Template.midpoint t) in
+      let ds =
+        match inject with
+        | "floating-gate" ->
+          let nl = break_gate nl in
+          if layout then L.full nl (Mixsyn_layout.Cell_flow.koan ~seed nl) else L.netlist nl
+        | "broken-symmetry" ->
+          let nl, device = split_pair nl in
+          L.full nl (displace_cell nl device (Mixsyn_layout.Cell_flow.koan ~seed nl))
+        | "none" ->
+          if layout then L.full nl (Mixsyn_layout.Cell_flow.koan ~seed nl) else L.netlist nl
+        | other ->
+          Printf.eprintf "lint: unknown fault %s (floating-gate or broken-symmetry)\n" other;
+          exit 2
+      in
+      tag t.Mixsyn_circuit.Template.t_name ds
+    in
+    let diags =
+      if flow then begin
+        let o =
+          Mixsyn_flow.Flow.run ~seed ~checks:false
+            ~specs:(specs_of ~gain:70.0 ~ugf:10e6 ~pm:60.0)
+            ~objectives ~context:[ ("cl", 5e-12) ] ()
+        in
+        let nl =
+          o.Mixsyn_flow.Flow.template.Mixsyn_circuit.Template.build tech
+            o.Mixsyn_flow.Flow.sizing.Mixsyn_synth.Sizing.params
+        in
+        tag o.Mixsyn_flow.Flow.template.Mixsyn_circuit.Template.t_name
+          (L.full nl o.Mixsyn_flow.Flow.layout)
+      end
+      else begin
+        let templates =
+          if topology = "all" then Mixsyn_circuit.Topology.all else [ find_template topology ]
+        in
+        List.concat_map lint_one templates
+      end
+    in
+    let diags = D.suppress ~rules:suppress diags in
+    print_string (if json then D.to_json diags else D.render diags);
+    print_newline ();
+    report_telemetry telemetry;
+    exit (L.exit_code diags)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Static verification: netlist ERC, and with --layout/--flow also layout DRC \
+             and the symmetry/connectivity constraint audit.  Exits nonzero when any \
+             error-severity diagnostic is found.")
+    Term.(const run $ lint_topology_arg $ layout_arg $ flow_arg $ json_arg $ suppress_arg
+          $ inject_arg $ seed_arg $ telemetry_arg)
+
 (* --- flow -------------------------------------------------------------- *)
 
 let flow_cmd =
   let run gain ugf pm cl seed telemetry =
-    let o =
+    match
       Mixsyn_flow.Flow.run ~seed ~specs:(specs_of ~gain ~ugf ~pm) ~objectives
         ~context:[ ("cl", cl) ] ()
-    in
-    Format.printf "%a@." Mixsyn_flow.Flow.pp_outcome o;
-    report_telemetry telemetry
+    with
+    | o ->
+      Format.printf "%a@." Mixsyn_flow.Flow.pp_outcome o;
+      report_telemetry telemetry
+    | exception Mixsyn_check.Lint.Check_failed diags ->
+      Printf.eprintf "flow: static checks failed\n%s\n"
+        (Mixsyn_check.Diagnostic.render (Mixsyn_check.Diagnostic.errors diags));
+      report_telemetry telemetry;
+      exit 1
   in
   Cmd.v (Cmd.info "flow" ~doc:"Full top-to-bottom flow: specs to verified layout.")
     Term.(const run $ gain_arg $ ugf_arg $ pm_arg $ cl_arg $ seed_arg $ telemetry_arg)
 
 let main =
   let doc = "mixed-signal circuit synthesis and layout (DAC'96 reproduction)" in
+  let man =
+    [ `S Manpage.s_description;
+      `P "One subcommand per stage of the mixed-signal flow:";
+      `P "$(b,topo) — rank candidate topologies for a specification set.";
+      `P "$(b,size) — size a topology against specifications.";
+      `P "$(b,layout) — lay out a midpoint-sized topology, procedural vs KOAN.";
+      `P "$(b,lint) — static verification: ERC, layout DRC, constraint audit.";
+      `P "$(b,table1) — reproduce the paper's Table 1 synthesis experiment.";
+      `P "$(b,floorplan) — substrate-aware floorplan of the testbench chip.";
+      `P "$(b,powergrid) — RAIL-style power-grid synthesis (Fig. 3).";
+      `P "$(b,wren) — WREN global routing under the three noise disciplines.";
+      `P "$(b,hierarchy) — hierarchical design of a two-stage amplification chain.";
+      `P "$(b,yield) — Monte-Carlo parametric yield, nominal vs corner-robust.";
+      `P "$(b,adc) — high-level A/D converter synthesis.";
+      `P "$(b,flow) — full top-to-bottom flow: specs to verified layout.";
+      `P "An unknown subcommand prints usage on standard error and exits nonzero." ]
+  in
   Cmd.group
-    (Cmd.info "msyn" ~version:"1.0.0" ~doc)
-    [ size_cmd; topo_cmd; layout_cmd; table1_cmd; floorplan_cmd; powergrid_cmd; wren_cmd; hierarchy_cmd; yield_cmd; adc_cmd; flow_cmd ]
+    (Cmd.info "msyn" ~version:"1.0.0" ~doc ~man)
+    [ size_cmd; topo_cmd; layout_cmd; lint_cmd; table1_cmd; floorplan_cmd; powergrid_cmd;
+      wren_cmd; hierarchy_cmd; yield_cmd; adc_cmd; flow_cmd ]
 
 let () = exit (Cmd.eval main)

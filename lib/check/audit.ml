@@ -1,0 +1,214 @@
+module Netlist = Mixsyn_circuit.Netlist
+module CF = Mixsyn_layout.Cell_flow
+module Cell = Mixsyn_layout.Cell
+module Geom = Mixsyn_layout.Geom
+module MR = Mixsyn_layout.Maze_router
+module Rules = Mixsyn_layout.Rules
+module Sens = Mixsyn_layout.Sensitivity
+module St = Mixsyn_layout.Stacker
+module D = Diagnostic
+
+let default_tolerance = 2e-6
+
+let cell_center (c : Cell.t) =
+  match Geom.bbox c.Cell.rects with
+  | Some bb -> Geom.center bb
+  | None -> (0.0, 0.0)
+
+(* the placeable item a schematic device ended up in: itself, or the
+   diffusion stack that absorbed it *)
+let item_of_device stacking =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (st : St.stack) ->
+      match st.St.devices with
+      | [ single ] -> Hashtbl.replace tbl single single
+      | many -> List.iter (fun d -> Hashtbl.replace tbl d st.St.st_name) many)
+    stacking.St.stacks;
+  fun d -> Hashtbl.find_opt tbl d
+
+let check_symmetry ?(tolerance = default_tolerance) nl (report : CF.report) =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let pairs = Sens.matching_pairs nl in
+  let owner = item_of_device (St.linear (Netlist.mos_list nl)) in
+  let placed = Hashtbl.create 16 in
+  List.iter (fun (c : Cell.t) -> Hashtbl.replace placed c.Cell.cell_name c) report.CF.placed;
+  (* resolve each pair to its placed cells first: the mirror axis is shared
+     across all pairs, exactly as the placer's cost defines it *)
+  let resolved =
+    List.filter_map
+      (fun (a, b) ->
+        let loc = a ^ "," ^ b in
+        match (owner a, owner b) with
+        | None, _ | _, None ->
+          emit
+            (D.error ~rule:"audit.symmetry-missing" ~loc
+               "matched devices were never realized as placeable cells");
+          None
+        | Some ia, Some ib when ia = ib ->
+          emit
+            (D.info ~rule:"audit.pair-merged" ~loc
+               (Printf.sprintf "pair merged into stack %s; matched by construction" ia));
+          None
+        | Some ia, Some ib ->
+          (match (Hashtbl.find_opt placed ia, Hashtbl.find_opt placed ib) with
+           | Some ca, Some cb -> Some (loc, ca, cb)
+           | _ ->
+             emit
+               (D.error ~rule:"audit.symmetry-missing" ~loc
+                  (Printf.sprintf "cells %s/%s are missing from the placement" ia ib));
+             None))
+      pairs
+  in
+  (match resolved with
+   | [] -> ()
+   | _ ->
+     let axis =
+       List.fold_left
+         (fun acc (_, ca, cb) -> acc +. (0.5 *. (fst (cell_center ca) +. fst (cell_center cb))))
+         0.0 resolved
+       /. float_of_int (List.length resolved)
+     in
+     List.iter
+       (fun (loc, ca, cb) ->
+         let xa, ya = cell_center ca and xb, yb = cell_center cb in
+         let off_axis = Float.abs (xa +. xb -. (2.0 *. axis)) in
+         let off_y = Float.abs (ya -. yb) in
+         if off_axis > tolerance || off_y > tolerance then
+           emit
+             (D.error ~rule:"audit.symmetry-broken" ~loc
+                (Printf.sprintf
+                   "pair is not mirror-placed: axis offset %.2f um, vertical offset %.2f um exceed %.2f um"
+                   (off_axis *. 1e6) (off_y *. 1e6) (tolerance *. 1e6))))
+       resolved);
+  List.rev !diags
+
+let check_connectivity (report : CF.report) =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let rules = Rules.generic_07um in
+  (* the router draws dashed squares on a half-pitch grid; geometry this
+     close is one electrical node *)
+  let connect_tol = rules.Rules.route_pitch /. 2.0 in
+  let skip net = net = "vdd" || net = "0" || net = "vss" in
+  List.iter
+    (fun net ->
+      if not (skip net) then
+        emit (D.error ~rule:"audit.unrouted-net" ~loc:net "router gave up on this net"))
+    report.CF.route.MR.failed;
+  (* pins grouped by net, remembering the owning cell (pins of one cell on
+     one net are strapped internally by the generator) *)
+  let pins_by_net : (string, (string * Geom.rect) list) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (c : Cell.t) ->
+      List.iter
+        (fun (p : Cell.pin) ->
+          let prev = Option.value (Hashtbl.find_opt pins_by_net p.Cell.pin_net) ~default:[] in
+          Hashtbl.replace pins_by_net p.Cell.pin_net ((c.Cell.cell_name, p.Cell.pin_rect) :: prev))
+        c.Cell.pins)
+    report.CF.placed;
+  let wires_by_net : (string, Geom.rect list) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (w : MR.wire) ->
+      let prev = Option.value (Hashtbl.find_opt wires_by_net w.MR.w_net) ~default:[] in
+      Hashtbl.replace wires_by_net w.MR.w_net (w.MR.rects @ prev))
+    report.CF.route.MR.wires;
+  (* wires for nets without any pin: extracted geometry with no intent *)
+  Hashtbl.iter
+    (fun net _ ->
+      if (not (skip net)) && not (Hashtbl.mem pins_by_net net) then
+        emit
+          (D.warning ~rule:"audit.unknown-net" ~loc:net
+             "routed wire exists for a net with no pins in the placement"))
+    wires_by_net;
+  (* per-net continuity: every pin-bearing cell must join one component *)
+  let near a b =
+    let dx = Float.max (b.Geom.x0 -. a.Geom.x1) (a.Geom.x0 -. b.Geom.x1) in
+    let dy = Float.max (b.Geom.y0 -. a.Geom.y1) (a.Geom.y0 -. b.Geom.y1) in
+    Float.max dx dy <= connect_tol
+  in
+  Hashtbl.iter
+    (fun net pins ->
+      let cells = List.sort_uniq compare (List.map fst pins) in
+      if (not (skip net)) && List.length cells > 1
+         && not (List.mem net report.CF.route.MR.failed)
+      then begin
+        let wire_rects = Option.value (Hashtbl.find_opt wires_by_net net) ~default:[] in
+        match wire_rects with
+        | [] ->
+          emit
+            (D.error ~rule:"audit.open-net" ~loc:net
+               (Printf.sprintf "pins on %d cells but no routed geometry" (List.length cells)))
+        | _ ->
+          (* union-find over pins + wire squares; same-cell pins pre-joined *)
+          let nodes =
+            Array.of_list
+              (List.map (fun (cell, r) -> (Some cell, r)) pins
+               @ List.map (fun r -> (None, r)) wire_rects)
+          in
+          let n = Array.length nodes in
+          let parent = Array.init n (fun i -> i) in
+          let rec find i = if parent.(i) = i then i else (parent.(i) <- find parent.(i); parent.(i)) in
+          let union a b =
+            let ra = find a and rb = find b in
+            if ra <> rb then parent.(ra) <- rb
+          in
+          for i = 0 to n - 1 do
+            for j = i + 1 to n - 1 do
+              let oi, ri = nodes.(i) and oj, rj = nodes.(j) in
+              let same_cell = match (oi, oj) with Some a, Some b -> a = b | _ -> false in
+              if same_cell || near ri rj then union i j
+            done
+          done;
+          let roots = ref [] in
+          for i = 0 to n - 1 do
+            let r = find i in
+            if not (List.mem r !roots) then roots := r :: !roots
+          done;
+          if List.length !roots > 1 then
+            emit
+              (D.error ~rule:"audit.open-net" ~loc:net
+                 (Printf.sprintf
+                    "routed geometry leaves the net in %d disconnected pieces across %d cells"
+                    (List.length !roots) (List.length cells)))
+      end)
+    pins_by_net;
+  (* cross-net shorts: same-layer overlap of two different nets' wires *)
+  let tagged_wires =
+    List.concat_map
+      (fun (w : MR.wire) -> List.map (fun r -> (w.MR.w_net, r)) w.MR.rects)
+      report.CF.route.MR.wires
+  in
+  let seen_pairs = Hashtbl.create 8 in
+  List.iter
+    (fun layer ->
+      let rects =
+        Array.of_list
+          (List.sort
+             (fun (_, a) (_, b) -> compare a.Geom.x0 b.Geom.x0)
+             (List.filter (fun ((_, r) : string * Geom.rect) -> r.Geom.layer = layer) tagged_wires))
+      in
+      let n = Array.length rects in
+      for i = 0 to n - 1 do
+        let net_i, ri = rects.(i) in
+        let j = ref (i + 1) in
+        while !j < n && (snd rects.(!j)).Geom.x0 < ri.Geom.x1 do
+          let net_j, rj = rects.(!j) in
+          if net_i <> net_j && Geom.overlaps ri rj then begin
+            let key = if net_i < net_j then (net_i, net_j) else (net_j, net_i) in
+            if not (Hashtbl.mem seen_pairs key) then begin
+              Hashtbl.replace seen_pairs key ();
+              emit
+                (D.error ~rule:"audit.short" ~loc:(fst key ^ "," ^ snd key)
+                   (Printf.sprintf "wires of distinct nets overlap on %s" (Geom.layer_name layer)))
+            end
+          end;
+          incr j
+        done
+      done)
+    [ Geom.Metal1; Geom.Metal2 ];
+  List.rev !diags
+
+let check ?tolerance nl report =
+  check_symmetry ?tolerance nl report @ check_connectivity report

@@ -1,0 +1,34 @@
+(** Pass 3: constraint audit — did the backend keep the frontend's promises?
+
+    The constraint-mapping literature the paper leans on (Choudhury &
+    Sangiovanni-Vincentelli; KOAN's symmetry annealing) exists because
+    placement and routing can silently drop device-level constraints.  This
+    pass recomputes the schematic's matching pairs with
+    {!Mixsyn_layout.Sensitivity.matching_pairs} and checks them against the
+    {e final} placement, and re-derives net connectivity from the routed
+    geometry to compare against the netlist's intent.
+
+    Rules and severities:
+    - [audit.symmetry-missing] (error): a schematic matching pair whose
+      devices were never realized as placeable cells, or whose cells the
+      placer was not told to mirror.
+    - [audit.symmetry-broken] (error): a matching pair whose cells are not
+      mirror-placed about the common axis within [tolerance].
+    - [audit.pair-merged] (info): a matching pair merged into one diffusion
+      stack — matched by construction.
+    - [audit.unrouted-net] (error): a net the router reported failed.
+    - [audit.open-net] (error): a net with pins on two or more cells whose
+      routed geometry does not connect them all.
+    - [audit.unknown-net] (warning): routed wire for a net with no pins in
+      the placement — extracted geometry the netlist never asked for.
+    - [audit.short] (error): same-layer wire geometry of two different nets
+      overlapping. *)
+
+val check :
+  ?tolerance:float ->
+  Mixsyn_circuit.Netlist.t ->
+  Mixsyn_layout.Cell_flow.report ->
+  Diagnostic.t list
+(** [tolerance] (default 2 µm, a few routing tracks) bounds the allowed
+    mirror-placement asymmetry: the axis offset of a pair's centers and
+    their vertical misalignment must both stay under it. *)

@@ -1,0 +1,73 @@
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  rule : string;
+  loc : string;
+  msg : string;
+}
+
+let error ~rule ~loc msg = { severity = Error; rule; loc; msg }
+let warning ~rule ~loc msg = { severity = Warning; rule; loc; msg }
+let info ~rule ~loc msg = { severity = Info; rule; loc; msg }
+
+let severity_name = function Error -> "error" | Warning -> "warning" | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare a b =
+  match Stdlib.compare (severity_rank a.severity) (severity_rank b.severity) with
+  | 0 -> (match Stdlib.compare a.rule b.rule with 0 -> Stdlib.compare a.loc b.loc | c -> c)
+  | c -> c
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let warnings ds = List.filter (fun d -> d.severity = Warning) ds
+let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
+
+let by_rule ds =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun d -> Hashtbl.replace tbl d.rule (1 + Option.value (Hashtbl.find_opt tbl d.rule) ~default:0))
+    ds;
+  List.sort Stdlib.compare (Hashtbl.fold (fun r n acc -> (r, n) :: acc) tbl [])
+
+let suppress ~rules ds =
+  List.filter (fun d -> d.severity = Error || not (List.mem d.rule rules)) ds
+
+let pp ppf d =
+  Format.fprintf ppf "%s[%s] %s: %s" (severity_name d.severity) d.rule d.loc d.msg
+
+let render ds =
+  match ds with
+  | [] -> "clean: no diagnostics"
+  | _ ->
+    let ds = List.sort compare ds in
+    let buf = Buffer.create 256 in
+    List.iter (fun d -> Buffer.add_string buf (Format.asprintf "%a@." pp d)) ds;
+    Buffer.add_string buf
+      (Printf.sprintf "%d error(s), %d warning(s), %d info" (count Error ds)
+         (count Warning ds) (count Info ds));
+    Buffer.contents buf
+
+(* minimal JSON string escaping: quotes, backslashes, control characters *)
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json ds =
+  let ds = List.sort compare ds in
+  let one d =
+    Printf.sprintf "{\"severity\": \"%s\", \"rule\": \"%s\", \"loc\": \"%s\", \"msg\": \"%s\"}"
+      (severity_name d.severity) (escape d.rule) (escape d.loc) (escape d.msg)
+  in
+  "[" ^ String.concat ", " (List.map one ds) ^ "]"

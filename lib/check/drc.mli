@@ -1,0 +1,40 @@
+(** Pass 2: geometric design-rule checking over mask rectangles.
+
+    Input is {e owner-tagged} geometry — the owner is the generated cell or
+    the routed net a rectangle belongs to (see
+    {!Mixsyn_layout.Cell_flow.tagged_geometry}).  Width, enclosure and size
+    rules apply to every rectangle; spacing applies only {e between}
+    owners: a generator's internal same-net geometry (folded fingers,
+    dashed wire segments on the routing grid) intentionally sits at the
+    pitch the generator chose, while two different cells or two different
+    nets approaching each other is exactly the placement/routing failure
+    this pass exists to catch.
+
+    Rules and severities:
+    - [drc.min-width] (error): a drawn-layer rectangle narrower than the
+      layer's minimum width.
+    - [drc.min-spacing] (error): same-layer rectangles of two different
+      {e cells} separated by less than the layer's minimum spacing
+      (touching or overlapping rectangles are treated as connected, not as
+      a spacing violation).
+    - [drc.route-spacing] (warning): the same geometric condition when
+      either rectangle is routed wire (["net:"] owner).  The maze router
+      drops wire squares on a half-pitch grid with no spacing halo around
+      foreign geometry, so routed metal legitimately lands closer than the
+      rule; surfaced for visibility rather than failing the gate.
+    - [drc.contact-size] (error): a contact or via cut that is not exactly
+      the process's square cut size.
+    - [drc.contact-enclosure] (error): a contact cut not enclosed by
+      diffusion/poly with the required margin, or not covered by Metal1.
+    - [drc.gate-extension] (error): a poly gate crossing diffusion without
+      the required endcap extension past the channel.
+    - [drc.well-enclosure] (error): a Pdiff rectangle not enclosed by an
+      Nwell with the required margin.
+    - [drc.well-spacing] (warning): two different owners' Nwells closer
+      than the well spacing rule — usually benign (same-potential wells
+      merge) but worth surfacing. *)
+
+val check :
+  ?rules:Mixsyn_layout.Rules.t -> (string * Mixsyn_layout.Geom.rect) list -> Diagnostic.t list
+(** [check tagged] runs every rule over [(owner, rect)] geometry;
+    [rules] defaults to {!Mixsyn_layout.Rules.generic_07um}. *)

@@ -1,0 +1,156 @@
+module Netlist = Mixsyn_circuit.Netlist
+module D = Diagnostic
+
+(* how a terminal touches its net: [Drives] can set the net's potential or
+   carry its current, [Senses] only observes it (MOS gate, VCCS control),
+   [Body] is a MOS bulk tie *)
+type touch = Drives | Senses | Body
+
+let touches e =
+  match e with
+  | Netlist.Mos m ->
+    [ (m.Netlist.drain, Drives); (m.Netlist.gate, Senses); (m.Netlist.source, Drives);
+      (m.Netlist.bulk, Body) ]
+  | Netlist.Resistor { a; b; _ } -> [ (a, Drives); (b, Drives) ]
+  | Netlist.Capacitor { a; b; _ } -> [ (a, Drives); (b, Drives) ]
+  | Netlist.Vsource { p; n; _ } -> [ (p, Drives); (n, Drives) ]
+  | Netlist.Isource { p; n; _ } -> [ (p, Drives); (n, Drives) ]
+  | Netlist.Vccs { p; n; cp; cn; _ } -> [ (p, Drives); (n, Drives); (cp, Senses); (cn, Senses) ]
+
+(* union-find over nets for the DC-path rule *)
+let find parent i =
+  let rec root i = if parent.(i) = i then i else root parent.(i) in
+  let r = root i in
+  let rec compress i = if parent.(i) <> r then (let p = parent.(i) in parent.(i) <- r; compress p) in
+  compress i;
+  r
+
+let union parent a b =
+  let ra = find parent a and rb = find parent b in
+  if ra <> rb then parent.(ra) <- rb
+
+let in_range n count = n >= 0 && n < count
+
+let check nl =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let n_nets = Netlist.net_count nl in
+  let elements = Netlist.elements nl in
+  (* structural smoke problems from the netlist layer itself *)
+  List.iter
+    (fun problem ->
+      let rule =
+        if String.length problem >= 10 && String.sub problem 0 10 = "bad-net-id" then
+          "erc.bad-net-id"
+        else "erc.duplicate-name"
+      in
+      emit (D.error ~rule ~loc:"netlist" problem))
+    (Netlist.validate nl);
+  (* per-net touch census.  Out-of-range ids are already reported above;
+     clip them so the remaining rules stay total. *)
+  let drives = Array.make n_nets 0 in
+  let senses = Array.make n_nets 0 in
+  let bodies = Array.make n_nets 0 in
+  List.iter
+    (fun e ->
+      List.iter
+        (fun (n, touch) ->
+          if in_range n n_nets then
+            match touch with
+            | Drives -> drives.(n) <- drives.(n) + 1
+            | Senses -> senses.(n) <- senses.(n) + 1
+            | Body -> bodies.(n) <- bodies.(n) + 1)
+        (touches e))
+    elements;
+  let refs n = drives.(n) + senses.(n) + bodies.(n) in
+  let net_flagged = Array.make n_nets false in
+  for n = 1 to n_nets - 1 do
+    let name = Netlist.net_name nl n in
+    let flag d = net_flagged.(n) <- true; emit d in
+    if refs n = 0 then
+      emit (D.warning ~rule:"erc.unused-net" ~loc:name "declared net is never referenced")
+    else if drives.(n) = 0 && senses.(n) > 0 then
+      flag
+        (D.error ~rule:"erc.floating-gate" ~loc:name
+           (Printf.sprintf "net is only sensed (%d gate/control terminals); nothing sets its potential"
+              senses.(n)))
+    else if drives.(n) = 0 then
+      flag
+        (D.error ~rule:"erc.floating-bulk" ~loc:name
+           (Printf.sprintf "net ties %d MOS bulk(s) but connects to nothing else" bodies.(n)))
+    else if refs n = 1 then
+      flag (D.error ~rule:"erc.dangling-net" ~loc:name "net has a single terminal; a wire to nowhere")
+  done;
+  (* DC path to ground: resistors, voltage sources and MOS channels conduct
+     at DC; capacitors, current sources and VCCS outputs do not *)
+  let parent = Array.init n_nets (fun i -> i) in
+  List.iter
+    (fun e ->
+      let link a b = if in_range a n_nets && in_range b n_nets then union parent a b in
+      match e with
+      | Netlist.Resistor { a; b; _ } -> link a b
+      | Netlist.Vsource { p; n; _ } -> link p n
+      | Netlist.Mos m -> link m.Netlist.drain m.Netlist.source
+      | Netlist.Capacitor _ | Netlist.Isource _ | Netlist.Vccs _ -> ())
+    elements;
+  let gnd_root = find parent Netlist.gnd in
+  for n = 1 to n_nets - 1 do
+    if refs n > 0 && (not net_flagged.(n)) && find parent n <> gnd_root then
+      emit
+        (D.error ~rule:"erc.no-dc-path" ~loc:(Netlist.net_name nl n)
+           "no DC path to ground (only capacitors, current sources or controlled sources reach this net)")
+  done;
+  (* element-level value and source sanity *)
+  let geometry name what v =
+    if v <= 0.0 then
+      emit
+        (D.error ~rule:"erc.nonpositive-value" ~loc:name
+           (Printf.sprintf "%s = %g must be positive" what v))
+    else if v < 50e-9 || v > 10e-3 then
+      emit
+        (D.warning ~rule:"erc.suspicious-value" ~loc:name
+           (Printf.sprintf "%s = %g m is outside the plausible 50 nm .. 10 mm range" what v))
+  in
+  let vsource_spans = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      match e with
+      | Netlist.Mos m ->
+        geometry m.Netlist.m_name "W" m.Netlist.w;
+        geometry m.Netlist.m_name "L" m.Netlist.l
+      | Netlist.Resistor { r_name; ohms; _ } ->
+        if ohms <= 0.0 then
+          emit
+            (D.error ~rule:"erc.nonpositive-value" ~loc:r_name
+               (Printf.sprintf "R = %g ohm must be positive" ohms))
+        else if ohms < 1e-3 || ohms > 1e12 then
+          emit
+            (D.warning ~rule:"erc.suspicious-value" ~loc:r_name
+               (Printf.sprintf "R = %g ohm is outside the plausible 1 mohm .. 1 Tohm range" ohms))
+      | Netlist.Capacitor { c_name; farads; _ } ->
+        if farads <= 0.0 then
+          emit
+            (D.error ~rule:"erc.nonpositive-value" ~loc:c_name
+               (Printf.sprintf "C = %g F must be positive" farads))
+        else if farads < 1e-18 || farads > 1e-3 then
+          emit
+            (D.warning ~rule:"erc.suspicious-value" ~loc:c_name
+               (Printf.sprintf "C = %g F is outside the plausible 1 aF .. 1 mF range" farads))
+      | Netlist.Vsource { v_name; p; n; _ } ->
+        if p = n then
+          emit
+            (D.error ~rule:"erc.shorted-vsource" ~loc:v_name
+               (Printf.sprintf "both terminals on net %s" (Netlist.net_name nl p)))
+        else begin
+          let span = (min p n, max p n) in
+          match Hashtbl.find_opt vsource_spans span with
+          | Some first ->
+            emit
+              (D.error ~rule:"erc.parallel-vsources" ~loc:(first ^ "," ^ v_name)
+                 (Printf.sprintf "two ideal voltage sources across nets %s-%s"
+                    (Netlist.net_name nl (fst span)) (Netlist.net_name nl (snd span))))
+          | None -> Hashtbl.replace vsource_spans span v_name
+        end
+      | Netlist.Isource _ | Netlist.Vccs _ -> ())
+    elements;
+  List.rev !diags

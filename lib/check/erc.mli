@@ -1,0 +1,28 @@
+(** Pass 1: electrical rule checking over {!Mixsyn_circuit.Netlist.t}.
+
+    Purely structural — no simulation — so it runs in linear time and can
+    gate every netlist the flow constructs.  Rules and severities:
+
+    - [erc.bad-net-id] (error): a terminal references a net outside
+      [0, net_count) (from {!Mixsyn_circuit.Netlist.validate}).
+    - [erc.duplicate-name] (error): one element name used twice (ditto).
+    - [erc.dangling-net] (error): a net with exactly one terminal — a wire
+      to nowhere.
+    - [erc.unused-net] (warning): a declared net no terminal references.
+    - [erc.floating-gate] (error): a net referenced only by MOS gates
+      and/or VCCS sense terminals — nothing can set its potential.
+    - [erc.floating-bulk] (error): a net referenced only by MOS bulks.
+    - [erc.no-dc-path] (error): a referenced net with no DC path to ground
+      through resistors, voltage sources or MOS channels (capacitors,
+      current sources and controlled sources block DC).
+    - [erc.shorted-vsource] (error): a voltage source with both terminals
+      on one net.
+    - [erc.parallel-vsources] (error): two voltage sources across the same
+      net pair — ideal sources in parallel are contradictory.
+    - [erc.nonpositive-value] (error): W, L, R or C value <= 0.
+    - [erc.suspicious-value] (warning): a value outside the plausible
+      integrated range (W/L outside 50 nm..10 mm, R outside 1 mΩ..1 TΩ,
+      C outside 1 aF..1 mF). *)
+
+val check : Mixsyn_circuit.Netlist.t -> Diagnostic.t list
+(** All ERC findings; [[]] for a clean netlist. *)

@@ -1,0 +1,21 @@
+exception Check_failed of Diagnostic.t list
+
+let netlist nl = Erc.check nl
+
+let full ?tolerance ?rules nl report =
+  Erc.check nl
+  @ Drc.check ?rules (Mixsyn_layout.Cell_flow.tagged_geometry report)
+  @ Audit.check ?tolerance nl report
+
+let exit_code diags = if Diagnostic.errors diags = [] then 0 else 1
+
+let gate ~stage diags =
+  Mixsyn_util.Telemetry.add
+    (Printf.sprintf "check.%s.errors" stage)
+    (Diagnostic.count Diagnostic.Error diags);
+  Mixsyn_util.Telemetry.add
+    (Printf.sprintf "check.%s.warnings" stage)
+    (Diagnostic.count Diagnostic.Warning diags);
+  match Diagnostic.errors diags with
+  | [] -> diags
+  | _ -> raise (Check_failed (List.sort Diagnostic.compare diags))

@@ -1,0 +1,32 @@
+(** The combined static gate: ERC + DRC + constraint audit.
+
+    This is what the flow and the [msyn lint] subcommand call.  {!netlist}
+    is the cheap pre-layout gate; {!full} adds the two backend passes over a
+    finished {!Mixsyn_layout.Cell_flow.report}. *)
+
+exception Check_failed of Diagnostic.t list
+(** Raised by {!gate} when any [Error] diagnostic survives; carries the
+    complete diagnostic list, errors first. *)
+
+val netlist : Mixsyn_circuit.Netlist.t -> Diagnostic.t list
+(** ERC only — {!Erc.check}. *)
+
+val full :
+  ?tolerance:float ->
+  ?rules:Mixsyn_layout.Rules.t ->
+  Mixsyn_circuit.Netlist.t ->
+  Mixsyn_layout.Cell_flow.report ->
+  Diagnostic.t list
+(** All three passes: ERC over the netlist, DRC over the report's tagged
+    geometry, the constraint audit over both.  [tolerance] is the audit's
+    mirror-placement tolerance. *)
+
+val exit_code : Diagnostic.t list -> int
+(** 1 when any [Error] diagnostic is present, 0 otherwise — the [msyn lint]
+    process exit status. *)
+
+val gate : stage:string -> Diagnostic.t list -> Diagnostic.t list
+(** Telemetry-counting gate for the flow: counts
+    [check.<stage>.errors/warnings] into {!Mixsyn_util.Telemetry}, returns
+    the diagnostics unchanged when no error is present, and raises
+    {!Check_failed} otherwise. *)

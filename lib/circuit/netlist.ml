@@ -177,3 +177,36 @@ let to_spice ?(title = "mixsyn netlist") t =
 
 let map_elements t f =
   { (copy t) with rev_elements = List.rev_map f (elements t) }
+
+let element_nets = function
+  | Mos m -> [ m.drain; m.gate; m.source; m.bulk ]
+  | Resistor r -> [ r.a; r.b ]
+  | Capacitor c -> [ c.a; c.b ]
+  | Vsource v -> [ v.p; v.n ]
+  | Isource i -> [ i.p; i.n ]
+  | Vccs g -> [ g.p; g.n; g.cp; g.cn ]
+
+let validate t =
+  let problems = ref [] in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let name = element_name e in
+      (match Hashtbl.find_opt seen name with
+       | Some n -> Hashtbl.replace seen name (n + 1)
+       | None -> Hashtbl.replace seen name 1);
+      List.iter
+        (fun n ->
+          if n < 0 || n >= t.n_nets then
+            problems :=
+              Printf.sprintf "bad-net-id: element %s references net %d outside [0, %d)"
+                name n t.n_nets
+              :: !problems)
+        (element_nets e))
+    (elements t);
+  Hashtbl.iter
+    (fun name n ->
+      if n > 1 then
+        problems := Printf.sprintf "duplicate-name: %s used by %d elements" name n :: !problems)
+    seen;
+  List.sort compare !problems

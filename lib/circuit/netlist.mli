@@ -80,3 +80,12 @@ val to_spice : ?title:string -> t -> string
 
 val map_elements : t -> (element -> element) -> t
 (** A copy with every element transformed (nets and names preserved). *)
+
+val element_nets : element -> net list
+(** Every net an element's terminals reference, in terminal order. *)
+
+val validate : t -> string list
+(** Structural smoke check, sorted: one ["duplicate-name: ..."] message per
+    element name used more than once and one ["bad-net-id: ..."] message per
+    terminal referencing a net outside [0, net_count).  [[]] means the
+    netlist is structurally sound; {!Mixsyn_check.Erc} builds on this. *)

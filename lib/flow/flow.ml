@@ -16,6 +16,7 @@ type outcome = {
   post_layout : Spec.performance;
   meets_post_layout : bool;
   redesigns : int;
+  diagnostics : Mixsyn_check.Diagnostic.t list;
   log : stage_log list;
 }
 
@@ -57,7 +58,7 @@ let measure_extracted tech template params layout_report =
       ("power_w", Mixsyn_engine.Dc.power annotated op) ]
 
 let run ?(tech = Mixsyn_circuit.Tech.generic_07um) ?(seed = 13) ?(max_redesigns = 2)
-    ?(candidates = Mixsyn_circuit.Topology.all) ~specs ~objectives ~context () =
+    ?(candidates = Mixsyn_circuit.Topology.all) ?(checks = true) ~specs ~objectives ~context () =
   Mixsyn_util.Telemetry.with_span "flow.run" @@ fun () ->
   let log = ref [] in
   (* 1. topology selection: interval pruning then rule-based ranking *)
@@ -152,6 +153,38 @@ let run ?(tech = Mixsyn_circuit.Tech.generic_07um) ?(seed = 13) ?(max_redesigns 
     end
   in
   let sizing, layout, post_layout, ok, redesigns = attempt 0 0.0 in
+  (* 6. static verification gates on the finished design: ERC over the
+     final netlist, DRC over the mask geometry, constraint audit over
+     both.  Any [Error] diagnostic raises {!Mixsyn_check.Lint.Check_failed}
+     — a flow that ships a broken design is worse than one that stops. *)
+  let summarize stage diags =
+    ( diags,
+      Printf.sprintf "%s: %d error(s), %d warning(s)" stage
+        (Mixsyn_check.Diagnostic.count Mixsyn_check.Diagnostic.Error diags)
+        (Mixsyn_check.Diagnostic.count Mixsyn_check.Diagnostic.Warning diags) )
+  in
+  let diagnostics =
+    if not checks then []
+    else begin
+      let nl = template.Template.build tech sizing.Sizing.params in
+      let erc =
+        timed log "check-erc" (fun () ->
+            summarize "erc" (Mixsyn_check.Lint.gate ~stage:"erc" (Mixsyn_check.Erc.check nl)))
+      in
+      let drc =
+        timed log "check-drc" (fun () ->
+            summarize "drc"
+              (Mixsyn_check.Lint.gate ~stage:"drc"
+                 (Mixsyn_check.Drc.check (Mixsyn_layout.Cell_flow.tagged_geometry layout))))
+      in
+      let audit =
+        timed log "check-audit" (fun () ->
+            summarize "audit"
+              (Mixsyn_check.Lint.gate ~stage:"audit" (Mixsyn_check.Audit.check nl layout)))
+      in
+      erc @ drc @ audit
+    end
+  in
   { template;
     sizing;
     layout;
@@ -159,12 +192,14 @@ let run ?(tech = Mixsyn_circuit.Tech.generic_07um) ?(seed = 13) ?(max_redesigns 
     post_layout;
     meets_post_layout = ok;
     redesigns;
+    diagnostics;
     log = List.rev !log }
 
 let pp_outcome ppf o =
-  Format.fprintf ppf "flow: %s, %d redesign(s), post-layout %s@\n"
+  Format.fprintf ppf "flow: %s, %d redesign(s), post-layout %s, checks: %d warning(s)@\n"
     o.template.Template.t_name o.redesigns
-    (if o.meets_post_layout then "MET" else "violated");
+    (if o.meets_post_layout then "MET" else "violated")
+    (List.length (Mixsyn_check.Diagnostic.warnings o.diagnostics));
   List.iter
     (fun l -> Format.fprintf ppf "  %-22s %6.2fs  %s@\n" l.stage l.seconds l.detail)
     o.log;

@@ -23,6 +23,9 @@ type outcome = {
       (** performance of the extracted netlist *)
   meets_post_layout : bool;
   redesigns : int;
+  diagnostics : Mixsyn_check.Diagnostic.t list;
+      (** everything the static gates reported (warnings and infos; a flow
+          that returns at all had zero errors) *)
   log : stage_log list;
 }
 
@@ -38,12 +41,20 @@ val run :
   ?seed:int ->
   ?max_redesigns:int ->
   ?candidates:Mixsyn_circuit.Template.t list ->
+  ?checks:bool ->
   specs:Mixsyn_synth.Spec.t list ->
   objectives:Mixsyn_synth.Spec.objective list ->
   context:(string * float) list ->
   unit ->
   outcome
 (** Full flow for a cell-level specification set.
-    @raise Failure when no candidate topology is feasible. *)
+
+    Unless [checks] is [false], the finished design must pass the three
+    static gates of {!Mixsyn_check} (netlist ERC, layout DRC, constraint
+    audit); their error/warning totals land in
+    {!Mixsyn_util.Telemetry} under [check.<stage>.*].
+    @raise Failure when no candidate topology is feasible.
+    @raise Mixsyn_check.Lint.Check_failed when a static gate reports an
+    [Error] diagnostic. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

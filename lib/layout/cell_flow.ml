@@ -94,22 +94,17 @@ let items_of_netlist nl =
           :: acc)
       net_names []
   in
-  (* symmetry groups from the schematic, mapped onto item indices *)
-  let item_of_device d =
-    let found = ref None in
-    Array.iteri
-      (fun i (item : Placer.item) ->
-        if item.Placer.item_name = d then found := Some i
-        else begin
-          (* device inside a stack *)
-          Array.iter
-            (fun (cell : Cell.t) ->
-              ignore cell)
-            item.Placer.variants
-        end)
-      items;
-    !found
-  in
+  (* symmetry groups from the schematic, mapped onto item indices.  A device
+     absorbed into a multi-device stack maps to the stack's item, so a
+     matched pair split across two stacks still constrains the placer
+     (previously such pairs were silently dropped).  Devices in one shared
+     stack are matched by construction and need no constraint. *)
+  let stack_index = Hashtbl.create 16 in
+  List.iteri
+    (fun i (st : Stacker.stack) ->
+      List.iter (fun d -> Hashtbl.replace stack_index d i) st.Stacker.devices)
+    stacking.Stacker.stacks;
+  let item_of_device d = Hashtbl.find_opt stack_index d in
   let mirror_pairs =
     List.filter_map
       (fun (a, b) ->
@@ -119,6 +114,15 @@ let items_of_netlist nl =
       (Sensitivity.matching_pairs nl)
   in
   (items, nets, { Placer.mirror_pairs; self_symmetric = [] })
+
+let tagged_geometry (r : report) =
+  List.concat_map
+    (fun (c : Cell.t) -> List.map (fun rect -> (c.Cell.cell_name, rect)) c.Cell.rects)
+    r.placed
+  @ List.concat_map
+      (fun (w : Maze_router.wire) ->
+        List.map (fun rect -> ("net:" ^ w.Maze_router.w_net, rect)) w.Maze_router.rects)
+      r.route.Maze_router.wires
 
 let finish ~flow_name ~items ~placement ~nets ~symmetric_pairs =
   let placed = Placer.realized items placement in

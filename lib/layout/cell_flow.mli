@@ -39,4 +39,12 @@ val items_of_netlist :
   Mixsyn_circuit.Netlist.t ->
   Placer.item array * Maze_router.net_spec list * Placer.symmetry
 (** The shared preparation: stacks + fold variants + net specs + symmetry
-    groups extracted from the schematic. *)
+    groups extracted from the schematic.  A matched device absorbed into a
+    multi-device stack contributes its stack to the mirror constraints; a
+    pair merged into one stack is matched by construction and dropped. *)
+
+val tagged_geometry : report -> (string * Geom.rect) list
+(** Every mask rectangle of the finished layout tagged with its owner — the
+    generated cell's name, or ["net:<name>"] for routed wire — the form the
+    DRC pass consumes.  Pin markers are not mask geometry and are
+    excluded. *)

@@ -1,0 +1,368 @@
+(* Static-verification tests: diagnostics, ERC, DRC, constraint audit and
+   the lint gate.  Each rule id gets a deliberately broken fixture; clean
+   designs must produce zero diagnostics. *)
+
+module D = Mixsyn_check.Diagnostic
+module Erc = Mixsyn_check.Erc
+module Drc = Mixsyn_check.Drc
+module Audit = Mixsyn_check.Audit
+module Lint = Mixsyn_check.Lint
+module N = Mixsyn_circuit.Netlist
+module Tp = Mixsyn_circuit.Template
+module G = Mixsyn_layout.Geom
+module Cell = Mixsyn_layout.Cell
+module MR = Mixsyn_layout.Maze_router
+module CF = Mixsyn_layout.Cell_flow
+
+let tech = Mixsyn_circuit.Tech.generic_07um
+
+let miller_netlist () =
+  let x = [| 60e-6; 20e-6; 30e-6; 60e-6; 45e-6; 1e-6; 50e-6; 3e-12; 5e-12 |] in
+  Mixsyn_circuit.Topology.miller_ota.Tp.build tech x
+
+let rules ds = List.sort_uniq compare (List.map (fun (d : D.t) -> d.D.rule) ds)
+let has rule ds = List.exists (fun (d : D.t) -> d.D.rule = rule) ds
+
+let assert_fires rule ds =
+  if not (has rule ds) then
+    Alcotest.failf "expected %s among [%s]" rule (String.concat "; " (rules ds))
+
+let assert_severity rule sev ds =
+  match List.find_opt (fun (d : D.t) -> d.D.rule = rule) ds with
+  | Some d ->
+    Alcotest.(check string)
+      (rule ^ " severity") (D.severity_name sev) (D.severity_name d.D.severity)
+  | None -> Alcotest.failf "%s did not fire" rule
+
+(* --- diagnostic plumbing ------------------------------------------------- *)
+
+let diag_ordering () =
+  let ds =
+    [ D.info ~rule:"z" ~loc:"a" "i"; D.error ~rule:"b" ~loc:"a" "e";
+      D.warning ~rule:"a" ~loc:"a" "w"; D.error ~rule:"a" ~loc:"a" "e" ]
+  in
+  let sorted = List.sort D.compare ds in
+  Alcotest.(check (list string))
+    "severity then rule"
+    [ "a"; "b"; "a"; "z" ]
+    (List.map (fun (d : D.t) -> d.D.rule) sorted);
+  Alcotest.(check int) "errors" 2 (List.length (D.errors ds));
+  Alcotest.(check int) "warnings" 1 (List.length (D.warnings ds))
+
+let diag_suppress () =
+  let ds =
+    [ D.error ~rule:"x.err" ~loc:"l" "e"; D.warning ~rule:"x.warn" ~loc:"l" "w";
+      D.info ~rule:"x.info" ~loc:"l" "i" ]
+  in
+  let kept = D.suppress ~rules:[ "x.warn"; "x.info"; "x.err" ] ds in
+  (* warnings and infos drop; errors are never suppressed *)
+  Alcotest.(check (list string)) "errors survive" [ "x.err" ] (rules kept)
+
+let diag_render_json () =
+  Alcotest.(check string) "empty render" "clean: no diagnostics" (D.render []);
+  Alcotest.(check string) "empty json" "[]" (D.to_json []);
+  let ds = [ D.error ~rule:"r.a" ~loc:"spot \"q\"" "broke" ] in
+  Alcotest.(check string) "escaped object"
+    "[{\"severity\": \"error\", \"rule\": \"r.a\", \"loc\": \"spot \\\"q\\\"\", \"msg\": \"broke\"}]"
+    (D.to_json ds);
+  let rendered = D.render ds in
+  let tail = "1 error(s), 0 warning(s), 0 info" in
+  Alcotest.(check string) "summary line" tail
+    (String.sub rendered (String.length rendered - String.length tail) (String.length tail))
+
+(* --- ERC ------------------------------------------------------------------ *)
+
+(* minimal live scaffold: vdd rail with a resistor load keeps every node
+   DC-connected, so fixtures only trip the rule under test *)
+let scaffold () =
+  let nl = N.create () in
+  let vdd = N.new_net ~name:"vdd" nl in
+  N.add nl (N.Vsource { v_name = "v1"; p = vdd; n = N.gnd; dc = 3.0; ac = 0.0; v_wave = N.Dc_wave });
+  (nl, vdd)
+
+let erc_clean () =
+  let nl = miller_netlist () in
+  Alcotest.(check (list string)) "clean topology" [] (rules (Erc.check nl));
+  List.iter
+    (fun (t : Tp.t) ->
+      let nl = t.Tp.build tech (Tp.midpoint t) in
+      Alcotest.(check (list string)) (t.Tp.t_name ^ " clean") [] (rules (Erc.check nl)))
+    Mixsyn_circuit.Topology.all
+
+let erc_floating_gate () =
+  let nl, vdd = scaffold () in
+  let d = N.new_net ~name:"d" nl in
+  let g = N.new_net ~name:"g" nl in
+  N.add nl (N.Resistor { r_name = "r1"; a = vdd; b = d; ohms = 1e4 });
+  N.add nl
+    (N.Mos { m_name = "m1"; drain = d; gate = g; source = N.gnd; bulk = N.gnd;
+             w = 10e-6; l = 1e-6; polarity = N.Nmos });
+  let ds = Erc.check nl in
+  assert_fires "erc.floating-gate" ds;
+  assert_severity "erc.floating-gate" D.Error ds;
+  Alcotest.(check int) "lint gate trips" 1 (Lint.exit_code ds)
+
+let erc_floating_bulk () =
+  let nl, vdd = scaffold () in
+  let d = N.new_net ~name:"d" nl in
+  let b = N.new_net ~name:"b" nl in
+  N.add nl (N.Resistor { r_name = "r1"; a = vdd; b = d; ohms = 1e4 });
+  N.add nl
+    (N.Mos { m_name = "m1"; drain = d; gate = vdd; source = N.gnd; bulk = b;
+             w = 10e-6; l = 1e-6; polarity = N.Nmos });
+  assert_fires "erc.floating-bulk" (Erc.check nl)
+
+let erc_dangling_net () =
+  let nl, vdd = scaffold () in
+  let stub = N.new_net ~name:"stub" nl in
+  N.add nl (N.Resistor { r_name = "r1"; a = vdd; b = stub; ohms = 1e4 });
+  let ds = Erc.check nl in
+  assert_fires "erc.dangling-net" ds;
+  assert_severity "erc.dangling-net" D.Error ds
+
+let erc_unused_net () =
+  let nl, _ = scaffold () in
+  let _orphan = N.new_net ~name:"orphan" nl in
+  let ds = Erc.check nl in
+  assert_fires "erc.unused-net" ds;
+  assert_severity "erc.unused-net" D.Warning ds
+
+let erc_no_dc_path () =
+  let nl, _ = scaffold () in
+  let x = N.new_net ~name:"x" nl in
+  N.add nl (N.Capacitor { c_name = "c1"; a = x; b = N.gnd; farads = 1e-12 });
+  N.add nl (N.Isource { i_name = "i1"; p = x; n = N.gnd; dc = 1e-6; ac = 0.0; i_wave = N.Dc_wave });
+  let ds = Erc.check nl in
+  assert_fires "erc.no-dc-path" ds;
+  (* a resistor to ground heals it *)
+  N.add nl (N.Resistor { r_name = "r1"; a = x; b = N.gnd; ohms = 1e6 });
+  Alcotest.(check bool) "healed" false (has "erc.no-dc-path" (Erc.check nl))
+
+let erc_shorted_vsource () =
+  let nl, vdd = scaffold () in
+  N.add nl
+    (N.Vsource { v_name = "vshort"; p = vdd; n = vdd; dc = 1.0; ac = 0.0; v_wave = N.Dc_wave });
+  assert_fires "erc.shorted-vsource" (Erc.check nl)
+
+let erc_parallel_vsources () =
+  let nl, vdd = scaffold () in
+  N.add nl
+    (N.Vsource { v_name = "v2"; p = vdd; n = N.gnd; dc = 2.5; ac = 0.0; v_wave = N.Dc_wave });
+  assert_fires "erc.parallel-vsources" (Erc.check nl)
+
+let erc_values () =
+  let nl, vdd = scaffold () in
+  N.add nl (N.Resistor { r_name = "rbad"; a = vdd; b = N.gnd; ohms = -50.0 });
+  N.add nl (N.Capacitor { c_name = "chuge"; a = vdd; b = N.gnd; farads = 1.0 });
+  let ds = Erc.check nl in
+  assert_fires "erc.nonpositive-value" ds;
+  assert_severity "erc.nonpositive-value" D.Error ds;
+  assert_fires "erc.suspicious-value" ds;
+  assert_severity "erc.suspicious-value" D.Warning ds
+
+let erc_structural () =
+  let nl, vdd = scaffold () in
+  N.add nl (N.Resistor { r_name = "r1"; a = vdd; b = N.gnd; ohms = 1e3 });
+  N.add nl (N.Resistor { r_name = "r1"; a = vdd; b = N.gnd; ohms = 2e3 });
+  N.add nl (N.Capacitor { c_name = "c1"; a = vdd; b = 99; farads = 1e-12 });
+  let ds = Erc.check nl in
+  assert_fires "erc.duplicate-name" ds;
+  assert_fires "erc.bad-net-id" ds
+
+(* --- DRC ------------------------------------------------------------------ *)
+
+let lambda = 0.35e-6
+
+let drc_clean () =
+  (* an isolated exactly-minimum-width wire breaks nothing *)
+  let ds = Drc.check [ ("a", G.rect G.Metal1 0.0 0.0 (3.0 *. lambda) (30.0 *. lambda)) ] in
+  Alcotest.(check (list string)) "clean" [] (rules ds)
+
+let drc_min_width () =
+  let ds = Drc.check [ ("a", G.rect G.Metal1 0.0 0.0 (2.0 *. lambda) (30.0 *. lambda)) ] in
+  assert_fires "drc.min-width" ds;
+  assert_severity "drc.min-width" D.Error ds
+
+let drc_min_spacing () =
+  let bar owner x = (owner, G.rect G.Metal1 x 0.0 (x +. (3.0 *. lambda)) (30.0 *. lambda)) in
+  (* one lambda apart: violates the 3-lambda metal1 spacing *)
+  let ds = Drc.check [ bar "a" 0.0; bar "b" (4.0 *. lambda) ] in
+  assert_fires "drc.min-spacing" ds;
+  assert_severity "drc.min-spacing" D.Error ds;
+  (* same owner at the same distance is internal geometry: fine *)
+  Alcotest.(check (list string)) "same owner ok" []
+    (rules (Drc.check [ bar "a" 0.0; bar "a" (4.0 *. lambda) ]));
+  (* far enough apart: fine *)
+  Alcotest.(check (list string)) "spaced ok" []
+    (rules (Drc.check [ bar "a" 0.0; bar "b" (6.0 *. lambda) ]))
+
+let drc_route_spacing () =
+  let bar owner x = (owner, G.rect G.Metal1 x 0.0 (x +. (3.0 *. lambda)) (30.0 *. lambda)) in
+  let ds = Drc.check [ bar "a" 0.0; bar "net:sig" (4.0 *. lambda) ] in
+  (* wire-involved proximity is reported but demoted to a warning *)
+  assert_fires "drc.route-spacing" ds;
+  assert_severity "drc.route-spacing" D.Warning ds;
+  Alcotest.(check bool) "not an error" false (has "drc.min-spacing" ds)
+
+let drc_contact_size () =
+  let ds = Drc.check [ ("a", G.rect G.Contact 0.0 0.0 (3.0 *. lambda) (2.0 *. lambda)) ] in
+  assert_fires "drc.contact-size" ds
+
+let drc_contact_enclosure () =
+  let cut = G.rect G.Contact 0.0 0.0 (2.0 *. lambda) (2.0 *. lambda) in
+  (* bare cut: no diffusion, no metal *)
+  assert_fires "drc.contact-enclosure" (Drc.check [ ("a", cut) ]);
+  (* properly nested cut passes *)
+  let diff = G.rect G.Ndiff (-.lambda) (-.lambda) (3.0 *. lambda) (3.0 *. lambda) in
+  let m1 = G.rect G.Metal1 (-.lambda) (-.lambda) (3.0 *. lambda) (3.0 *. lambda) in
+  Alcotest.(check bool) "enclosed ok" false
+    (has "drc.contact-enclosure" (Drc.check [ ("a", cut); ("a", diff); ("a", m1) ]))
+
+let drc_gate_extension () =
+  let diff = G.rect G.Ndiff 0.0 0.0 (20.0 *. lambda) (10.0 *. lambda) in
+  (* poly strip crossing the diffusion but stopping flush with its edge *)
+  let short_poly = G.rect G.Poly (8.0 *. lambda) 0.0 (10.0 *. lambda) (10.0 *. lambda) in
+  assert_fires "drc.gate-extension" (Drc.check [ ("a", diff); ("a", short_poly) ]);
+  let good_poly =
+    G.rect G.Poly (8.0 *. lambda) (-2.0 *. lambda) (10.0 *. lambda) (12.0 *. lambda)
+  in
+  Alcotest.(check bool) "endcapped ok" false
+    (has "drc.gate-extension" (Drc.check [ ("a", diff); ("a", good_poly) ]))
+
+let drc_well_enclosure () =
+  let pdiff = G.rect G.Pdiff 0.0 0.0 (10.0 *. lambda) (10.0 *. lambda) in
+  assert_fires "drc.well-enclosure" (Drc.check [ ("a", pdiff) ]);
+  let well =
+    G.rect G.Nwell (-5.0 *. lambda) (-5.0 *. lambda) (15.0 *. lambda) (15.0 *. lambda)
+  in
+  Alcotest.(check bool) "in well ok" false
+    (has "drc.well-enclosure" (Drc.check [ ("a", pdiff); ("a", well) ]))
+
+let drc_layout_clean () =
+  (* a real generated layout carries zero DRC errors (route-spacing and
+     well-spacing warnings are expected artifacts) *)
+  let nl = miller_netlist () in
+  let r = CF.koan ~seed:23 nl in
+  let ds = Drc.check (CF.tagged_geometry r) in
+  Alcotest.(check (list string)) "no errors" [] (rules (D.errors ds))
+
+(* --- audit ---------------------------------------------------------------- *)
+
+(* the miller pair (m1, m2) merges into one stack; nudging m2's L by 0.5 %
+   keeps the pair matched (1 % tolerance) but splits the stack, so the
+   audit checks the mirror geometry *)
+let split_pair_netlist () =
+  let nl = miller_netlist () in
+  N.map_elements nl (function
+    | N.Mos m when m.N.m_name = "m2" -> N.Mos { m with N.l = m.N.l *. 1.005 }
+    | e -> e)
+
+let audit_clean () =
+  let nl = miller_netlist () in
+  let r = CF.koan ~seed:23 nl in
+  let ds = Audit.check nl r in
+  Alcotest.(check (list string)) "no errors" [] (rules (D.errors ds));
+  (* merged pairs are narrated, not flagged *)
+  assert_fires "audit.pair-merged" ds;
+  assert_severity "audit.pair-merged" D.Info ds
+
+let audit_symmetry_broken () =
+  let nl = split_pair_netlist () in
+  let r = CF.koan ~seed:23 nl in
+  let displaced =
+    { r with
+      CF.placed =
+        List.map
+          (fun (c : Cell.t) ->
+            if c.Cell.cell_name = "m2" then Cell.translate 0.0 9e-6 c else c)
+          r.CF.placed }
+  in
+  let ds = Audit.check nl displaced in
+  assert_fires "audit.symmetry-broken" ds;
+  assert_severity "audit.symmetry-broken" D.Error ds
+
+let audit_symmetry_missing () =
+  let nl = split_pair_netlist () in
+  let r = CF.koan ~seed:23 nl in
+  let gutted =
+    { r with
+      CF.placed = List.filter (fun (c : Cell.t) -> c.Cell.cell_name <> "m2") r.CF.placed }
+  in
+  assert_fires "audit.symmetry-missing" (Audit.check nl gutted)
+
+let audit_unrouted_net () =
+  let nl = miller_netlist () in
+  let r = CF.koan ~seed:23 nl in
+  let broken = { r with CF.route = { r.CF.route with MR.failed = [ "o1" ] } } in
+  assert_fires "audit.unrouted-net" (Audit.check nl broken)
+
+let audit_open_net () =
+  let nl = miller_netlist () in
+  let r = CF.koan ~seed:23 nl in
+  (* erase the routed geometry of a multi-cell net *)
+  let victim = "o1" in
+  let broken =
+    { r with
+      CF.route =
+        { r.CF.route with
+          MR.wires =
+            List.filter (fun (w : MR.wire) -> w.MR.w_net <> victim) r.CF.route.MR.wires } }
+  in
+  assert_fires "audit.open-net" (Audit.check nl broken)
+
+(* --- lint gate ------------------------------------------------------------ *)
+
+let lint_gate () =
+  Mixsyn_util.Telemetry.reset ();
+  let warn = [ D.warning ~rule:"w" ~loc:"l" "w" ] in
+  Alcotest.(check int) "clean passes" 1 (List.length (Lint.gate ~stage:"t" warn));
+  Alcotest.(check int) "warning counted" 1 (Mixsyn_util.Telemetry.counter "check.t.warnings");
+  (match Lint.gate ~stage:"t" [ D.error ~rule:"e" ~loc:"l" "e" ] with
+   | _ -> Alcotest.fail "gate must raise on error"
+   | exception Lint.Check_failed [ d ] -> Alcotest.(check string) "carried" "e" d.D.rule
+   | exception Lint.Check_failed _ -> Alcotest.fail "diagnostic list shape");
+  Alcotest.(check int) "error counted" 1 (Mixsyn_util.Telemetry.counter "check.t.errors")
+
+let lint_full_clean () =
+  let nl = miller_netlist () in
+  let r = CF.koan ~seed:23 nl in
+  let ds = Lint.full nl r in
+  Alcotest.(check (list string)) "no errors" [] (rules (D.errors ds));
+  Alcotest.(check int) "exit 0" 0 (Lint.exit_code ds)
+
+let () =
+  Alcotest.run "check"
+    [ ( "diagnostic",
+        [ Alcotest.test_case "ordering" `Quick diag_ordering;
+          Alcotest.test_case "suppress" `Quick diag_suppress;
+          Alcotest.test_case "render json" `Quick diag_render_json ] );
+      ( "erc",
+        [ Alcotest.test_case "clean topologies" `Quick erc_clean;
+          Alcotest.test_case "floating gate" `Quick erc_floating_gate;
+          Alcotest.test_case "floating bulk" `Quick erc_floating_bulk;
+          Alcotest.test_case "dangling net" `Quick erc_dangling_net;
+          Alcotest.test_case "unused net" `Quick erc_unused_net;
+          Alcotest.test_case "no dc path" `Quick erc_no_dc_path;
+          Alcotest.test_case "shorted vsource" `Quick erc_shorted_vsource;
+          Alcotest.test_case "parallel vsources" `Quick erc_parallel_vsources;
+          Alcotest.test_case "value sanity" `Quick erc_values;
+          Alcotest.test_case "structural" `Quick erc_structural ] );
+      ( "drc",
+        [ Alcotest.test_case "clean wire" `Quick drc_clean;
+          Alcotest.test_case "min width" `Quick drc_min_width;
+          Alcotest.test_case "min spacing" `Quick drc_min_spacing;
+          Alcotest.test_case "route spacing" `Quick drc_route_spacing;
+          Alcotest.test_case "contact size" `Quick drc_contact_size;
+          Alcotest.test_case "contact enclosure" `Quick drc_contact_enclosure;
+          Alcotest.test_case "gate extension" `Quick drc_gate_extension;
+          Alcotest.test_case "well enclosure" `Quick drc_well_enclosure;
+          Alcotest.test_case "real layout has no errors" `Slow drc_layout_clean ] );
+      ( "audit",
+        [ Alcotest.test_case "clean layout" `Slow audit_clean;
+          Alcotest.test_case "symmetry broken" `Slow audit_symmetry_broken;
+          Alcotest.test_case "symmetry missing" `Slow audit_symmetry_missing;
+          Alcotest.test_case "unrouted net" `Slow audit_unrouted_net;
+          Alcotest.test_case "open net" `Slow audit_open_net ] );
+      ( "lint",
+        [ Alcotest.test_case "gate telemetry" `Quick lint_gate;
+          Alcotest.test_case "full clean" `Slow lint_full_clean ] ) ]

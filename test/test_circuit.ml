@@ -40,6 +40,27 @@ let test_netlist_elements () =
   Alcotest.(check (list string)) "element order" [ "r1"; "m1" ]
     (List.map N.element_name (N.elements c))
 
+let test_netlist_validate () =
+  let c = N.create () in
+  let a = N.new_net c in
+  N.add c (N.Resistor { r_name = "r1"; a; b = N.gnd; ohms = 100.0 });
+  Alcotest.(check (list string)) "sound netlist" [] (N.validate c);
+  Alcotest.(check (list int)) "element nets" [ a; N.gnd ]
+    (N.element_nets (List.hd (N.elements c)));
+  (* duplicate element name *)
+  N.add c (N.Resistor { r_name = "r1"; a; b = N.gnd; ohms = 200.0 });
+  (* terminal referencing a net that was never created *)
+  N.add c (N.Capacitor { c_name = "c1"; a; b = 42; farads = 1e-12 });
+  (match N.validate c with
+   | [ bad; dup ] ->
+     Alcotest.(check string) "bad-net-id first" "bad-net-id" (String.sub bad 0 10);
+     Alcotest.(check string) "duplicate named" "duplicate-name" (String.sub dup 0 14)
+   | other -> Alcotest.failf "expected 2 problems, got %d" (List.length other));
+  (* negative ids are out of range too *)
+  let c2 = N.create () in
+  N.add c2 (N.Resistor { r_name = "r"; a = -1; b = N.gnd; ohms = 1.0 });
+  Alcotest.(check int) "negative id flagged" 1 (List.length (N.validate c2))
+
 let test_netlist_copy_independent () =
   let c = N.create () in
   let a = N.new_net c in
@@ -221,6 +242,7 @@ let () =
     [ ( "netlist",
         [ Alcotest.test_case "nets" `Quick test_netlist_nets;
           Alcotest.test_case "elements" `Quick test_netlist_elements;
+          Alcotest.test_case "validate" `Quick test_netlist_validate;
           Alcotest.test_case "copy independent" `Quick test_netlist_copy_independent;
           Alcotest.test_case "pulse wave" `Quick test_wave_pulse;
           Alcotest.test_case "pwl wave" `Quick test_wave_pwl;
