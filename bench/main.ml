@@ -521,6 +521,87 @@ let run_ablations () =
   Printf.printf "nominal sizing yield: %5.1f%%   corner-robust sizing yield: %5.1f%%\n"
     (100. *. y_nominal) (100. *. y_robust)
 
+(* ---------------------------------------------------------------------- *)
+(* Parallel: domain-pool speedup on the hot evaluation loops                *)
+(* ---------------------------------------------------------------------- *)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let run_parallel () =
+  banner "Parallel: domain-pool speedup on the hot evaluation loops";
+  let jobs = max 2 (Mixsyn_util.Pool.default_jobs ()) in
+  Printf.printf
+    "each loop runs at --jobs 1 then --jobs %d on the same seed; the\ndeterministic reduction makes the results bit-identical.\n\n"
+    jobs;
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let rows = ref [] in
+  let bench name f =
+    let seq, seq_s = time (fun () -> f 1) in
+    let par, par_s = time (fun () -> f jobs) in
+    let speedup = seq_s /. Float.max par_s 1e-9 in
+    let identical = seq = par in
+    Printf.printf "%-20s seq %7.3fs  par %7.3fs  speedup %5.2fx  identical %b\n" name seq_s
+      par_s speedup identical;
+    rows := (name, seq_s, par_s, speedup, identical) :: !rows
+  in
+  let nl =
+    Top.miller_ota.Tp.build tech
+      [| 60e-6; 20e-6; 30e-6; 60e-6; 45e-6; 1e-6; 50e-6; 3e-12; 5e-12 |]
+  in
+  (* annealing multi-start: 4 independent placement chains *)
+  let items, _, sym = Mixsyn_layout.Cell_flow.items_of_netlist nl in
+  bench "anneal-multistart" (fun j ->
+      Mixsyn_layout.Placer.place ~seed:23 ~restarts:4 ~jobs:j items sym);
+  (* corner sweep: 17 vertices, each a full simulation of the midpoint
+     sizing at that corner *)
+  let specs =
+    [ Spec.spec "gain_db" (Spec.At_least 70.0);
+      Spec.spec "ugf_hz" (Spec.At_least 10e6);
+      Spec.spec "phase_margin_deg" (Spec.At_least 60.0) ]
+  in
+  let x = Tp.midpoint Top.miller_ota in
+  let violation corner =
+    let cornered = Mixsyn_circuit.Tech.apply_corner tech corner in
+    match Mixsyn_synth.Evaluate.full_simulation ~tech:cornered Top.miller_ota x with
+    | None -> 10.0
+    | Some perf -> Spec.total_violation specs perf
+  in
+  bench "corner-sweep" (fun j ->
+      let c, v, e = Mixsyn_opt.Corner_search.worst_corner ~refine:false ~jobs:j ~violation () in
+      (c.Mixsyn_circuit.Tech.d_vdd, c.Mixsyn_circuit.Tech.d_temp,
+       c.Mixsyn_circuit.Tech.d_vth, c.Mixsyn_circuit.Tech.d_kp, v, e));
+  (* dense AC sweep: one complex solve per frequency point *)
+  let op = Mixsyn_engine.Dc.solve ~tech nl in
+  let freqs =
+    Mixsyn_engine.Ac.log_sweep ~decades_from:0.0 ~decades_to:9.0 ~points_per_decade:300
+  in
+  bench "ac-sweep" (fun j ->
+      (Mixsyn_engine.Ac.solve ~tech ~jobs:j nl op ~freqs).Mixsyn_engine.Ac.solutions);
+  let rows = List.rev !rows in
+  let best_speedup = List.fold_left (fun acc (_, _, _, s, _) -> Float.max acc s) 0.0 rows in
+  let benches_json =
+    String.concat ","
+      (List.map
+         (fun (n, s, p, sp, id) ->
+           Printf.sprintf
+             "{\"name\":\"%s\",\"seq_s\":%.4f,\"par_s\":%.4f,\"speedup\":%.3f,\"identical\":%b}"
+             n s p sp id)
+         rows)
+  in
+  write_file "BENCH_parallel.json"
+    (Printf.sprintf
+       "{\"experiment\":\"parallel\",\"jobs\":%d,\"benches\":[%s],\"best_speedup\":%.3f}\n"
+       jobs benches_json best_speedup);
+  Printf.printf "\nbest speedup %.2fx at %d jobs (recorded in BENCH_parallel.json)\n"
+    best_speedup jobs
+
 let all =
   [ ("table1", run_table1);
     ("fig1", run_fig1);
@@ -532,13 +613,37 @@ let all =
     ("isaac", run_isaac);
     ("road", run_road);
     ("adc", run_adc);
-    ("ablations", run_ablations) ]
+    ("ablations", run_ablations);
+    ("parallel", run_parallel) ]
+
+(* experiments that write their own richer BENCH_<name>.json *)
+let self_reporting = [ "parallel" ]
 
 (* run one experiment inside a fresh telemetry scope and print its report,
-   so each table/figure comes with the counters and spans that produced it *)
+   so each table/figure comes with the counters and spans that produced it;
+   a machine-readable BENCH_<name>.json records wall time and evaluation
+   throughput for trend tracking *)
 let run_one (name, f) =
   Mixsyn_util.Telemetry.reset ();
+  let t0 = Unix.gettimeofday () in
   f ();
+  let wall_s = Unix.gettimeofday () -. t0 in
+  if not (List.mem name self_reporting) then begin
+    let evals =
+      List.fold_left
+        (fun acc c -> acc + Mixsyn_util.Telemetry.counter c)
+        0
+        [ "sizing.evaluator_invocations"; "anneal.proposed"; "ac.freq_points" ]
+    in
+    write_file
+      (Printf.sprintf "BENCH_%s.json" name)
+      (Printf.sprintf
+         "{\"experiment\":\"%s\",\"wall_s\":%.4f,\"jobs\":%d,\"evals\":%d,\"evals_per_s\":%.1f}\n"
+         name wall_s
+         (Mixsyn_util.Pool.default_jobs ())
+         evals
+         (float_of_int evals /. Float.max wall_s 1e-9))
+  end;
   Printf.printf "\n-- telemetry: %s --\n" name;
   Format.printf "%a@." Mixsyn_util.Telemetry.pp_report ()
 

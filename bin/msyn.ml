@@ -44,6 +44,18 @@ let cl_arg =
 
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
 
+let jobs_arg =
+  Arg.(value & opt (some int) None
+       & info [ "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for the parallel evaluation loops (corner sweeps, annealing \
+                 multi-starts, placement retries, frequency sweeps).  Defaults to \
+                 $(b,MIXSYN_JOBS) or the machine's core count; results are identical at \
+                 any value.")
+
+let apply_jobs = function
+  | Some n -> Mixsyn_util.Pool.set_default_jobs n
+  | None -> ()
+
 let telemetry_arg =
   Arg.(value & flag
        & info [ "telemetry" ]
@@ -62,7 +74,8 @@ let strategy_arg =
 (* --- size ------------------------------------------------------------ *)
 
 let size_cmd =
-  let run topology strategy gain ugf pm cl seed telemetry =
+  let run topology strategy gain ugf pm cl seed jobs telemetry =
+    apply_jobs jobs;
     let template = find_template topology in
     let strategy =
       match strategy with
@@ -98,7 +111,7 @@ let size_cmd =
   in
   Cmd.v (Cmd.info "size" ~doc:"Size a topology against specifications.")
     Term.(const run $ topology_arg $ strategy_arg $ gain_arg $ ugf_arg $ pm_arg $ cl_arg $ seed_arg
-          $ telemetry_arg)
+          $ jobs_arg $ telemetry_arg)
 
 (* --- topo ------------------------------------------------------------ *)
 
@@ -123,7 +136,8 @@ let topo_cmd =
 (* --- layout ----------------------------------------------------------- *)
 
 let layout_cmd =
-  let run topology seed telemetry =
+  let run topology seed jobs telemetry =
+    apply_jobs jobs;
     let template = find_template topology in
     let tech = Mixsyn_circuit.Tech.generic_07um in
     let params = Mixsyn_circuit.Template.midpoint template in
@@ -143,7 +157,7 @@ let layout_cmd =
     report_telemetry telemetry
   in
   Cmd.v (Cmd.info "layout" ~doc:"Lay out a midpoint-sized topology, procedural vs KOAN.")
-    Term.(const run $ topology_arg $ seed_arg $ telemetry_arg)
+    Term.(const run $ topology_arg $ seed_arg $ jobs_arg $ telemetry_arg)
 
 (* --- table1 ----------------------------------------------------------- *)
 
@@ -453,7 +467,8 @@ let lint_cmd =
 (* --- flow -------------------------------------------------------------- *)
 
 let flow_cmd =
-  let run gain ugf pm cl seed telemetry =
+  let run gain ugf pm cl seed jobs telemetry =
+    apply_jobs jobs;
     match
       Mixsyn_flow.Flow.run ~seed ~specs:(specs_of ~gain ~ugf ~pm) ~objectives
         ~context:[ ("cl", cl) ] ()
@@ -468,7 +483,7 @@ let flow_cmd =
       exit 1
   in
   Cmd.v (Cmd.info "flow" ~doc:"Full top-to-bottom flow: specs to verified layout.")
-    Term.(const run $ gain_arg $ ugf_arg $ pm_arg $ cl_arg $ seed_arg $ telemetry_arg)
+    Term.(const run $ gain_arg $ ugf_arg $ pm_arg $ cl_arg $ seed_arg $ jobs_arg $ telemetry_arg)
 
 let main =
   let doc = "mixed-signal circuit synthesis and layout (DAC'96 reproduction)" in
@@ -487,7 +502,11 @@ let main =
       `P "$(b,yield) — Monte-Carlo parametric yield, nominal vs corner-robust.";
       `P "$(b,adc) — high-level A/D converter synthesis.";
       `P "$(b,flow) — full top-to-bottom flow: specs to verified layout.";
-      `P "An unknown subcommand prints usage on standard error and exits nonzero." ]
+      `P "An unknown subcommand prints usage on standard error and exits nonzero.";
+      `S "PARALLELISM";
+      `P "$(b,size), $(b,layout) and $(b,flow) accept $(b,--jobs) $(i,N) to run their \
+          evaluation loops on $(i,N) worker domains ($(b,MIXSYN_JOBS) sets the same \
+          default from the environment).  Results are bit-identical at any job count." ]
   in
   Cmd.group
     (Cmd.info "msyn" ~version:"1.0.0" ~doc ~man)

@@ -88,12 +88,14 @@ let complex_system g c b omega =
   done;
   a
 
-let solve ?(tech = Mixsyn_circuit.Tech.generic_07um) nl op ~freqs =
+let solve ?(tech = Mixsyn_circuit.Tech.generic_07um) ?jobs nl op ~freqs =
   Mixsyn_util.Telemetry.count "ac.solves";
   Mixsyn_util.Telemetry.add "ac.freq_points" (Array.length freqs);
   let g, c, b = build_system tech nl op in
+  (* each frequency point is an independent solve against the shared
+     read-only (g, c, b); results land in frequency order *)
   let solutions =
-    Array.map
+    Mixsyn_util.Pool.parallel_map ?jobs
       (fun f ->
         let omega = 2.0 *. Float.pi *. f in
         Cplx.solve (complex_system g c b omega) b)

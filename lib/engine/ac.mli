@@ -8,13 +8,16 @@ type result = {
 
 val solve :
   ?tech:Mixsyn_circuit.Tech.t ->
+  ?jobs:int ->
   Mixsyn_circuit.Netlist.t ->
   Mna.op ->
   freqs:float array ->
   result
 (** Solves [(G + jωC) x = b] at each frequency, where [G] holds the MOS
     small-signal conductances of the operating point and [b] the AC source
-    magnitudes. *)
+    magnitudes.  Frequency points solve concurrently on the
+    {!Mixsyn_util.Pool} ([jobs] defaults to [Pool.default_jobs ()]);
+    [solutions] is in frequency order regardless of [jobs]. *)
 
 val voltage : result -> int -> Mixsyn_circuit.Netlist.net -> Complex.t
 (** [voltage r k net] — complex node voltage at frequency index [k]. *)

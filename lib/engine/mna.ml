@@ -3,6 +3,7 @@ module Netlist = Mixsyn_circuit.Netlist
 type layout = {
   nets : int;
   branch_names : string array;
+  branch_tbl : (string, int) Hashtbl.t;
   size : int;
 }
 
@@ -17,17 +18,17 @@ let layout_of nl =
   in
   let nets = Netlist.net_count nl in
   let branch_names = Array.of_list branches in
-  { nets; branch_names; size = nets - 1 + Array.length branch_names }
+  let branch_tbl = Hashtbl.create (Array.length branch_names) in
+  (* first occurrence wins, matching the old linear scan on duplicates *)
+  Array.iteri
+    (fun i name ->
+      if not (Hashtbl.mem branch_tbl name) then Hashtbl.add branch_tbl name (nets - 1 + i))
+    branch_names;
+  { nets; branch_names; branch_tbl; size = nets - 1 + Array.length branch_names }
 
 let node_index n = n - 1
 
-let branch_index layout name =
-  let rec find i =
-    if i >= Array.length layout.branch_names then raise Not_found
-    else if layout.branch_names.(i) = name then layout.nets - 1 + i
-    else find (i + 1)
-  in
-  find 0
+let branch_index layout name = Hashtbl.find layout.branch_tbl name
 
 type op = {
   op_layout : layout;

@@ -8,6 +8,9 @@
 type layout = {
   nets : int;                  (** net count including ground *)
   branch_names : string array; (** voltage-source names in element order *)
+  branch_tbl : (string, int) Hashtbl.t;
+      (** name -> absolute unknown index; first occurrence on duplicates.
+          Read-only after {!layout_of}. *)
   size : int;                  (** system dimension *)
 }
 
@@ -17,7 +20,8 @@ val node_index : Mixsyn_circuit.Netlist.net -> int
 (** Row/column of a net; -1 denotes ground (not part of the system). *)
 
 val branch_index : layout -> string -> int
-(** Absolute index of a voltage source's current unknown.
+(** Absolute index of a voltage source's current unknown — O(1) via the
+    precomputed [branch_tbl].
     @raise Not_found *)
 
 (** A converged DC operating point. *)

@@ -26,7 +26,7 @@ let integrate series =
   done;
   !acc
 
-let analyze ?(tech = Mixsyn_circuit.Tech.generic_07um) nl op ~out ~freqs =
+let analyze ?(tech = Mixsyn_circuit.Tech.generic_07um) ?jobs nl op ~out ~freqs =
   let g, c, _b = Ac.build_system tech nl op in
   let n = Array.length g in
   let out_index = Mna.node_index out in
@@ -78,6 +78,8 @@ let analyze ?(tech = Mixsyn_circuit.Tech.generic_07um) nl op ~out ~freqs =
     let total_psd = List.fold_left (fun acc cntr -> acc +. cntr.psd) 0.0 contributions in
     { freq; total_psd; contributions }
   in
-  let points = Array.map point_at freqs in
+  (* one adjoint solve per frequency, independent given the shared
+     read-only (g, c) — fan out in frequency order *)
+  let points = Mixsyn_util.Pool.parallel_map ?jobs point_at freqs in
   let series = Array.map (fun p -> (p.freq, p.total_psd)) points in
   { points; integrated_rms = sqrt (integrate series) }

@@ -25,11 +25,15 @@ type result = {
 
 val analyze :
   ?tech:Mixsyn_circuit.Tech.t ->
+  ?jobs:int ->
   Mixsyn_circuit.Netlist.t ->
   Mna.op ->
   out:Mixsyn_circuit.Netlist.net ->
   freqs:float array ->
   result
+(** Frequency points evaluate concurrently on the {!Mixsyn_util.Pool}
+    ([jobs] defaults to [Pool.default_jobs ()]); [points] is in frequency
+    order regardless of [jobs]. *)
 
 val integrate : (float * float) array -> float
 (** Trapezoidal integration of a (frequency, PSD) series; returns the

@@ -42,12 +42,17 @@ val run :
   ?max_redesigns:int ->
   ?candidates:Mixsyn_circuit.Template.t list ->
   ?checks:bool ->
+  ?jobs:int ->
   specs:Mixsyn_synth.Spec.t list ->
   objectives:Mixsyn_synth.Spec.objective list ->
   context:(string * float) list ->
   unit ->
   outcome
 (** Full flow for a cell-level specification set.
+
+    With [jobs > 1] (default {!Mixsyn_util.Pool.default_jobs}) the layout
+    placement retries evaluate concurrently on the shared domain pool; the
+    outcome depends only on [seed], never on [jobs].
 
     Unless [checks] is [false], the finished design must pass the three
     static gates of {!Mixsyn_check} (netlist ERC, layout DRC, constraint

@@ -27,10 +27,16 @@ val classify_net : string -> Maze_router.net_class
 val koan :
   ?seed:int ->
   ?coupling_budgets:(string * float) list ->
+  ?restarts:int ->
+  ?jobs:int ->
   Mixsyn_circuit.Netlist.t ->
   report
 (** [coupling_budgets] activates ROAD-style parasitic-bounded routing for
-    the named nets. *)
+    the named nets.  [restarts] (default 1) forwards to {!Placer.place} as
+    annealing multi-starts per placement attempt.  With [jobs > 1]
+    (default {!Mixsyn_util.Pool.default_jobs}) the up-to-4 placement
+    attempts evaluate concurrently on the shared domain pool; the report
+    depends only on [seed] and [restarts], never on [jobs]. *)
 
 val procedural : ?style:int -> Mixsyn_circuit.Netlist.t -> report
 (** [style] in 0..3 selects one of four fixed row recipes. *)

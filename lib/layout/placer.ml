@@ -139,7 +139,7 @@ let grid = 0.35e-6 (* placement grid: one lambda *)
 let snap v = Float.round (v /. grid) *. grid
 
 let place ?(rules = Rules.generic_07um) ?(weights = default_weights) ?schedule ?(seed = 17)
-    items sym =
+    ?(restarts = 1) ?jobs items sym =
   let n = Array.length items in
   let rng = Rng.create seed in
   (* initial spread: cells side by side with spacing *)
@@ -207,5 +207,5 @@ let place ?(rules = Rules.generic_07um) ?(weights = default_weights) ?schedule ?
   let problem =
     { Mixsyn_opt.Anneal.initial; cost = cost ~rules ~weights items sym; neighbor }
   in
-  let outcome = Mixsyn_opt.Anneal.minimize ~schedule ~rng problem in
+  let outcome = Mixsyn_opt.Anneal.minimize_multistart ~schedule ?jobs ~restarts ~rng problem in
   outcome.Mixsyn_opt.Anneal.best

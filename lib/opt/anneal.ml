@@ -73,3 +73,29 @@ let minimize ?(schedule = default_schedule) ~rng problem =
   Mixsyn_util.Telemetry.add "anneal.accepted" !accepted;
   Mixsyn_util.Telemetry.add "anneal.stages" !stages;
   { best = !best; best_cost = !best_cost; accepted = !accepted; proposed = !proposed; stages = !stages }
+
+(* independent restarts evaluated on the domain pool.  Each restart gets
+   its own split RNG stream, so the set of chains is a function of [rng]
+   alone; the best-of reduction runs in restart order with a strict [<],
+   so ties resolve to the lowest restart index — together this makes the
+   outcome identical at any job count. *)
+let minimize_multistart ?schedule ?jobs ~restarts ~rng problem =
+  if restarts < 1 then
+    invalid_arg (Printf.sprintf "Anneal.minimize_multistart: %d restarts" restarts);
+  if restarts = 1 then minimize ?schedule ~rng problem
+  else begin
+    Mixsyn_util.Telemetry.count "anneal.multistarts";
+    let rngs = Mixsyn_util.Rng.split_n rng restarts in
+    let outcomes =
+      Mixsyn_util.Pool.parallel_map ?jobs (fun rng -> minimize ?schedule ~rng problem) rngs
+    in
+    Array.fold_left
+      (fun acc o ->
+        { best = (if o.best_cost < acc.best_cost then o.best else acc.best);
+          best_cost = Float.min acc.best_cost o.best_cost;
+          accepted = acc.accepted + o.accepted;
+          proposed = acc.proposed + o.proposed;
+          stages = acc.stages + o.stages })
+      outcomes.(0)
+      (Array.sub outcomes 1 (restarts - 1))
+  end

@@ -41,3 +41,20 @@ val minimize :
     flat (yet valid) schedule still terminates.
     @raise Invalid_argument when the schedule cannot terminate:
     [cooling] outside [(0, 1)], or [t_start]/[t_end] not positive. *)
+
+val minimize_multistart :
+  ?schedule:schedule ->
+  ?jobs:int ->
+  restarts:int ->
+  rng:Mixsyn_util.Rng.t ->
+  'a problem ->
+  'a outcome
+(** [restarts] independent chains, each on its own {!Mixsyn_util.Rng.split_n}
+    stream, evaluated concurrently on the {!Mixsyn_util.Pool} ([jobs]
+    defaults to [Pool.default_jobs ()]).  Returns the lowest-cost chain's
+    best (ties to the lowest restart index) with move statistics summed
+    over all chains; the outcome depends only on [rng] and [restarts],
+    never on [jobs].  [restarts = 1] is exactly [minimize ~rng] — the
+    single chain consumes [rng] directly, without splitting.
+    @raise Invalid_argument when [restarts < 1] or the schedule is
+    divergent. *)

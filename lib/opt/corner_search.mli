@@ -23,10 +23,17 @@ val corner_of_point : string -> float array -> Mixsyn_circuit.Tech.corner
 val worst_corner :
   ?box:box ->
   ?refine:bool ->
+  ?jobs:int ->
   violation:(Mixsyn_circuit.Tech.corner -> float) ->
   unit ->
   Mixsyn_circuit.Tech.corner * float * int
 (** Returns (worst corner, its violation, evaluation count).  [violation]
     must be >= 0 with 0 meaning all specifications met; the search maximises
     it.  With [refine] (default true) the best vertex is polished by
-    Nelder–Mead inside the box. *)
+    Nelder–Mead inside the box.
+
+    The 17-point vertex sweep evaluates on the {!Mixsyn_util.Pool} ([jobs]
+    defaults to [Pool.default_jobs ()]; the refinement stage is inherently
+    sequential).  [violation] must be pure — it runs concurrently, and
+    determinism across job counts relies on it returning the same value
+    for the same corner. *)

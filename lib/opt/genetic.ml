@@ -12,10 +12,17 @@ let default_options =
   { population = 40; generations = 60; crossover_rate = 0.8; mutation_rate = 0.08; elite = 2 }
 
 (* Generic machinery over a representation given by (random, crossover,
-   mutate). Tournament selection of size 2. *)
-let run options rng ~random_individual ~crossover ~mutate ~fitness =
+   mutate). Tournament selection of size 2.
+
+   Fitness evaluation — the dominant cost when the fitness sizes a circuit
+   — fans out over the domain pool; scores land in population order, so
+   selection sees exactly what a sequential run would.  Genetic operators
+   stay on the calling domain, drawing from [rng] in a fixed order, which
+   keeps the whole run deterministic at any job count (provided [fitness]
+   is pure). *)
+let run options ?jobs rng ~random_individual ~crossover ~mutate ~fitness =
   let pop = Array.init options.population (fun _ -> random_individual ()) in
-  let scores = Array.map fitness pop in
+  let scores = Mixsyn_util.Pool.parallel_map ?jobs fitness pop in
   let best = ref pop.(0) and best_fit = ref scores.(0) in
   let update_best () =
     Array.iteri
@@ -48,12 +55,13 @@ let run options rng ~random_individual ~crossover ~mutate ~fitness =
       next.(slot) <- mutate rng child
     done;
     Array.blit next 0 pop 0 options.population;
-    Array.iteri (fun i ind -> scores.(i) <- fitness ind) pop;
+    let rescored = Mixsyn_util.Pool.parallel_map ?jobs fitness pop in
+    Array.blit rescored 0 scores 0 options.population;
     update_best ()
   done;
   (!best, !best_fit)
 
-let optimize_real ?(options = default_options) ~rng ~lower ~upper ~fitness () =
+let optimize_real ?(options = default_options) ?jobs ~rng ~lower ~upper ~fitness () =
   let n = Array.length lower in
   let random_individual () =
     Array.init n (fun i -> Rng.uniform rng lower.(i) upper.(i))
@@ -73,9 +81,9 @@ let optimize_real ?(options = default_options) ~rng ~lower ~upper ~fitness () =
         else v)
       x
   in
-  run options rng ~random_individual ~crossover ~mutate ~fitness
+  run options ?jobs rng ~random_individual ~crossover ~mutate ~fitness
 
-let optimize_bits ?(options = default_options) ~rng ~length ~fitness () =
+let optimize_bits ?(options = default_options) ?jobs ~rng ~length ~fitness () =
   let random_individual () = Array.init length (fun _ -> Rng.bool rng) in
   let crossover rng a b =
     (* single point *)
@@ -85,4 +93,4 @@ let optimize_bits ?(options = default_options) ~rng ~length ~fitness () =
   let mutate rng x =
     Array.map (fun b -> if Rng.float rng 1.0 < options.mutation_rate then not b else b) x
   in
-  run options rng ~random_individual ~crossover ~mutate ~fitness
+  run options ?jobs rng ~random_individual ~crossover ~mutate ~fitness

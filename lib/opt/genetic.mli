@@ -16,18 +16,26 @@ val default_options : options
 
 val optimize_real :
   ?options:options ->
+  ?jobs:int ->
   rng:Mixsyn_util.Rng.t ->
   lower:float array ->
   upper:float array ->
   fitness:(float array -> float) ->
   unit ->
   float array * float
-(** Maximises [fitness] over the box; returns the best individual. *)
+(** Maximises [fitness] over the box; returns the best individual.
+
+    Population fitness evaluates on the {!Mixsyn_util.Pool} ([jobs]
+    defaults to [Pool.default_jobs ()]); genetic operators stay on the
+    calling domain, so the run is deterministic at any job count as long
+    as [fitness] is pure. *)
 
 val optimize_bits :
   ?options:options ->
+  ?jobs:int ->
   rng:Mixsyn_util.Rng.t ->
   length:int ->
   fitness:(bool array -> float) ->
   unit ->
   bool array * float
+(** Same evaluation and determinism contract as {!optimize_real}. *)

@@ -5,34 +5,55 @@
    optimum — and each revisit used to re-run a full DC + AC/AWE
    evaluation.  The cache keys on the exact (clamped) vector, so results
    are bit-identical to the uncached path; hit/miss counts flow into the
-   telemetry registry under "<name>.hits" / "<name>.misses". *)
+   telemetry registry under "<name>.hits" / "<name>.misses".
+
+   Domain-safe: lookups and inserts are serialized behind a per-cache
+   mutex, but [f] runs outside it, so concurrent misses on different keys
+   compute in parallel.  Two domains missing the same key may both compute
+   it — wasteful but harmless, since evaluators are deterministic and the
+   second insert stores the identical value. *)
 
 type ('k, 'v) t = {
   cache_name : string;
   table : ('k, 'v) Hashtbl.t;
+  lock : Mutex.t;
   mutable hits : int;
   mutable misses : int;
 }
 
-let create ?(size = 256) name = { cache_name = name; table = Hashtbl.create size; hits = 0; misses = 0 }
+let create ?(size = 256) name =
+  { cache_name = name; table = Hashtbl.create size; lock = Mutex.create (); hits = 0; misses = 0 }
+
+let locked c f =
+  Mutex.lock c.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.lock) f
 
 let find_or_compute c key f =
-  match Hashtbl.find_opt c.table key with
+  let cached =
+    locked c @@ fun () ->
+    match Hashtbl.find_opt c.table key with
+    | Some v ->
+      c.hits <- c.hits + 1;
+      Some v
+    | None ->
+      c.misses <- c.misses + 1;
+      None
+  in
+  match cached with
   | Some v ->
-    c.hits <- c.hits + 1;
     Telemetry.count (c.cache_name ^ ".hits");
     v
   | None ->
-    c.misses <- c.misses + 1;
     Telemetry.count (c.cache_name ^ ".misses");
     let v = f key in
-    Hashtbl.replace c.table key v;
+    locked c (fun () -> Hashtbl.replace c.table key v);
     v
 
-let hits c = c.hits
-let misses c = c.misses
-let length c = Hashtbl.length c.table
+let hits c = locked c (fun () -> c.hits)
+let misses c = locked c (fun () -> c.misses)
+let length c = locked c (fun () -> Hashtbl.length c.table)
 
 let hit_rate c =
-  let total = c.hits + c.misses in
-  if total = 0 then 0.0 else float_of_int c.hits /. float_of_int total
+  let h, m = locked c (fun () -> (c.hits, c.misses)) in
+  let total = h + m in
+  if total = 0 then 0.0 else float_of_int h /. float_of_int total

@@ -2,7 +2,12 @@
 
     Keys are compared with structural equality, so a [float array]
     parameter vector works directly.  Hit/miss counts are mirrored into
-    {!Telemetry} under ["<name>.hits"] / ["<name>.misses"]. *)
+    {!Telemetry} under ["<name>.hits"] / ["<name>.misses"].
+
+    Domain-safe: a per-cache mutex guards the table, while computations
+    run outside it.  Concurrent misses on the same key may compute twice;
+    with a deterministic evaluator both computations produce the same
+    value, so results stay bit-identical to a sequential run. *)
 
 type ('k, 'v) t
 
@@ -10,7 +15,9 @@ val create : ?size:int -> string -> ('k, 'v) t
 
 val find_or_compute : ('k, 'v) t -> 'k -> ('k -> 'v) -> 'v
 (** Return the cached value for the key, computing and storing it on the
-    first visit.  The computation runs at most once per distinct key. *)
+    first visit.  Sequentially the computation runs at most once per
+    distinct key; concurrent first visits may race and compute it more
+    than once (see above). *)
 
 val hits : ('k, 'v) t -> int
 val misses : ('k, 'v) t -> int

@@ -1,0 +1,193 @@
+(* A fixed-size domain pool for the embarrassingly-parallel evaluation loops
+   (corner sweeps, annealing multi-starts, GA populations, frequency sweeps).
+
+   Workers are spawned once, on first demand, and reused for every
+   subsequent parallel call; an [at_exit] hook joins them so the process
+   always terminates cleanly.  Results are written into an index-addressed
+   array and reduced in index order, so a parallel run is bit-identical to
+   the sequential one whenever the per-item function is pure — the
+   guarantee the optimizer loops rely on.  A call made from inside a worker
+   runs sequentially (no nested fan-out, hence no pool deadlock). *)
+
+let hard_cap = 64
+
+(* precedence: set_default_jobs > MIXSYN_JOBS > recommended_domain_count *)
+let override = Atomic.make 0
+
+let clamp_jobs n = max 1 (min hard_cap n)
+
+let set_default_jobs n = Atomic.set override (clamp_jobs n)
+
+let env_jobs () =
+  match Sys.getenv_opt "MIXSYN_JOBS" with
+  | None -> None
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> Some (clamp_jobs n)
+     | Some _ | None -> None)
+
+let default_jobs () =
+  let o = Atomic.get override in
+  if o > 0 then o
+  else
+    match env_jobs () with
+    | Some n -> n
+    | None -> clamp_jobs (Domain.recommended_domain_count ())
+
+(* ---- the worker pool ------------------------------------------------- *)
+
+let lock = Mutex.create ()
+let work_available = Condition.create ()
+let queue : (unit -> unit) Queue.t = Queue.create ()
+let workers : unit Domain.t list ref = ref []
+let worker_total = ref 0
+let stopping = ref false
+
+(* true inside a pool worker; parallel calls made there run sequentially *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let rec worker_loop () =
+  Mutex.lock lock;
+  while Queue.is_empty queue && not !stopping do
+    Condition.wait work_available lock
+  done;
+  match Queue.take_opt queue with
+  | None ->
+    (* stopping with an empty queue *)
+    Mutex.unlock lock
+  | Some task ->
+    Mutex.unlock lock;
+    (* tasks trap their own exceptions; a raise here would kill the worker *)
+    (try task () with _ -> ());
+    worker_loop ()
+
+let ensure_workers wanted =
+  Mutex.lock lock;
+  if not !stopping then
+    while !worker_total < wanted && !worker_total < hard_cap - 1 do
+      incr worker_total;
+      workers :=
+        Domain.spawn (fun () ->
+            Domain.DLS.set in_worker true;
+            worker_loop ())
+        :: !workers
+    done;
+  Mutex.unlock lock
+
+let worker_count () =
+  Mutex.lock lock;
+  let n = !worker_total in
+  Mutex.unlock lock;
+  n
+
+let shutdown () =
+  Mutex.lock lock;
+  stopping := true;
+  Condition.broadcast work_available;
+  let ws = !workers in
+  workers := [];
+  worker_total := 0;
+  Mutex.unlock lock;
+  List.iter Domain.join ws;
+  Mutex.lock lock;
+  stopping := false;
+  Mutex.unlock lock
+
+let () = at_exit shutdown
+
+(* ---- chunked parallel execution -------------------------------------- *)
+
+exception Chunk_failed of int * exn * Printexc.raw_backtrace
+
+(* run [run_index i] for every i in [0, n) across [jobs] participants (the
+   caller plus helper tasks on the pool).  On failure, the exception of the
+   smallest failing index is re-raised in the caller — deterministic no
+   matter how chunks were interleaved. *)
+let chunked_run ~jobs n run_index =
+  let next = Atomic.make 0 in
+  let chunk = max 1 (n / (jobs * 4)) in
+  let failure = ref None in
+  let failure_lock = Mutex.create () in
+  let record i exn bt =
+    Mutex.lock failure_lock;
+    (match !failure with
+     | Some (j, _, _) when j <= i -> ()
+     | Some _ | None -> failure := Some (i, exn, bt));
+    Mutex.unlock failure_lock
+  in
+  let failed () =
+    Mutex.lock failure_lock;
+    let f = !failure <> None in
+    Mutex.unlock failure_lock;
+    f
+  in
+  let work () =
+    let continue = ref true in
+    while !continue do
+      let start = Atomic.fetch_and_add next chunk in
+      if start >= n || failed () then continue := false
+      else begin
+        let stop = min n (start + chunk) in
+        try
+          for i = start to stop - 1 do
+            try run_index i
+            with exn -> raise (Chunk_failed (i, exn, Printexc.get_raw_backtrace ()))
+          done
+        with Chunk_failed (i, exn, bt) -> record i exn bt
+      end
+    done
+  in
+  let helpers = max 0 (min (jobs - 1) (n - 1)) in
+  ensure_workers helpers;
+  let helpers_done = Atomic.make 0 in
+  let done_lock = Mutex.create () in
+  let done_cond = Condition.create () in
+  let helper () =
+    work ();
+    Mutex.lock done_lock;
+    Atomic.incr helpers_done;
+    Condition.broadcast done_cond;
+    Mutex.unlock done_lock
+  in
+  Mutex.lock lock;
+  for _ = 1 to helpers do
+    Queue.push helper queue
+  done;
+  Condition.broadcast work_available;
+  Mutex.unlock lock;
+  work ();
+  Mutex.lock done_lock;
+  while Atomic.get helpers_done < helpers do
+    Condition.wait done_cond done_lock
+  done;
+  Mutex.unlock done_lock;
+  match !failure with
+  | Some (_, exn, bt) -> Printexc.raise_with_backtrace exn bt
+  | None -> ()
+
+let effective_jobs jobs n =
+  let j = match jobs with Some j -> clamp_jobs j | None -> default_jobs () in
+  min j (max 1 n)
+
+let parallel_mapi ?jobs f a =
+  let n = Array.length a in
+  let jobs = effective_jobs jobs n in
+  if n = 0 then [||]
+  else if jobs <= 1 || Domain.DLS.get in_worker then Array.mapi f a
+  else begin
+    let results = Array.make n None in
+    chunked_run ~jobs n (fun i -> results.(i) <- Some (f i a.(i)));
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let parallel_map ?jobs f a = parallel_mapi ?jobs (fun _ x -> f x) a
+
+let parallel_init ?jobs n f =
+  if n < 0 then invalid_arg "Pool.parallel_init";
+  parallel_map ?jobs f (Array.init n Fun.id)
+
+let parallel_map_list ?jobs f l =
+  Array.to_list (parallel_map ?jobs f (Array.of_list l))
+
+let parallel_reduce ?jobs ~map ~combine ~init a =
+  Array.fold_left combine init (parallel_map ?jobs map a)

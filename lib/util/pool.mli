@@ -1,0 +1,57 @@
+(** A reusable fixed-size domain pool for parallel candidate evaluation.
+
+    Workers are spawned once (lazily, on first parallel call) and reused by
+    every subsequent call; an [at_exit] hook joins them on process exit.
+    Results are collected by index and reduced in index order, so for a pure
+    per-item function the outcome is bit-identical whatever the job count —
+    the determinism contract the corner/anneal/GA/sweep loops depend on.
+
+    Calls made from inside a pool worker run sequentially, so nested
+    parallelism degrades gracefully instead of deadlocking the pool. *)
+
+val default_jobs : unit -> int
+(** Job count used when [?jobs] is omitted.  Precedence:
+    {!set_default_jobs} override, then the [MIXSYN_JOBS] environment
+    variable, then [Domain.recommended_domain_count ()].  Always in
+    [\[1, 64\]]; malformed [MIXSYN_JOBS] values are ignored. *)
+
+val set_default_jobs : int -> unit
+(** Process-wide override of {!default_jobs} (the [--jobs] flag).  Clamped
+    to [\[1, 64\]]. *)
+
+val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map ~jobs f a] is [Array.map f a] evaluated by up to [jobs]
+    domains (the caller participates; [jobs - 1] pool workers help).
+    [jobs] defaults to {!default_jobs}; [jobs = 1] runs inline with no
+    domain machinery.  If any application raises, the exception of the
+    {e smallest} failing index is re-raised in the caller (deterministic
+    under any scheduling) once all workers have drained. *)
+
+val parallel_mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+
+val parallel_map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+val parallel_init : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** [parallel_init n f] is [Array.init n f] in parallel.
+    @raise Invalid_argument when [n < 0]. *)
+
+val parallel_reduce :
+  ?jobs:int -> map:('a -> 'b) -> combine:('c -> 'b -> 'c) -> init:'c ->
+  'a array -> 'c
+(** Map in parallel, then fold [combine] over the mapped values in index
+    order on the calling domain — deterministic even for non-commutative
+    [combine]. *)
+
+val effective_jobs : int option -> int -> int
+(** [effective_jobs jobs n] — the job count a parallel call over [n] items
+    would use: [jobs] (or {!default_jobs} when [None]) clamped to the pool
+    cap and to [n].  Lets callers pick between a lazy sequential strategy
+    and an eager parallel one before paying for either. *)
+
+val worker_count : unit -> int
+(** Live worker domains (for tests and benchmarks). *)
+
+val shutdown : unit -> unit
+(** Join all workers.  Idempotent; the pool respawns on the next parallel
+    call.  Registered with [at_exit], so explicit calls are only needed in
+    tests. *)

@@ -15,6 +15,12 @@ val copy : t -> t
 val split : t -> t
 (** [split rng] advances [rng] and returns a new independent generator. *)
 
+val split_n : t -> int -> t array
+(** [split_n rng n] advances [rng] [n] times and returns [n] independent
+    generators — one deterministic stream per parallel worker, so a
+    multi-start run is reproducible at any job count.
+    @raise Invalid_argument when [n < 0]. *)
+
 val int : t -> int -> int
 (** [int rng bound] is uniform in [0, bound). Requires [bound > 0]. *)
 

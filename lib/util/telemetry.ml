@@ -1,6 +1,11 @@
 (* Flow-wide observability: named monotonic counters and nested timed spans
-   in one global registry.  Zero dependencies beyond the stdlib (the clock is
-   [Sys.time], so span durations are CPU seconds). *)
+   in one global registry.
+
+   Domain-safe: all registry mutation happens under one mutex, and the
+   span *stack* is domain-local, so a worker domain opening a span attaches
+   it under the root (its own nesting context) instead of corrupting the
+   caller's.  The clock is [Unix.gettimeofday], so span durations are wall
+   seconds — the quantity that parallel speedups actually change. *)
 
 type span = {
   span_name : string;
@@ -21,17 +26,28 @@ type node = {
 let make_node name = { n_name = name; n_calls = 0; n_seconds = 0.0; n_children = [] }
 
 let root = make_node "<root>"
-let stack : node list ref = ref []
+
+(* per-domain nesting context: worker domains start at the root *)
+let stack : node list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
+
+let registry_lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
 let counters : (string, int ref) Hashtbl.t = Hashtbl.create 64
 
 let reset () =
+  locked @@ fun () ->
   Hashtbl.reset counters;
   root.n_calls <- 0;
   root.n_seconds <- 0.0;
   root.n_children <- [];
-  stack := []
+  Domain.DLS.set stack []
 
 let add name k =
+  locked @@ fun () ->
   match Hashtbl.find_opt counters name with
   | Some r -> r := !r + k
   | None -> Hashtbl.replace counters name (ref k)
@@ -39,11 +55,14 @@ let add name k =
 let count name = add name 1
 
 let counter name =
+  locked @@ fun () ->
   match Hashtbl.find_opt counters name with Some r -> !r | None -> 0
 
 let counters_alist () =
-  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) counters []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  let pairs =
+    locked @@ fun () -> Hashtbl.fold (fun name r acc -> (name, !r) :: acc) counters []
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) pairs
 
 let child_of parent name =
   match List.find_opt (fun n -> n.n_name = name) parent.n_children with
@@ -54,16 +73,18 @@ let child_of parent name =
     n
 
 let with_span name f =
-  let parent = match !stack with [] -> root | n :: _ -> n in
-  let node = child_of parent name in
-  stack := node :: !stack;
-  let t0 = Sys.time () in
+  let parent = match Domain.DLS.get stack with [] -> root | n :: _ -> n in
+  let node = locked (fun () -> child_of parent name) in
+  Domain.DLS.set stack (node :: Domain.DLS.get stack);
+  let t0 = Unix.gettimeofday () in
   Fun.protect
     ~finally:(fun () ->
-      node.n_calls <- node.n_calls + 1;
-      node.n_seconds <- node.n_seconds +. (Sys.time () -. t0);
-      match !stack with
-      | n :: rest when n == node -> stack := rest
+      let dt = Unix.gettimeofday () -. t0 in
+      locked (fun () ->
+          node.n_calls <- node.n_calls + 1;
+          node.n_seconds <- node.n_seconds +. dt);
+      match Domain.DLS.get stack with
+      | n :: rest when n == node -> Domain.DLS.set stack rest
       | _ -> ())
     f
 
@@ -73,21 +94,21 @@ let rec freeze n =
     seconds = n.n_seconds;
     children = List.rev_map freeze n.n_children }
 
-let spans () = (freeze root).children
+let spans () = locked (fun () -> (freeze root).children)
 
 let span_seconds name =
-  let rec sum acc n =
-    let acc = if n.n_name = name then acc +. n.n_seconds else acc in
-    List.fold_left sum acc n.n_children
+  let rec sum acc (s : span) =
+    let acc = if s.span_name = name then acc +. s.seconds else acc in
+    List.fold_left sum acc s.children
   in
-  sum 0.0 root
+  List.fold_left sum 0.0 (spans ())
 
 let span_calls name =
-  let rec sum acc n =
-    let acc = if n.n_name = name then acc + n.n_calls else acc in
-    List.fold_left sum acc n.n_children
+  let rec sum acc (s : span) =
+    let acc = if s.span_name = name then acc + s.calls else acc in
+    List.fold_left sum acc s.children
   in
-  sum 0 root
+  List.fold_left sum 0 (spans ())
 
 let pp_report ppf () =
   let cs = counters_alist () in

@@ -8,12 +8,19 @@
     measurable rather than anecdotal.
 
     The registry is global and process-wide; call {!reset} between
-    experiments.  Span durations use [Sys.time], i.e. CPU seconds. *)
+    experiments.  Span durations use [Unix.gettimeofday], i.e. wall
+    seconds — the quantity parallel evaluation actually shrinks.
+
+    Domain-safe: counters and span updates are serialized behind one
+    mutex, and the span nesting context is domain-local, so {!Pool}
+    workers report here concurrently without corrupting the registry
+    (worker spans attach under the root, not under the caller's open
+    span). *)
 
 type span = {
   span_name : string;
   calls : int;
-  seconds : float;  (** cumulative CPU seconds across all calls *)
+  seconds : float;  (** cumulative wall seconds across all calls *)
   children : span list;  (** in creation order *)
 }
 
