@@ -602,6 +602,101 @@ let run_parallel () =
   Printf.printf "\nbest speedup %.2fx at %d jobs (recorded in BENCH_parallel.json)\n"
     best_speedup jobs
 
+(* ---------------------------------------------------------------------- *)
+(* Batch: high-throughput batch synthesis - determinism and resume          *)
+(* ---------------------------------------------------------------------- *)
+
+let run_batch () =
+  let module Batch = Mixsyn_flow.Batch in
+  let module Json = Mixsyn_util.Json in
+  banner "Batch: manifest execution - journal determinism and checkpoint/resume";
+  let jobs = max 2 (Mixsyn_util.Pool.default_jobs ()) in
+  let n = 48 in
+  Printf.printf
+    "a %d-job manifest runs at --jobs 1 and --jobs %d; the finished journal\nmust be byte-identical, and identical again when the parallel run resumes\nfrom a journal cut mid-record.\n\n"
+    n jobs;
+  let manifest_text =
+    String.concat "\n"
+      (List.init n (fun i ->
+           Printf.sprintf
+             "{\"id\": \"job-%02d\", \"seed\": %d, \"specs\": [{\"name\": \"gain_db\", \"at_least\": 40.0}], \"topology\": \"ota-5t\"}"
+             i (i + 1)))
+  in
+  let manifest =
+    match Batch.manifest_of_string manifest_text with
+    | Ok jobs -> jobs
+    | Error msg -> failwith ("batch bench manifest: " ^ msg)
+  in
+  (* the executor is a deterministic stand-in for a full flow: a burst of
+     DC solves on a seed-perturbed 5T OTA, heavy enough that the pool has
+     work to schedule but cheap enough to sweep 2 x 48 jobs in seconds *)
+  let executor (_ : Batch.job) ~seed =
+    let mid = Tp.midpoint Top.ota_5t in
+    let params =
+      Array.mapi
+        (fun i v -> v *. (1.0 +. (0.002 *. float_of_int ((seed * 31 + i) mod 5))))
+        mid
+    in
+    let nl = Top.ota_5t.Tp.build tech params in
+    let power = ref 0.0 in
+    for _ = 1 to 25 do
+      let op = Mixsyn_engine.Dc.solve ~tech nl in
+      power := Mixsyn_engine.Dc.power nl op
+    done;
+    Json.Obj [ ("power_w", Json.Num !power); ("solves", Json.Num 25.0) ]
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let read path =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let j_seq = Filename.temp_file "msyn_bench_batch_seq" ".journal" in
+  let j_par = Filename.temp_file "msyn_bench_batch_par" ".journal" in
+  Sys.remove j_seq;
+  Sys.remove j_par;
+  let s_seq, seq_s = time (fun () -> Batch.run ~jobs:1 ~executor ~journal:j_seq manifest) in
+  let s_par, par_s = time (fun () -> Batch.run ~jobs ~executor ~journal:j_par manifest) in
+  let bytes_seq = read j_seq and bytes_par = read j_par in
+  let identical = String.equal bytes_seq bytes_par in
+  (* simulate an interruption: keep the first half of the parallel journal
+     plus a torn final line, then resume and demand the same bytes again *)
+  let half =
+    let lines = String.split_on_char '\n' bytes_seq in
+    let keep = List.filteri (fun i _ -> i < n / 2) lines in
+    String.concat "\n" keep ^ "\n" ^ "{\"id\":\"job-99\",\"seed\""
+  in
+  write_file j_par half;
+  let s_res, _ = time (fun () -> Batch.run ~jobs ~executor ~journal:j_par manifest) in
+  let resume_identical = String.equal bytes_seq (read j_par) in
+  let throughput = float_of_int n /. Float.max par_s 1e-9 in
+  Printf.printf "%-24s %8.3fs  %5.1f jobs/s\n" "sequential (--jobs 1)" seq_s
+    (float_of_int n /. Float.max seq_s 1e-9);
+  Printf.printf "%-24s %8.3fs  %5.1f jobs/s\n"
+    (Printf.sprintf "parallel (--jobs %d)" jobs)
+    par_s throughput;
+  Printf.printf "journal identical seq/par: %b\n" identical;
+  Printf.printf "resume from torn journal:  %d skipped, identical %b\n"
+    s_res.Batch.skipped resume_identical;
+  if s_seq.Batch.completed <> n || s_par.Batch.completed <> n then
+    Printf.printf "WARNING: %d/%d/%d of %d completed\n" s_seq.Batch.completed
+      s_par.Batch.completed s_res.Batch.completed n;
+  Sys.remove j_seq;
+  Sys.remove j_par;
+  write_file "BENCH_batch.json"
+    (Printf.sprintf
+       "{\"experiment\":\"batch\",\"jobs\":%d,\"n_jobs\":%d,\"completed\":%d,\"seq_s\":%.4f,\"par_s\":%.4f,\"speedup\":%.3f,\"jobs_per_s\":%.2f,\"identical\":%b,\"resume_identical\":%b,\"resume_skipped\":%d}\n"
+       jobs n s_par.Batch.completed seq_s par_s
+       (seq_s /. Float.max par_s 1e-9)
+       throughput identical resume_identical s_res.Batch.skipped);
+  Printf.printf "\n%d jobs, %.1f jobs/s at %d workers (recorded in BENCH_batch.json)\n" n
+    throughput jobs
+
 let all =
   [ ("table1", run_table1);
     ("fig1", run_fig1);
@@ -614,10 +709,11 @@ let all =
     ("road", run_road);
     ("adc", run_adc);
     ("ablations", run_ablations);
-    ("parallel", run_parallel) ]
+    ("parallel", run_parallel);
+    ("batch", run_batch) ]
 
 (* experiments that write their own richer BENCH_<name>.json *)
-let self_reporting = [ "parallel" ]
+let self_reporting = [ "parallel"; "batch" ]
 
 (* run one experiment inside a fresh telemetry scope and print its report,
    so each table/figure comes with the counters and spans that produced it;

@@ -44,13 +44,30 @@ let cl_arg =
 
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
 
+(* job counts are validated in one place (Pool.jobs_of_string) for both the
+   --jobs flag and the MIXSYN_JOBS environment variable, so `--jobs 0` and
+   `MIXSYN_JOBS=-2` die with the same clear error instead of silently
+   clamping downstream *)
+let jobs_conv =
+  let parse s =
+    match Mixsyn_util.Pool.jobs_of_string s with
+    | Ok n -> Ok n
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let jobs_env =
+  Cmd.Env.info "MIXSYN_JOBS"
+    ~doc:"Default worker-domain count for the parallel evaluation loops; the $(b,--jobs) \
+          flag overrides it.  Rejected unless a positive integer."
+
 let jobs_arg =
-  Arg.(value & opt (some int) None
-       & info [ "jobs" ] ~docv:"N"
+  Arg.(value & opt (some jobs_conv) None
+       & info [ "jobs" ] ~docv:"N" ~env:jobs_env
            ~doc:"Worker domains for the parallel evaluation loops (corner sweeps, annealing \
-                 multi-starts, placement retries, frequency sweeps).  Defaults to \
-                 $(b,MIXSYN_JOBS) or the machine's core count; results are identical at \
-                 any value.")
+                 multi-starts, placement retries, frequency sweeps, batch jobs).  Defaults \
+                 to $(b,MIXSYN_JOBS) or the machine's core count; results are identical at \
+                 any value.  Must be at least 1.")
 
 let apply_jobs = function
   | Some n -> Mixsyn_util.Pool.set_default_jobs n
@@ -464,6 +481,102 @@ let lint_cmd =
     Term.(const run $ lint_topology_arg $ layout_arg $ flow_arg $ json_arg $ suppress_arg
           $ inject_arg $ seed_arg $ telemetry_arg)
 
+(* --- batch ------------------------------------------------------------- *)
+
+let batch_cmd =
+  let module Batch = Mixsyn_flow.Batch in
+  let manifest_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"MANIFEST"
+             ~doc:"JSONL job manifest: one job object per line ($(b,id) required and \
+                   unique; $(b,seed), $(b,specs), $(b,objectives), $(b,context), \
+                   $(b,topology), $(b,max_redesigns), $(b,timeout_s), $(b,fault) \
+                   optional).  Blank and $(b,#) comment lines are skipped.")
+  in
+  let journal_arg =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE"
+             ~doc:"Append-only JSONL journal (default $(i,MANIFEST).journal).  Doubles as \
+                   the checkpoint: re-running with the same manifest skips recorded jobs \
+                   and resumes, tolerating a line truncated by a crash or kill.")
+  in
+  let timeout_arg =
+    Arg.(value & opt float 0.0
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-job wall-clock timeout; expired jobs are recorded as \
+                   $(b,timed_out) and the batch continues.  0 (the default) disables \
+                   it; a job's $(b,timeout_s) manifest field overrides it.")
+  in
+  let retries_arg =
+    Arg.(value & opt int 0
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Re-run a job that raised up to $(i,N) more times, each attempt with a \
+                   deterministically perturbed seed, before recording it as $(b,failed).  \
+                   Timeouts are not retried.")
+  in
+  let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Emit the summary as JSON.") in
+  let strict_arg =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"Exit nonzero when any job failed or timed out (by default the batch \
+                   reports them in the summary and exits 0).")
+  in
+  let run manifest journal jobs timeout retries json strict telemetry =
+    apply_jobs jobs;
+    if retries < 0 then begin
+      Printf.eprintf "msyn batch: retries must be non-negative (got %d)\n" retries;
+      exit 2
+    end;
+    let journal = Option.value journal ~default:(manifest ^ ".journal") in
+    let timeout_s = if timeout > 0.0 then Some timeout else None in
+    match Batch.load_manifest manifest with
+    | Error msg ->
+      Printf.eprintf "msyn batch: %s\n" msg;
+      exit 2
+    | Ok jobs_list ->
+      (match Batch.run ?timeout_s ~retries ~journal jobs_list with
+       | summary ->
+         if json then
+           print_endline (Mixsyn_util.Json.to_string (Batch.summary_to_json summary))
+         else Format.printf "%a" Batch.pp_summary summary;
+         Format.printf "journal: %s@." journal;
+         report_telemetry telemetry;
+         if strict && summary.Batch.completed < summary.Batch.total then exit 1
+       | exception Invalid_argument msg ->
+         Printf.eprintf "msyn batch: %s\n" msg;
+         exit 2)
+  in
+  let man =
+    [ `S Manpage.s_description;
+      `P "Execute a manifest of synthesis jobs concurrently on the shared domain pool, \
+          streaming one record per job to an append-only JSONL journal.  A job that \
+          raises (solver divergence, static-check gate, NaN guard) becomes a structured \
+          $(b,failed) record with its diagnostics; a job past $(b,--timeout) is \
+          cancelled cooperatively and recorded as $(b,timed_out); everything else \
+          keeps running.";
+      `P "The journal is the checkpoint: records are flushed in manifest order, so an \
+          interrupted run leaves a clean prefix (at worst one truncated line, discarded \
+          on resume).  Re-running the same command skips recorded jobs, and the finished \
+          journal is byte-identical whether or not the run was interrupted, at any \
+          $(b,--jobs) value.";
+      `S "MANIFEST FORMAT";
+      `P "One JSON object per line, for example:";
+      `Pre "  {\"id\": \"ota-70db\", \"seed\": 13,\n\
+           \   \"specs\": [{\"name\": \"gain_db\", \"at_least\": 70.0}],\n\
+           \   \"objectives\": [{\"minimize\": \"power_w\"}],\n\
+           \   \"context\": {\"cl\": 5e-12}, \"topology\": \"miller-ota\"}";
+      `P "Spec bounds are $(b,at_least), $(b,at_most) or $(b,between) (with an optional \
+          $(b,weight)); $(b,timeout_s) overrides the batch timeout per job; \
+          $(b,fault) ($(i,raise) or $(i,hang)) injects a deliberate failure for \
+          pipeline smoke tests." ]
+  in
+  Cmd.v
+    (Cmd.info "batch" ~man
+       ~doc:"High-throughput batch synthesis from a JSONL manifest, with per-job \
+             timeouts, retries and checkpoint/resume.")
+    Term.(const run $ manifest_arg $ journal_arg $ jobs_arg $ timeout_arg $ retries_arg
+          $ json_arg $ strict_arg $ telemetry_arg)
+
 (* --- flow -------------------------------------------------------------- *)
 
 let flow_cmd =
@@ -502,15 +615,18 @@ let main =
       `P "$(b,yield) — Monte-Carlo parametric yield, nominal vs corner-robust.";
       `P "$(b,adc) — high-level A/D converter synthesis.";
       `P "$(b,flow) — full top-to-bottom flow: specs to verified layout.";
+      `P "$(b,batch) — run a JSONL manifest of flow jobs with timeouts, retries and \
+          checkpoint/resume.";
       `P "An unknown subcommand prints usage on standard error and exits nonzero.";
       `S "PARALLELISM";
-      `P "$(b,size), $(b,layout) and $(b,flow) accept $(b,--jobs) $(i,N) to run their \
-          evaluation loops on $(i,N) worker domains ($(b,MIXSYN_JOBS) sets the same \
-          default from the environment).  Results are bit-identical at any job count." ]
+      `P "$(b,size), $(b,layout), $(b,flow) and $(b,batch) accept $(b,--jobs) $(i,N) to \
+          run their evaluation loops on $(i,N) worker domains ($(b,MIXSYN_JOBS) sets the \
+          same default from the environment; both reject counts below 1).  Results are \
+          bit-identical at any job count." ]
   in
   Cmd.group
     (Cmd.info "msyn" ~version:"1.0.0" ~doc ~man)
     [ size_cmd; topo_cmd; layout_cmd; lint_cmd; table1_cmd; floorplan_cmd; powergrid_cmd;
-      wren_cmd; hierarchy_cmd; yield_cmd; adc_cmd; flow_cmd ]
+      wren_cmd; hierarchy_cmd; yield_cmd; adc_cmd; flow_cmd; batch_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,156 @@
+(** High-throughput batch synthesis: many {!Flow.run} jobs, one journal.
+
+    The production workload the ROADMAP points at is not one spec-to-layout
+    flow but thousands, executed unattended — so the unit of robustness
+    moves from the run to the job.  A batch reads a {e manifest} (JSONL,
+    one job per line), executes the jobs concurrently on the shared
+    {!Mixsyn_util.Pool}, and streams one record per job to an append-only
+    JSONL {e journal}:
+
+    - a per-job wall-clock timeout cancels the job cooperatively (at flow
+      stage boundaries and inside the annealer's move loop) and records it
+      as [Timed_out] rather than crashing the batch;
+    - raised exceptions (solver divergence, {!Mixsyn_check.Lint.Check_failed},
+      NaN guards) become structured [Failed] records carrying the error and
+      its diagnostics while every other job continues;
+    - bounded retries re-run a failing job with a deterministically
+      perturbed seed before it is declared failed.
+
+    The journal doubles as a checkpoint: records are flushed in manifest
+    order as soon as every earlier job has finished, so an interrupted
+    journal is always a clean prefix (plus at most one truncated line,
+    which resume discards).  Re-running the same manifest against the same
+    journal skips recorded jobs and appends the rest — and because records
+    carry no wall-clock data, the completed journal is byte-identical
+    whether the run was interrupted or not, at any job count.
+
+    {2 Manifest format}
+
+    One JSON object per line.  [id] is required and must be unique;
+    everything else has defaults:
+    {v
+{"id": "ota-70db", "seed": 13,
+ "specs": [{"name": "gain_db", "at_least": 70.0},
+           {"name": "ugf_hz", "at_least": 1e7},
+           {"name": "phase_margin_deg", "at_least": 60.0}],
+ "objectives": [{"minimize": "power_w"}],
+ "context": {"cl": 5e-12},
+ "topology": "miller-ota", "max_redesigns": 2, "timeout_s": 120}
+    v}
+    Spec bounds are [at_least], [at_most] or [between: [lo, hi]], each with
+    an optional [weight]; objectives are [minimize]/[maximize] with an
+    optional [weight].  [topology] restricts candidate selection to one
+    template; [timeout_s] overrides the batch-wide timeout for that job.
+    A [fault] field ("raise" or "hang") injects a deliberate failure —
+    that is how the CI smoke proves the failure taxonomy without waiting
+    for a real divergence. *)
+
+type fault =
+  | Raise  (** the job raises immediately — exercises the [Failed] path *)
+  | Hang   (** the job spins at a guard point until its timeout cancels it *)
+
+type job = {
+  job_id : string;
+  seed : int;  (** default 13, like {!Flow.run} *)
+  specs : Mixsyn_synth.Spec.t list;
+  objectives : Mixsyn_synth.Spec.objective list;
+  context : (string * float) list;
+  topology : string option;      (** restrict candidates to this template *)
+  max_redesigns : int option;
+  timeout_s : float option;      (** per-job override of the batch timeout *)
+  fault : fault option;
+}
+
+type failure = {
+  error : string;                (** stable one-line classification *)
+  diagnostics : string list;     (** e.g. lint rule ids with locations *)
+}
+
+type status =
+  | Completed of Mixsyn_util.Json.t  (** the executor's result object *)
+  | Failed of failure
+  | Timed_out
+
+type record = {
+  rec_id : string;
+  rec_seed : int;  (** the (possibly retry-perturbed) seed actually used *)
+  attempts : int;
+  status : status;
+}
+
+type summary = {
+  total : int;          (** manifest size *)
+  completed : int;
+  failed : int;
+  timed_out : int;
+  skipped : int;        (** jobs already recorded in the journal *)
+  run_jobs : int;       (** worker count the batch ran with *)
+  elapsed_s : float;
+  records : record list;  (** every record, in manifest order *)
+}
+
+(** {2 Manifest and journal IO} *)
+
+val job_of_json : Mixsyn_util.Json.t -> (job, string) result
+
+val manifest_of_string : string -> (job list, string) result
+(** Parse JSONL manifest text.  Blank lines and [#] comment lines are
+    skipped; errors carry the line number; duplicate ids are rejected. *)
+
+val load_manifest : string -> (job list, string) result
+(** {!manifest_of_string} over a file's contents. *)
+
+val record_to_json : record -> Mixsyn_util.Json.t
+val record_of_json : Mixsyn_util.Json.t -> (record, string) result
+
+val read_journal : string -> record list * int
+(** Parse a journal file: the records of its longest valid prefix and that
+    prefix's byte length (a trailing truncated or malformed line is not
+    part of it).  A missing file reads as [([], 0)]. *)
+
+(** {2 Execution} *)
+
+val flow_executor : job -> seed:int -> Mixsyn_util.Json.t
+(** The default executor: {!Flow.run} with the job's specification set,
+    rendered to the deterministic result object journals record (topology,
+    cost, evaluations, redesigns, post-layout performance, check-warning
+    count — never wall-clock times). *)
+
+val run_job :
+  ?timeout_s:float ->
+  ?retries:int ->
+  ?executor:(job -> seed:int -> Mixsyn_util.Json.t) ->
+  job ->
+  record
+(** Execute one job with the batch robustness controls but no journal:
+    attempt [1 + retries] times on exceptions (attempt [k] uses
+    [seed + 1_000_003 * k]), map an expired timeout to [Timed_out]
+    (timeouts are not retried), and trap everything else into [Failed]. *)
+
+val run :
+  ?jobs:int ->
+  ?timeout_s:float ->
+  ?retries:int ->
+  ?executor:(job -> seed:int -> Mixsyn_util.Json.t) ->
+  journal:string ->
+  job list ->
+  summary
+(** Run a whole manifest against [journal].  Jobs already recorded are
+    skipped; a truncated trailing line is cut before appending; the rest
+    execute on up to [jobs] (default {!Mixsyn_util.Pool.default_jobs})
+    domains, each inside {!Mixsyn_util.Pool.sequential_scope} so the flows
+    inside do not contend for the pool.  Records are appended in manifest
+    order and flushed as soon as contiguous, so an interruption at any
+    point leaves a resumable prefix.
+
+    For a pure executor the finished journal's bytes depend only on the
+    manifest, never on [jobs] or on how often the run was interrupted.
+
+    @raise Invalid_argument on duplicate manifest ids, a journal record
+    whose id is not in the manifest, or [retries < 0]. *)
+
+val summary_to_json : summary -> Mixsyn_util.Json.t
+
+val pp_summary : Format.formatter -> summary -> unit
+(** Counts, throughput, the telemetry rollup and one line per non-completed
+    job. *)

@@ -21,8 +21,10 @@ type outcome = {
 }
 
 (* each stage runs inside a telemetry span; the outcome keeps the legacy
-   [stage_log] list so callers see the same shape as before *)
+   [stage_log] list so callers see the same shape as before.  Every stage
+   boundary doubles as a cancellation point for batch timeouts. *)
 let timed log stage f =
+  Mixsyn_util.Cancel.guard ();
   let t0 = Unix.gettimeofday () in
   let result, detail = Mixsyn_util.Telemetry.with_span ("flow." ^ stage) f in
   log := { stage; detail; seconds = Unix.gettimeofday () -. t0 } :: !log;
@@ -76,6 +78,7 @@ let run ?(tech = Mixsyn_circuit.Tech.generic_07um) ?(seed = 13) ?(max_redesigns 
   in
   (* 2/3. sizing + verification, 4/5. layout + extraction, with redesign *)
   let rec attempt redesigns extra_load =
+    Mixsyn_util.Cancel.guard ();
     let context =
       match List.assoc_opt "cl" context with
       | Some cl -> ("cl", cl +. extra_load) :: List.remove_assoc "cl" context

@@ -58,6 +58,11 @@ val run :
     static gates of {!Mixsyn_check} (netlist ERC, layout DRC, constraint
     audit); their error/warning totals land in
     {!Mixsyn_util.Telemetry} under [check.<stage>.*].
+
+    Every stage boundary (and the annealer's move loop below it) polls
+    {!Mixsyn_util.Cancel.guard}, so a run under an ambient cancellation
+    token — as installed per job by {!Batch} — stops within milliseconds
+    of its deadline by raising {!Mixsyn_util.Cancel.Cancelled}.
     @raise Failure when no candidate topology is feasible.
     @raise Mixsyn_check.Lint.Check_failed when a static gate reports an
     [Error] diagnostic. *)

@@ -44,6 +44,9 @@ let minimize ?(schedule = default_schedule) ~rng problem =
   let log_span = log (schedule.t_start /. schedule.t_end) in
   let temp = ref schedule.t_start in
   while !temp > schedule.t_end && !stages < max_stages do
+    (* cooperative timeout point: a batch job past its deadline stops here
+       rather than finishing the whole schedule *)
+    Mixsyn_util.Cancel.guard ();
     incr stages;
     let temp01 =
       if log_span <= 0.0 then 0.0 else log (!temp /. schedule.t_end) /. log_span

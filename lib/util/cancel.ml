@@ -1,0 +1,33 @@
+(* Cooperative cancellation: a flag + optional wall-clock deadline, made
+   ambient per-domain through DLS so deeply nested loops can poll without
+   threading a token through every signature. *)
+
+type token = {
+  deadline : float option;
+  flag : bool Atomic.t;
+}
+
+exception Cancelled
+
+let create ?timeout_s () =
+  { deadline = Option.map (fun t -> Unix.gettimeofday () +. t) timeout_s;
+    flag = Atomic.make false }
+
+let cancel t = Atomic.set t.flag true
+
+let cancelled t =
+  Atomic.get t.flag
+  || (match t.deadline with Some d -> Unix.gettimeofday () >= d | None -> false)
+
+let check t = if cancelled t then raise Cancelled
+
+let current : token option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let active () = Domain.DLS.get current
+
+let with_token t f =
+  let prev = Domain.DLS.get current in
+  Domain.DLS.set current (Some t);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current prev) f
+
+let guard () = match Domain.DLS.get current with None -> () | Some t -> check t

@@ -1,0 +1,42 @@
+(** Cooperative cancellation for long-running synthesis work.
+
+    A {!token} carries an optional wall-clock deadline and an explicit
+    cancel flag.  The batch layer installs one around each job with
+    {!with_token}; code deep inside the flow (stage boundaries, the
+    annealer's move loop) calls the ambient {!guard}, which raises
+    {!Cancelled} once the token expires.  With no ambient token, {!guard}
+    is a few nanoseconds of domain-local lookup — the hooks cost nothing
+    outside batch runs.
+
+    Cancellation is cooperative: a job stops at the next guard point, so
+    timeout latency is bounded by the longest stretch of unguarded work,
+    not by preemption. *)
+
+type token
+
+exception Cancelled
+
+val create : ?timeout_s:float -> unit -> token
+(** A fresh token; with [timeout_s] the deadline is that many wall seconds
+    from now ([timeout_s <= 0] expires at the first check). *)
+
+val cancel : token -> unit
+(** Flag the token cancelled, regardless of any deadline. *)
+
+val cancelled : token -> bool
+(** True once {!cancel} was called or the deadline passed. *)
+
+val check : token -> unit
+(** @raise Cancelled when {!cancelled} is true. *)
+
+val with_token : token -> (unit -> 'a) -> 'a
+(** Run [f] with the token installed as this domain's ambient token
+    (restored on exit, exception-safe).  Not inherited by domains spawned
+    inside [f]. *)
+
+val active : unit -> token option
+(** The ambient token, if any. *)
+
+val guard : unit -> unit
+(** {!check} the ambient token; a no-op when none is installed.
+    @raise Cancelled when the ambient token is cancelled or expired. *)

@@ -1,0 +1,46 @@
+(** Minimal JSON for the batch manifest/journal machinery.
+
+    Deliberately tiny — objects, arrays, strings, numbers, booleans, null —
+    because the container carries no JSON library and the batch layer needs
+    both directions: parsing job manifests and journals, and printing
+    records whose bytes must be identical run over run.
+
+    {!to_string} is canonical: no whitespace, object fields in the order
+    given, and a deterministic shortest-round-trip float form — the
+    property the append-only journal's byte-identity contract rests on. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON value (surrounding whitespace allowed).  [Error msg]
+    carries a character offset.  Trailing non-space input is an error. *)
+
+val to_string : t -> string
+(** Canonical compact printing.  Floats use the shortest decimal form that
+    round-trips ([1] not [1.], [0.1] not [0.10000000000000001]); non-finite
+    numbers print as [null] (JSON has no representation for them). *)
+
+val float_repr : float -> string
+(** The float form {!to_string} uses — exposed for hand-rolled writers that
+    must stay byte-compatible with the journal. *)
+
+(** {2 Accessors} — total, returning [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+(** Field of an object; [None] for missing fields and non-objects. *)
+
+val to_float : t -> float option
+
+val to_int : t -> int option
+(** Integral [Num] only. *)
+
+val to_str : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option
+val to_obj : t -> (string * t) list option

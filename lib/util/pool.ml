@@ -16,15 +16,29 @@ let override = Atomic.make 0
 
 let clamp_jobs n = max 1 (min hard_cap n)
 
-let set_default_jobs n = Atomic.set override (clamp_jobs n)
+(* the one validation point for every way a job count enters the system:
+   the --jobs flag, the MIXSYN_JOBS variable, and programmatic overrides
+   all funnel through here, so zero/negative counts are rejected with the
+   same message everywhere instead of silently clamping to 1 *)
+let validate_jobs n =
+  if n < 1 then
+    Error (Printf.sprintf "job count must be at least 1 (got %d)" n)
+  else Ok (min hard_cap n)
+
+let jobs_of_string s =
+  match int_of_string_opt (String.trim s) with
+  | None -> Error (Printf.sprintf "invalid job count %S (expected a positive integer)" s)
+  | Some n -> validate_jobs n
+
+let set_default_jobs n =
+  match validate_jobs n with
+  | Ok n -> Atomic.set override n
+  | Error msg -> invalid_arg ("Pool.set_default_jobs: " ^ msg)
 
 let env_jobs () =
   match Sys.getenv_opt "MIXSYN_JOBS" with
   | None -> None
-  | Some s ->
-    (match int_of_string_opt (String.trim s) with
-     | Some n when n >= 1 -> Some (clamp_jobs n)
-     | Some _ | None -> None)
+  | Some s -> (match jobs_of_string s with Ok n -> Some n | Error _ -> None)
 
 let default_jobs () =
   let o = Atomic.get override in
@@ -168,6 +182,15 @@ let chunked_run ~jobs n run_index =
 let effective_jobs jobs n =
   let j = match jobs with Some j -> clamp_jobs j | None -> default_jobs () in
   min j (max 1 n)
+
+(* run [f] with this domain marked as a pool participant, so every parallel
+   call inside degrades to sequential.  The batch layer wraps each job in
+   this: batch-level fan-out keeps the pool, and the flows inside stop
+   queueing nested helpers behind long-running sibling jobs. *)
+let sequential_scope f =
+  let prev = Domain.DLS.get in_worker in
+  Domain.DLS.set in_worker true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set in_worker prev) f
 
 let parallel_mapi ?jobs f a =
   let n = Array.length a in

@@ -16,8 +16,19 @@ val default_jobs : unit -> int
     [\[1, 64\]]; malformed [MIXSYN_JOBS] values are ignored. *)
 
 val set_default_jobs : int -> unit
-(** Process-wide override of {!default_jobs} (the [--jobs] flag).  Clamped
-    to [\[1, 64\]]. *)
+(** Process-wide override of {!default_jobs} (the [--jobs] flag).  Values
+    above the pool cap (64) clamp to it.
+    @raise Invalid_argument for counts below 1 — callers wanting a clean
+    error instead should go through {!validate_jobs}. *)
+
+val validate_jobs : int -> (int, string) result
+(** The single validation point for job counts, whatever their origin
+    ([--jobs], [MIXSYN_JOBS], API): [Error] with a clear message below 1,
+    otherwise [Ok] clamped to the pool cap. *)
+
+val jobs_of_string : string -> (int, string) result
+(** {!validate_jobs} after integer parsing — the converter the CLI and the
+    environment-variable path share. *)
 
 val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [parallel_map ~jobs f a] is [Array.map f a] evaluated by up to [jobs]
@@ -47,6 +58,12 @@ val effective_jobs : int option -> int -> int
     would use: [jobs] (or {!default_jobs} when [None]) clamped to the pool
     cap and to [n].  Lets callers pick between a lazy sequential strategy
     and an eager parallel one before paying for either. *)
+
+val sequential_scope : (unit -> 'a) -> 'a
+(** Run [f] with this domain treated as a pool worker: every parallel call
+    made inside runs sequentially (exception-safe, restores the previous
+    state).  Used by batch-style callers that own the pool at a coarser
+    granularity than the loops inside [f]. *)
 
 val worker_count : unit -> int
 (** Live worker domains (for tests and benchmarks). *)

@@ -110,6 +110,25 @@ let span_calls name =
   in
   List.fold_left sum 0 (spans ())
 
+let top_counters ?(limit = 8) () =
+  let by_weight (na, va) (nb, vb) =
+    if va <> vb then compare vb va else String.compare na nb
+  in
+  let rec take k = function
+    | x :: rest when k > 0 -> x :: take (k - 1) rest
+    | _ -> []
+  in
+  take limit (List.sort by_weight (counters_alist ()))
+
+let pp_rollup ?limit ppf () =
+  match top_counters ?limit () with
+  | [] -> Format.fprintf ppf "(no counters)"
+  | top ->
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+      (fun ppf (name, v) -> Format.fprintf ppf "%s=%d" name v)
+      ppf top
+
 let pp_report ppf () =
   let cs = counters_alist () in
   let ss = spans () in

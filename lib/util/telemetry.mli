@@ -41,6 +41,14 @@ val counter : string -> int
 val counters_alist : unit -> (string * int) list
 (** All counters, sorted by name. *)
 
+val top_counters : ?limit:int -> unit -> (string * int) list
+(** The [limit] (default 8) heaviest counters, by value descending then
+    name — the rollup a batch summary leads with. *)
+
+val pp_rollup : ?limit:int -> Format.formatter -> unit -> unit
+(** One line: ["a=12, b=3, ..."] over {!top_counters};
+    ["(no counters)"] when the registry is empty. *)
+
 (** {2 Spans} *)
 
 val with_span : string -> (unit -> 'a) -> 'a

@@ -1,0 +1,358 @@
+(* Batch synthesis tests: manifest parsing, the failure taxonomy (raise /
+   timeout / retry), and the checkpoint journal's determinism contract —
+   byte-identical output at any job count, after interruption, and after
+   resuming from a torn trailing line. *)
+
+module Batch = Mixsyn_flow.Batch
+module Json = Mixsyn_util.Json
+module Cancel = Mixsyn_util.Cancel
+module Spec = Mixsyn_synth.Spec
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let temp_journal () =
+  let path = Filename.temp_file "msyn_test_batch" ".journal" in
+  Sys.remove path;
+  path
+
+(* a deterministic stand-in executor: no flow, just a value derived from
+   the job and seed, so journal bytes depend on nothing else *)
+let cheap_executor (job : Batch.job) ~seed =
+  Json.Obj
+    [ ("echo", Json.Str job.Batch.job_id);
+      ("value", Json.Num (float_of_int (seed * 2) +. 0.5)) ]
+
+let manifest_exn text =
+  match Batch.manifest_of_string text with
+  | Ok jobs -> jobs
+  | Error msg -> Alcotest.failf "manifest rejected: %s" msg
+
+let simple_manifest n =
+  manifest_exn
+    (String.concat "\n"
+       (List.init n (fun i -> Printf.sprintf "{\"id\": \"j%02d\", \"seed\": %d}" i (i + 1))))
+
+(* --- manifest parsing --------------------------------------------------- *)
+
+let test_manifest_parse () =
+  let jobs =
+    manifest_exn
+      {|# a comment line
+{"id": "a", "seed": 7, "specs": [{"name": "gain_db", "at_least": 60.0}, {"name": "offset_v", "at_most": 1e-3, "weight": 2.0}, {"name": "ugf_hz", "between": [1e6, 1e8]}], "objectives": [{"maximize": "gain_db"}], "context": {"cl": 5e-12}, "topology": "miller-ota", "max_redesigns": 1, "timeout_s": 9.5}
+
+{"id": "b"}
+|}
+  in
+  match jobs with
+  | [ a; b ] ->
+    Alcotest.(check string) "id" "a" a.Batch.job_id;
+    Alcotest.(check int) "seed" 7 a.Batch.seed;
+    Alcotest.(check int) "specs" 3 (List.length a.Batch.specs);
+    (match a.Batch.specs with
+     | [ s1; s2; s3 ] ->
+       (match s1.Spec.bound with
+        | Spec.At_least v -> Alcotest.(check (float 0.0)) "at_least" 60.0 v
+        | _ -> Alcotest.fail "s1 bound");
+       (match s2.Spec.bound with
+        | Spec.At_most v -> Alcotest.(check (float 0.0)) "at_most" 1e-3 v
+        | _ -> Alcotest.fail "s2 bound");
+       Alcotest.(check (float 0.0)) "weight" 2.0 s2.Spec.weight;
+       (match s3.Spec.bound with
+        | Spec.Between (lo, hi) ->
+          Alcotest.(check (float 0.0)) "lo" 1e6 lo;
+          Alcotest.(check (float 0.0)) "hi" 1e8 hi
+        | _ -> Alcotest.fail "s3 bound")
+     | _ -> Alcotest.fail "spec shapes");
+    Alcotest.(check (option string)) "topology" (Some "miller-ota") a.Batch.topology;
+    Alcotest.(check (option int)) "max_redesigns" (Some 1) a.Batch.max_redesigns;
+    (match a.Batch.timeout_s with
+     | Some t -> Alcotest.(check (float 0.0)) "timeout_s" 9.5 t
+     | None -> Alcotest.fail "timeout_s missing");
+    Alcotest.(check (list (pair string (float 0.0)))) "context" [ ("cl", 5e-12) ]
+      a.Batch.context;
+    (* defaults on the minimal job *)
+    Alcotest.(check string) "default id" "b" b.Batch.job_id;
+    Alcotest.(check int) "default seed" 13 b.Batch.seed;
+    Alcotest.(check int) "default objectives" 1 (List.length b.Batch.objectives);
+    Alcotest.(check bool) "no fault" true (b.Batch.fault = None)
+  | l -> Alcotest.failf "expected 2 jobs, got %d" (List.length l)
+
+let test_manifest_rejects () =
+  let reject ?needle text =
+    match Batch.manifest_of_string text with
+    | Ok _ -> Alcotest.failf "manifest accepted: %s" text
+    | Error msg ->
+      (match needle with
+       | None -> ()
+       | Some n ->
+         let nl = String.length n and ml = String.length msg in
+         let rec scan i = i + nl <= ml && (String.sub msg i nl = n || scan (i + 1)) in
+         if not (scan 0) then Alcotest.failf "error %S lacks %S" msg n)
+  in
+  reject ~needle:"duplicate" "{\"id\": \"x\"}\n{\"id\": \"x\"}";
+  reject ~needle:"no jobs" "# only a comment\n";
+  reject ~needle:"line 2" "{\"id\": \"ok\"}\n{\"id\": \"bad\", \"seed\": }";
+  reject ~needle:"\"id\"" "{\"seed\": 3}";
+  reject ~needle:"fault" "{\"id\": \"x\", \"fault\": \"explode\"}";
+  reject ~needle:"bound" "{\"id\": \"x\", \"specs\": [{\"name\": \"gain_db\", \"at_least\": 1.0, \"at_most\": 2.0}]}";
+  reject "{\"id\": \"x\", \"specs\": [{\"name\": \"gain_db\"}]}";
+  reject "{\"id\": \"x\", \"objectives\": [{\"minimize\": \"a\", \"maximize\": \"b\"}]}"
+
+let test_record_roundtrip () =
+  let records =
+    [ { Batch.rec_id = "ok"; rec_seed = 4; attempts = 1;
+        status = Batch.Completed (Json.Obj [ ("v", Json.Num 1.25) ]) };
+      { Batch.rec_id = "bad"; rec_seed = 1_000_007; attempts = 2;
+        status = Batch.Failed { Batch.error = "check-failed"; diagnostics = [ "drc.x a: b" ] } };
+      { Batch.rec_id = "slow"; rec_seed = 9; attempts = 1; status = Batch.Timed_out } ]
+  in
+  List.iter
+    (fun r ->
+      let json = Batch.record_to_json r in
+      match Batch.record_of_json json with
+      | Ok r' when r' = r -> ()
+      | Ok _ -> Alcotest.failf "record %s did not round-trip" r.Batch.rec_id
+      | Error msg -> Alcotest.failf "record %s rejected: %s" r.Batch.rec_id msg)
+    records
+
+(* --- run_job: the failure taxonomy -------------------------------------- *)
+
+let job_with ?fault ?timeout_s id =
+  match
+    Batch.manifest_of_string (Printf.sprintf "{\"id\": %S, \"seed\": 3}" id)
+  with
+  | Ok [ j ] -> { j with Batch.fault; timeout_s }
+  | _ -> assert false
+
+let test_run_job_completes () =
+  let r = Batch.run_job ~executor:cheap_executor (job_with "fine") in
+  Alcotest.(check int) "attempts" 1 r.Batch.attempts;
+  Alcotest.(check int) "seed" 3 r.Batch.rec_seed;
+  match r.Batch.status with
+  | Batch.Completed (Json.Obj fields) ->
+    Alcotest.(check bool) "echoes id" true
+      (List.assoc_opt "echo" fields = Some (Json.Str "fine"))
+  | _ -> Alcotest.fail "expected Completed"
+
+let test_run_job_raise_fault () =
+  let r = Batch.run_job ~executor:cheap_executor (job_with ~fault:Batch.Raise "boom") in
+  match r.Batch.status with
+  | Batch.Failed f ->
+    Alcotest.(check bool) "classified" true
+      (String.length f.Batch.error >= 8 && String.sub f.Batch.error 0 8 = "failure:")
+  | _ -> Alcotest.fail "expected Failed"
+
+let test_run_job_timeout () =
+  let r =
+    Batch.run_job ~executor:cheap_executor ~retries:3
+      (job_with ~fault:Batch.Hang ~timeout_s:0.05 "spin")
+  in
+  Alcotest.(check bool) "timed out" true (r.Batch.status = Batch.Timed_out);
+  (* timeouts are terminal, never retried *)
+  Alcotest.(check int) "single attempt" 1 r.Batch.attempts
+
+let test_run_job_per_job_timeout_overrides () =
+  (* batch-wide 60s, per-job 0.05s: the per-job bound must win *)
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Batch.run_job ~executor:cheap_executor ~timeout_s:60.0
+      (job_with ~fault:Batch.Hang ~timeout_s:0.05 "spin")
+  in
+  Alcotest.(check bool) "timed out" true (r.Batch.status = Batch.Timed_out);
+  if Unix.gettimeofday () -. t0 > 10.0 then Alcotest.fail "per-job timeout ignored"
+
+let test_run_job_retries_perturb_seed () =
+  let seeds = ref [] in
+  let executor (_ : Batch.job) ~seed =
+    seeds := seed :: !seeds;
+    if List.length !seeds < 3 then failwith "flaky" else Json.Num (float_of_int seed)
+  in
+  let r = Batch.run_job ~executor ~retries:2 (job_with "flaky") in
+  Alcotest.(check int) "attempts" 3 r.Batch.attempts;
+  Alcotest.(check (list int)) "deterministic seed schedule"
+    [ 3; 3 + 1_000_003; 3 + (2 * 1_000_003) ]
+    (List.rev !seeds);
+  Alcotest.(check int) "recorded seed is the succeeding one" (3 + (2 * 1_000_003))
+    r.Batch.rec_seed;
+  match r.Batch.status with
+  | Batch.Completed _ -> ()
+  | _ -> Alcotest.fail "retry should have succeeded"
+
+let test_run_job_retries_exhausted () =
+  let calls = ref 0 in
+  let executor (_ : Batch.job) ~seed:_ = incr calls; failwith "always" in
+  let r = Batch.run_job ~executor ~retries:2 (job_with "doomed") in
+  Alcotest.(check int) "three attempts" 3 !calls;
+  match r.Batch.status with
+  | Batch.Failed f -> Alcotest.(check string) "error" "failure: always" f.Batch.error
+  | _ -> Alcotest.fail "expected Failed"
+
+(* --- the journal contract ----------------------------------------------- *)
+
+let run_to_journal ?jobs ?timeout_s ?retries manifest =
+  let journal = temp_journal () in
+  let summary =
+    Batch.run ?jobs ?timeout_s ?retries ~executor:cheap_executor ~journal manifest
+  in
+  let bytes = read_file journal in
+  Sys.remove journal;
+  (summary, bytes)
+
+let test_journal_jobs_invariant () =
+  let manifest = simple_manifest 17 in
+  let s1, b1 = run_to_journal ~jobs:1 manifest in
+  Alcotest.(check int) "all completed" 17 s1.Batch.completed;
+  List.iter
+    (fun jobs ->
+      let s, b = run_to_journal ~jobs manifest in
+      Alcotest.(check int) (Printf.sprintf "completed at jobs=%d" jobs) 17 s.Batch.completed;
+      if not (String.equal b1 b) then
+        Alcotest.failf "journal bytes differ between jobs=1 and jobs=%d" jobs)
+    [ 2; 4 ]
+
+let test_journal_resume_skips () =
+  let manifest = simple_manifest 9 in
+  let journal = temp_journal () in
+  let _, full_bytes = run_to_journal ~jobs:1 manifest in
+  (* first run executes only a prefix: simulate by pre-writing 4 records *)
+  let prefix =
+    let lines = String.split_on_char '\n' full_bytes in
+    String.concat "\n" (List.filteri (fun i _ -> i < 4) lines) ^ "\n"
+  in
+  write_file journal prefix;
+  let calls = ref [] in
+  let executor (job : Batch.job) ~seed =
+    calls := job.Batch.job_id :: !calls;
+    cheap_executor job ~seed
+  in
+  let s = Batch.run ~jobs:2 ~executor ~journal manifest in
+  Alcotest.(check int) "skipped" 4 s.Batch.skipped;
+  Alcotest.(check int) "total" 9 s.Batch.total;
+  Alcotest.(check int) "completed counts the whole manifest" 9 s.Batch.completed;
+  Alcotest.(check (list string)) "only pending jobs executed"
+    [ "j04"; "j05"; "j06"; "j07"; "j08" ]
+    (List.sort compare !calls);
+  Alcotest.(check string) "resumed journal identical" full_bytes (read_file journal);
+  Sys.remove journal
+
+let test_journal_resume_truncated_line () =
+  let manifest = simple_manifest 7 in
+  let journal = temp_journal () in
+  let _, full_bytes = run_to_journal ~jobs:1 manifest in
+  let prefix =
+    let lines = String.split_on_char '\n' full_bytes in
+    String.concat "\n" (List.filteri (fun i _ -> i < 3) lines) ^ "\n"
+  in
+  (* interruption damage: a record cut mid-write, no trailing newline *)
+  write_file journal (prefix ^ "{\"id\":\"j03\",\"seed\":4,\"att");
+  let s = Batch.run ~jobs:2 ~executor:cheap_executor ~journal manifest in
+  Alcotest.(check int) "only intact records skip" 3 s.Batch.skipped;
+  Alcotest.(check string) "repaired journal identical" full_bytes (read_file journal);
+  Sys.remove journal
+
+let test_journal_foreign_record_rejected () =
+  let manifest = simple_manifest 3 in
+  let journal = temp_journal () in
+  write_file journal "{\"id\":\"stranger\",\"seed\":1,\"attempts\":1,\"status\":\"timed_out\"}\n";
+  (match Batch.run ~jobs:1 ~executor:cheap_executor ~journal manifest with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "journal with foreign id must be rejected");
+  Sys.remove journal
+
+let test_run_rejects_bad_args () =
+  let manifest = simple_manifest 2 in
+  (match Batch.run ~retries:(-1) ~executor:cheap_executor ~journal:"/dev/null" manifest with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "negative retries must be rejected");
+  let dup = [ List.hd manifest; List.hd manifest ] in
+  match Batch.run ~executor:cheap_executor ~journal:"/dev/null" dup with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate ids must be rejected"
+
+let test_faults_recorded_others_complete () =
+  let manifest =
+    manifest_exn
+      (String.concat "\n"
+         [ "{\"id\": \"good-1\", \"seed\": 1}";
+           "{\"id\": \"bad\", \"seed\": 2, \"fault\": \"raise\"}";
+           "{\"id\": \"good-2\", \"seed\": 3}";
+           "{\"id\": \"slow\", \"seed\": 4, \"fault\": \"hang\", \"timeout_s\": 0.05}";
+           "{\"id\": \"good-3\", \"seed\": 5}" ])
+  in
+  let s, bytes = run_to_journal ~jobs:2 manifest in
+  Alcotest.(check int) "completed" 3 s.Batch.completed;
+  Alcotest.(check int) "failed" 1 s.Batch.failed;
+  Alcotest.(check int) "timed out" 1 s.Batch.timed_out;
+  (* the journal stays in manifest order whatever finished first *)
+  let ids =
+    List.filter_map
+      (fun line ->
+        if line = "" then None
+        else
+          match Json.parse line with
+          | Ok json -> Option.bind (Json.member "id" json) Json.to_str
+          | Error _ -> None)
+      (String.split_on_char '\n' bytes)
+  in
+  Alcotest.(check (list string)) "manifest order"
+    [ "good-1"; "bad"; "good-2"; "slow"; "good-3" ] ids
+
+let test_summary_json_shape () =
+  let manifest = simple_manifest 3 in
+  let s, _ = run_to_journal ~jobs:1 manifest in
+  let json = Batch.summary_to_json s in
+  Alcotest.(check (option (float 0.0))) "total" (Some 3.0)
+    (Option.bind (Json.member "total" json) Json.to_float);
+  Alcotest.(check (option (float 0.0))) "completed" (Some 3.0)
+    (Option.bind (Json.member "completed" json) Json.to_float);
+  match Option.bind (Json.member "records" json) Json.to_list with
+  | Some l -> Alcotest.(check int) "records" 3 (List.length l)
+  | None -> Alcotest.fail "summary lacks records"
+
+(* --- a real flow under the timeout -------------------------------------- *)
+
+let test_flow_executor_times_out () =
+  (* an impossible specification would grind for minutes; the cooperative
+     guards inside Flow.run must surface the cancel in well under that *)
+  let manifest =
+    manifest_exn
+      "{\"id\": \"doomed\", \"seed\": 13, \"specs\": [{\"name\": \"gain_db\", \"at_least\": 200.0}], \"topology\": \"miller-ota\", \"timeout_s\": 0.3}"
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = Batch.run_job (List.hd manifest) in
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "timed out" true (r.Batch.status = Batch.Timed_out);
+  if dt > 30.0 then Alcotest.failf "cancellation took %.1fs" dt
+
+let () =
+  Alcotest.run "batch"
+    [ ( "manifest",
+        [ Alcotest.test_case "parse" `Quick test_manifest_parse;
+          Alcotest.test_case "rejects" `Quick test_manifest_rejects;
+          Alcotest.test_case "record roundtrip" `Quick test_record_roundtrip ] );
+      ( "run-job",
+        [ Alcotest.test_case "completes" `Quick test_run_job_completes;
+          Alcotest.test_case "raise fault" `Quick test_run_job_raise_fault;
+          Alcotest.test_case "timeout" `Quick test_run_job_timeout;
+          Alcotest.test_case "per-job timeout wins" `Quick test_run_job_per_job_timeout_overrides;
+          Alcotest.test_case "retry seeds" `Quick test_run_job_retries_perturb_seed;
+          Alcotest.test_case "retries exhausted" `Quick test_run_job_retries_exhausted ] );
+      ( "journal",
+        [ Alcotest.test_case "jobs invariant" `Quick test_journal_jobs_invariant;
+          Alcotest.test_case "resume skips" `Quick test_journal_resume_skips;
+          Alcotest.test_case "torn line resume" `Quick test_journal_resume_truncated_line;
+          Alcotest.test_case "foreign record" `Quick test_journal_foreign_record_rejected;
+          Alcotest.test_case "bad arguments" `Quick test_run_rejects_bad_args;
+          Alcotest.test_case "faults isolated" `Quick test_faults_recorded_others_complete;
+          Alcotest.test_case "summary json" `Quick test_summary_json_shape ] );
+      ( "flow",
+        [ Alcotest.test_case "cooperative timeout" `Slow test_flow_executor_times_out ] ) ]

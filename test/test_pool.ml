@@ -84,6 +84,51 @@ let test_default_jobs_override () =
   if Pool.default_jobs () > 64 then Alcotest.fail "override must clamp";
   Pool.set_default_jobs before
 
+let test_jobs_validation () =
+  (* the one validation point behind --jobs and MIXSYN_JOBS *)
+  (match Pool.validate_jobs 4 with
+   | Ok 4 -> ()
+   | Ok n -> Alcotest.failf "validate_jobs 4 = %d" n
+   | Error msg -> Alcotest.failf "validate_jobs 4 rejected: %s" msg);
+  (match Pool.validate_jobs 1000 with
+   | Ok n when n <= 64 -> ()
+   | Ok n -> Alcotest.failf "validate_jobs must clamp, got %d" n
+   | Error msg -> Alcotest.failf "validate_jobs 1000 rejected: %s" msg);
+  List.iter
+    (fun n ->
+      match Pool.validate_jobs n with
+      | Error _ -> ()
+      | Ok m -> Alcotest.failf "validate_jobs %d accepted as %d" n m)
+    [ 0; -1; -64 ];
+  (match Pool.jobs_of_string " 8 " with
+   | Ok 8 -> ()
+   | _ -> Alcotest.fail "jobs_of_string must trim and parse");
+  List.iter
+    (fun s ->
+      match Pool.jobs_of_string s with
+      | Error _ -> ()
+      | Ok n -> Alcotest.failf "jobs_of_string %S accepted as %d" s n)
+    [ "0"; "-2"; "many"; "" ];
+  List.iter
+    (fun n ->
+      match Pool.set_default_jobs n with
+      | exception Invalid_argument _ -> ()
+      | () -> Alcotest.failf "set_default_jobs %d must raise" n)
+    [ 0; -3 ]
+
+let test_sequential_scope () =
+  (* inside the scope, parallel calls degrade to sequential (the calling
+     domain is marked as a pool participant); the flag restores on exit,
+     including on raise *)
+  let inside =
+    Pool.sequential_scope (fun () ->
+        Pool.parallel_init ~jobs:8 6 (fun i -> i * i))
+  in
+  Alcotest.(check (array int)) "scope results" [| 0; 1; 4; 9; 16; 25 |] inside;
+  (try Pool.sequential_scope (fun () -> failwith "x") with Failure _ -> ());
+  let after = Pool.parallel_init ~jobs:4 4 (fun i -> i + 1) in
+  Alcotest.(check (array int)) "pool usable after scope raise" [| 1; 2; 3; 4 |] after
+
 (* --- RNG stream independence ------------------------------------------- *)
 
 let test_split_n_streams () =
@@ -206,7 +251,9 @@ let () =
           Alcotest.test_case "reduce in index order" `Quick test_reduce_index_order;
           Alcotest.test_case "min-index exception" `Quick test_exception_propagation;
           Alcotest.test_case "nested calls" `Quick test_nested_calls;
-          Alcotest.test_case "default-jobs override" `Quick test_default_jobs_override ] );
+          Alcotest.test_case "default-jobs override" `Quick test_default_jobs_override;
+          Alcotest.test_case "jobs validation" `Quick test_jobs_validation;
+          Alcotest.test_case "sequential scope" `Quick test_sequential_scope ] );
       ( "rng",
         [ Alcotest.test_case "split_n streams" `Quick test_split_n_streams ] );
       ( "wired-loops",

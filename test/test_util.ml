@@ -304,6 +304,131 @@ let test_eval_cache_float_array_keys () =
   check_close "structural key equality" 3.0 (EC.find_or_compute c [| 1.0; 2.0 |] f);
   Alcotest.(check int) "hit on equal array" 1 (EC.hits c)
 
+(* --- json --------------------------------------------------------------- *)
+
+module J = Mixsyn_util.Json
+
+let test_json_parse_values () =
+  let parse s =
+    match J.parse s with
+    | Ok v -> v
+    | Error msg -> Alcotest.failf "parse %S: %s" s msg
+  in
+  Alcotest.(check bool) "null" true (parse " null " = J.Null);
+  Alcotest.(check bool) "true" true (parse "true" = J.Bool true);
+  Alcotest.(check bool) "num" true (parse "-1.5e3" = J.Num (-1500.0));
+  Alcotest.(check bool) "string escapes" true
+    (parse "\"a\\n\\\"b\\u0041\"" = J.Str "a\n\"bA");
+  Alcotest.(check bool) "array" true
+    (parse "[1, 2, 3]" = J.Arr [ J.Num 1.0; J.Num 2.0; J.Num 3.0 ]);
+  Alcotest.(check bool) "object" true
+    (parse "{\"a\": 1, \"b\": [true]}"
+     = J.Obj [ ("a", J.Num 1.0); ("b", J.Arr [ J.Bool true ]) ]);
+  List.iter
+    (fun s ->
+      match J.parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "parse %S must fail" s)
+    [ ""; "{"; "[1,]"; "{\"a\" 1}"; "tru"; "1 2"; "\"unterminated"; "nan" ]
+
+let test_json_print_roundtrip () =
+  let rt v =
+    let s = J.to_string v in
+    match J.parse s with
+    | Ok v' when v' = v -> s
+    | Ok _ -> Alcotest.failf "%s did not round-trip" s
+    | Error msg -> Alcotest.failf "reparse %s: %s" s msg
+  in
+  Alcotest.(check string) "canonical object" "{\"a\":1,\"b\":[true,null,\"x\"]}"
+    (rt (J.Obj [ ("a", J.Num 1.0); ("b", J.Arr [ J.Bool true; J.Null; J.Str "x" ]) ]));
+  Alcotest.(check string) "integral float" "42" (rt (J.Num 42.0));
+  Alcotest.(check string) "negative zero keeps its sign" "-0" (rt (J.Num (-0.0)));
+  Alcotest.(check string) "shortest float" "0.1" (rt (J.Num 0.1));
+  Alcotest.(check string) "string escapes" "\"a\\n\\\"\\\\\"" (rt (J.Str "a\n\"\\"));
+  Alcotest.(check string) "non-finite is null" "null" (J.to_string (J.Num Float.nan));
+  (* every float must reprint to a string that parses back to the same bits *)
+  let rng = Rng.create 99 in
+  for _ = 1 to 1000 do
+    let x = Rng.uniform rng (-1e9) 1e9 *. (10.0 ** float_of_int (Rng.int rng 18 - 9)) in
+    let s = J.float_repr x in
+    if float_of_string s <> x then Alcotest.failf "float_repr %s loses %.17g" s x
+  done
+
+let test_json_accessors () =
+  let v =
+    J.Obj [ ("n", J.Num 3.0); ("x", J.Num 2.5); ("s", J.Str "hi"); ("b", J.Bool false) ]
+  in
+  Alcotest.(check (option int)) "to_int" (Some 3) (Option.bind (J.member "n" v) J.to_int);
+  Alcotest.(check (option int)) "to_int non-integral" None
+    (Option.bind (J.member "x" v) J.to_int);
+  Alcotest.(check (option (float 0.0))) "to_float" (Some 2.5)
+    (Option.bind (J.member "x" v) J.to_float);
+  Alcotest.(check (option string)) "to_str" (Some "hi")
+    (Option.bind (J.member "s" v) J.to_str);
+  Alcotest.(check (option bool)) "to_bool" (Some false)
+    (Option.bind (J.member "b" v) J.to_bool);
+  Alcotest.(check (option string)) "missing member" None
+    (Option.bind (J.member "zz" v) J.to_str);
+  Alcotest.(check (option string)) "member of non-object" None
+    (Option.bind (J.member "a" (J.Num 1.0)) J.to_str)
+
+(* --- cancellation -------------------------------------------------------- *)
+
+module C = Mixsyn_util.Cancel
+
+let test_cancel_token () =
+  let t = C.create () in
+  Alcotest.(check bool) "fresh token live" false (C.cancelled t);
+  C.check t;
+  C.cancel t;
+  Alcotest.(check bool) "cancelled" true (C.cancelled t);
+  (match C.check t with
+   | exception C.Cancelled -> ()
+   | () -> Alcotest.fail "check of cancelled token must raise");
+  let expired = C.create ~timeout_s:0.0 () in
+  Alcotest.(check bool) "zero timeout expires" true (C.cancelled expired);
+  let live = C.create ~timeout_s:60.0 () in
+  Alcotest.(check bool) "future deadline live" false (C.cancelled live)
+
+let test_cancel_ambient_guard () =
+  C.guard ();
+  (* no ambient token: a no-op *)
+  Alcotest.(check bool) "no ambient token" true (C.active () = None);
+  let t = C.create () in
+  let saw = ref false in
+  C.with_token t (fun () ->
+      Alcotest.(check bool) "ambient installed" true (C.active () = Some t);
+      C.guard ();
+      C.cancel t;
+      match C.guard () with
+      | exception C.Cancelled -> saw := true
+      | () -> Alcotest.fail "guard must raise after cancel");
+  Alcotest.(check bool) "cancel observed" true !saw;
+  Alcotest.(check bool) "ambient restored" true (C.active () = None);
+  (* exception safety: the token must not leak out of with_token *)
+  (try C.with_token (C.create ()) (fun () -> failwith "x") with Failure _ -> ());
+  Alcotest.(check bool) "restored on raise" true (C.active () = None)
+
+(* --- telemetry rollup ----------------------------------------------------- *)
+
+let test_telemetry_rollup () =
+  T.reset ();
+  Alcotest.(check (list (pair string int))) "empty" [] (T.top_counters ());
+  T.add "small" 1;
+  T.add "big" 50;
+  T.add "mid" 7;
+  Alcotest.(check (list (pair string int))) "sorted by value desc"
+    [ ("big", 50); ("mid", 7); ("small", 1) ]
+    (T.top_counters ());
+  Alcotest.(check (list (pair string int))) "limited" [ ("big", 50) ]
+    (T.top_counters ~limit:1 ());
+  let line = Format.asprintf "%a" (fun ppf () -> T.pp_rollup ppf ()) () in
+  Alcotest.(check string) "one-line rollup" "big=50, mid=7, small=1" line;
+  T.reset ();
+  Alcotest.(check string) "empty rollup"
+    "(no counters)"
+    (Format.asprintf "%a" (fun ppf () -> T.pp_rollup ppf ()) ())
+
 (* --- units ------------------------------------------------------------- *)
 
 let test_units_format () =
@@ -431,7 +556,15 @@ let () =
         [ Alcotest.test_case "counters" `Quick test_telemetry_counters;
           Alcotest.test_case "spans nest" `Quick test_telemetry_spans_nest_and_accumulate;
           Alcotest.test_case "exception safety" `Quick test_telemetry_span_exception_safe;
-          Alcotest.test_case "report and json" `Quick test_telemetry_report_and_json ] );
+          Alcotest.test_case "report and json" `Quick test_telemetry_report_and_json;
+          Alcotest.test_case "rollup" `Quick test_telemetry_rollup ] );
+      ( "json",
+        [ Alcotest.test_case "parse values" `Quick test_json_parse_values;
+          Alcotest.test_case "print roundtrip" `Quick test_json_print_roundtrip;
+          Alcotest.test_case "accessors" `Quick test_json_accessors ] );
+      ( "cancel",
+        [ Alcotest.test_case "token" `Quick test_cancel_token;
+          Alcotest.test_case "ambient guard" `Quick test_cancel_ambient_guard ] );
       ( "eval-cache",
         [ Alcotest.test_case "memoizes" `Quick test_eval_cache_memoizes;
           Alcotest.test_case "float array keys" `Quick test_eval_cache_float_array_keys ] );

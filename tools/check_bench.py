@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Assert the machine-readable bench reports, and smoke-test batch resume.
+
+Assert mode (used by CI and by hand after `dune exec bench/main.exe`):
+
+    tools/check_bench.py BENCH_parallel.json --min-jobs 4
+    tools/check_bench.py BENCH_batch.json --min-jobs 2
+
+dispatches on the report's "experiment" field:
+  parallel: every bench must be bit-identical between jobs=1 and jobs=N,
+            and the best speedup must clear --min-speedup (default 1.0);
+  batch:    every job completes, and the journal must be byte-identical
+            between sequential and parallel runs and across a resume from
+            a torn journal.
+
+Smoke mode drives the real `msyn batch` CLI through an interruption:
+
+    tools/check_bench.py --smoke examples/batch_manifest.jsonl \
+        --msyn _build/default/bin/msyn.exe --jobs 4 \
+        --expect-failed inject-raise --expect-timed-out inject-hang
+
+It runs the manifest to completion at --jobs 1, then runs it again at
+--jobs N, SIGKILLs that run mid-flight, appends a torn half-record to the
+journal, resumes, and demands the resumed journal be byte-identical to the
+uninterrupted one.  --expect-failed/--expect-timed-out assert the status
+the named jobs must land on.
+"""
+
+import argparse
+import json
+import os
+import shlex
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+# ---------------------------------------------------------------- assert mode
+
+
+def check_parallel(report, args):
+    if report["jobs"] < args.min_jobs:
+        fail(f"parallel bench ran at {report['jobs']} jobs, need >= {args.min_jobs}")
+    for b in report["benches"]:
+        if not b["identical"]:
+            fail(f"parallel result diverged: {b}")
+    if report["best_speedup"] < args.min_speedup:
+        fail(f"no speedup at {report['jobs']} jobs: {report}")
+    print(f"ok: best speedup {report['best_speedup']}x at {report['jobs']} jobs")
+
+
+def check_batch(report, args):
+    if report["jobs"] < args.min_jobs:
+        fail(f"batch bench ran at {report['jobs']} jobs, need >= {args.min_jobs}")
+    if report["completed"] != report["n_jobs"]:
+        fail(f"only {report['completed']}/{report['n_jobs']} batch jobs completed")
+    if not report["identical"]:
+        fail("batch journal differs between sequential and parallel runs")
+    if not report["resume_identical"]:
+        fail("batch journal differs after resuming from a torn journal")
+    if report["resume_skipped"] <= 0:
+        fail("batch resume re-ran every job; the checkpoint was ignored")
+    print(
+        f"ok: {report['n_jobs']} jobs, {report['jobs_per_s']} jobs/s at "
+        f"{report['jobs']} workers, journals identical (resume skipped "
+        f"{report['resume_skipped']})"
+    )
+
+
+CHECKS = {"parallel": check_parallel, "batch": check_batch}
+
+
+def run_assert(args):
+    for path in args.reports:
+        with open(path) as f:
+            report = json.load(f)
+        experiment = report.get("experiment")
+        if experiment not in CHECKS:
+            fail(f"{path}: unknown experiment {experiment!r}")
+        print(f"{path}: ", end="")
+        CHECKS[experiment](report, args)
+
+
+# ----------------------------------------------------------------- smoke mode
+
+
+def read_records(journal):
+    records = {}
+    with open(journal) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                r = json.loads(line)
+                records[r["id"]] = r
+    return records
+
+
+def check_expectations(records, args):
+    for job_id in args.expect_failed:
+        status = records.get(job_id, {}).get("status")
+        if status != "failed":
+            fail(f"job {job_id} should be failed, is {status!r}")
+    for job_id in args.expect_timed_out:
+        status = records.get(job_id, {}).get("status")
+        if status != "timed_out":
+            fail(f"job {job_id} should be timed_out, is {status!r}")
+
+
+def run_smoke(args):
+    msyn = shlex.split(args.msyn)
+    workdir = tempfile.mkdtemp(prefix="msyn_smoke_")
+    ja = os.path.join(workdir, "reference.journal")
+    jb = os.path.join(workdir, "interrupted.journal")
+
+    def batch(journal, jobs, check=True):
+        cmd = msyn + ["batch", args.manifest, "--journal", journal, "--jobs", str(jobs)]
+        proc = subprocess.run(cmd)
+        if check and proc.returncode != 0:
+            fail(f"{' '.join(cmd)} exited {proc.returncode}")
+
+    print(f"smoke: reference run at --jobs 1 -> {ja}")
+    batch(ja, 1)
+    reference = read_records(ja)
+    check_expectations(reference, args)
+
+    print(f"smoke: interrupted run at --jobs {args.jobs} -> {jb}")
+    cmd = msyn + ["batch", args.manifest, "--journal", jb, "--jobs", str(args.jobs)]
+    proc = subprocess.Popen(cmd, start_new_session=True)
+    # let it record at least one job, then kill the whole process group
+    deadline = time.time() + args.kill_timeout
+    while time.time() < deadline and proc.poll() is None:
+        if os.path.exists(jb) and open(jb).read().count("\n") >= 1:
+            break
+        time.sleep(0.1)
+    if proc.poll() is None:
+        os.killpg(proc.pid, signal.SIGKILL)
+        proc.wait()
+        print(f"smoke: killed after {open(jb).read().count(chr(10))} record(s)")
+    else:
+        print("smoke: run finished before the kill; resume will be a no-op check")
+    # simulate a record torn mid-write by the kill
+    with open(jb, "a") as f:
+        f.write('{"id":"torn-by-kill","seed":1,"att')
+
+    print("smoke: resuming")
+    batch(jb, args.jobs)
+    a, b = open(ja, "rb").read(), open(jb, "rb").read()
+    if a != b:
+        fail(f"resumed journal {jb} differs from uninterrupted {ja}")
+    check_expectations(read_records(jb), args)
+    print(
+        f"ok: resumed journal byte-identical ({len(b)} bytes, "
+        f"{len(read_records(jb))} records)"
+    )
+
+
+# ------------------------------------------------------------------------ cli
+
+
+def main():
+    p = argparse.ArgumentParser(description=__doc__)
+    p.add_argument("reports", nargs="*", help="BENCH_*.json files to assert")
+    p.add_argument("--min-jobs", type=int, default=1)
+    p.add_argument("--min-speedup", type=float, default=1.0)
+    p.add_argument("--smoke", metavar="MANIFEST", dest="manifest",
+                   help="run the kill/resume smoke against this manifest")
+    p.add_argument("--msyn", default="_build/default/bin/msyn.exe",
+                   help="msyn command for --smoke (shell-split)")
+    p.add_argument("--jobs", type=int, default=4,
+                   help="worker count for the interrupted smoke run")
+    p.add_argument("--kill-timeout", type=float, default=300.0,
+                   help="give up waiting for the first record after this long")
+    p.add_argument("--expect-failed", action="append", default=[], metavar="ID")
+    p.add_argument("--expect-timed-out", action="append", default=[], metavar="ID")
+    args = p.parse_args()
+    if not args.reports and not args.manifest:
+        p.error("nothing to do: pass BENCH_*.json files and/or --smoke MANIFEST")
+    if args.reports:
+        run_assert(args)
+    if args.manifest:
+        run_smoke(args)
+
+
+if __name__ == "__main__":
+    main()
