@@ -542,14 +542,19 @@ let run_parallel () =
     (r, Unix.gettimeofday () -. t0)
   in
   let rows = ref [] in
-  let bench name f =
+  let bench ~items name f =
+    (* allocation is measured on the sequential run: at --jobs 1 every
+       solve happens on this domain, so [Gc.minor_words] is exact *)
+    let w0 = Gc.minor_words () in
     let seq, seq_s = time (fun () -> f 1) in
+    let words_per_item = (Gc.minor_words () -. w0) /. float_of_int (max 1 items) in
     let par, par_s = time (fun () -> f jobs) in
     let speedup = seq_s /. Float.max par_s 1e-9 in
     let identical = seq = par in
-    Printf.printf "%-20s seq %7.3fs  par %7.3fs  speedup %5.2fx  identical %b\n" name seq_s
-      par_s speedup identical;
-    rows := (name, seq_s, par_s, speedup, identical) :: !rows
+    Printf.printf
+      "%-20s seq %7.3fs  par %7.3fs  speedup %5.2fx  identical %b  %8.0f w/item\n" name
+      seq_s par_s speedup identical words_per_item;
+    rows := (name, seq_s, par_s, speedup, identical, words_per_item) :: !rows
   in
   let nl =
     Top.miller_ota.Tp.build tech
@@ -557,7 +562,7 @@ let run_parallel () =
   in
   (* annealing multi-start: 4 independent placement chains *)
   let items, _, sym = Mixsyn_layout.Cell_flow.items_of_netlist nl in
-  bench "anneal-multistart" (fun j ->
+  bench ~items:4 "anneal-multistart" (fun j ->
       Mixsyn_layout.Placer.place ~seed:23 ~restarts:4 ~jobs:j items sym);
   (* corner sweep: 17 vertices, each a full simulation of the midpoint
      sizing at that corner *)
@@ -573,7 +578,7 @@ let run_parallel () =
     | None -> 10.0
     | Some perf -> Spec.total_violation specs perf
   in
-  bench "corner-sweep" (fun j ->
+  bench ~items:(List.length Mixsyn_circuit.Tech.corner_space) "corner-sweep" (fun j ->
       let c, v, e = Mixsyn_opt.Corner_search.worst_corner ~refine:false ~jobs:j ~violation () in
       (c.Mixsyn_circuit.Tech.d_vdd, c.Mixsyn_circuit.Tech.d_temp,
        c.Mixsyn_circuit.Tech.d_vth, c.Mixsyn_circuit.Tech.d_kp, v, e));
@@ -582,17 +587,19 @@ let run_parallel () =
   let freqs =
     Mixsyn_engine.Ac.log_sweep ~decades_from:0.0 ~decades_to:9.0 ~points_per_decade:300
   in
-  bench "ac-sweep" (fun j ->
+  bench ~items:(Array.length freqs) "ac-sweep" (fun j ->
       (Mixsyn_engine.Ac.solve ~tech ~jobs:j nl op ~freqs).Mixsyn_engine.Ac.solutions);
   let rows = List.rev !rows in
-  let best_speedup = List.fold_left (fun acc (_, _, _, s, _) -> Float.max acc s) 0.0 rows in
+  let best_speedup =
+    List.fold_left (fun acc (_, _, _, s, _, _) -> Float.max acc s) 0.0 rows
+  in
   let benches_json =
     String.concat ","
       (List.map
-         (fun (n, s, p, sp, id) ->
+         (fun (n, s, p, sp, id, w) ->
            Printf.sprintf
-             "{\"name\":\"%s\",\"seq_s\":%.4f,\"par_s\":%.4f,\"speedup\":%.3f,\"identical\":%b}"
-             n s p sp id)
+             "{\"name\":\"%s\",\"seq_s\":%.4f,\"par_s\":%.4f,\"speedup\":%.3f,\"identical\":%b,\"minor_words_per_item\":%.1f}"
+             n s p sp id w)
          rows)
   in
   write_file "BENCH_parallel.json"
@@ -660,7 +667,9 @@ let run_batch () =
   let j_par = Filename.temp_file "msyn_bench_batch_par" ".journal" in
   Sys.remove j_seq;
   Sys.remove j_par;
+  let w0 = Gc.minor_words () in
   let s_seq, seq_s = time (fun () -> Batch.run ~jobs:1 ~executor ~journal:j_seq manifest) in
+  let minor_words_per_job = (Gc.minor_words () -. w0) /. float_of_int n in
   let s_par, par_s = time (fun () -> Batch.run ~jobs ~executor ~journal:j_par manifest) in
   let bytes_seq = read j_seq and bytes_par = read j_par in
   let identical = String.equal bytes_seq bytes_par in
@@ -690,10 +699,10 @@ let run_batch () =
   Sys.remove j_par;
   write_file "BENCH_batch.json"
     (Printf.sprintf
-       "{\"experiment\":\"batch\",\"jobs\":%d,\"n_jobs\":%d,\"completed\":%d,\"seq_s\":%.4f,\"par_s\":%.4f,\"speedup\":%.3f,\"jobs_per_s\":%.2f,\"identical\":%b,\"resume_identical\":%b,\"resume_skipped\":%d}\n"
+       "{\"experiment\":\"batch\",\"jobs\":%d,\"n_jobs\":%d,\"completed\":%d,\"seq_s\":%.4f,\"par_s\":%.4f,\"speedup\":%.3f,\"jobs_per_s\":%.2f,\"identical\":%b,\"resume_identical\":%b,\"resume_skipped\":%d,\"minor_words_per_job\":%.1f}\n"
        jobs n s_par.Batch.completed seq_s par_s
        (seq_s /. Float.max par_s 1e-9)
-       throughput identical resume_identical s_res.Batch.skipped);
+       throughput identical resume_identical s_res.Batch.skipped minor_words_per_job);
   Printf.printf "\n%d jobs, %.1f jobs/s at %d workers (recorded in BENCH_batch.json)\n" n
     throughput jobs
 

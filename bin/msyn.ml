@@ -622,7 +622,13 @@ let main =
       `P "$(b,size), $(b,layout), $(b,flow) and $(b,batch) accept $(b,--jobs) $(i,N) to \
           run their evaluation loops on $(i,N) worker domains ($(b,MIXSYN_JOBS) sets the \
           same default from the environment; both reject counts below 1).  Results are \
-          bit-identical at any job count." ]
+          bit-identical at any job count.";
+      `P "Library callers can additionally pass $(b,?chunk) to any pool entry point \
+          ($(b,Pool.parallel_map) and the loops built on it, e.g. $(b,Ac.solve)): \
+          workers claim that many consecutive items per atomic fetch.  Larger chunks \
+          amortize claim overhead across fine items such as AC frequency points; \
+          $(b,chunk = 1) keeps coarse items (annealing chains) evenly spread.  Like \
+          $(b,--jobs), it changes scheduling only — never the result." ]
   in
   Cmd.group
     (Cmd.info "msyn" ~version:"1.0.0" ~doc ~man)

@@ -1,5 +1,5 @@
 module Netlist = Mixsyn_circuit.Netlist
-module Cplx = Mixsyn_util.Matrix.Cplx
+module Fmat = Mixsyn_util.Fmat
 
 type result = {
   freqs : float array;
@@ -78,27 +78,47 @@ let build_system tech nl op =
     (List.filter (fun (a, b, f) -> a <> b && f > 0.0) (Mna.linear_capacitors tech nl op));
   (g, c, b)
 
-let complex_system g c b omega =
-  let n = Array.length b in
-  let a = Array.make_matrix n n Complex.zero in
-  for i = 0 to n - 1 do
-    for j = 0 to n - 1 do
-      a.(i).(j) <- { Complex.re = g.(i).(j); im = omega *. c.(i).(j) }
-    done
-  done;
-  a
+(* The shared read-only per-sweep state: G and C flattened once into
+   bigarray planes, the right-hand side split into unboxed re/im arrays.
+   Per frequency point the only matrix work is reloading the workspace
+   (re <- G, im <- omega*C, both in place) and an in-place factor/solve in
+   this domain's pooled workspace — the sole per-point allocation is the
+   solution vector the caller receives. *)
+type flat_system = {
+  fs_n : int;
+  fs_g : Fmat.buf;
+  fs_c : Fmat.buf;
+  fs_bre : Float.Array.t;
+  fs_bim : Float.Array.t;
+}
 
-let solve ?(tech = Mixsyn_circuit.Tech.generic_07um) ?jobs nl op ~freqs =
+let flatten_system (g, c, (b : Complex.t array)) =
+  let n = Array.length b in
+  { fs_n = n;
+    fs_g = Fmat.flatten g;
+    fs_c = Fmat.flatten c;
+    fs_bre = Float.Array.init n (fun i -> b.(i).Complex.re);
+    fs_bim = Float.Array.init n (fun i -> b.(i).Complex.im) }
+
+let solve_point fs omega =
+  Fmat.with_cplx fs.fs_n (fun ws ->
+      Fmat.Cplx.load_ac ws ~g:fs.fs_g ~c:fs.fs_c ~omega;
+      Fmat.Cplx.set_rhs ws ~re:fs.fs_bre ~im:fs.fs_bim;
+      Fmat.Cplx.factor ws;
+      let x = Array.make fs.fs_n Complex.zero in
+      Fmat.Cplx.solve ws x;
+      x)
+
+let solve ?(tech = Mixsyn_circuit.Tech.generic_07um) ?jobs ?chunk nl op ~freqs =
   Mixsyn_util.Telemetry.count "ac.solves";
   Mixsyn_util.Telemetry.add "ac.freq_points" (Array.length freqs);
-  let g, c, b = build_system tech nl op in
-  (* each frequency point is an independent solve against the shared
-     read-only (g, c, b); results land in frequency order *)
+  let fs = flatten_system (build_system tech nl op) in
+  (* each frequency point is an independent in-place solve against the
+     shared read-only flat system; workers claim contiguous frequency
+     bands (Pool's chunking) and results land in frequency order *)
   let solutions =
-    Mixsyn_util.Pool.parallel_map ?jobs
-      (fun f ->
-        let omega = 2.0 *. Float.pi *. f in
-        Cplx.solve (complex_system g c b omega) b)
+    Mixsyn_util.Pool.parallel_map ?jobs ?chunk
+      (fun f -> solve_point fs (2.0 *. Float.pi *. f))
       freqs
   in
   { freqs; solutions; ac_layout = op.Mna.op_layout }
@@ -111,6 +131,19 @@ let magnitude r k net = Complex.norm (voltage r k net)
 let phase_deg r k net = Complex.arg (voltage r k net) *. 180.0 /. Float.pi
 
 let log_sweep ~decades_from ~decades_to ~points_per_decade =
-  let n = int_of_float ((decades_to -. decades_from) *. float_of_int points_per_decade) + 1 in
-  Array.init n (fun i ->
-      10.0 ** (decades_from +. (float_of_int i /. float_of_int points_per_decade)))
+  let ppd = float_of_int points_per_decade in
+  (* round, don't truncate: a span*ppd product of 2.9999999 from float
+     rounding must still yield 3 steps, or the top-decade endpoint is
+     silently dropped *)
+  let steps = Float.round ((decades_to -. decades_from) *. ppd) in
+  let n = int_of_float steps + 1 in
+  let exact_span = Float.abs (steps -. ((decades_to -. decades_from) *. ppd)) < 1e-6 in
+  let a =
+    Array.init n (fun i ->
+        (* pin the final point to the requested top decade whenever the
+           sweep is meant to land on it, so the endpoint is exact *)
+        if exact_span && i = n - 1 then 10.0 ** decades_to
+        else 10.0 ** (decades_from +. (float_of_int i /. ppd)))
+  in
+  assert ((not exact_span) || n = 0 || a.(n - 1) = 10.0 ** decades_to);
+  a

@@ -9,15 +9,21 @@ type result = {
 val solve :
   ?tech:Mixsyn_circuit.Tech.t ->
   ?jobs:int ->
+  ?chunk:int ->
   Mixsyn_circuit.Netlist.t ->
   Mna.op ->
   freqs:float array ->
   result
 (** Solves [(G + jωC) x = b] at each frequency, where [G] holds the MOS
     small-signal conductances of the operating point and [b] the AC source
-    magnitudes.  Frequency points solve concurrently on the
-    {!Mixsyn_util.Pool} ([jobs] defaults to [Pool.default_jobs ()]);
-    [solutions] is in frequency order regardless of [jobs]. *)
+    magnitudes.  [G] and [C] are stamped once into flat read-only planes;
+    each frequency point then reloads a per-domain {!Mixsyn_util.Fmat}
+    workspace in place (re ← G, im ← ωC) and factor/solves there, so the
+    only per-point allocation is the solution vector.  Frequency points
+    solve concurrently on the {!Mixsyn_util.Pool} ([jobs] defaults to
+    [Pool.default_jobs ()]); workers claim contiguous frequency {e bands}
+    of [chunk] points (default: the pool's [n / (jobs * 4)] heuristic).
+    [solutions] is in frequency order regardless of [jobs] and [chunk]. *)
 
 val voltage : result -> int -> Mixsyn_circuit.Netlist.net -> Complex.t
 (** [voltage r k net] — complex node voltage at frequency index [k]. *)
@@ -27,7 +33,9 @@ val phase_deg : result -> int -> Mixsyn_circuit.Netlist.net -> float
 
 val log_sweep : decades_from:float -> decades_to:float -> points_per_decade:int -> float array
 (** Logarithmic frequency grid, e.g. [log_sweep ~decades_from:0. ~decades_to:9.
-    ~points_per_decade:10] spans 1 Hz to 1 GHz. *)
+    ~points_per_decade:10] spans 1 Hz to 1 GHz.  The step count is rounded
+    to nearest (never truncated), and whenever the sweep is meant to land
+    on the top decade the final frequency is exactly [10. ** decades_to]. *)
 
 val build_system :
   Mixsyn_circuit.Tech.t ->

@@ -1,18 +1,17 @@
 module Netlist = Mixsyn_circuit.Netlist
-module Real = Mixsyn_util.Matrix.Real
+module Fmat = Mixsyn_util.Fmat
 
 exception No_convergence of string
 
 (* Assemble the Newton-linearised MNA system A x_new = b around the current
-   guess [x].  Independent sources are scaled by [alpha] for continuation. *)
-let assemble tech nl (layout : Mna.layout) x ~alpha ~gmin =
-  let n = layout.Mna.size in
-  let a = Real.create n n in
-  let b = Array.make n 0.0 in
+   guess [x], stamping straight into the reusable flat workspace [ws].
+   Independent sources are scaled by [alpha] for continuation. *)
+let assemble tech nl (layout : Mna.layout) ws x ~alpha ~gmin =
+  Fmat.Real.clear ws;
   let v net = if net = Netlist.gnd then 0.0 else x.(Mna.node_index net) in
   let evals = ref [] in
   let branch = ref (layout.Mna.nets - 1) in
-  let stamp = Mna.stamp_real a and rhs = Mna.rhs_real b in
+  let stamp = Fmat.Real.stamp ws and rhs = Fmat.Real.rhs ws in
   let each = function
     | Netlist.Resistor { a = na; b = nb; ohms; _ } ->
       let g = 1.0 /. ohms in
@@ -76,22 +75,26 @@ let assemble tech nl (layout : Mna.layout) x ~alpha ~gmin =
   List.iter each (Netlist.elements nl);
   (* gmin from every node to ground keeps floating gates solvable *)
   for i = 0 to layout.Mna.nets - 2 do
-    a.(i).(i) <- a.(i).(i) +. gmin
+    stamp i i gmin
   done;
-  (a, b, List.rev !evals)
+  List.rev !evals
 
-let newton tech nl layout ~x0 ~alpha ~gmin ~max_iterations =
+let newton tech nl layout ws ~x0 ~alpha ~gmin ~max_iterations =
   let x = Array.copy x0 in
   let n = layout.Mna.size in
+  let x_new = Array.make n 0.0 in
   let iterations_run = ref 0 in
   let rec loop iter =
     incr iterations_run;
     if iter > max_iterations then None
     else begin
-      let a, b, evals = assemble tech nl layout x ~alpha ~gmin in
-      match Real.solve a b with
-      | exception Real.Singular _ -> None
-      | x_new ->
+      let evals = assemble tech nl layout ws x ~alpha ~gmin in
+      match
+        Fmat.Real.factor ws;
+        Fmat.Real.solve ws x_new
+      with
+      | exception Fmat.Singular _ -> None
+      | () ->
         let max_delta = ref 0.0 in
         for i = 0 to n - 1 do
           max_delta := Float.max !max_delta (Float.abs (x_new.(i) -. x.(i)))
@@ -114,9 +117,13 @@ let newton tech nl layout ~x0 ~alpha ~gmin ~max_iterations =
 let solve ?(tech = Mixsyn_circuit.Tech.generic_07um) ?(gmin = 1e-9) ?(max_iterations = 200) nl =
   Mixsyn_util.Telemetry.count "dc.solves";
   let layout = Mna.layout_of nl in
+  (* one flat workspace from this domain's pool serves every Newton
+     iteration and every continuation step of this solve *)
+  Fmat.with_real layout.Mna.size @@ fun ws ->
+  let newton = newton tech nl layout ws in
   let zeros = Array.make layout.Mna.size 0.0 in
   let finish (x, evals, iterations) = { Mna.op_layout = layout; x; mos_evals = evals; iterations } in
-  match newton tech nl layout ~x0:zeros ~alpha:1.0 ~gmin ~max_iterations with
+  match newton ~x0:zeros ~alpha:1.0 ~gmin ~max_iterations with
   | Some result -> finish result
   | None ->
     (* source stepping with warm starts *)
@@ -125,7 +132,7 @@ let solve ?(tech = Mixsyn_circuit.Tech.generic_07um) ?(gmin = 1e-9) ?(max_iterat
     let rec continue x0 = function
       | [] -> None
       | alpha :: rest ->
-        (match newton tech nl layout ~x0 ~alpha ~gmin ~max_iterations with
+        (match newton ~x0 ~alpha ~gmin ~max_iterations with
          | Some (x, evals, it) ->
            if rest = [] then Some (x, evals, it) else continue x rest
          | None -> None)
@@ -138,7 +145,7 @@ let solve ?(tech = Mixsyn_circuit.Tech.generic_07um) ?(gmin = 1e-9) ?(max_iterat
        let rec gmin_steps x0 = function
          | [] -> None
          | g :: rest ->
-           (match newton tech nl layout ~x0 ~alpha:1.0 ~gmin:g ~max_iterations with
+           (match newton ~x0 ~alpha:1.0 ~gmin:g ~max_iterations with
             | Some (x, evals, it) ->
               if rest = [] then Some (x, evals, it) else gmin_steps x rest
             | None -> None)

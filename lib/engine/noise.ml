@@ -1,5 +1,5 @@
 module Netlist = Mixsyn_circuit.Netlist
-module Cplx = Mixsyn_util.Matrix.Cplx
+module Fmat = Mixsyn_util.Fmat
 
 type contribution = {
   source_name : string;
@@ -26,11 +26,14 @@ let integrate series =
   done;
   !acc
 
-let analyze ?(tech = Mixsyn_circuit.Tech.generic_07um) ?jobs nl op ~out ~freqs =
+let analyze ?(tech = Mixsyn_circuit.Tech.generic_07um) ?jobs ?chunk nl op ~out ~freqs =
   let g, c, _b = Ac.build_system tech nl op in
   let n = Array.length g in
   let out_index = Mna.node_index out in
   assert (out_index >= 0);
+  (* flatten G and C once; every frequency point reloads the transposed
+     (adjoint) system into this domain's pooled workspace in place *)
+  let gf = Fmat.flatten g and cf = Fmat.flatten c in
   (* enumerate noise current sources: (name, kind, node a, node b, psd fn) *)
   let resistor_sources =
     List.filter_map
@@ -57,12 +60,12 @@ let analyze ?(tech = Mixsyn_circuit.Tech.generic_07um) ?jobs nl op ~out ~freqs =
     let omega = 2.0 *. Float.pi *. freq in
     (* adjoint system: A^T y = e_out; transfer from an injection (a,b) to
        v_out is y_a - y_b *)
-    let a_t = Array.init n (fun i -> Array.init n (fun j ->
-        { Complex.re = g.(j).(i); im = omega *. c.(j).(i) }))
-    in
-    let e_out = Array.make n Complex.zero in
-    e_out.(out_index) <- Complex.one;
-    let y = Cplx.solve a_t e_out in
+    let y = Array.make n Complex.zero in
+    Fmat.with_cplx n (fun ws ->
+        Fmat.Cplx.load_ac_transposed ws ~g:gf ~c:cf ~omega;
+        Fmat.Cplx.unit_rhs ws out_index;
+        Fmat.Cplx.factor ws;
+        Fmat.Cplx.solve ws y);
     let transfer a b =
       let ya = if a = Netlist.gnd then Complex.zero else y.(Mna.node_index a) in
       let yb = if b = Netlist.gnd then Complex.zero else y.(Mna.node_index b) in
@@ -79,7 +82,7 @@ let analyze ?(tech = Mixsyn_circuit.Tech.generic_07um) ?jobs nl op ~out ~freqs =
     { freq; total_psd; contributions }
   in
   (* one adjoint solve per frequency, independent given the shared
-     read-only (g, c) — fan out in frequency order *)
-  let points = Mixsyn_util.Pool.parallel_map ?jobs point_at freqs in
+     read-only flat (g, c) — fan out in frequency bands, in order *)
+  let points = Mixsyn_util.Pool.parallel_map ?jobs ?chunk point_at freqs in
   let series = Array.map (fun p -> (p.freq, p.total_psd)) points in
   { points; integrated_rms = sqrt (integrate series) }

@@ -26,14 +26,18 @@ type result = {
 val analyze :
   ?tech:Mixsyn_circuit.Tech.t ->
   ?jobs:int ->
+  ?chunk:int ->
   Mixsyn_circuit.Netlist.t ->
   Mna.op ->
   out:Mixsyn_circuit.Netlist.net ->
   freqs:float array ->
   result
 (** Frequency points evaluate concurrently on the {!Mixsyn_util.Pool}
-    ([jobs] defaults to [Pool.default_jobs ()]); [points] is in frequency
-    order regardless of [jobs]. *)
+    ([jobs] defaults to [Pool.default_jobs ()]), each an in-place adjoint
+    factor/solve in a per-domain {!Mixsyn_util.Fmat} workspace against the
+    once-flattened [G]/[C] planes; workers claim contiguous frequency
+    bands of [chunk] points.  [points] is in frequency order regardless of
+    [jobs] and [chunk]. *)
 
 val integrate : (float * float) array -> float
 (** Trapezoidal integration of a (frequency, PSD) series; returns the

@@ -8,6 +8,11 @@ type schedule = {
 let default_schedule = { t_start = 10.0; t_end = 1e-4; cooling = 0.93; moves_per_stage = 200 }
 
 let auto_schedule ?(moves_per_stage = 200) ~cost_scale () =
+  (* a non-positive cost_scale would silently produce a schedule that
+     [minimize] rejects (or never cools); fail here, naming the input *)
+  if not (cost_scale > 0.0) then
+    invalid_arg
+      (Printf.sprintf "Anneal.auto_schedule: cost_scale %g not positive" cost_scale);
   { t_start = 3.0 *. cost_scale; t_end = 1e-5 *. cost_scale; cooling = 0.93; moves_per_stage }
 
 type 'a problem = {
@@ -90,7 +95,11 @@ let minimize_multistart ?schedule ?jobs ~restarts ~rng problem =
     Mixsyn_util.Telemetry.count "anneal.multistarts";
     let rngs = Mixsyn_util.Rng.split_n rng restarts in
     let outcomes =
-      Mixsyn_util.Pool.parallel_map ?jobs (fun rng -> minimize ?schedule ~rng problem) rngs
+      (* a whole chain is the unit of work: chains are few and expensive,
+         so band them one per worker claim *)
+      Mixsyn_util.Pool.parallel_map ?jobs ~chunk:1
+        (fun rng -> minimize ?schedule ~rng problem)
+        rngs
     in
     Array.fold_left
       (fun acc o ->

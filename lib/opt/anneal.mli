@@ -15,7 +15,9 @@ val default_schedule : schedule
 
 val auto_schedule : ?moves_per_stage:int -> cost_scale:float -> unit -> schedule
 (** Schedule whose initial temperature accepts almost any move of magnitude
-    [cost_scale] and whose final temperature freezes them. *)
+    [cost_scale] and whose final temperature freezes them.
+    @raise Invalid_argument when [cost_scale] is not strictly positive
+    (including [nan]). *)
 
 type 'a problem = {
   initial : 'a;
@@ -51,7 +53,8 @@ val minimize_multistart :
   'a outcome
 (** [restarts] independent chains, each on its own {!Mixsyn_util.Rng.split_n}
     stream, evaluated concurrently on the {!Mixsyn_util.Pool} ([jobs]
-    defaults to [Pool.default_jobs ()]).  Returns the lowest-cost chain's
+    defaults to [Pool.default_jobs ()]); chains are few and expensive, so
+    each is claimed as its own unit of work ([chunk = 1]).  Returns the lowest-cost chain's
     best (ties to the lowest restart index) with move statistics summed
     over all chains; the outcome depends only on [rng] and [restarts],
     never on [jobs].  [restarts = 1] is exactly [minimize ~rng] — the

@@ -7,53 +7,119 @@
    are bit-identical to the uncached path; hit/miss counts flow into the
    telemetry registry under "<name>.hits" / "<name>.misses".
 
-   Domain-safe: lookups and inserts are serialized behind a per-cache
-   mutex, but [f] runs outside it, so concurrent misses on different keys
-   compute in parallel.  Two domains missing the same key may both compute
-   it — wasteful but harmless, since evaluators are deterministic and the
-   second insert stores the identical value. *)
+   Domain-safety is lock-striped: keys hash onto [shards] independent
+   (table, mutex) stripes, so concurrent domains working disjoint regions
+   of the parameter space never serialize on a shared lock.  Within a
+   stripe, misses are single-flight: the first domain to miss a key marks
+   it in flight and computes outside the lock; later domains asking for
+   the same key wait on the stripe's condition variable instead of
+   re-running the evaluator.  With a deterministic evaluator the observed
+   values are identical either way — single-flight only removes the
+   duplicated work the old one-mutex design tolerated. *)
 
-type ('k, 'v) t = {
-  cache_name : string;
+type ('k, 'v) shard = {
   table : ('k, 'v) Hashtbl.t;
+  in_flight : ('k, unit) Hashtbl.t;
   lock : Mutex.t;
+  settled : Condition.t;        (* signalled when a flight lands or aborts *)
   mutable hits : int;
   mutable misses : int;
 }
 
-let create ?(size = 256) name =
-  { cache_name = name; table = Hashtbl.create size; lock = Mutex.create (); hits = 0; misses = 0 }
+type ('k, 'v) t = {
+  cache_name : string;
+  hits_key : string;    (* telemetry names built once, not per lookup *)
+  misses_key : string;
+  shards : ('k, 'v) shard array;
+}
 
-let locked c f =
-  Mutex.lock c.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock c.lock) f
+let default_shards = 16
 
-let find_or_compute c key f =
-  let cached =
-    locked c @@ fun () ->
-    match Hashtbl.find_opt c.table key with
-    | Some v ->
-      c.hits <- c.hits + 1;
-      Some v
-    | None ->
-      c.misses <- c.misses + 1;
-      None
-  in
-  match cached with
+let create ?(size = 256) ?(shards = default_shards) name =
+  if shards < 1 then invalid_arg "Eval_cache.create: shards must be at least 1";
+  { cache_name = name;
+    hits_key = name ^ ".hits";
+    misses_key = name ^ ".misses";
+    shards =
+      Array.init shards (fun _ ->
+          { table = Hashtbl.create (max 1 (size / shards));
+            in_flight = Hashtbl.create 8;
+            lock = Mutex.create ();
+            settled = Condition.create ();
+            hits = 0;
+            misses = 0 }) }
+
+(* Routing must NOT reuse the hash the shard tables bucket with
+   ([Hashtbl.hash key], seed 0): the tables are power-of-two sized, so
+   with [shards] dividing the bucket count every key routed to shard [s]
+   would also land in a bucket index congruent to [s] — 1/shards of each
+   table used, chains [shards] times longer.  A distinct seed decorrelates
+   the two. *)
+let route_seed = 0x2545f49
+
+let shard_of c key =
+  c.shards.(Hashtbl.seeded_hash route_seed key mod Array.length c.shards)
+
+let locked s f =
+  Mutex.lock s.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) f
+
+(* The annealing hot loop takes the hit path thousands of times per
+   second, so it is written flat: one lock, one table probe, no closures,
+   no [Fun.protect] (nothing under the lock can raise). *)
+let rec acquire c s key f =
+  (* called with [s.lock] held: hit, join an existing flight, or open one *)
+  match Hashtbl.find_opt s.table key with
   | Some v ->
-    Telemetry.count (c.cache_name ^ ".hits");
+    s.hits <- s.hits + 1;
+    Mutex.unlock s.lock;
+    Telemetry.count c.hits_key;
     v
   | None ->
-    Telemetry.count (c.cache_name ^ ".misses");
-    let v = f key in
-    locked c (fun () -> Hashtbl.replace c.table key v);
-    v
+    if Hashtbl.mem s.in_flight key then begin
+      Condition.wait s.settled s.lock;
+      acquire c s key f
+    end
+    else begin
+      s.misses <- s.misses + 1;
+      Hashtbl.add s.in_flight key ();
+      Mutex.unlock s.lock;
+      Telemetry.count c.misses_key;
+      let land_flight cache =
+        Mutex.lock s.lock;
+        (match cache with
+         | Some v -> Hashtbl.replace s.table key v
+         | None -> ());
+        Hashtbl.remove s.in_flight key;
+        Condition.broadcast s.settled;
+        Mutex.unlock s.lock
+      in
+      match f key with
+      | v ->
+        land_flight (Some v);
+        v
+      | exception exn ->
+        (* an aborted flight releases its waiters; the next asker retries
+           the computation rather than caching the failure *)
+        land_flight None;
+        raise exn
+    end
 
-let hits c = locked c (fun () -> c.hits)
-let misses c = locked c (fun () -> c.misses)
-let length c = locked c (fun () -> Hashtbl.length c.table)
+let find_or_compute c key f =
+  let s = shard_of c key in
+  Mutex.lock s.lock;
+  acquire c s key f
+
+let fold_shards c f init =
+  Array.fold_left (fun acc s -> locked s (fun () -> f acc s)) init c.shards
+
+let hits c = fold_shards c (fun acc s -> acc + s.hits) 0
+let misses c = fold_shards c (fun acc s -> acc + s.misses) 0
+let length c = fold_shards c (fun acc s -> acc + Hashtbl.length s.table) 0
+
+let shard_count c = Array.length c.shards
 
 let hit_rate c =
-  let h, m = locked c (fun () -> (c.hits, c.misses)) in
+  let h, m = fold_shards c (fun (h, m) s -> (h + s.hits, m + s.misses)) (0, 0) in
   let total = h + m in
   if total = 0 then 0.0 else float_of_int h /. float_of_int total

@@ -75,13 +75,29 @@ module Make (S : SCALAR) = struct
   exception Singular of int
 
   (* Doolittle LU with partial pivoting; O(n^3), fine for the matrix sizes an
-     analog cell or power grid produces (tens to low thousands of nodes). *)
+     analog cell or power grid produces (tens to low thousands of nodes).
+
+     The singularity test is scaled: a pivot must clear [Fmat.rel_tol]
+     times the largest magnitude of its column in the *original* matrix
+     (absolute floor for all-zero columns), so well-conditioned systems
+     built from tiny stamps (pF capacitances, nS conductances) factor fine
+     while structurally singular ones raise [Singular] instead of
+     eliminating down to roundoff garbage.  [Fmat]'s flat kernels apply
+     the identical test — keep them in lock step. *)
   let lu_factor a =
     let n, cols = dims a in
     assert (n = cols);
     let m = copy a in
     let perm = Array.init n (fun i -> i) in
     let sign = ref true in
+    let col_scale =
+      Array.init n (fun k ->
+          let s = ref 0.0 in
+          for i = 0 to n - 1 do
+            s := Float.max !s (S.magnitude a.(i).(k))
+          done;
+          !s)
+    in
     for k = 0 to n - 1 do
       let pivot = ref k in
       let best = ref (S.magnitude m.(k).(k)) in
@@ -92,7 +108,7 @@ module Make (S : SCALAR) = struct
           pivot := i
         end
       done;
-      if !best < 1e-300 then raise (Singular k);
+      if !best < Fmat.pivot_threshold col_scale.(k) then raise (Singular k);
       if !pivot <> k then begin
         let tmp = m.(k) in
         m.(k) <- m.(!pivot);

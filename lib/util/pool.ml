@@ -116,10 +116,23 @@ exception Chunk_failed of int * exn * Printexc.raw_backtrace
 (* run [run_index i] for every i in [0, n) across [jobs] participants (the
    caller plus helper tasks on the pool).  On failure, the exception of the
    smallest failing index is re-raised in the caller — deterministic no
-   matter how chunks were interleaved. *)
-let chunked_run ~jobs n run_index =
+   matter how chunks were interleaved.
+
+   [chunk] is the work-stealing granularity: participants claim [chunk]
+   consecutive indices at a time, so it decides what the unit of work is —
+   a frequency *band* rather than a point, a whole anneal chain rather
+   than a move.  The default splits the range into ~4 chunks per job,
+   which amortizes the claim (one atomic per chunk) while still letting a
+   fast participant steal from a slow one's share. *)
+let chunked_run ~jobs ?chunk n run_index =
   let next = Atomic.make 0 in
-  let chunk = max 1 (n / (jobs * 4)) in
+  let chunk =
+    match chunk with
+    | None -> max 1 (n / (jobs * 4))
+    | Some c ->
+      if c < 1 then invalid_arg (Printf.sprintf "Pool: chunk %d not positive" c);
+      c
+  in
   let failure = ref None in
   let failure_lock = Mutex.create () in
   let record i exn bt =
@@ -192,25 +205,29 @@ let sequential_scope f =
   Domain.DLS.set in_worker true;
   Fun.protect ~finally:(fun () -> Domain.DLS.set in_worker prev) f
 
-let parallel_mapi ?jobs f a =
+let parallel_mapi ?jobs ?chunk f a =
   let n = Array.length a in
   let jobs = effective_jobs jobs n in
+  (* validate even on the sequential paths so a bad chunk fails everywhere *)
+  (match chunk with
+   | Some c when c < 1 -> invalid_arg (Printf.sprintf "Pool: chunk %d not positive" c)
+   | Some _ | None -> ());
   if n = 0 then [||]
   else if jobs <= 1 || Domain.DLS.get in_worker then Array.mapi f a
   else begin
     let results = Array.make n None in
-    chunked_run ~jobs n (fun i -> results.(i) <- Some (f i a.(i)));
+    chunked_run ~jobs ?chunk n (fun i -> results.(i) <- Some (f i a.(i)));
     Array.map (function Some v -> v | None -> assert false) results
   end
 
-let parallel_map ?jobs f a = parallel_mapi ?jobs (fun _ x -> f x) a
+let parallel_map ?jobs ?chunk f a = parallel_mapi ?jobs ?chunk (fun _ x -> f x) a
 
-let parallel_init ?jobs n f =
+let parallel_init ?jobs ?chunk n f =
   if n < 0 then invalid_arg "Pool.parallel_init";
-  parallel_map ?jobs f (Array.init n Fun.id)
+  parallel_map ?jobs ?chunk f (Array.init n Fun.id)
 
-let parallel_map_list ?jobs f l =
-  Array.to_list (parallel_map ?jobs f (Array.of_list l))
+let parallel_map_list ?jobs ?chunk f l =
+  Array.to_list (parallel_map ?jobs ?chunk f (Array.of_list l))
 
-let parallel_reduce ?jobs ~map ~combine ~init a =
-  Array.fold_left combine init (parallel_map ?jobs map a)
+let parallel_reduce ?jobs ?chunk ~map ~combine ~init a =
+  Array.fold_left combine init (parallel_map ?jobs ?chunk map a)

@@ -30,24 +30,33 @@ val jobs_of_string : string -> (int, string) result
 (** {!validate_jobs} after integer parsing — the converter the CLI and the
     environment-variable path share. *)
 
-val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+val parallel_map : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [parallel_map ~jobs f a] is [Array.map f a] evaluated by up to [jobs]
     domains (the caller participates; [jobs - 1] pool workers help).
     [jobs] defaults to {!default_jobs}; [jobs = 1] runs inline with no
     domain machinery.  If any application raises, the exception of the
     {e smallest} failing index is re-raised in the caller (deterministic
-    under any scheduling) once all workers have drained. *)
+    under any scheduling) once all workers have drained.
 
-val parallel_mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+    [chunk] sets the work-stealing granularity: participants claim [chunk]
+    consecutive indices per atomic fetch, making a contiguous {e band} the
+    unit of work.  Defaults to [n / (jobs * 4)] (at least 1) — roughly
+    four bands per participant.  Pass [~chunk:1] when items are few and
+    expensive (anneal chains, batch jobs) and load balance matters more
+    than claim overhead.  Results and exceptions are independent of
+    [chunk], which only shifts where the work executes.
+    @raise Invalid_argument when [chunk < 1]. *)
 
-val parallel_map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+val parallel_mapi : ?jobs:int -> ?chunk:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
 
-val parallel_init : ?jobs:int -> int -> (int -> 'a) -> 'a array
+val parallel_map_list : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+
+val parallel_init : ?jobs:int -> ?chunk:int -> int -> (int -> 'a) -> 'a array
 (** [parallel_init n f] is [Array.init n f] in parallel.
     @raise Invalid_argument when [n < 0]. *)
 
 val parallel_reduce :
-  ?jobs:int -> map:('a -> 'b) -> combine:('c -> 'b -> 'c) -> init:'c ->
+  ?jobs:int -> ?chunk:int -> map:('a -> 'b) -> combine:('c -> 'b -> 'c) -> init:'c ->
   'a array -> 'c
 (** Map in parallel, then fold [combine] over the mapped values in index
     order on the calling domain — deterministic even for non-commutative

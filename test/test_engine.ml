@@ -154,6 +154,57 @@ let test_ac_sweep_grid () =
   check_close "first" 1.0 freqs.(0);
   check_close ~eps:1e-9 "last" 100.0 freqs.(20)
 
+let test_ac_sweep_endpoint () =
+  (* regression: (0.3 - 0.1) *. 10. = 1.9999999999999998, which
+     int_of_float truncated to 1 — the sweep silently lost its top point *)
+  let freqs = Ac.log_sweep ~decades_from:0.1 ~decades_to:0.3 ~points_per_decade:10 in
+  Alcotest.(check int) "rounded step count" 3 (Array.length freqs);
+  if freqs.(2) <> 10.0 ** 0.3 then
+    Alcotest.failf "endpoint %.17g <> 10^0.3 = %.17g" freqs.(2) (10.0 ** 0.3);
+  (* the endpoint is pinned exactly (not within an eps) for every sweep
+     that lands on its top decade *)
+  List.iter
+    (fun (a, b, ppd, n) ->
+      let f = Ac.log_sweep ~decades_from:a ~decades_to:b ~points_per_decade:ppd in
+      Alcotest.(check int) "point count" n (Array.length f);
+      if f.(n - 1) <> 10.0 ** b then
+        Alcotest.failf "sweep %g..%g ppd %d: last %.17g <> %.17g" a b ppd f.(n - 1)
+          (10.0 ** b))
+    [ (0.0, 9.0, 300, 2701); (0.0, 9.5, 8, 77); (0.0, 0.5, 2, 2); (2.0, 8.0, 8, 49) ];
+  (* a fractional span still rounds to the nearest step count *)
+  let frac = Ac.log_sweep ~decades_from:0.3 ~decades_to:6.0 ~points_per_decade:8 in
+  Alcotest.(check int) "45.6 steps round to 46" 47 (Array.length frac)
+
+let test_ac_flat_matches_boxed () =
+  (* the flat per-domain kernel must reproduce the boxed Matrix.Cplx path
+     bit-for-bit on real amplifier systems, at any job count *)
+  let module Cplx = Mixsyn_util.Matrix.Cplx in
+  List.iter
+    (fun t ->
+      let nl = t.Mixsyn_circuit.Template.build tech (Mixsyn_circuit.Template.midpoint t) in
+      let op = Dc.solve ~tech nl in
+      let freqs = Ac.log_sweep ~decades_from:0.0 ~decades_to:9.0 ~points_per_decade:4 in
+      let ac = Ac.solve ~tech ~jobs:4 nl op ~freqs in
+      let g, c, b = Ac.build_system tech nl op in
+      let n = Array.length b in
+      Array.iteri
+        (fun k f ->
+          let omega = 2.0 *. Float.pi *. f in
+          let a =
+            Array.init n (fun i ->
+                Array.init n (fun j ->
+                    { Complex.re = g.(i).(j); im = omega *. c.(i).(j) }))
+          in
+          let x = Cplx.solve a b in
+          Array.iteri
+            (fun i (v : Complex.t) ->
+              if v <> ac.Ac.solutions.(k).(i) then
+                Alcotest.failf "%s: solution differs at point %d unknown %d"
+                  t.Mixsyn_circuit.Template.t_name k i)
+            x)
+        freqs)
+    [ Mixsyn_circuit.Topology.ota_5t; Mixsyn_circuit.Topology.miller_ota ]
+
 let test_ac_ota_gain_formula () =
   (* 5T OTA gain ~ gm1/(gds2+gds4): check the simulator against the
      small-signal parameters it itself reports *)
@@ -371,6 +422,8 @@ let () =
       ( "ac",
         [ Alcotest.test_case "rc pole" `Quick test_ac_rc_pole;
           Alcotest.test_case "sweep grid" `Quick test_ac_sweep_grid;
+          Alcotest.test_case "sweep endpoint exact" `Quick test_ac_sweep_endpoint;
+          Alcotest.test_case "flat kernel matches boxed" `Quick test_ac_flat_matches_boxed;
           Alcotest.test_case "ota gain formula" `Quick test_ac_ota_gain_formula ] );
       ( "transient",
         [ Alcotest.test_case "rc step" `Quick test_tran_rc_step;

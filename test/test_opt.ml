@@ -46,7 +46,22 @@ let test_anneal_deterministic () =
 
 let test_auto_schedule () =
   let s = Anneal.auto_schedule ~cost_scale:100.0 () in
-  if s.Anneal.t_start <= s.Anneal.t_end then Alcotest.fail "degenerate schedule"
+  if s.Anneal.t_start <= s.Anneal.t_end then Alcotest.fail "degenerate schedule";
+  (* a non-positive (or nan) cost scale must be rejected at construction,
+     not discovered as a divergent schedule deep inside minimize *)
+  List.iter
+    (fun scale ->
+      match Anneal.auto_schedule ~cost_scale:scale () with
+      | exception Invalid_argument msg ->
+        let has_name =
+          let needle = "cost_scale" in
+          let nl = String.length needle and sl = String.length msg in
+          let rec scan i = i + nl <= sl && (String.sub msg i nl = needle || scan (i + 1)) in
+          scan 0
+        in
+        if not has_name then Alcotest.failf "error %S does not name cost_scale" msg
+      | _ -> Alcotest.failf "auto_schedule accepted cost_scale %g" scale)
+    [ 0.0; -1.0; -1e9; Float.nan ]
 
 let scalar_problem =
   { Anneal.initial = [| 5.0 |];

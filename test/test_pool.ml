@@ -39,6 +39,40 @@ let test_map_edge_cases () =
   Alcotest.(check (list int)) "map_list" [ 2; 3; 4 ]
     (Pool.parallel_map_list ~jobs:4 succ [ 1; 2; 3 ])
 
+let test_chunk_granularity () =
+  (* the band size is a scheduling knob only: any chunk yields the
+     sequential answer, in order *)
+  let input = Array.init 257 (fun i -> i) in
+  let f x = (x * 7) - 1 in
+  let expected = Array.map f input in
+  List.iter
+    (fun (jobs, chunk) ->
+      let got = Pool.parallel_map ~jobs ~chunk f input in
+      if got <> expected then
+        Alcotest.failf "parallel_map mismatch at jobs=%d chunk=%d" jobs chunk)
+    [ (1, 1); (4, 1); (4, 7); (4, 64); (4, 10_000); (64, 3) ];
+  (* non-commutative reduce: index order must survive any banding *)
+  let strings = Array.init 100 (fun i -> i) in
+  let seq = String.concat "" (List.map string_of_int (Array.to_list strings)) in
+  List.iter
+    (fun chunk ->
+      Alcotest.(check string) (Printf.sprintf "reduce chunk=%d" chunk) seq
+        (Pool.parallel_reduce ~jobs:4 ~chunk ~map:string_of_int ~combine:( ^ ) ~init:""
+           strings))
+    [ 1; 13; 1000 ];
+  Alcotest.(check (array int)) "init with chunk" [| 0; 1; 4; 9 |]
+    (Pool.parallel_init ~jobs:3 ~chunk:2 4 (fun i -> i * i));
+  Alcotest.(check (list int)) "map_list with chunk" [ 2; 3; 4 ]
+    (Pool.parallel_map_list ~jobs:4 ~chunk:1 succ [ 1; 2; 3 ]);
+  (* a non-positive chunk is rejected on every path, including the
+     sequential jobs=1 short cut *)
+  List.iter
+    (fun (jobs, chunk) ->
+      match Pool.parallel_map ~jobs ~chunk (fun x -> x) [| 1; 2 |] with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "chunk=%d at jobs=%d must raise" chunk jobs)
+    [ (4, 0); (4, -3); (1, 0) ]
+
 let test_reduce_index_order () =
   (* string concatenation is non-commutative: only an index-ordered
      reduction gives the sequential answer *)
@@ -214,6 +248,13 @@ let test_sweeps_jobs_invariant () =
   let ac4 = Mixsyn_engine.Ac.solve ~tech ~jobs:4 nl op ~freqs in
   if ac1.Mixsyn_engine.Ac.solutions <> ac4.Mixsyn_engine.Ac.solutions then
     Alcotest.fail "AC solutions differ between jobs=1 and jobs=4";
+  (* nor may the band size change anything *)
+  List.iter
+    (fun chunk ->
+      let ac = Mixsyn_engine.Ac.solve ~tech ~jobs:4 ~chunk nl op ~freqs in
+      if ac.Mixsyn_engine.Ac.solutions <> ac1.Mixsyn_engine.Ac.solutions then
+        Alcotest.failf "AC solutions differ at chunk=%d" chunk)
+    [ 1; 5; 1000 ];
   let out = Mixsyn_circuit.Netlist.find_net nl "out" in
   let n1 = Mixsyn_engine.Noise.analyze ~tech ~jobs:1 nl op ~out ~freqs in
   let n4 = Mixsyn_engine.Noise.analyze ~tech ~jobs:4 nl op ~out ~freqs in
@@ -248,6 +289,7 @@ let () =
     [ ( "core",
         [ Alcotest.test_case "map matches sequential" `Quick test_map_matches_sequential;
           Alcotest.test_case "map edge cases" `Quick test_map_edge_cases;
+          Alcotest.test_case "chunk granularity" `Quick test_chunk_granularity;
           Alcotest.test_case "reduce in index order" `Quick test_reduce_index_order;
           Alcotest.test_case "min-index exception" `Quick test_exception_propagation;
           Alcotest.test_case "nested calls" `Quick test_nested_calls;

@@ -118,6 +118,147 @@ let test_mat_mul_assoc () =
     (fun i row -> Array.iteri (fun k v -> check_close ~eps:1e-10 "assoc" v right.(i).(k)) row)
     left
 
+(* --- flat kernels ------------------------------------------------------ *)
+
+module Fmat = Mixsyn_util.Fmat
+
+(* [Fmat] promises the exact scalar operation sequence of [Matrix.Make], so
+   these comparisons are bit-for-bit ([=] on floats), not within an eps. *)
+
+let test_fmat_real_bitexact () =
+  let rng = Rng.create 29 in
+  for _ = 1 to 60 do
+    let n = 1 + Rng.int rng 12 in
+    let a, x = random_system rng n in
+    let b = Real.mat_vec a x in
+    let boxed = Real.solve a b in
+    let flat = Array.make n 0.0 in
+    (* draw from the domain pool so reuse of a dirty workspace is exercised *)
+    Fmat.with_real n (fun ws ->
+        Fmat.Real.clear ws;
+        for i = 0 to n - 1 do
+          Fmat.Real.rhs ws i b.(i);
+          for j = 0 to n - 1 do
+            Fmat.Real.stamp ws i j a.(i).(j)
+          done
+        done;
+        Fmat.Real.factor ws;
+        Fmat.Real.solve ws flat);
+    Array.iteri
+      (fun i v ->
+        if v <> flat.(i) then
+          Alcotest.failf "n=%d x.(%d): boxed %.17g <> flat %.17g" n i v flat.(i))
+      boxed
+  done
+
+let random_cplx_system rng n =
+  (* diagonally dominant split planes, as an AC system (g + j omega c) *)
+  let g =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            Rng.uniform rng (-1.0) 1.0 +. if i = j then 5.0 else 0.0))
+  in
+  let c = Array.init n (fun _ -> Array.init n (fun _ -> Rng.uniform rng (-1.0) 1.0)) in
+  let br = Array.init n (fun _ -> Rng.uniform rng (-2.0) 2.0) in
+  let bi = Array.init n (fun _ -> Rng.uniform rng (-2.0) 2.0) in
+  (g, c, br, bi)
+
+let test_fmat_cplx_bitexact () =
+  let rng = Rng.create 31 in
+  for _ = 1 to 60 do
+    let n = 1 + Rng.int rng 10 in
+    let g, c, br, bi = random_cplx_system rng n in
+    let omega = Rng.uniform rng 0.1 10.0 in
+    let a =
+      Array.init n (fun i ->
+          Array.init n (fun j -> { Complex.re = g.(i).(j); im = omega *. c.(i).(j) }))
+    in
+    let b = Array.init n (fun i -> { Complex.re = br.(i); im = bi.(i) }) in
+    let boxed = Cplx.solve a b in
+    let gf = Fmat.flatten g and cf = Fmat.flatten c in
+    let flat = Array.make n Complex.zero in
+    Fmat.with_cplx n (fun ws ->
+        Fmat.Cplx.load_ac ws ~g:gf ~c:cf ~omega;
+        Fmat.Cplx.set_rhs ws ~re:(Float.Array.init n (fun i -> br.(i))) ~im:(Float.Array.init n (fun i -> bi.(i)));
+        Fmat.Cplx.factor ws;
+        Fmat.Cplx.solve ws flat);
+    Array.iteri
+      (fun i (v : Complex.t) ->
+        if v.Complex.re <> flat.(i).Complex.re || v.Complex.im <> flat.(i).Complex.im then
+          Alcotest.failf "n=%d x.(%d): boxed %.17g%+.17gi <> flat %.17g%+.17gi" n i
+            v.Complex.re v.Complex.im flat.(i).Complex.re flat.(i).Complex.im)
+      boxed;
+    (* the adjoint loader must equal the boxed solve of the transpose *)
+    let at = Array.init n (fun i -> Array.init n (fun j -> a.(j).(i))) in
+    let boxed_t = Cplx.solve at b in
+    Fmat.with_cplx n (fun ws ->
+        Fmat.Cplx.load_ac_transposed ws ~g:gf ~c:cf ~omega;
+        Fmat.Cplx.set_rhs ws ~re:(Float.Array.init n (fun i -> br.(i))) ~im:(Float.Array.init n (fun i -> bi.(i)));
+        Fmat.Cplx.factor ws;
+        Fmat.Cplx.solve ws flat);
+    Array.iteri
+      (fun i (v : Complex.t) ->
+        if v <> flat.(i) then Alcotest.failf "transposed solve differs at %d" i)
+      boxed_t
+  done
+
+let test_fmat_scaled_pivot () =
+  (* threshold shape shared by both kernels *)
+  Alcotest.(check (float 0.0)) "absolute floor" 1e-300 (Fmat.pivot_threshold 0.0);
+  Alcotest.(check (float 0.0)) "relative" 1e-14 (Fmat.pivot_threshold 1.0);
+  (* tiny-valued but well-conditioned (pF/nS-scale stamps) must factor *)
+  let tiny = [| [| 1e-12; 1e-14 |]; [| 2e-14; 2e-12 |] |] in
+  let b = [| 3e-12; 1e-12 |] in
+  let boxed = Real.solve tiny b in
+  let flat = Array.make 2 0.0 in
+  Fmat.with_real 2 (fun ws ->
+      Fmat.Real.clear ws;
+      Array.iteri (fun i row -> Array.iteri (fun j v -> Fmat.Real.stamp ws i j v) row) tiny;
+      Array.iteri (fun i v -> Fmat.Real.rhs ws i v) b;
+      Fmat.Real.factor ws;
+      Fmat.Real.solve ws flat);
+  Array.iteri (fun i v -> check_close ~eps:1e-12 "tiny system agrees" v flat.(i)) boxed;
+  (* numerically singular relative to its own scale: the second pivot is
+     ~1e-15 of the column — far above the old absolute 1e-300 floor, so
+     only the scaled test catches it, in both kernels *)
+  let near = [| [| 1.0; 1.0 |]; [| 1.0; 1.0 +. 1e-15 |] |] in
+  (match Real.lu_factor (Array.map Array.copy near) with
+   | exception Real.Singular _ -> ()
+   | _ -> Alcotest.fail "boxed kernel missed scale-relative singularity");
+  (match
+     Fmat.with_real 2 (fun ws ->
+         Fmat.Real.clear ws;
+         Array.iteri (fun i row -> Array.iteri (fun j v -> Fmat.Real.stamp ws i j v) row) near;
+         Fmat.Real.factor ws)
+   with
+   | exception Fmat.Singular _ -> ()
+   | _ -> Alcotest.fail "flat kernel missed scale-relative singularity")
+
+let test_fmat_workspace_reuse () =
+  (* the pooled workspace is reused across calls of the same size within a
+     domain and isolated between nested checkouts *)
+  let n = 4 in
+  let id = Array.init n (fun i -> Array.init n (fun j -> if i = j then 1.0 else 0.0)) in
+  let load ws m =
+    Fmat.Real.clear ws;
+    Array.iteri (fun i row -> Array.iteri (fun j v -> Fmat.Real.stamp ws i j v) row) m
+  in
+  let x = Array.make n 0.0 in
+  Fmat.with_real n (fun ws ->
+      load ws id;
+      Array.iteri (fun i _ -> Fmat.Real.rhs ws i (float_of_int (i + 1))) x;
+      Fmat.Real.factor ws;
+      Fmat.Real.solve ws x;
+      (* nested same-size checkout must not hand back the busy workspace *)
+      Fmat.with_real n (fun ws2 ->
+          if ws2 == ws then Alcotest.fail "nested checkout returned the busy workspace";
+          load ws2 id));
+  Alcotest.(check (array (float 0.0))) "identity solve" [| 1.0; 2.0; 3.0; 4.0 |] x;
+  (* after release the same buffer comes back (same domain, same size) *)
+  let first = Fmat.with_real n (fun ws -> ws) in
+  let second = Fmat.with_real n (fun ws -> ws) in
+  if first != second then Alcotest.fail "pool did not reuse the released workspace"
+
 (* --- polynomials ------------------------------------------------------ *)
 
 let test_poly_eval () =
@@ -303,6 +444,63 @@ let test_eval_cache_float_array_keys () =
   (* a structurally equal but physically distinct array must hit *)
   check_close "structural key equality" 3.0 (EC.find_or_compute c [| 1.0; 2.0 |] f);
   Alcotest.(check int) "hit on equal array" 1 (EC.hits c)
+
+let test_eval_cache_shards () =
+  let c = EC.create "test.shards" in
+  Alcotest.(check int) "default stripe count" 16 (EC.shard_count c);
+  (* a single stripe is a valid (fully serialized) configuration *)
+  let one = EC.create ~shards:1 "test.oneshard" in
+  Alcotest.(check int) "one stripe" 1 (EC.shard_count one);
+  for k = 0 to 40 do
+    Alcotest.(check int) "single-stripe memoizes" (3 * k)
+      (EC.find_or_compute one k (fun k -> 3 * k))
+  done;
+  Alcotest.(check int) "length spans keys" 41 (EC.length one);
+  (match EC.create ~shards:0 "test.badshards" with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "shards=0 must raise");
+  (* counters aggregate across stripes: 64 keys spread over 16 stripes *)
+  let spread = EC.create "test.spread" in
+  for k = 0 to 63 do
+    ignore (EC.find_or_compute spread k (fun k -> k))
+  done;
+  for k = 0 to 63 do
+    ignore (EC.find_or_compute spread k (fun k -> k))
+  done;
+  Alcotest.(check int) "misses aggregate" 64 (EC.misses spread);
+  Alcotest.(check int) "hits aggregate" 64 (EC.hits spread);
+  Alcotest.(check int) "length aggregates" 64 (EC.length spread)
+
+let test_eval_cache_single_flight () =
+  (* concurrent first visits of one key run the evaluator exactly once:
+     the in-flight marker is planted under the stripe lock before anyone
+     computes, so late arrivals block on the flight instead of re-running *)
+  let c = EC.create "test.flight" in
+  let runs = Atomic.make 0 in
+  let f k =
+    Atomic.incr runs;
+    (* widen the race window so waiters really do arrive mid-flight *)
+    for _ = 1 to 2_000_000 do
+      Domain.cpu_relax ()
+    done;
+    k * 7
+  in
+  let workers =
+    Array.init 4 (fun _ -> Domain.spawn (fun () -> EC.find_or_compute c 6 f))
+  in
+  let results = Array.map Domain.join workers in
+  Array.iter (fun v -> Alcotest.(check int) "all see one value" 42 v) results;
+  Alcotest.(check int) "evaluator ran once" 1 (Atomic.get runs);
+  Alcotest.(check int) "one entry" 1 (EC.length c);
+  (* an evaluator that raises caches nothing and releases the waiters *)
+  let again = Atomic.make 0 in
+  (match EC.find_or_compute c 9 (fun _ -> failwith "boom") with
+   | exception Failure _ -> ()
+   | _ -> Alcotest.fail "exception must propagate");
+  Alcotest.(check int) "failed flight cached nothing" 1 (EC.length c);
+  Alcotest.(check int) "retry recomputes" 63
+    (EC.find_or_compute c 9 (fun k -> Atomic.incr again; k * 7));
+  Alcotest.(check int) "retry ran" 1 (Atomic.get again)
 
 (* --- json --------------------------------------------------------------- *)
 
@@ -532,6 +730,11 @@ let () =
           Alcotest.test_case "complex solve" `Quick test_cplx_solve;
           Alcotest.test_case "mat_mul associative" `Quick test_mat_mul_assoc;
           qt prop_matrix_solve_residual ] );
+      ( "fmat",
+        [ Alcotest.test_case "real bit-exact vs boxed" `Quick test_fmat_real_bitexact;
+          Alcotest.test_case "complex bit-exact vs boxed" `Quick test_fmat_cplx_bitexact;
+          Alcotest.test_case "scaled pivot threshold" `Quick test_fmat_scaled_pivot;
+          Alcotest.test_case "workspace pool reuse" `Quick test_fmat_workspace_reuse ] );
       ( "poly",
         [ Alcotest.test_case "eval" `Quick test_poly_eval;
           Alcotest.test_case "quadratic roots" `Quick test_poly_roots_quadratic;
@@ -567,7 +770,9 @@ let () =
           Alcotest.test_case "ambient guard" `Quick test_cancel_ambient_guard ] );
       ( "eval-cache",
         [ Alcotest.test_case "memoizes" `Quick test_eval_cache_memoizes;
-          Alcotest.test_case "float array keys" `Quick test_eval_cache_float_array_keys ] );
+          Alcotest.test_case "float array keys" `Quick test_eval_cache_float_array_keys;
+          Alcotest.test_case "lock stripes" `Quick test_eval_cache_shards;
+          Alcotest.test_case "single flight" `Quick test_eval_cache_single_flight ] );
       ( "ascii-plot",
         [ Alcotest.test_case "shapes" `Quick test_ascii_plot_shapes;
           Alcotest.test_case "legend" `Quick test_ascii_plot_multi_legend;

@@ -3,15 +3,21 @@
 
 Assert mode (used by CI and by hand after `dune exec bench/main.exe`):
 
-    tools/check_bench.py BENCH_parallel.json --min-jobs 4
-    tools/check_bench.py BENCH_batch.json --min-jobs 2
+    tools/check_bench.py BENCH_parallel.json --min-jobs 4 \
+        --min-speedup 2.0 --max-minor-words ac-sweep=400
+    tools/check_bench.py BENCH_batch.json --min-jobs 2 \
+        --min-batch-speedup 1.0 --max-batch-minor-words 4e6
 
 dispatches on the report's "experiment" field:
   parallel: every bench must be bit-identical between jobs=1 and jobs=N,
-            and the best speedup must clear --min-speedup (default 1.0);
-  batch:    every job completes, and the journal must be byte-identical
+            the best speedup must clear --min-speedup (default 1.0), and
+            any bench named in --max-minor-words must stay under its
+            minor-allocation cap (words per solve, measured at --jobs 1);
+  batch:    every job completes, the journal must be byte-identical
             between sequential and parallel runs and across a resume from
-            a torn journal.
+            a torn journal, parallel throughput must clear
+            --min-batch-speedup, and per-job allocation must stay under
+            --max-batch-minor-words when given.
 
 Smoke mode drives the real `msyn batch` CLI through an interruption:
 
@@ -45,12 +51,36 @@ def fail(msg):
 # ---------------------------------------------------------------- assert mode
 
 
+def parse_word_caps(pairs):
+    """--max-minor-words NAME=WORDS pairs -> {name: words}"""
+    caps = {}
+    for pair in pairs:
+        name, sep, words = pair.partition("=")
+        if not sep:
+            fail(f"--max-minor-words wants NAME=WORDS, got {pair!r}")
+        caps[name] = float(words)
+    return caps
+
+
 def check_parallel(report, args):
     if report["jobs"] < args.min_jobs:
         fail(f"parallel bench ran at {report['jobs']} jobs, need >= {args.min_jobs}")
+    caps = parse_word_caps(args.max_minor_words)
     for b in report["benches"]:
         if not b["identical"]:
             fail(f"parallel result diverged: {b}")
+        cap = caps.pop(b["name"], None)
+        if cap is not None:
+            words = b.get("minor_words_per_item")
+            if words is None:
+                fail(f"{b['name']}: no minor_words_per_item in report; rerun the bench")
+            if words > cap:
+                fail(
+                    f"{b['name']} allocates {words} minor words/item, "
+                    f"cap is {cap} (allocation regression in the solve kernels?)"
+                )
+    if caps:
+        fail(f"--max-minor-words names unknown benches: {sorted(caps)}")
     if report["best_speedup"] < args.min_speedup:
         fail(f"no speedup at {report['jobs']} jobs: {report}")
     print(f"ok: best speedup {report['best_speedup']}x at {report['jobs']} jobs")
@@ -67,6 +97,20 @@ def check_batch(report, args):
         fail("batch journal differs after resuming from a torn journal")
     if report["resume_skipped"] <= 0:
         fail("batch resume re-ran every job; the checkpoint was ignored")
+    if report["speedup"] < args.min_batch_speedup:
+        fail(
+            f"batch throughput gained only {report['speedup']}x at "
+            f"{report['jobs']} workers, need >= {args.min_batch_speedup}"
+        )
+    if args.max_batch_minor_words is not None:
+        words = report.get("minor_words_per_job")
+        if words is None:
+            fail("no minor_words_per_job in report; rerun the bench")
+        if words > args.max_batch_minor_words:
+            fail(
+                f"batch jobs allocate {words} minor words each, "
+                f"cap is {args.max_batch_minor_words}"
+            )
     print(
         f"ok: {report['n_jobs']} jobs, {report['jobs_per_s']} jobs/s at "
         f"{report['jobs']} workers, journals identical (resume skipped "
@@ -168,7 +212,16 @@ def main():
     p = argparse.ArgumentParser(description=__doc__)
     p.add_argument("reports", nargs="*", help="BENCH_*.json files to assert")
     p.add_argument("--min-jobs", type=int, default=1)
-    p.add_argument("--min-speedup", type=float, default=1.0)
+    p.add_argument("--min-speedup", type=float, default=1.0,
+                   help="parallel: required best speedup over --jobs 1")
+    p.add_argument("--min-batch-speedup", type=float, default=0.0,
+                   help="batch: required parallel-over-sequential throughput gain")
+    p.add_argument("--max-minor-words", action="append", default=[],
+                   metavar="NAME=WORDS",
+                   help="parallel: cap minor words/item for the named bench "
+                        "(e.g. ac-sweep=400); repeatable")
+    p.add_argument("--max-batch-minor-words", type=float, default=None,
+                   metavar="WORDS", help="batch: cap minor words per job")
     p.add_argument("--smoke", metavar="MANIFEST", dest="manifest",
                    help="run the kill/resume smoke against this manifest")
     p.add_argument("--msyn", default="_build/default/bin/msyn.exe",
