@@ -373,7 +373,17 @@ let lint_cmd =
                    $(b,floating-gate) disconnects a MOS gate, $(b,broken-symmetry) splits a \
                    matched pair and mis-places one half (implies $(b,--layout)).")
   in
-  let run topology layout flow json suppress inject seed telemetry =
+  let list_rules_arg =
+    Arg.(value & flag
+         & info [ "list-rules" ]
+             ~doc:"Print every diagnostic rule id any pass can emit, with its one-line \
+                   documentation, and exit.")
+  in
+  let run list_rules topology layout flow json suppress inject seed telemetry =
+    if list_rules then begin
+      Format.printf "%a@." Mixsyn_check.Registry.pp ();
+      exit 0
+    end;
     let module Netlist = Mixsyn_circuit.Netlist in
     let tech = Mixsyn_circuit.Tech.generic_07um in
     (* prefix each location with the design it came from so a combined run
@@ -478,8 +488,135 @@ let lint_cmd =
        ~doc:"Static verification: netlist ERC, and with --layout/--flow also layout DRC \
              and the symmetry/connectivity constraint audit.  Exits nonzero when any \
              error-severity diagnostic is found.")
-    Term.(const run $ lint_topology_arg $ layout_arg $ flow_arg $ json_arg $ suppress_arg
-          $ inject_arg $ seed_arg $ telemetry_arg)
+    Term.(const run $ list_rules_arg $ lint_topology_arg $ layout_arg $ flow_arg $ json_arg
+          $ suppress_arg $ inject_arg $ seed_arg $ telemetry_arg)
+
+(* --- feas -------------------------------------------------------------- *)
+
+let feas_cmd =
+  let module B = Mixsyn_check.Bounds in
+  let module I = Mixsyn_util.Interval in
+  let module Json = Mixsyn_util.Json in
+  let module Template = Mixsyn_circuit.Template in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as a JSON array.")
+  in
+  let contract_arg =
+    Arg.(value & flag
+         & info [ "contract" ]
+             ~doc:"Also run the branch-and-prune box contractor against the \
+                   specification set and report how many sub-boxes it proved \
+                   infeasible on each topology.")
+  in
+  let run gain ugf pm cl json do_contract telemetry =
+    let specs = specs_of ~gain ~ugf ~pm in
+    let context = [ ("cl", cl) ] in
+    let topologies = Mixsyn_circuit.Topology.all in
+    let report (t : Template.t) =
+      let certified = B.certify ~context t in
+      let infeasible = B.infeasible_specs ~context specs t in
+      let drift = B.annotation_drift t in
+      let contraction = if do_contract then Some (B.contract ~context specs t) else None in
+      (t, certified, infeasible, drift, contraction)
+    in
+    let reports = List.map report topologies in
+    let any_feasible =
+      List.exists (fun (_, _, infeasible, _, _) -> infeasible = []) reports
+    in
+    if json then begin
+      let iv_json iv = Json.Obj [ ("lo", Json.Num (I.lo iv)); ("hi", Json.Num (I.hi iv)) ] in
+      let items =
+        List.map
+          (fun ((t : Template.t), certified, infeasible, drift, contraction) ->
+            Json.Obj
+              ([ ("topology", Json.Str t.Template.t_name);
+                 ("feasible", Json.Bool (infeasible = []));
+                 ("certified", Json.Obj (List.map (fun (n, iv) -> (n, iv_json iv)) certified));
+                 ( "infeasible",
+                   Json.Arr
+                     (List.map
+                        (fun ((s : Mixsyn_synth.Spec.t), iv) ->
+                          Json.Obj
+                            [ ("spec", Json.Str s.Mixsyn_synth.Spec.s_name);
+                              ("bound", Json.Str (B.bound_to_string s.Mixsyn_synth.Spec.bound));
+                              ("certified_lo", Json.Num (I.lo iv));
+                              ("certified_hi", Json.Num (I.hi iv)) ])
+                        infeasible) );
+                 ( "drift",
+                   Json.Arr
+                     (List.map
+                        (fun (d : Mixsyn_check.Diagnostic.t) ->
+                          Json.Obj
+                            [ ("rule", Json.Str d.Mixsyn_check.Diagnostic.rule);
+                              ("loc", Json.Str d.Mixsyn_check.Diagnostic.loc);
+                              ("msg", Json.Str d.Mixsyn_check.Diagnostic.msg) ])
+                        drift) ) ]
+              @
+              match contraction with
+              | None -> []
+              | Some c ->
+                [ ( "contraction",
+                    Json.Obj
+                      [ ("explored", Json.Num (float_of_int c.B.explored));
+                        ("pruned", Json.Num (float_of_int c.B.pruned));
+                        ("infeasible", Json.Bool c.B.c_infeasible) ] ) ]))
+          reports
+      in
+      print_endline (Json.to_string (Json.Arr items))
+    end
+    else
+      List.iter
+        (fun ((t : Template.t), certified, infeasible, drift, contraction) ->
+          Format.printf "%s: %s@." t.Template.t_name
+            (if infeasible = [] then "feasible" else "INFEASIBLE");
+          List.iter
+            (fun (name, iv) ->
+              match List.assoc_opt name t.Template.feasibility with
+              | Some hand ->
+                Format.printf "  %-18s certified %a  hand %a@." name I.pp iv I.pp hand
+              | None -> Format.printf "  %-18s certified %a@." name I.pp iv)
+            certified;
+          List.iter
+            (fun ((s : Mixsyn_synth.Spec.t), iv) ->
+              Format.printf "  spec %s %s is provably unsatisfiable: certified %a@."
+                s.Mixsyn_synth.Spec.s_name
+                (B.bound_to_string s.Mixsyn_synth.Spec.bound)
+                I.pp iv)
+            infeasible;
+          List.iter
+            (fun (d : Mixsyn_check.Diagnostic.t) ->
+              Format.printf "  drift %s: %s@." d.Mixsyn_check.Diagnostic.loc
+                d.Mixsyn_check.Diagnostic.msg)
+            drift;
+          Option.iter
+            (fun (c : B.contraction) ->
+              Format.printf "  contraction: pruned %d/%d sub-boxes%s@." c.B.pruned
+                c.B.explored
+                (if c.B.c_infeasible then " (entire box infeasible)" else ""))
+            contraction)
+        reports;
+    report_telemetry telemetry;
+    if not any_feasible then exit 1
+  in
+  let man =
+    [ `S Manpage.s_description;
+      `P "Abstract interpretation of the design equations over each topology's \
+          parameter box: every metric gets a certified interval that encloses \
+          everything any sizing inside the box can achieve.  A specification \
+          outside the certified interval is provably unsatisfiable — the same \
+          static screen the $(b,flow) pre-flight gate and the $(b,batch) \
+          prefilter apply.";
+      `P "Hand-annotated feasibility ranges that claim performance outside the \
+          certified enclosure are reported as $(b,feas.annotation-drift) drift \
+          lines.  Exits nonzero when the specification set is provably \
+          unsatisfiable on every topology." ]
+  in
+  Cmd.v
+    (Cmd.info "feas" ~man
+       ~doc:"Certified interval performance bounds per topology, with spec \
+             feasibility verdicts and annotation-drift warnings.")
+    Term.(const run $ gain_arg $ ugf_arg $ pm_arg $ cl_arg $ json_arg $ contract_arg
+          $ telemetry_arg)
 
 (* --- batch ------------------------------------------------------------- *)
 
@@ -515,13 +652,20 @@ let batch_cmd =
                    Timeouts are not retried.")
   in
   let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Emit the summary as JSON.") in
+  let no_prefilter_arg =
+    Arg.(value & flag
+         & info [ "no-prefilter" ]
+             ~doc:"Disable the static feasibility prefilter and run every job, even \
+                   those whose specs the certified interval bounds prove \
+                   unsatisfiable.")
+  in
   let strict_arg =
     Arg.(value & flag
          & info [ "strict" ]
              ~doc:"Exit nonzero when any job failed or timed out (by default the batch \
                    reports them in the summary and exits 0).")
   in
-  let run manifest journal jobs timeout retries json strict telemetry =
+  let run manifest journal jobs timeout retries json no_prefilter strict telemetry =
     apply_jobs jobs;
     if retries < 0 then begin
       Printf.eprintf "msyn batch: retries must be non-negative (got %d)\n" retries;
@@ -534,7 +678,7 @@ let batch_cmd =
       Printf.eprintf "msyn batch: %s\n" msg;
       exit 2
     | Ok jobs_list ->
-      (match Batch.run ?timeout_s ~retries ~journal jobs_list with
+      (match Batch.run ?timeout_s ~retries ~prefilter:(not no_prefilter) ~journal jobs_list with
        | summary ->
          if json then
            print_endline (Mixsyn_util.Json.to_string (Batch.summary_to_json summary))
@@ -554,6 +698,13 @@ let batch_cmd =
           $(b,failed) record with its diagnostics; a job past $(b,--timeout) is \
           cancelled cooperatively and recorded as $(b,timed_out); everything else \
           keeps running.";
+      `P "Before any job runs, the static feasibility prefilter (see $(b,msyn feas)) \
+          certifies interval performance bounds over each job's candidate topologies; \
+          a job with a provably unsatisfiable spec is journalled as $(b,infeasible) \
+          (with the spec, its bound and the certified range) without consuming a \
+          worker, a timeout slot or any annealing work.  $(b,--no-prefilter) disables \
+          the screen.  Prefilter decisions are a pure function of the manifest, so \
+          journal byte-identity across $(b,--jobs) values and resumes is preserved.";
       `P "The journal is the checkpoint: records are flushed in manifest order, so an \
           interrupted run leaves a clean prefix (at worst one truncated line, discarded \
           on resume).  Re-running the same command skips recorded jobs, and the finished \
@@ -575,7 +726,7 @@ let batch_cmd =
        ~doc:"High-throughput batch synthesis from a JSONL manifest, with per-job \
              timeouts, retries and checkpoint/resume.")
     Term.(const run $ manifest_arg $ journal_arg $ jobs_arg $ timeout_arg $ retries_arg
-          $ json_arg $ strict_arg $ telemetry_arg)
+          $ json_arg $ no_prefilter_arg $ strict_arg $ telemetry_arg)
 
 (* --- flow -------------------------------------------------------------- *)
 
@@ -606,7 +757,10 @@ let main =
       `P "$(b,topo) — rank candidate topologies for a specification set.";
       `P "$(b,size) — size a topology against specifications.";
       `P "$(b,layout) — lay out a midpoint-sized topology, procedural vs KOAN.";
-      `P "$(b,lint) — static verification: ERC, layout DRC, constraint audit.";
+      `P "$(b,lint) — static verification: ERC, layout DRC, constraint audit \
+          ($(b,--list-rules) prints the rule catalogue).";
+      `P "$(b,feas) — certified interval performance bounds per topology, with \
+          spec feasibility verdicts and annotation-drift warnings.";
       `P "$(b,table1) — reproduce the paper's Table 1 synthesis experiment.";
       `P "$(b,floorplan) — substrate-aware floorplan of the testbench chip.";
       `P "$(b,powergrid) — RAIL-style power-grid synthesis (Fig. 3).";
@@ -632,7 +786,7 @@ let main =
   in
   Cmd.group
     (Cmd.info "msyn" ~version:"1.0.0" ~doc ~man)
-    [ size_cmd; topo_cmd; layout_cmd; lint_cmd; table1_cmd; floorplan_cmd; powergrid_cmd;
-      wren_cmd; hierarchy_cmd; yield_cmd; adc_cmd; flow_cmd; batch_cmd ]
+    [ size_cmd; topo_cmd; layout_cmd; lint_cmd; feas_cmd; table1_cmd; floorplan_cmd;
+      powergrid_cmd; wren_cmd; hierarchy_cmd; yield_cmd; adc_cmd; flow_cmd; batch_cmd ]
 
 let () = exit (Cmd.eval main)

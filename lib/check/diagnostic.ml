@@ -7,9 +7,27 @@ type t = {
   msg : string;
 }
 
-let error ~rule ~loc msg = { severity = Error; rule; loc; msg }
-let warning ~rule ~loc msg = { severity = Warning; rule; loc; msg }
-let info ~rule ~loc msg = { severity = Info; rule; loc; msg }
+(* every rule id that passes through a constructor, process-wide: the
+   registry drift test asserts this set stays inside [Registry.all].
+   Mutex-protected because batch jobs construct diagnostics from worker
+   domains. *)
+let emitted_tbl : (string, unit) Hashtbl.t = Hashtbl.create 64
+let emitted_lock = Mutex.create ()
+
+let note_rule rule =
+  Mutex.lock emitted_lock;
+  Hashtbl.replace emitted_tbl rule ();
+  Mutex.unlock emitted_lock
+
+let emitted_rules () =
+  Mutex.lock emitted_lock;
+  let rules = Hashtbl.fold (fun r () acc -> r :: acc) emitted_tbl [] in
+  Mutex.unlock emitted_lock;
+  List.sort Stdlib.compare rules
+
+let error ~rule ~loc msg = note_rule rule; { severity = Error; rule; loc; msg }
+let warning ~rule ~loc msg = note_rule rule; { severity = Warning; rule; loc; msg }
+let info ~rule ~loc msg = note_rule rule; { severity = Info; rule; loc; msg }
 
 let severity_name = function Error -> "error" | Warning -> "warning" | Info -> "info"
 

@@ -20,6 +20,11 @@ val error : rule:string -> loc:string -> string -> t
 val warning : rule:string -> loc:string -> string -> t
 val info : rule:string -> loc:string -> string -> t
 
+val emitted_rules : unit -> string list
+(** Every rule id that has passed through a constructor in this process,
+    sorted.  The registry drift test asserts this stays a subset of
+    {!Registry.all}; thread-safe. *)
+
 val severity_name : severity -> string
 (** ["error"], ["warning"], ["info"]. *)
 

@@ -1,0 +1,49 @@
+(* The closed catalogue of diagnostic rule ids.  Every ~rule string built
+   anywhere in the tree must appear here — [msyn lint --list-rules] prints
+   this table and the registry test in test_check asserts that every rule
+   observed at runtime is listed, so the taxonomy cannot drift silently. *)
+
+let all =
+  [ (* electrical rule checks *)
+    ("erc.bad-net-id", "net id referenced by an element is out of range");
+    ("erc.dangling-net", "net with a single connection");
+    ("erc.duplicate-name", "two nets share a name");
+    ("erc.floating-bulk", "MOS bulk tied to neither rail nor source");
+    ("erc.floating-gate", "MOS gate with no DC path to any source");
+    ("erc.no-dc-path", "net has no DC path to ground");
+    ("erc.nonpositive-value", "element value is zero or negative");
+    ("erc.parallel-vsources", "two voltage sources across the same nets");
+    ("erc.shorted-vsource", "voltage source with both terminals on one net");
+    ("erc.suspicious-value", "element value far outside its plausible decade");
+    ("erc.unused-net", "net declared but never connected");
+    (* design rule checks *)
+    ("drc.contact-enclosure", "contact/via not enclosed by its conductors");
+    ("drc.contact-size", "contact/via cut is not the exact rule size");
+    ("drc.gate-extension", "poly gate endcap below the extension rule");
+    ("drc.min-spacing", "same-layer shapes closer than the spacing rule");
+    ("drc.min-width", "shape narrower than the layer's minimum width");
+    ("drc.route-spacing", "routing shapes closer than the spacing rule");
+    ("drc.well-enclosure", "device not enclosed by its well margin");
+    ("drc.well-spacing", "wells closer than the well spacing rule");
+    (* constraint audit *)
+    ("audit.open-net", "netlist net with no extracted geometry");
+    ("audit.pair-merged", "matched pair merged into one extracted net");
+    ("audit.short", "extracted geometry shorts two netlist nets");
+    ("audit.symmetry-broken", "matched devices placed asymmetrically");
+    ("audit.symmetry-missing", "matched device missing from the layout");
+    ("audit.unknown-net", "extracted net matching no netlist net");
+    ("audit.unrouted-net", "netlist net left unrouted by the router");
+    (* certified feasibility (interval abstract interpretation) *)
+    ("feas.annotation-drift",
+     "hand-written feasibility range exceeds the certified interval bound");
+    ("feas.infeasible-spec",
+     "specification provably unsatisfiable by every candidate topology");
+    ("feas.no-feasible-topology",
+     "no candidate passes interval feasibility; flow fell back to all") ]
+
+let doc rule = List.assoc_opt rule all
+
+let known rule = List.mem_assoc rule all
+
+let pp ppf () =
+  List.iter (fun (rule, doc) -> Format.fprintf ppf "%-26s %s@\n" rule doc) all

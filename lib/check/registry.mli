@@ -1,0 +1,16 @@
+(** The closed catalogue of diagnostic rule identifiers.
+
+    One entry per rule id any pass can emit, with a one-line doc.  [msyn
+    lint --list-rules] prints the table; the registry test asserts that
+    {!Diagnostic.emitted_rules} stays a subset of {!all}, so a new rule id
+    cannot ship without documentation. *)
+
+val all : (string * string) list
+(** (rule id, one-line doc), grouped by prefix, stable order. *)
+
+val doc : string -> string option
+
+val known : string -> bool
+
+val pp : Format.formatter -> unit -> unit
+(** The aligned two-column listing [--list-rules] prints. *)

@@ -11,6 +11,7 @@
 module Json = Mixsyn_util.Json
 module Spec = Mixsyn_synth.Spec
 module Cancel = Mixsyn_util.Cancel
+module I = Mixsyn_util.Interval
 
 type fault = Raise | Hang
 
@@ -31,10 +32,18 @@ type failure = {
   diagnostics : string list;
 }
 
+type infeasibility = {
+  inf_spec : string;
+  inf_bound : string;
+  inf_lo : float;
+  inf_hi : float;
+}
+
 type status =
   | Completed of Json.t
   | Failed of failure
   | Timed_out
+  | Infeasible of infeasibility
 
 type record = {
   rec_id : string;
@@ -48,6 +57,7 @@ type summary = {
   completed : int;
   failed : int;
   timed_out : int;
+  prefiltered : int;
   skipped : int;
   run_jobs : int;
   elapsed_s : float;
@@ -228,6 +238,14 @@ let record_to_json r =
           ("error", Json.Str f.error);
           ("diagnostics", Json.Arr (List.map (fun d -> Json.Str d) f.diagnostics)) ])
   | Timed_out -> Json.Obj (base @ [ ("status", Json.Str "timed_out") ])
+  | Infeasible inf ->
+    Json.Obj
+      (base
+      @ [ ("status", Json.Str "infeasible");
+          ("spec", Json.Str inf.inf_spec);
+          ("bound", Json.Str inf.inf_bound);
+          ("certified_lo", Json.Num inf.inf_lo);
+          ("certified_hi", Json.Num inf.inf_hi) ])
 
 let record_of_json json =
   let* rec_id =
@@ -260,6 +278,19 @@ let record_of_json json =
       in
       Ok (Failed { error; diagnostics })
     | Some "timed_out" -> Ok Timed_out
+    | Some "infeasible" ->
+      let str name dflt =
+        Option.value (Option.bind (Json.member name json) Json.to_str) ~default:dflt
+      in
+      let num name =
+        Option.value (Option.bind (Json.member name json) Json.to_float) ~default:Float.nan
+      in
+      Ok
+        (Infeasible
+           { inf_spec = str "spec" "?";
+             inf_bound = str "bound" "?";
+             inf_lo = num "certified_lo";
+             inf_hi = num "certified_hi" })
     | Some other -> Error (Printf.sprintf "unknown record status %S" other)
     | None -> Error "record needs a \"status\""
   in
@@ -389,6 +420,64 @@ let run_job ?timeout_s ?(retries = 0) ?(executor = flow_executor) job =
   in
   attempt 0
 
+(* ---- static prefilter ------------------------------------------------- *)
+
+(* a pure function of the job: the first spec (in manifest order) that the
+   certified interval bounds prove unsatisfiable on every candidate the job
+   is allowed to select, with the hull of the excluding enclosures.  No
+   wall-clock, no randomness — prefiltered records are byte-identical at
+   any job count, exactly like executed ones.  Fault-injected jobs are
+   never prefiltered: they exist to exercise the executor's failure paths
+   and must reach it. *)
+let prefilter_job job =
+  match job.fault with
+  | Some _ -> None
+  | None ->
+    let candidates =
+      match job.topology with
+      | None -> Some Mixsyn_circuit.Topology.all
+      | Some name ->
+        (* unknown topology: let the executor fail with its own taxonomy *)
+        (match find_template name with Some t -> Some [ t ] | None -> None)
+    in
+    (match candidates with
+     | None | Some [] -> None
+     | Some candidates ->
+       let per_candidate =
+         List.map
+           (fun t ->
+             Mixsyn_check.Bounds.infeasible_specs ~context:job.context job.specs t)
+           candidates
+       in
+       List.find_map
+         (fun (s : Spec.t) ->
+           if
+             List.for_all
+               (fun inf -> List.exists (fun (s', _) -> s' == s) inf)
+               per_candidate
+           then begin
+             let hull =
+               List.fold_left
+                 (fun acc inf ->
+                   match List.find_opt (fun (s', _) -> s' == s) inf with
+                   | Some (_, iv) -> I.hull acc iv
+                   | None -> acc)
+                 I.empty per_candidate
+             in
+             Some
+               { rec_id = job.job_id;
+                 rec_seed = job.seed;
+                 attempts = 0;
+                 status =
+                   Infeasible
+                     { inf_spec = s.Spec.s_name;
+                       inf_bound = Mixsyn_check.Bounds.bound_to_string s.Spec.bound;
+                       inf_lo = I.lo hull;
+                       inf_hi = I.hi hull } }
+           end
+           else None)
+         job.specs)
+
 (* ---- the in-order journal writer -------------------------------------- *)
 
 (* records finish in any order; they hit the disk in index order, each line
@@ -424,7 +513,8 @@ let truncate_file path len =
 
 (* ---- the batch loop --------------------------------------------------- *)
 
-let run ?jobs ?timeout_s ?(retries = 0) ?(executor = flow_executor) ~journal manifest =
+let run ?jobs ?timeout_s ?(retries = 0) ?(prefilter = true) ?(executor = flow_executor)
+    ~journal manifest =
   if retries < 0 then invalid_arg (Printf.sprintf "Batch.run: retries %d negative" retries);
   let seen = Hashtbl.create 16 in
   List.iter
@@ -447,6 +537,21 @@ let run ?jobs ?timeout_s ?(retries = 0) ?(executor = flow_executor) ~journal man
       Hashtbl.replace done_tbl r.rec_id r)
     recorded;
   let pending = Array.of_list (List.filter (fun j -> not (Hashtbl.mem done_tbl j.job_id)) manifest) in
+  (* decide prefiltering up front, sequentially: interval certification is
+     microseconds per job, and a fixed decision array keeps the journal a
+     pure function of the manifest whatever the worker count *)
+  let decisions =
+    Array.map
+      (fun job ->
+        if not prefilter then None
+        else
+          match prefilter_job job with
+          | Some r ->
+            Mixsyn_util.Telemetry.count "batch.prefiltered";
+            Some r
+          | None -> None)
+      pending
+  in
   let run_jobs = Mixsyn_util.Pool.effective_jobs jobs (Array.length pending) in
   let fresh =
     if Array.length pending = 0 then [||]
@@ -459,8 +564,11 @@ let run ?jobs ?timeout_s ?(retries = 0) ?(executor = flow_executor) ~journal man
           Mixsyn_util.Pool.parallel_mapi ?jobs
             (fun i job ->
               let r =
-                Mixsyn_util.Pool.sequential_scope (fun () ->
-                    run_job ?timeout_s ~retries ~executor job)
+                match decisions.(i) with
+                | Some r -> r
+                | None ->
+                  Mixsyn_util.Pool.sequential_scope (fun () ->
+                      run_job ?timeout_s ~retries ~executor job)
               in
               writer_push w i r;
               r)
@@ -474,6 +582,7 @@ let run ?jobs ?timeout_s ?(retries = 0) ?(executor = flow_executor) ~journal man
     completed = count (fun r -> match r.status with Completed _ -> true | _ -> false);
     failed = count (fun r -> match r.status with Failed _ -> true | _ -> false);
     timed_out = count (fun r -> r.status = Timed_out);
+    prefiltered = count (fun r -> match r.status with Infeasible _ -> true | _ -> false);
     skipped = List.length recorded;
     run_jobs;
     elapsed_s = Unix.gettimeofday () -. t0;
@@ -491,6 +600,7 @@ let summary_to_json s =
       ("completed", Json.Num (float_of_int s.completed));
       ("failed", Json.Num (float_of_int s.failed));
       ("timed_out", Json.Num (float_of_int s.timed_out));
+      ("prefiltered_jobs", Json.Num (float_of_int s.prefiltered));
       ("skipped", Json.Num (float_of_int s.skipped));
       ("jobs", Json.Num (float_of_int s.run_jobs));
       ("elapsed_s", Json.Num s.elapsed_s);
@@ -503,8 +613,9 @@ let summary_to_json s =
       ("records", Json.Arr (List.map record_to_json s.records)) ]
 
 let pp_summary ppf s =
-  Format.fprintf ppf "batch: %d job(s) — %d completed, %d failed, %d timed-out%s@\n" s.total
-    s.completed s.failed s.timed_out
+  Format.fprintf ppf
+    "batch: %d job(s) — %d completed, %d failed, %d timed-out, %d infeasible%s@\n" s.total
+    s.completed s.failed s.timed_out s.prefiltered
     (if s.skipped > 0 then Printf.sprintf " (%d resumed from journal)" s.skipped else "");
   Format.fprintf ppf "  %d worker(s), %.1fs, %.2f jobs/s@\n" s.run_jobs s.elapsed_s
     (throughput s);
@@ -518,5 +629,8 @@ let pp_summary ppf s =
           f.error;
         List.iter (fun d -> Format.fprintf ppf "      %s@\n" d) f.diagnostics
       | Timed_out ->
-        Format.fprintf ppf "  %-16s TIMED OUT after %d attempt(s)@\n" r.rec_id r.attempts)
+        Format.fprintf ppf "  %-16s TIMED OUT after %d attempt(s)@\n" r.rec_id r.attempts
+      | Infeasible inf ->
+        Format.fprintf ppf "  %-16s INFEASIBLE: %s %s, certified [%g, %g]@\n" r.rec_id
+          inf.inf_spec inf.inf_bound inf.inf_lo inf.inf_hi)
     s.records

@@ -66,15 +66,28 @@ type failure = {
   diagnostics : string list;     (** e.g. lint rule ids with locations *)
 }
 
+(** Why a prefiltered job never ran: the spec the certified interval
+    bounds ({!Mixsyn_check.Bounds}) prove unsatisfiable on every candidate
+    topology the job could have selected, and the hull of the excluding
+    enclosures. *)
+type infeasibility = {
+  inf_spec : string;   (** the provably unsatisfiable spec's metric name *)
+  inf_bound : string;  (** its bound, rendered (e.g. ["at least 1000"]) *)
+  inf_lo : float;      (** certified achievable range, lower end *)
+  inf_hi : float;      (** certified achievable range, upper end *)
+}
+
 type status =
   | Completed of Mixsyn_util.Json.t  (** the executor's result object *)
   | Failed of failure
   | Timed_out
+  | Infeasible of infeasibility
+      (** skipped by the static prefilter; the executor never ran *)
 
 type record = {
   rec_id : string;
   rec_seed : int;  (** the (possibly retry-perturbed) seed actually used *)
-  attempts : int;
+  attempts : int;  (** [0] for prefiltered jobs *)
   status : status;
 }
 
@@ -83,6 +96,7 @@ type summary = {
   completed : int;
   failed : int;
   timed_out : int;
+  prefiltered : int;    (** jobs skipped as provably infeasible *)
   skipped : int;        (** jobs already recorded in the journal *)
   run_jobs : int;       (** worker count the batch ran with *)
   elapsed_s : float;
@@ -131,6 +145,7 @@ val run :
   ?jobs:int ->
   ?timeout_s:float ->
   ?retries:int ->
+  ?prefilter:bool ->
   ?executor:(job -> seed:int -> Mixsyn_util.Json.t) ->
   journal:string ->
   job list ->
@@ -142,6 +157,17 @@ val run :
     inside do not contend for the pool.  Records are appended in manifest
     order and flushed as soon as contiguous, so an interruption at any
     point leaves a resumable prefix.
+
+    Unless [prefilter] is [false], every job first passes through the
+    static feasibility screen: a job with a spec that
+    {!Mixsyn_check.Bounds} proves unsatisfiable on all of its candidate
+    topologies is journalled as [Infeasible] (with the spec, its bound and
+    the certified enclosure) without ever entering the executor — no
+    annealing, no layout, no timeout slot.  The decision is a pure
+    function of the job, so prefiltered records preserve the journal's
+    byte-identity across worker counts and resumes.  Fault-injected jobs
+    and jobs naming an unknown topology are never prefiltered.  Skip
+    counts land in the [batch.prefiltered] telemetry counter.
 
     For a pure executor the finished journal's bytes depend only on the
     manifest, never on [jobs] or on how often the run was interrupted.

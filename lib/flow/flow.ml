@@ -1,6 +1,8 @@
 module Spec = Mixsyn_synth.Spec
 module Sizing = Mixsyn_synth.Sizing
 module Template = Mixsyn_circuit.Template
+module Bounds = Mixsyn_check.Bounds
+module I = Mixsyn_util.Interval
 
 type stage_log = {
   stage : string;
@@ -60,21 +62,105 @@ let measure_extracted tech template params layout_report =
       ("power_w", Mixsyn_engine.Dc.power annotated op) ]
 
 let run ?(tech = Mixsyn_circuit.Tech.generic_07um) ?(seed = 13) ?(max_redesigns = 2)
-    ?(candidates = Mixsyn_circuit.Topology.all) ?(checks = true) ?jobs ~specs ~objectives
-    ~context () =
+    ?(candidates = Mixsyn_circuit.Topology.all) ?(checks = true) ?(contract = true) ?jobs
+    ~specs ~objectives ~context () =
   Mixsyn_util.Telemetry.with_span "flow.run" @@ fun () ->
   let log = ref [] in
-  (* 1. topology selection: interval pruning then rule-based ranking *)
+  (* 0. static pre-flight: certified interval bounds over every candidate's
+     parameter box.  A spec that no candidate can provably reach stops the
+     flow here — before any annealing, placement or routing work — naming
+     the spec and the certified enclosure that excludes it. *)
+  let feas_diags =
+    if not checks then []
+    else
+      timed log "feasibility" (fun () ->
+          let drift = List.concat_map (Bounds.annotation_drift ~tech) candidates in
+          let per_candidate =
+            List.map (fun t -> Bounds.infeasible_specs ~tech ~context specs t) candidates
+          in
+          let hopeless =
+            List.filter
+              (fun (s : Spec.t) ->
+                per_candidate <> []
+                && List.for_all
+                     (fun inf -> List.exists (fun (s', _) -> s' == s) inf)
+                     per_candidate)
+              specs
+          in
+          let errors =
+            List.map
+              (fun (s : Spec.t) ->
+                let hull =
+                  List.fold_left
+                    (fun acc inf ->
+                      match List.find_opt (fun (s', _) -> s' == s) inf with
+                      | Some (_, iv) -> I.hull acc iv
+                      | None -> acc)
+                    I.empty per_candidate
+                in
+                Mixsyn_check.Diagnostic.error ~rule:"feas.infeasible-spec"
+                  ~loc:s.Spec.s_name
+                  (Format.asprintf
+                     "%s %s is provably unsatisfiable: certified achievable range %a \
+                      across all %d candidate topologies"
+                     s.Spec.s_name
+                     (Bounds.bound_to_string s.Spec.bound)
+                     I.pp hull (List.length candidates)))
+              hopeless
+          in
+          let diags = Mixsyn_check.Lint.gate ~stage:"feas" (errors @ drift) in
+          ( diags,
+            Printf.sprintf "%d infeasible spec(s), %d drift warning(s)"
+              (List.length errors) (List.length drift) ))
+  in
+  let pre_diags = ref feas_diags in
+  (* 1. topology selection: interval pruning (hand tables AND certified
+     enclosures) then rule-based ranking *)
   let template =
     timed log "topology-selection" (fun () ->
-        let feasible = Mixsyn_synth.Topo_select.interval_feasible specs candidates in
-        let pool = if feasible = [] then candidates else feasible in
+        let ranges = Bounds.metric_ranges ~tech ~context candidates in
+        let feasible = Mixsyn_synth.Topo_select.interval_feasible ~ranges specs candidates in
+        let pool =
+          if feasible <> [] then feasible
+          else begin
+            (* widening back to the full candidate list keeps the legacy
+               never-give-up behaviour, but doing it silently buried real
+               specification problems — say so, and count it *)
+            Mixsyn_util.Telemetry.count "flow.no-feasible-topology";
+            pre_diags :=
+              !pre_diags
+              @ [ Mixsyn_check.Diagnostic.warning ~rule:"feas.no-feasible-topology"
+                    ~loc:"topology-selection"
+                    (Printf.sprintf
+                       "no candidate topology passes the interval feasibility screen; \
+                        continuing with all %d candidates on a best-effort basis"
+                       (List.length candidates)) ];
+            candidates
+          end
+        in
         match Mixsyn_synth.Topo_select.rule_based specs pool with
         | [] -> failwith "flow: no candidate topology"
         | best :: _ ->
           ( best.Mixsyn_synth.Topo_select.template,
             Printf.sprintf "%d candidates -> %s" (List.length candidates)
               best.Mixsyn_synth.Topo_select.template.Template.t_name ))
+  in
+  (* 1b. branch-and-prune contraction of the selected template's parameter
+     box: regions where the certified enclosure proves a spec violated are
+     cut away before sizing ever samples them.  Sound, so the contracted
+     box still contains every spec-satisfying sizing; when nothing prunes,
+     the very same template value flows on and the anneal trajectory is
+     bit-identical to a run without contraction. *)
+  let template =
+    if not contract then template
+    else
+      timed log "box-contraction" (fun () ->
+          let c = Bounds.contract ~tech ~context specs template in
+          ( c.Bounds.c_template,
+            Printf.sprintf "pruned %d/%d boxes%s" c.Bounds.pruned c.Bounds.explored
+              (if c.Bounds.c_infeasible then ", box provably infeasible"
+               else if c.Bounds.pruned = 0 then ", box unchanged"
+               else "") ))
   in
   (* 2/3. sizing + verification, 4/5. layout + extraction, with redesign *)
   let rec attempt redesigns extra_load =
@@ -191,7 +277,7 @@ let run ?(tech = Mixsyn_circuit.Tech.generic_07um) ?(seed = 13) ?(max_redesigns 
         (Mixsyn_check.Diagnostic.count Mixsyn_check.Diagnostic.Warning diags) )
   in
   let diagnostics =
-    if not checks then []
+    if not checks then !pre_diags
     else begin
       let nl = template.Template.build tech sizing.Sizing.params in
       let erc =
@@ -209,7 +295,7 @@ let run ?(tech = Mixsyn_circuit.Tech.generic_07um) ?(seed = 13) ?(max_redesigns 
             summarize "audit"
               (Mixsyn_check.Lint.gate ~stage:"audit" (Mixsyn_check.Audit.check nl layout)))
       in
-      erc @ drc @ audit
+      !pre_diags @ erc @ drc @ audit
     end
   in
   { template;

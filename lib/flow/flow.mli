@@ -42,6 +42,7 @@ val run :
   ?max_redesigns:int ->
   ?candidates:Mixsyn_circuit.Template.t list ->
   ?checks:bool ->
+  ?contract:bool ->
   ?jobs:int ->
   specs:Mixsyn_synth.Spec.t list ->
   objectives:Mixsyn_synth.Spec.objective list ->
@@ -54,10 +55,28 @@ val run :
     placement retries evaluate concurrently on the shared domain pool; the
     outcome depends only on [seed], never on [jobs].
 
-    Unless [checks] is [false], the finished design must pass the three
+    Unless [checks] is [false], a static pre-flight gate runs first:
+    {!Mixsyn_check.Bounds} certifies interval performance bounds over
+    every candidate's parameter box, and a specification provably
+    unsatisfiable on {e all} candidates raises
+    {!Mixsyn_check.Lint.Check_failed} with a [feas.infeasible-spec]
+    error before any sizing or layout work.  Hand-annotated feasibility
+    ranges that claim performance outside the certified enclosure are
+    reported as [feas.annotation-drift] warnings.  When the interval
+    screen rejects every candidate, the flow continues with the full
+    candidate list but emits a [feas.no-feasible-topology] warning (and
+    bumps the [flow.no-feasible-topology] telemetry counter) instead of
+    silently widening.  The finished design must then pass the three
     static gates of {!Mixsyn_check} (netlist ERC, layout DRC, constraint
-    audit); their error/warning totals land in
-    {!Mixsyn_util.Telemetry} under [check.<stage>.*].
+    audit); error/warning totals land in {!Mixsyn_util.Telemetry}
+    under [check.<stage>.*].
+
+    Unless [contract] is [false], the selected template's parameter box
+    is contracted by branch-and-prune ({!Mixsyn_check.Bounds.contract})
+    before sizing: sub-boxes whose certified enclosure proves a spec
+    violated are cut away.  The contraction is sound and deterministic;
+    when nothing prunes, the template value is unchanged and the sizing
+    trajectory is bit-identical to a run without contraction.
 
     Every stage boundary (and the annealer's move loop below it) polls
     {!Mixsyn_util.Cancel.guard}, so a run under an ambient cancellation

@@ -171,5 +171,31 @@ let num_den_coeffs value r =
 
 let term_count r = Expr.term_count r.num + Expr.term_count r.den
 
+(* --- certified bounds over symbol ranges ------------------------------- *)
+
+module I = Mixsyn_util.Interval
+
+let symbols r =
+  List.sort_uniq compare (Expr.symbols r.num @ Expr.symbols r.den)
+
+let bound_num_den ranges r =
+  (Expr.eval_s_coeffs_interval ranges r.num, Expr.eval_s_coeffs_interval ranges r.den)
+
+let coeff_at coeffs k = if k < Array.length coeffs then coeffs.(k) else I.point 0.0
+
+let two_pi = 2.0 *. Float.pi
+
+let bound_dc_gain ranges r =
+  let num, den = bound_num_den ranges r in
+  I.ediv (coeff_at num 0) (coeff_at den 0)
+
+let bound_gbw ranges r =
+  let num, den = bound_num_den ranges r in
+  I.ediv (I.abs_ (coeff_at num 0)) (I.mul (I.point two_pi) (I.abs_ (coeff_at den 1)))
+
+let bound_dominant_pole ranges r =
+  let _, den = bound_num_den ranges r in
+  I.ediv (I.abs_ (coeff_at den 0)) (I.mul (I.point two_pi) (I.abs_ (coeff_at den 1)))
+
 let pp ppf r =
   Format.fprintf ppf "N(s) = %a@\nD(s) = %a" Expr.pp r.num Expr.pp r.den

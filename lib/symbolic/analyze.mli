@@ -38,4 +38,31 @@ val num_den_coeffs : (string -> float) -> rational -> float array * float array
 val term_count : rational -> int
 (** Total number of symbolic terms (numerator + denominator). *)
 
+val symbols : rational -> string list
+(** Sorted distinct symbols of numerator and denominator. *)
+
+val bound_num_den :
+  (string -> Mixsyn_util.Interval.t) ->
+  rational ->
+  Mixsyn_util.Interval.t array * Mixsyn_util.Interval.t array
+(** Interval analogue of {!num_den_coeffs}: each coefficient interval
+    encloses the concrete coefficient for every symbol valuation drawn
+    from the supplied ranges. *)
+
+val bound_dc_gain :
+  (string -> Mixsyn_util.Interval.t) -> rational -> Mixsyn_util.Interval.t
+(** Certified enclosure of num0/den0 (the DC gain) over the symbol box;
+    {!Mixsyn_util.Interval.whole} when the denominator's constant
+    coefficient may vanish. *)
+
+val bound_gbw :
+  (string -> Mixsyn_util.Interval.t) -> rational -> Mixsyn_util.Interval.t
+(** Certified enclosure of the single-pole gain-bandwidth estimate
+    |num0| / (2 pi |den1|) over the symbol box. *)
+
+val bound_dominant_pole :
+  (string -> Mixsyn_util.Interval.t) -> rational -> Mixsyn_util.Interval.t
+(** Certified enclosure of the dominant-pole frequency estimate
+    |den0| / (2 pi |den1|) over the symbol box. *)
+
 val pp : Format.formatter -> rational -> unit

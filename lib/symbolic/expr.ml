@@ -102,6 +102,30 @@ let eval_s_coeffs value p =
   List.iter (fun t -> coeffs.(t.s_pow) <- coeffs.(t.s_pow) +. eval_mono value t) p;
   coeffs
 
+let symbols p =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun t -> List.iter (fun (name, _) -> Hashtbl.replace tbl name ()) t.mono) p;
+  Hashtbl.fold (fun name () acc -> name :: acc) tbl [] |> List.sort compare
+
+module I = Mixsyn_util.Interval
+
+(* Interval analogue of [eval_mono]: same fold order, each concrete
+   operation replaced by its outward-rounded interval counterpart, so the
+   result encloses [eval_mono] for every symbol valuation drawn from the
+   supplied ranges. *)
+let eval_mono_interval value t =
+  List.fold_left
+    (fun acc (name, pow) -> I.mul acc (I.powi (value name) pow))
+    (I.point t.coeff) t.mono
+
+let eval_s_coeffs_interval value p =
+  let deg = degree_s p in
+  let coeffs = Array.make (deg + 1) (I.point 0.0) in
+  List.iter
+    (fun t -> coeffs.(t.s_pow) <- I.add coeffs.(t.s_pow) (eval_mono_interval value t))
+    p;
+  coeffs
+
 let pp_mono ppf (m : mono) =
   List.iter
     (fun (name, pow) ->

@@ -45,4 +45,19 @@ val eval : (string -> float) -> t -> Complex.t -> Complex.t
 val eval_s_coeffs : (string -> float) -> t -> float array
 (** Numeric coefficient of each s-power, index = power. *)
 
+val symbols : t -> string list
+(** Sorted list of the distinct symbols appearing in the polynomial ([s]
+    excluded). *)
+
+val eval_mono_interval :
+  (string -> Mixsyn_util.Interval.t) -> term -> Mixsyn_util.Interval.t
+(** Interval analogue of {!eval_mono}: for any symbol valuation [v] with
+    [v name] in [value name] for every symbol, [eval_mono v t] lies in the
+    result. *)
+
+val eval_s_coeffs_interval :
+  (string -> Mixsyn_util.Interval.t) -> t -> Mixsyn_util.Interval.t array
+(** Interval analogue of {!eval_s_coeffs}, with the same enclosure
+    guarantee per coefficient. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,171 +1,245 @@
 module Tech = Mixsyn_circuit.Tech
 module Template = Mixsyn_circuit.Template
+module Interval = Mixsyn_util.Interval
 
-let gm_of (tech : Tech.t) ~kp ~w ~l ~id =
-  (* square law capped by the weak-inversion limit gm <= Id/(n vT): the
-     square-law estimate diverges from silicon exactly where optimizers like
-     to hide (huge W at tiny Id) *)
-  let vt = Mixsyn_util.Units.boltzmann *. tech.Tech.temp /. Mixsyn_util.Units.electron_charge in
-  Float.min (sqrt (2.0 *. kp *. (w /. l) *. id)) (id /. (1.5 *. vt))
+(* The design equations are written once against an abstract numeric domain
+   and instantiated twice: over floats for the fast concrete evaluator, and
+   over intervals for the certified bound interpreter in
+   [Mixsyn_check.Bounds].  Sharing the expression tree is what makes the
+   bound sound by construction: every concrete evaluation applies exactly
+   the operations the abstract one over-approximates. *)
+module type DOMAIN = sig
+  type v
 
-let gds_of (tech : Tech.t) ~l ~id = tech.Tech.lambda_factor /. l *. id
+  val const : float -> v
+  val add : v -> v -> v
+  val sub : v -> v -> v
+  val mul : v -> v -> v
+  val div : v -> v -> v
+  val sqrt_ : v -> v
+  val log10_ : v -> v
+  val min_ : v -> v -> v
+  val sq : v -> v
+  val atan_ : v -> v
+end
 
-let vov_of ~kp ~w ~l ~id = sqrt (2.0 *. id /. (kp *. (w /. l)))
+module Core (D : DOMAIN) = struct
+  let c = D.const
+  let ( +! ) = D.add
+  let ( -! ) = D.sub
+  let ( *! ) = D.mul
+  let ( /! ) = D.div
 
-let deg_atan x = atan x *. 180.0 /. Float.pi
+  let gm_of (tech : Tech.t) ~kp ~w ~l ~id =
+    (* square law capped by the weak-inversion limit gm <= Id/(n vT): the
+       square-law estimate diverges from silicon exactly where optimizers
+       like to hide (huge W at tiny Id) *)
+    let vt = Mixsyn_util.Units.boltzmann *. tech.Tech.temp /. Mixsyn_util.Units.electron_charge in
+    D.min_ (D.sqrt_ (c (2.0 *. kp) *! (w /! l) *! id)) (id /! c (1.5 *. vt))
 
-let gate_cap (tech : Tech.t) ~w ~l = (2.0 /. 3.0 *. tech.Tech.cox *. w *. l) +. (tech.Tech.cov *. w)
+  let gds_of (tech : Tech.t) ~l ~id = c tech.Tech.lambda_factor /! l *! id
 
-let ota_5t_equations (tech : Tech.t) x =
-  match x with
-  | [| w1; w3; w5; l; ib; cl |] ->
-    let id = ib /. 2.0 in
-    let gm1 = gm_of tech ~kp:tech.Tech.kp_n ~w:w1 ~l ~id in
-    let gm3 = gm_of tech ~kp:tech.Tech.kp_p ~w:w3 ~l ~id in
-    let gds2 = gds_of tech ~l ~id and gds4 = gds_of tech ~l ~id in
-    let gain = gm1 /. (gds2 +. gds4) in
-    let ugf = gm1 /. (2.0 *. Float.pi *. cl) in
-    (* non-dominant pole at the mirror node *)
-    let cmirror = gate_cap tech ~w:w3 ~l *. 2.0 in
-    let p2 = gm3 /. (2.0 *. Float.pi *. cmirror) in
-    let pm = 90.0 -. deg_atan (ugf /. (2.0 *. p2)) in
-    let vov1 = vov_of ~kp:tech.Tech.kp_n ~w:w1 ~l ~id in
-    let vov5 = vov_of ~kp:tech.Tech.kp_n ~w:w5 ~l ~id:ib in
-    let vov4 = vov_of ~kp:tech.Tech.kp_p ~w:w3 ~l ~id in
-    let vcm = Mixsyn_circuit.Topology.common_mode_fraction *. tech.Tech.vdd in
-    let swing_low = vcm -. tech.Tech.vth0_n +. vov1 in
-    let swing_high = tech.Tech.vdd -. vov4 in
-    let power = tech.Tech.vdd *. 2.0 *. ib in
-    let area = (2.0 *. w1 *. l) +. (2.0 *. w3 *. l) +. (2.0 *. w5 *. l) in
-    ignore vov5;
-    Some
-      [ ("gain_db", 20.0 *. log10 gain);
-        ("ugf_hz", ugf);
-        ("phase_margin_deg", pm);
-        ("power_w", power);
-        ("area_m2", area);
-        ("swing_low_v", swing_low);
-        ("swing_high_v", swing_high) ]
-  | _ -> None
+  let vov_of ~kp ~w ~l ~id = D.sqrt_ (c 2.0 *! id /! (c kp *! (w /! l)))
 
-let miller_equations (tech : Tech.t) x =
-  match x with
-  | [| w1; w3; w5; w6; w7; l; ib; cc; cl |] ->
-    let id1 = ib /. 2.0 in
-    let i7 = ib *. (w7 /. w5) in
-    let gm1 = gm_of tech ~kp:tech.Tech.kp_n ~w:w1 ~l ~id:id1 in
-    let gm6 = gm_of tech ~kp:tech.Tech.kp_p ~w:w6 ~l ~id:i7 in
-    let gds2 = gds_of tech ~l ~id:id1 and gds4 = gds_of tech ~l ~id:id1 in
-    let gds6 = gds_of tech ~l ~id:i7 and gds7 = gds_of tech ~l ~id:i7 in
-    let a1 = gm1 /. (gds2 +. gds4) in
-    let a2 = gm6 /. (gds6 +. gds7) in
-    (* second-stage systematic offset: M6 mirrors vsg4, so its current wants
-       to be id1 * w6/w3 while M7 sinks i7; the imbalance lands on the
-       output through the stage output resistance and rails the stage when
-       large (a first-order model of what the simulator shows exactly) *)
-    let i6_implied = id1 *. (w6 /. w3) in
-    let v_offset = (i6_implied -. i7) /. (gds6 +. gds7) in
-    let derate = 1.0 /. (1.0 +. ((v_offset /. 0.5) ** 2.0)) in
-    let a2 = a2 *. derate in
-    let gain = a1 *. a2 in
-    (* the compensation capacitor competes with the device parasitics it is
-       wired across *)
-    let cc_eff = cc +. gate_cap tech ~w:w6 ~l +. (0.3 *. gate_cap tech ~w:w1 ~l) in
-    let ugf = gm1 /. (2.0 *. Float.pi *. cc_eff) in
-    (* output pole (the nulling resistor cancels the RHP zero) and the
-       mirror pole both erode the margin; pole splitting only works to the
-       extent cc dominates the second-stage input capacitance *)
-    let cgs6 = gate_cap tech ~w:w6 ~l in
-    let split = cc /. (cc +. cgs6) in
-    let p2 = gm6 *. split /. (2.0 *. Float.pi *. cl) in
-    let gm3 = gm_of tech ~kp:tech.Tech.kp_p ~w:w3 ~l ~id:id1 in
-    let p3 = gm3 /. (2.0 *. Float.pi *. (2.0 *. gate_cap tech ~w:w3 ~l)) in
-    let pm = 90.0 -. deg_atan (ugf /. p2) -. deg_atan (ugf /. p3) in
-    let vov6 = vov_of ~kp:tech.Tech.kp_p ~w:w6 ~l ~id:i7 in
-    let vov7 = vov_of ~kp:tech.Tech.kp_n ~w:w7 ~l ~id:i7 in
-    let swing_low = vov7 and swing_high = tech.Tech.vdd -. vov6 in
-    let power = tech.Tech.vdd *. ((2.0 *. ib) +. i7) in
-    let area =
-      (2.0 *. w1 *. l) +. (2.0 *. w3 *. l) +. (2.0 *. w5 *. l) +. (w6 *. l) +. (w7 *. l)
-    in
-    Some
-      [ ("gain_db", 20.0 *. log10 gain);
-        ("ugf_hz", ugf);
-        ("phase_margin_deg", pm);
-        ("power_w", power);
-        ("area_m2", area);
-        ("swing_low_v", swing_low);
-        ("swing_high_v", swing_high) ]
-  | _ -> None
+  let deg_atan x = D.atan_ x *! c 180.0 /! c Float.pi
 
-let folded_cascode_equations (tech : Tech.t) x =
-  match x with
-  | [| w1; wp; wcp; wn; wcn; l; ib; cl |] ->
-    let id = ib /. 2.0 in
-    (* each output branch carries roughly ib/2 extra *)
-    let ibranch = ib /. 2.0 in
-    let gm1 = gm_of tech ~kp:tech.Tech.kp_n ~w:w1 ~l ~id in
-    let gmcp = gm_of tech ~kp:tech.Tech.kp_p ~w:wcp ~l ~id:ibranch in
-    let gmcn = gm_of tech ~kp:tech.Tech.kp_n ~w:wcn ~l ~id:ibranch in
-    let gds l id = gds_of tech ~l ~id in
-    (* cascoded output resistances *)
-    let rout_up = gmcp /. (gds l ibranch *. gds l (ibranch +. id)) in
-    let rout_down = gmcn /. (gds l ibranch *. gds l ibranch) in
-    let rout = 1.0 /. ((1.0 /. rout_up) +. (1.0 /. rout_down)) in
-    let gain = gm1 *. rout in
-    let ugf = gm1 /. (2.0 *. Float.pi *. cl) in
-    (* non-dominant pole at the folding node *)
-    let cfold = gate_cap tech ~w:wcp ~l +. gate_cap tech ~w:wp ~l in
-    let p2 = gmcp /. (2.0 *. Float.pi *. cfold) in
-    let pm = 90.0 -. deg_atan (ugf /. p2) in
-    let vov_cn = vov_of ~kp:tech.Tech.kp_n ~w:wcn ~l ~id:ibranch in
-    let vov_n = vov_of ~kp:tech.Tech.kp_n ~w:wn ~l ~id:ibranch in
-    let vov_cp = vov_of ~kp:tech.Tech.kp_p ~w:wcp ~l ~id:ibranch in
-    let vov_p = vov_of ~kp:tech.Tech.kp_p ~w:wp ~l ~id:(ibranch +. id) in
-    let swing_low = vov_cn +. vov_n and swing_high = tech.Tech.vdd -. vov_cp -. vov_p in
-    let power = tech.Tech.vdd *. (ib +. ib +. (2.0 *. ibranch) +. ib) in
-    let area =
-      ((2.0 *. w1) +. (2.0 *. wp) +. (2.0 *. wcp) +. (2.0 *. wn) +. (2.0 *. wcn)
-       +. (4.0 *. w1) +. (wp /. 2.0))
-      *. l
-    in
-    Some
-      [ ("gain_db", 20.0 *. log10 gain);
-        ("ugf_hz", ugf);
-        ("phase_margin_deg", pm);
-        ("power_w", power);
-        ("area_m2", area);
-        ("swing_low_v", swing_low);
-        ("swing_high_v", swing_high) ]
-  | _ -> None
+  let gate_cap (tech : Tech.t) ~w ~l =
+    (c (2.0 /. 3.0 *. tech.Tech.cox) *! w *! l) +! (c tech.Tech.cov *! w)
 
-let comparator_equations (tech : Tech.t) x =
-  match x with
-  | [| w1; w3; w5; w6; w7; l; ib |] ->
-    (match miller_equations tech [| w1; w3; w5; w6; w7; l; ib; 1e-18; 0.05e-12 |] with
-     | None -> None
-     | Some perf ->
-       (* without compensation the bandwidth is the first-stage pole *)
-       Some
-         (List.map
-            (fun (name, v) ->
-              if name = "ugf_hz" then begin
-                let id1 = ib /. 2.0 in
-                let gm1 = gm_of tech ~kp:tech.Tech.kp_n ~w:w1 ~l ~id:id1 in
-                (name, gm1 /. (2.0 *. Float.pi *. 0.2e-12))
-              end
-              else (name, v))
-            perf))
-  | _ -> None
+  let ota_5t_equations (tech : Tech.t) x =
+    match x with
+    | [| w1; w3; w5; l; ib; cl |] ->
+      let id = ib /! c 2.0 in
+      let gm1 = gm_of tech ~kp:tech.Tech.kp_n ~w:w1 ~l ~id in
+      let gm3 = gm_of tech ~kp:tech.Tech.kp_p ~w:w3 ~l ~id in
+      let gds2 = gds_of tech ~l ~id and gds4 = gds_of tech ~l ~id in
+      let gain = gm1 /! (gds2 +! gds4) in
+      let ugf = gm1 /! (c (2.0 *. Float.pi) *! cl) in
+      (* non-dominant pole at the mirror node *)
+      let cmirror = gate_cap tech ~w:w3 ~l *! c 2.0 in
+      let p2 = gm3 /! (c (2.0 *. Float.pi) *! cmirror) in
+      let pm = c 90.0 -! deg_atan (ugf /! (c 2.0 *! p2)) in
+      let vov1 = vov_of ~kp:tech.Tech.kp_n ~w:w1 ~l ~id in
+      let vov5 = vov_of ~kp:tech.Tech.kp_n ~w:w5 ~l ~id:ib in
+      let vov4 = vov_of ~kp:tech.Tech.kp_p ~w:w3 ~l ~id in
+      let vcm = Mixsyn_circuit.Topology.common_mode_fraction *. tech.Tech.vdd in
+      let swing_low = c (vcm -. tech.Tech.vth0_n) +! vov1 in
+      let swing_high = c tech.Tech.vdd -! vov4 in
+      let power = c (tech.Tech.vdd *. 2.0) *! ib in
+      let area = (c 2.0 *! w1 *! l) +! (c 2.0 *! w3 *! l) +! (c 2.0 *! w5 *! l) in
+      ignore vov5;
+      Some
+        [ ("gain_db", c 20.0 *! D.log10_ gain);
+          ("ugf_hz", ugf);
+          ("phase_margin_deg", pm);
+          ("power_w", power);
+          ("area_m2", area);
+          ("swing_low_v", swing_low);
+          ("swing_high_v", swing_high) ]
+    | _ -> None
+
+  let miller_equations (tech : Tech.t) x =
+    match x with
+    | [| w1; w3; w5; w6; w7; l; ib; cc; cl |] ->
+      let id1 = ib /! c 2.0 in
+      let i7 = ib *! (w7 /! w5) in
+      let gm1 = gm_of tech ~kp:tech.Tech.kp_n ~w:w1 ~l ~id:id1 in
+      let gm6 = gm_of tech ~kp:tech.Tech.kp_p ~w:w6 ~l ~id:i7 in
+      let gds2 = gds_of tech ~l ~id:id1 and gds4 = gds_of tech ~l ~id:id1 in
+      let gds6 = gds_of tech ~l ~id:i7 and gds7 = gds_of tech ~l ~id:i7 in
+      let a1 = gm1 /! (gds2 +! gds4) in
+      let a2 = gm6 /! (gds6 +! gds7) in
+      (* second-stage systematic offset: M6 mirrors vsg4, so its current wants
+         to be id1 * w6/w3 while M7 sinks i7; the imbalance lands on the
+         output through the stage output resistance and rails the stage when
+         large (a first-order model of what the simulator shows exactly) *)
+      let i6_implied = id1 *! (w6 /! w3) in
+      let v_offset = (i6_implied -! i7) /! (gds6 +! gds7) in
+      let derate = c 1.0 /! (c 1.0 +! D.sq (v_offset /! c 0.5)) in
+      let a2 = a2 *! derate in
+      let gain = a1 *! a2 in
+      (* the compensation capacitor competes with the device parasitics it is
+         wired across *)
+      let cc_eff = cc +! gate_cap tech ~w:w6 ~l +! (c 0.3 *! gate_cap tech ~w:w1 ~l) in
+      let ugf = gm1 /! (c (2.0 *. Float.pi) *! cc_eff) in
+      (* output pole (the nulling resistor cancels the RHP zero) and the
+         mirror pole both erode the margin; pole splitting only works to the
+         extent cc dominates the second-stage input capacitance *)
+      let cgs6 = gate_cap tech ~w:w6 ~l in
+      let split = cc /! (cc +! cgs6) in
+      let p2 = gm6 *! split /! (c (2.0 *. Float.pi) *! cl) in
+      let gm3 = gm_of tech ~kp:tech.Tech.kp_p ~w:w3 ~l ~id:id1 in
+      let p3 = gm3 /! (c (2.0 *. Float.pi) *! (c 2.0 *! gate_cap tech ~w:w3 ~l)) in
+      let pm = c 90.0 -! deg_atan (ugf /! p2) -! deg_atan (ugf /! p3) in
+      let vov6 = vov_of ~kp:tech.Tech.kp_p ~w:w6 ~l ~id:i7 in
+      let vov7 = vov_of ~kp:tech.Tech.kp_n ~w:w7 ~l ~id:i7 in
+      let swing_low = vov7 and swing_high = c tech.Tech.vdd -! vov6 in
+      let power = c tech.Tech.vdd *! ((c 2.0 *! ib) +! i7) in
+      let area =
+        (c 2.0 *! w1 *! l) +! (c 2.0 *! w3 *! l) +! (c 2.0 *! w5 *! l) +! (w6 *! l)
+        +! (w7 *! l)
+      in
+      Some
+        [ ("gain_db", c 20.0 *! D.log10_ gain);
+          ("ugf_hz", ugf);
+          ("phase_margin_deg", pm);
+          ("power_w", power);
+          ("area_m2", area);
+          ("swing_low_v", swing_low);
+          ("swing_high_v", swing_high) ]
+    | _ -> None
+
+  let folded_cascode_equations (tech : Tech.t) x =
+    match x with
+    | [| w1; wp; wcp; wn; wcn; l; ib; cl |] ->
+      let id = ib /! c 2.0 in
+      (* each output branch carries roughly ib/2 extra *)
+      let ibranch = ib /! c 2.0 in
+      let gm1 = gm_of tech ~kp:tech.Tech.kp_n ~w:w1 ~l ~id in
+      let gmcp = gm_of tech ~kp:tech.Tech.kp_p ~w:wcp ~l ~id:ibranch in
+      let gmcn = gm_of tech ~kp:tech.Tech.kp_n ~w:wcn ~l ~id:ibranch in
+      let gds l id = gds_of tech ~l ~id in
+      (* cascoded output resistances *)
+      let rout_up = gmcp /! (gds l ibranch *! gds l (ibranch +! id)) in
+      let rout_down = gmcn /! (gds l ibranch *! gds l ibranch) in
+      let rout = c 1.0 /! ((c 1.0 /! rout_up) +! (c 1.0 /! rout_down)) in
+      let gain = gm1 *! rout in
+      let ugf = gm1 /! (c (2.0 *. Float.pi) *! cl) in
+      (* non-dominant pole at the folding node *)
+      let cfold = gate_cap tech ~w:wcp ~l +! gate_cap tech ~w:wp ~l in
+      let p2 = gmcp /! (c (2.0 *. Float.pi) *! cfold) in
+      let pm = c 90.0 -! deg_atan (ugf /! p2) in
+      let vov_cn = vov_of ~kp:tech.Tech.kp_n ~w:wcn ~l ~id:ibranch in
+      let vov_n = vov_of ~kp:tech.Tech.kp_n ~w:wn ~l ~id:ibranch in
+      let vov_cp = vov_of ~kp:tech.Tech.kp_p ~w:wcp ~l ~id:ibranch in
+      let vov_p = vov_of ~kp:tech.Tech.kp_p ~w:wp ~l ~id:(ibranch +! id) in
+      let swing_low = vov_cn +! vov_n and swing_high = c tech.Tech.vdd -! vov_cp -! vov_p in
+      let power = c tech.Tech.vdd *! (ib +! ib +! (c 2.0 *! ibranch) +! ib) in
+      let area =
+        ((c 2.0 *! w1) +! (c 2.0 *! wp) +! (c 2.0 *! wcp) +! (c 2.0 *! wn)
+         +! (c 2.0 *! wcn) +! (c 4.0 *! w1) +! (wp /! c 2.0))
+        *! l
+      in
+      Some
+        [ ("gain_db", c 20.0 *! D.log10_ gain);
+          ("ugf_hz", ugf);
+          ("phase_margin_deg", pm);
+          ("power_w", power);
+          ("area_m2", area);
+          ("swing_low_v", swing_low);
+          ("swing_high_v", swing_high) ]
+    | _ -> None
+
+  let comparator_equations (tech : Tech.t) x =
+    match x with
+    | [| w1; w3; w5; w6; w7; l; ib |] ->
+      (match miller_equations tech [| w1; w3; w5; w6; w7; l; ib; c 1e-18; c 0.05e-12 |] with
+       | None -> None
+       | Some perf ->
+         (* without compensation the bandwidth is the first-stage pole *)
+         Some
+           (List.map
+              (fun (name, v) ->
+                if name = "ugf_hz" then begin
+                  let id1 = ib /! c 2.0 in
+                  let gm1 = gm_of tech ~kp:tech.Tech.kp_n ~w:w1 ~l ~id:id1 in
+                  (name, gm1 /! c (2.0 *. Float.pi *. 0.2e-12))
+                end
+                else (name, v))
+              perf))
+    | _ -> None
+
+  let equations (tech : Tech.t) t_name x =
+    match t_name with
+    | "ota-5t" -> ota_5t_equations tech x
+    | "miller-ota" -> miller_equations tech x
+    | "folded-cascode" -> folded_cascode_equations tech x
+    | "comparator" -> comparator_equations tech x
+    | _ -> None
+end
+
+module Float_domain = struct
+  type v = float
+
+  let const x = x
+  let add = ( +. )
+  let sub = ( -. )
+  let mul = ( *. )
+  let div = ( /. )
+  let sqrt_ = sqrt
+  let log10_ = log10
+  let min_ = Float.min
+  let sq x = x ** 2.0
+  let atan_ = atan
+end
+
+module Interval_domain = struct
+  type v = Interval.t
+
+  let const = Interval.point
+  let add = Interval.add
+  let sub = Interval.sub
+  let mul = Interval.mul
+  let div = Interval.ediv
+  let sqrt_ = Interval.sqrt_
+  let log10_ = Interval.log10_
+  let min_ = Interval.min_
+  let sq t = Interval.powi t 2
+  let atan_ = Interval.atan_
+end
+
+module F = Core (Float_domain)
+module Interval_eval = Core (Interval_domain)
+
+let gm_of = F.gm_of
+let gds_of = F.gds_of
+let vov_of = F.vov_of
+let deg_atan = F.deg_atan
+let gate_cap = F.gate_cap
 
 let evaluate ?(tech = Mixsyn_circuit.Tech.generic_07um) template x =
   let x = Template.clamp template x in
-  match template.Template.t_name with
-  | "ota-5t" -> ota_5t_equations tech x
-  | "miller-ota" -> miller_equations tech x
-  | "folded-cascode" -> folded_cascode_equations tech x
-  | "comparator" -> comparator_equations tech x
-  | _ -> None
+  F.equations tech template.Template.t_name x
 
 let supported template =
   match template.Template.t_name with

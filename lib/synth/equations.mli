@@ -5,7 +5,90 @@
     W/L and bias, gain from gm/gds ratios, poles from node capacitances.
     Evaluation costs nanoseconds, which is what makes design plans and
     equation-based optimization fast (Fig. 1a and the OPASYN/OPTIMAN row of
-    the paper); the price is first-order accuracy. *)
+    the paper); the price is first-order accuracy.
+
+    The equations are written once against an abstract numeric {!DOMAIN}
+    and instantiated over floats (concrete evaluation, the historical
+    behaviour of this module) and over {!Mixsyn_util.Interval} (certified
+    performance bounds, consumed by [Mixsyn_check.Bounds]).  Both
+    instantiations share one expression tree, so interval results are sound
+    over-approximations of the float results by construction. *)
+
+(** Abstract numeric domain the square-law equations are written in. *)
+module type DOMAIN = sig
+  type v
+
+  val const : float -> v
+  val add : v -> v -> v
+  val sub : v -> v -> v
+  val mul : v -> v -> v
+  val div : v -> v -> v
+  val sqrt_ : v -> v
+  val log10_ : v -> v
+  val min_ : v -> v -> v
+
+  val sq : v -> v
+  (** [x ** 2.0]. *)
+
+  val atan_ : v -> v
+end
+
+module Core (D : DOMAIN) : sig
+  val gm_of : Mixsyn_circuit.Tech.t -> kp:float -> w:D.v -> l:D.v -> id:D.v -> D.v
+  val gds_of : Mixsyn_circuit.Tech.t -> l:D.v -> id:D.v -> D.v
+  val vov_of : kp:float -> w:D.v -> l:D.v -> id:D.v -> D.v
+  val gate_cap : Mixsyn_circuit.Tech.t -> w:D.v -> l:D.v -> D.v
+  val deg_atan : D.v -> D.v
+
+  val equations :
+    Mixsyn_circuit.Tech.t -> string -> D.v array -> (string * D.v) list option
+  (** [equations tech t_name x] dispatches on the template name; [None] for
+      unknown templates or wrong arity.  Performs no clamping. *)
+end
+
+module Float_domain : DOMAIN with type v = float
+module Interval_domain : DOMAIN with type v = Mixsyn_util.Interval.t
+
+module Interval_eval : sig
+  val gm_of :
+    Mixsyn_circuit.Tech.t ->
+    kp:float ->
+    w:Mixsyn_util.Interval.t ->
+    l:Mixsyn_util.Interval.t ->
+    id:Mixsyn_util.Interval.t ->
+    Mixsyn_util.Interval.t
+
+  val gds_of :
+    Mixsyn_circuit.Tech.t ->
+    l:Mixsyn_util.Interval.t ->
+    id:Mixsyn_util.Interval.t ->
+    Mixsyn_util.Interval.t
+
+  val vov_of :
+    kp:float ->
+    w:Mixsyn_util.Interval.t ->
+    l:Mixsyn_util.Interval.t ->
+    id:Mixsyn_util.Interval.t ->
+    Mixsyn_util.Interval.t
+
+  val gate_cap :
+    Mixsyn_circuit.Tech.t ->
+    w:Mixsyn_util.Interval.t ->
+    l:Mixsyn_util.Interval.t ->
+    Mixsyn_util.Interval.t
+
+  val deg_atan : Mixsyn_util.Interval.t -> Mixsyn_util.Interval.t
+
+  val equations :
+    Mixsyn_circuit.Tech.t ->
+    string ->
+    Mixsyn_util.Interval.t array ->
+    (string * Mixsyn_util.Interval.t) list option
+  (** The square-law equations over parameter boxes: every metric interval
+      is a guaranteed enclosure of {!evaluate} over every point of the box
+      (clamping aside — callers intersect the box with the template bounds
+      first). *)
+end
 
 val supported : Mixsyn_circuit.Template.t -> bool
 
@@ -25,3 +108,6 @@ val gds_of : Mixsyn_circuit.Tech.t -> l:float -> id:float -> float
 
 val vov_of : kp:float -> w:float -> l:float -> id:float -> float
 (** Overdrive voltage sqrt(2 Id / (kp W/L)). *)
+
+val gate_cap : Mixsyn_circuit.Tech.t -> w:float -> l:float -> float
+val deg_atan : float -> float

@@ -41,6 +41,9 @@ let awe_hybrid ?(tech = Mixsyn_circuit.Tech.generic_07um) template x =
       let out = Netlist.find_net nl "out" in
       match Mixsyn_awe.Awe.of_circuit ~tech nl op ~out ~order:4 with
       | exception Failure _ -> None
+      (* a sizing whose conductance matrix degenerates has no AWE model:
+         penalize the point like a non-converging DC solve, don't crash *)
+      | exception Mixsyn_util.Matrix.Real.Singular _ -> None
       | tf ->
         let gain = Mixsyn_awe.Awe.magnitude tf 0.01 in
         (* unity-gain crossing by bisection on the AWE model *)

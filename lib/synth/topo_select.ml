@@ -57,17 +57,35 @@ let rule_based specs candidates =
   in
   List.sort (fun a b -> compare b.score a.score) (List.map judge candidates)
 
-let interval_feasible specs candidates =
+let admissible interval (s : Spec.t) =
+  (not (I.is_empty interval))
+  &&
+  match s.Spec.bound with
+  | Spec.At_least v -> I.hi interval >= v
+  | Spec.At_most v -> I.lo interval <= v
+  | Spec.Between (lo, hi) -> I.intersects interval (I.make lo hi)
+
+let interval_feasible ?ranges specs candidates =
   let feasible template =
     List.for_all
       (fun (s : Spec.t) ->
-        match List.assoc_opt s.Spec.s_name template.Template.feasibility with
-        | None -> true (* unknown metric: cannot prune *)
-        | Some interval ->
-          (match s.Spec.bound with
-           | Spec.At_least v -> I.hi interval >= v
-           | Spec.At_most v -> I.lo interval <= v
-           | Spec.Between (lo, hi) -> I.intersects interval (I.make lo hi)))
+        let hand_ok =
+          match List.assoc_opt s.Spec.s_name template.Template.feasibility with
+          | None -> true (* unknown metric: cannot prune *)
+          | Some interval -> admissible interval s
+        in
+        (* derived (certified) ranges prune independently of the hand
+           table: a spec outside the certified enclosure is provably
+           unreachable no matter what the annotation claims *)
+        let derived_ok =
+          match ranges with
+          | None -> true
+          | Some r ->
+            (match r template s.Spec.s_name with
+             | None -> true
+             | Some interval -> admissible interval s)
+        in
+        hand_ok && derived_ok)
       specs
   in
   List.filter feasible candidates

@@ -19,9 +19,16 @@ val rule_based : Spec.t list -> Mixsyn_circuit.Template.t list -> verdict list
 (** All candidates, scored, best first. *)
 
 val interval_feasible :
-  Spec.t list -> Mixsyn_circuit.Template.t list -> Mixsyn_circuit.Template.t list
+  ?ranges:
+    (Mixsyn_circuit.Template.t -> string -> Mixsyn_util.Interval.t option) ->
+  Spec.t list ->
+  Mixsyn_circuit.Template.t list ->
+  Mixsyn_circuit.Template.t list
 (** The candidates whose feasibility intervals can satisfy every spec that
-    names a published metric. *)
+    names a published metric.  [ranges], when given, supplies {e derived}
+    performance enclosures (e.g. [Mixsyn_check.Bounds.metric_ranges]) that
+    prune in conjunction with the hand-written tables: a candidate
+    survives only if both admit every spec. *)
 
 val ga_select :
   ?tech:Mixsyn_circuit.Tech.t ->

@@ -1,41 +1,185 @@
 type t = { lo : float; hi : float }
 
-let make a b = if a <= b then { lo = a; hi = b } else { lo = b; hi = a }
+(* The canonical empty interval.  [is_empty] is the only sanctioned test:
+   any interval whose bounds fail [lo <= hi] (in particular NaN bounds)
+   behaves as empty under every operation below. *)
+let empty = { lo = Float.nan; hi = Float.nan }
+let is_empty t = not (t.lo <= t.hi)
+let whole = { lo = Float.neg_infinity; hi = Float.infinity }
 
-let point x = { lo = x; hi = x }
+let is_nan (x : float) = x <> x
+
+let make a b =
+  if is_nan a || is_nan b then invalid_arg "Interval.make: NaN bound"
+  else if a <= b then { lo = a; hi = b }
+  else { lo = b; hi = a }
+
+(* Total variant of [make]: NaN bounds collapse to [empty] instead of
+   raising, so unvalidated numeric data can flow straight in. *)
+let of_bounds a b =
+  if is_nan a || is_nan b then empty
+  else if a <= b then { lo = a; hi = b }
+  else { lo = b; hi = a }
+
+let point x = if is_nan x then empty else { lo = x; hi = x }
 
 let lo t = t.lo
 let hi t = t.hi
-let width t = t.hi -. t.lo
+let width t = if is_empty t then 0.0 else t.hi -. t.lo
 let mid t = 0.5 *. (t.lo +. t.hi)
 let contains t x = t.lo <= x && x <= t.hi
-let subset a b = b.lo <= a.lo && a.hi <= b.hi
+let is_point t = t.lo = t.hi
+let subset a b = is_empty a || (b.lo <= a.lo && a.hi <= b.hi)
 let intersects a b = a.lo <= b.hi && b.lo <= a.hi
 
 let intersect a b =
   if intersects a b then Some { lo = Float.max a.lo b.lo; hi = Float.min a.hi b.hi }
   else None
 
-let hull a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+(* Total intersection: disjoint or empty operands give [empty]. *)
+let meet a b =
+  if intersects a b then { lo = Float.max a.lo b.lo; hi = Float.min a.hi b.hi }
+  else empty
 
-let add a b = { lo = a.lo +. b.lo; hi = a.hi +. b.hi }
-let sub a b = { lo = a.lo -. b.hi; hi = a.hi -. b.lo }
+let hull a b =
+  if is_empty a then b
+  else if is_empty b then a
+  else { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+
+(* Outward rounding.  Results of inexact operations are widened by one ulp
+   in each direction so the interval is guaranteed to contain the exact
+   real result regardless of the FPU rounding mode.  [Float.pred infinity]
+   is [max_float] and [Float.pred neg_infinity] is [neg_infinity] (dually
+   for [succ]), which is exactly the directed rounding we want; NaN passes
+   through untouched. *)
+let down = Float.pred
+let up = Float.succ
+
+(* 0 * +-inf is 0 in interval arithmetic (the zero endpoint is exact),
+   not the NaN that IEEE multiplication produces. *)
+let xmul a b = if a = 0.0 || b = 0.0 then 0.0 else a *. b
+
+let add a b =
+  if is_empty a || is_empty b then empty
+  else { lo = down (a.lo +. b.lo); hi = up (a.hi +. b.hi) }
+
+let sub a b =
+  if is_empty a || is_empty b then empty
+  else { lo = down (a.lo -. b.hi); hi = up (a.hi -. b.lo) }
 
 let mul a b =
-  let p1 = a.lo *. b.lo and p2 = a.lo *. b.hi and p3 = a.hi *. b.lo and p4 = a.hi *. b.hi in
-  { lo = Float.min (Float.min p1 p2) (Float.min p3 p4);
-    hi = Float.max (Float.max p1 p2) (Float.max p3 p4) }
+  if is_empty a || is_empty b then empty
+  else
+    let p1 = xmul a.lo b.lo and p2 = xmul a.lo b.hi in
+    let p3 = xmul a.hi b.lo and p4 = xmul a.hi b.hi in
+    { lo = down (Float.min (Float.min p1 p2) (Float.min p3 p4));
+      hi = up (Float.max (Float.max p1 p2) (Float.max p3 p4)) }
+
+let neg t = if is_empty t then empty else { lo = -.t.hi; hi = -.t.lo }
+
+let scale s t =
+  if is_empty t || is_nan s then empty
+  else if s >= 0.0 then { lo = down (xmul s t.lo); hi = up (xmul s t.hi) }
+  else { lo = down (xmul s t.hi); hi = up (xmul s t.lo) }
+
+(* Reciprocal of an interval that does not span zero. *)
+let inv_nonzero b =
+  { lo = down (1.0 /. b.hi); hi = up (1.0 /. b.lo) }
 
 let div a b =
-  if contains b 0.0 then None
-  else Some (mul a { lo = 1.0 /. b.hi; hi = 1.0 /. b.lo })
+  if is_empty a || is_empty b || contains b 0.0 then None
+  else Some (mul a (inv_nonzero b))
 
-let neg t = { lo = -.t.hi; hi = -.t.lo }
+(* Extended (Kahan) division: defined for zero-spanning divisors.  The
+   result is the interval hull of the true quotient set, so a divisor
+   straddling zero yields [whole] unless a sign condition pins one side. *)
+let ediv a b =
+  if is_empty a || is_empty b then empty
+  else if b.lo = 0.0 && b.hi = 0.0 then
+    (* division by exactly zero: quotient set is empty *)
+    empty
+  else if not (contains b 0.0) then mul a (inv_nonzero b)
+  else if a.lo = 0.0 && a.hi = 0.0 then point 0.0
+  else if b.lo = 0.0 then
+    (* divisor in (0, b.hi] *)
+    if a.lo >= 0.0 then { lo = down (a.lo /. b.hi); hi = Float.infinity }
+    else if a.hi <= 0.0 then { lo = Float.neg_infinity; hi = up (a.hi /. b.hi) }
+    else whole
+  else if b.hi = 0.0 then
+    (* divisor in [b.lo, 0) *)
+    if a.lo >= 0.0 then { lo = Float.neg_infinity; hi = up (a.lo /. b.lo) }
+    else if a.hi <= 0.0 then { lo = down (a.hi /. b.lo); hi = Float.infinity }
+    else whole
+  else whole
 
-let scale s t = if s >= 0.0 then { lo = s *. t.lo; hi = s *. t.hi } else { lo = s *. t.hi; hi = s *. t.lo }
+let inv t = ediv (point 1.0) t
+
+let abs_ t =
+  if is_empty t then empty
+  else if t.lo >= 0.0 then t
+  else if t.hi <= 0.0 then neg t
+  else { lo = 0.0; hi = Float.max (-.t.lo) t.hi }
+
+let min_ a b =
+  if is_empty a || is_empty b then empty
+  else { lo = Float.min a.lo b.lo; hi = Float.min a.hi b.hi }
+
+let max_ a b =
+  if is_empty a || is_empty b then empty
+  else { lo = Float.max a.lo b.lo; hi = Float.max a.hi b.hi }
+
+let sqrt_ t =
+  if is_empty t || t.hi < 0.0 then empty
+  else
+    let l = if t.lo <= 0.0 then 0.0 else Float.max 0.0 (down (sqrt t.lo)) in
+    { lo = l; hi = up (sqrt t.hi) }
+
+let log_with f t =
+  if is_empty t || t.hi <= 0.0 then empty
+  else
+    let l = if t.lo <= 0.0 then Float.neg_infinity else down (f t.lo) in
+    { lo = l; hi = up (f t.hi) }
+
+let log_ t = log_with log t
+let log10_ t = log_with log10 t
+
+let exp_ t =
+  if is_empty t then empty
+  else
+    let l = if t.lo = Float.neg_infinity then 0.0 else Float.max 0.0 (down (exp t.lo)) in
+    { lo = l; hi = up (exp t.hi) }
+
+let atan_ t =
+  if is_empty t then empty
+  else { lo = down (atan t.lo); hi = up (atan t.hi) }
+
+let rec powi t n =
+  if is_empty t then empty
+  else if n = 0 then point 1.0
+  else if n < 0 then inv (powi t (-n))
+  else
+    let p x = x ** float_of_int n in
+    if n land 1 = 1 then { lo = down (p t.lo); hi = up (p t.hi) }
+    else if t.lo >= 0.0 then { lo = Float.max 0.0 (down (p t.lo)); hi = up (p t.hi) }
+    else if t.hi <= 0.0 then { lo = Float.max 0.0 (down (p t.hi)); hi = up (p t.lo) }
+    else { lo = 0.0; hi = up (p (Float.max (-.t.lo) t.hi)) }
 
 let split t =
   let m = mid t in
   ({ lo = t.lo; hi = m }, { lo = m; hi = t.hi })
 
-let pp ppf t = Format.fprintf ppf "[%g, %g]" t.lo t.hi
+(* Geometric bisection for log-scaled quantities (positive intervals);
+   falls back to arithmetic bisection otherwise. *)
+let split_log t =
+  if t.lo > 0.0 && t.hi > 0.0 && t.hi < Float.infinity then begin
+    let m = sqrt t.lo *. sqrt t.hi in
+    if t.lo < m && m < t.hi then ({ lo = t.lo; hi = m }, { lo = m; hi = t.hi })
+    else split t
+  end
+  else split t
+
+let pp ppf t =
+  if is_empty t then Format.fprintf ppf "[empty]"
+  else Format.fprintf ppf "[%g, %g]" t.lo t.hi
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,35 +1,100 @@
-(** Closed interval arithmetic.
+(** Closed interval arithmetic, grown into a sound abstract domain.
 
-    Used by the topology-selection subsystem ([15] in the paper): each
-    candidate topology exports achievable performance ranges, and feasibility
-    of a specification set is decided by interval boundary checking. *)
+    Used by the topology-selection subsystem ([15] in the paper) for
+    feasibility boundary checks, and by [Mixsyn_check.Bounds] as the
+    abstract domain of a certified performance-bound interpreter.
+
+    Soundness contract: for every operation [op] here abstracting a real
+    function [f], and every [x] in [a] (and [y] in [b]), [f x y] lies in
+    [op a b].  Inexact operations round outward by one ulp, so the
+    guarantee holds regardless of FPU rounding mode.  The empty interval
+    propagates through every operation; NaN inputs collapse to empty
+    rather than producing garbage bounds. *)
 
 type t = { lo : float; hi : float }
 
+val empty : t
+(** The canonical empty interval.  Test with {!is_empty}, never with [=]. *)
+
+val is_empty : t -> bool
+
+val whole : t
+(** [[-inf, +inf]]: no information. *)
+
 val make : float -> float -> t
-(** [make lo hi]; the bounds are reordered if necessary. *)
+(** [make lo hi]; the bounds are reordered if necessary.
+    @raise Invalid_argument if either bound is NaN. *)
+
+val of_bounds : float -> float -> t
+(** Total variant of {!make}: NaN bounds give {!empty} instead of raising. *)
 
 val point : float -> t
+(** [point nan] is {!empty}. *)
+
 val lo : t -> float
 val hi : t -> float
 val width : t -> float
 val mid : t -> float
 val contains : t -> float -> bool
+val is_point : t -> bool
+
 val subset : t -> t -> bool
-(** [subset a b] is true when [a] lies within [b]. *)
+(** [subset a b] is true when [a] lies within [b]; the empty interval is a
+    subset of everything. *)
 
 val intersects : t -> t -> bool
 val intersect : t -> t -> t option
+
+val meet : t -> t -> t
+(** Total intersection: disjoint or empty operands give {!empty}. *)
+
 val hull : t -> t -> t
 val add : t -> t -> t
 val sub : t -> t -> t
 val mul : t -> t -> t
+
 val div : t -> t -> t option
-(** [None] when the divisor spans zero. *)
+(** [None] when the divisor spans zero (or either operand is empty). *)
+
+val ediv : t -> t -> t
+(** Extended (Kahan) division, total: a zero-spanning divisor yields
+    {!whole} (or a half-line when the numerator's sign pins one side);
+    division by exactly [[0, 0]] yields {!empty}. *)
+
+val inv : t -> t
+(** [ediv (point 1.) t]. *)
 
 val neg : t -> t
 val scale : float -> t -> t
+val abs_ : t -> t
+
+val min_ : t -> t -> t
+(** Elementwise: the image of [Float.min] over the two boxes. *)
+
+val max_ : t -> t -> t
+
+val sqrt_ : t -> t
+(** Clips to the domain [[0, inf)]; an interval entirely below zero is
+    {!empty}. *)
+
+val log_ : t -> t
+(** Natural log, domain [(0, inf)]; an interval touching zero from above
+    gets lower bound [-inf], one entirely at or below zero is {!empty}. *)
+
+val log10_ : t -> t
+val exp_ : t -> t
+val atan_ : t -> t
+
+val powi : t -> int -> t
+(** Integer power with even/odd monotonicity handling; negative exponents
+    go through {!inv}. *)
+
 val split : t -> t * t
 (** Bisection at the midpoint. *)
 
+val split_log : t -> t * t
+(** Geometric bisection for log-scaled quantities; falls back to {!split}
+    when the interval is not strictly positive and finite. *)
+
 val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -113,7 +113,12 @@ let test_record_roundtrip () =
         status = Batch.Completed (Json.Obj [ ("v", Json.Num 1.25) ]) };
       { Batch.rec_id = "bad"; rec_seed = 1_000_007; attempts = 2;
         status = Batch.Failed { Batch.error = "check-failed"; diagnostics = [ "drc.x a: b" ] } };
-      { Batch.rec_id = "slow"; rec_seed = 9; attempts = 1; status = Batch.Timed_out } ]
+      { Batch.rec_id = "slow"; rec_seed = 9; attempts = 1; status = Batch.Timed_out };
+      { Batch.rec_id = "hopeless"; rec_seed = 3; attempts = 0;
+        status =
+          Batch.Infeasible
+            { Batch.inf_spec = "gain_db"; inf_bound = "at least 1000";
+              inf_lo = -30.0; inf_hi = 121.5 } } ]
   in
   List.iter
     (fun r ->
@@ -318,6 +323,91 @@ let test_summary_json_shape () =
   | Some l -> Alcotest.(check int) "records" 3 (List.length l)
   | None -> Alcotest.fail "summary lacks records"
 
+(* --- the static prefilter ------------------------------------------------ *)
+
+let infeasible_line ?(extra = "") id =
+  Printf.sprintf
+    "{\"id\": %S, \"seed\": 5, \"specs\": [{\"name\": \"gain_db\", \"at_least\": 1000.0}], \"topology\": \"ota-5t\"%s}"
+    id extra
+
+let test_prefilter_skips_infeasible () =
+  let manifest =
+    manifest_exn
+      (String.concat "\n"
+         [ "{\"id\": \"fine\", \"seed\": 1}"; infeasible_line "hopeless";
+           "{\"id\": \"fine-2\", \"seed\": 2}" ])
+  in
+  let called = ref [] in
+  let executor (job : Batch.job) ~seed =
+    called := job.Batch.job_id :: !called;
+    cheap_executor job ~seed
+  in
+  let journal = temp_journal () in
+  let s = Batch.run ~jobs:1 ~executor ~journal manifest in
+  Sys.remove journal;
+  Alcotest.(check int) "prefiltered" 1 s.Batch.prefiltered;
+  Alcotest.(check int) "completed" 2 s.Batch.completed;
+  Alcotest.(check (list string)) "executor never saw the hopeless job"
+    [ "fine"; "fine-2" ] (List.sort compare !called);
+  match List.find (fun r -> r.Batch.rec_id = "hopeless") s.Batch.records with
+  | { Batch.status = Batch.Infeasible inf; attempts = 0; _ } ->
+    Alcotest.(check string) "names the spec" "gain_db" inf.Batch.inf_spec;
+    Alcotest.(check string) "names the bound" "at least 1000" inf.Batch.inf_bound;
+    Alcotest.(check bool) "enclosure excludes the bound" true (inf.Batch.inf_hi < 1000.0)
+  | r ->
+    Alcotest.failf "hopeless job recorded with attempts=%d and the wrong status"
+      r.Batch.attempts
+
+let test_prefilter_optional () =
+  let manifest =
+    manifest_exn (String.concat "\n" [ "{\"id\": \"fine\", \"seed\": 1}"; infeasible_line "hopeless" ])
+  in
+  let journal = temp_journal () in
+  let s = Batch.run ~jobs:1 ~prefilter:false ~executor:cheap_executor ~journal manifest in
+  Sys.remove journal;
+  (* the cheap executor happily "completes" the impossible job: with the
+     prefilter off every job must reach the executor *)
+  Alcotest.(check int) "nothing prefiltered" 0 s.Batch.prefiltered;
+  Alcotest.(check int) "all executed" 2 s.Batch.completed
+
+let test_prefilter_never_skips_faults () =
+  (* fault-injected jobs exist to exercise the failure taxonomy; an
+     impossible spec must not divert them from the executor *)
+  let manifest = manifest_exn (infeasible_line ~extra:", \"fault\": \"raise\"" "trap") in
+  let journal = temp_journal () in
+  let s = Batch.run ~jobs:1 ~executor:cheap_executor ~journal manifest in
+  Sys.remove journal;
+  Alcotest.(check int) "nothing prefiltered" 0 s.Batch.prefiltered;
+  match (List.hd s.Batch.records).Batch.status with
+  | Batch.Failed _ -> ()
+  | _ -> Alcotest.fail "fault job must fail in the executor, not prefilter"
+
+let test_prefilter_journal_jobs_invariant () =
+  let manifest =
+    manifest_exn
+      (String.concat "\n"
+         (infeasible_line "hopeless-0"
+          :: List.init 6 (fun i -> Printf.sprintf "{\"id\": \"j%d\", \"seed\": %d}" i (i + 1))
+         @ [ infeasible_line "hopeless-1" ]))
+  in
+  let run jobs =
+    let journal = temp_journal () in
+    let s = Batch.run ~jobs ~executor:cheap_executor ~journal manifest in
+    let bytes = read_file journal in
+    Sys.remove journal;
+    (s, bytes)
+  in
+  let s1, b1 = run 1 in
+  Alcotest.(check int) "prefiltered" 2 s1.Batch.prefiltered;
+  Alcotest.(check int) "completed" 6 s1.Batch.completed;
+  List.iter
+    (fun jobs ->
+      let s, b = run jobs in
+      Alcotest.(check int) (Printf.sprintf "prefiltered at jobs=%d" jobs) 2 s.Batch.prefiltered;
+      if not (String.equal b1 b) then
+        Alcotest.failf "prefiltered journal bytes differ between jobs=1 and jobs=%d" jobs)
+    [ 2; 4 ]
+
 (* --- a real flow under the timeout -------------------------------------- *)
 
 let test_flow_executor_times_out () =
@@ -354,5 +444,10 @@ let () =
           Alcotest.test_case "bad arguments" `Quick test_run_rejects_bad_args;
           Alcotest.test_case "faults isolated" `Quick test_faults_recorded_others_complete;
           Alcotest.test_case "summary json" `Quick test_summary_json_shape ] );
+      ( "prefilter",
+        [ Alcotest.test_case "skips infeasible" `Quick test_prefilter_skips_infeasible;
+          Alcotest.test_case "optional" `Quick test_prefilter_optional;
+          Alcotest.test_case "faults still run" `Quick test_prefilter_never_skips_faults;
+          Alcotest.test_case "jobs invariant" `Quick test_prefilter_journal_jobs_invariant ] );
       ( "flow",
         [ Alcotest.test_case "cooperative timeout" `Slow test_flow_executor_times_out ] ) ]

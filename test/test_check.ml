@@ -310,6 +310,184 @@ let audit_open_net () =
   in
   assert_fires "audit.open-net" (Audit.check nl broken)
 
+(* --- certified bounds ----------------------------------------------------- *)
+
+module B = Mixsyn_check.Bounds
+module Registry = Mixsyn_check.Registry
+module I = Mixsyn_util.Interval
+module Spec = Mixsyn_synth.Spec
+module Eq = Mixsyn_synth.Equations
+module Topo = Mixsyn_circuit.Topology
+
+let modelled () = List.filter Eq.supported Topo.all
+
+let find_template name = List.find (fun (t : Tp.t) -> t.Tp.t_name = name) Topo.all
+
+let pp_iv iv = Format.asprintf "%a" I.pp iv
+
+let bounds_certify_midpoint () =
+  List.iter
+    (fun (t : Tp.t) ->
+      let certified = B.certify ~tech t in
+      Alcotest.(check bool) (t.Tp.t_name ^ " modelled") true (certified <> []);
+      match Eq.evaluate ~tech t (Tp.midpoint t) with
+      | None -> Alcotest.failf "%s: no concrete equations" t.Tp.t_name
+      | Some perf ->
+        List.iter
+          (fun (name, v) ->
+            match List.assoc_opt name certified with
+            | None -> Alcotest.failf "%s: metric %s not certified" t.Tp.t_name name
+            | Some iv ->
+              if not (I.contains iv v) then
+                Alcotest.failf "%s/%s: midpoint value %g outside certified %s"
+                  t.Tp.t_name name v (pp_iv iv))
+          perf)
+    (modelled ())
+
+let bounds_context_pins () =
+  (* pinning a parameter is a sub-box, so by inclusion isotonicity every
+     certified enclosure can only narrow; unknown names must be ignored *)
+  let t = find_template "ota-5t" in
+  let free = B.certify ~tech t in
+  let pinned = B.certify ~tech ~context:[ ("cl", 5e-12); ("no_such_param", 1.0) ] t in
+  Alcotest.(check int) "same metric set" (List.length free) (List.length pinned);
+  List.iter
+    (fun (name, iv) ->
+      let iv0 = List.assoc name free in
+      if not (I.subset iv iv0) then
+        Alcotest.failf "%s: pinned %s escapes free %s" name (pp_iv iv) (pp_iv iv0))
+    pinned
+
+let bounds_infeasible_spec () =
+  let impossible = Spec.spec "gain_db" (Spec.At_least 500.0) in
+  let unknown = Spec.spec "no_such_metric" (Spec.At_least 1.0) in
+  List.iter
+    (fun (t : Tp.t) ->
+      (match B.infeasible_specs ~tech [ impossible; unknown ] t with
+       | [ (s, iv) ] ->
+         Alcotest.(check string) (t.Tp.t_name ^ " flags gain") "gain_db" s.Spec.s_name;
+         Alcotest.(check bool) (t.Tp.t_name ^ " enclosure excludes 500") true
+           (I.hi iv < 500.0)
+       | l ->
+         Alcotest.failf "%s: expected exactly the gain spec, got %d infeasible"
+           t.Tp.t_name (List.length l));
+      Alcotest.(check bool) (t.Tp.t_name ^ " infeasible") false
+        (B.feasible ~tech [ impossible ] t))
+    (modelled ())
+
+let bounds_annotation_drift () =
+  (* the hand-written feasibility tables carry exactly three optimistic
+     claims; anything else appearing here is a regression in the tables or
+     a hole torn in the certified enclosures *)
+  let drifts = List.concat_map (fun t -> B.annotation_drift ~tech t) Topo.all in
+  List.iter
+    (fun (d : D.t) ->
+      Alcotest.(check string) "rule" "feas.annotation-drift" d.D.rule;
+      Alcotest.(check string) "severity" (D.severity_name D.Warning)
+        (D.severity_name d.D.severity))
+    drifts;
+  Alcotest.(check (list string)) "exactly the known drifts"
+    [ "comparator/power_w"; "comparator/ugf_hz"; "folded-cascode/power_w" ]
+    (List.sort compare (List.map (fun (d : D.t) -> d.D.loc) drifts))
+
+let contract_specs =
+  [ Spec.spec "gain_db" (Spec.At_least 70.0); Spec.spec "ugf_hz" (Spec.At_least 1e7) ]
+
+let bounds_contract_prunes () =
+  let t = find_template "ota-5t" in
+  let c = B.contract ~tech ~context:[ ("cl", 5e-12) ] contract_specs t in
+  Alcotest.(check bool) "pruned boxes" true (c.B.pruned > 0);
+  Alcotest.(check bool) "not hopeless" false c.B.c_infeasible;
+  Alcotest.(check bool) "explored more than pruned" true (c.B.explored > c.B.pruned);
+  (* soundness: the contracted box never grows past the original *)
+  Array.iteri
+    (fun i (p : Tp.param) ->
+      let p' = c.B.c_template.Tp.params.(i) in
+      if p'.Tp.lo < p.Tp.lo || p'.Tp.hi > p.Tp.hi then
+        Alcotest.failf "%s: contracted [%g, %g] escapes [%g, %g]" p.Tp.p_name
+          p'.Tp.lo p'.Tp.hi p.Tp.lo p.Tp.hi)
+    t.Tp.params
+
+let bounds_contract_identity () =
+  (* nothing prunes on the miller OTA under these specs, so the contractor
+     must hand back the physically identical template value — that is what
+     keeps the downstream anneal trajectory bit-identical *)
+  let t = Mixsyn_circuit.Topology.miller_ota in
+  let c = B.contract ~tech ~context:[ ("cl", 5e-12) ] contract_specs t in
+  Alcotest.(check int) "nothing pruned" 0 c.B.pruned;
+  Alcotest.(check bool) "identical template value" true (c.B.c_template == t)
+
+let bounds_contract_hopeless () =
+  let t = find_template "ota-5t" in
+  let c = B.contract ~tech [ Spec.spec "gain_db" (Spec.At_least 500.0) ] t in
+  Alcotest.(check bool) "provably hopeless" true c.B.c_infeasible;
+  Alcotest.(check bool) "template unchanged" true (c.B.c_template == t);
+  (* the root box already violates: one evaluation, no splitting *)
+  Alcotest.(check int) "root box pruned" 1 c.B.explored;
+  Alcotest.(check int) "pruned count" 1 c.B.pruned
+
+(* the acceptance criterion for the whole pass: certified enclosures contain
+   every concrete evaluation at >= 1000 random in-box points per topology
+   (Template.random_point samples log-scaled parameters geometrically) *)
+let bounds_soundness () =
+  let samples = 1000 in
+  let ln10_over_20 = Float.log 10.0 /. 20.0 in
+  List.iter
+    (fun (t : Tp.t) ->
+      let certified = B.certify ~tech t in
+      let rng = Mixsyn_util.Rng.create (42 + Hashtbl.hash t.Tp.t_name) in
+      for _ = 1 to samples do
+        let x = Tp.random_point t rng in
+        match Eq.evaluate ~tech t x with
+        | None -> Alcotest.failf "%s: evaluate returned None" t.Tp.t_name
+        | Some perf ->
+          List.iter
+            (fun (name, v) ->
+              match List.assoc_opt name certified with
+              | None -> Alcotest.failf "%s: metric %s not certified" t.Tp.t_name name
+              | Some iv ->
+                if Float.is_nan v || not (I.contains iv v) then
+                  Alcotest.failf "%s/%s: concrete %g escapes certified %s"
+                    t.Tp.t_name name v (pp_iv iv))
+            perf;
+          (* the derived single-pole position, same formula as the certifier *)
+          (match (Spec.lookup perf "gain_db", Spec.lookup perf "ugf_hz") with
+           | Some gain, Some ugf ->
+             let fp = ugf /. Float.exp (gain *. ln10_over_20) in
+             let iv = List.assoc "dominant_pole_hz" certified in
+             if not (I.contains iv fp) then
+               Alcotest.failf "%s/dominant_pole_hz: concrete %g escapes certified %s"
+                 t.Tp.t_name fp (pp_iv iv)
+           | _ -> ())
+      done)
+    (modelled ())
+
+(* --- rule registry --------------------------------------------------------- *)
+
+(* registered last: by the time this runs, every pass exercised above has
+   pushed its rule ids through the Diagnostic constructors.  Fixture ids
+   the plumbing tests invent ("z", "x.warn", ...) carry no real prefix and
+   are skipped; every production-prefixed id must be documented in the
+   registry [msyn lint --list-rules] prints. *)
+let registry_closed () =
+  let production r =
+    List.exists (fun p -> String.starts_with ~prefix:p r)
+      [ "erc."; "drc."; "audit."; "feas." ]
+  in
+  let emitted = List.filter production (D.emitted_rules ()) in
+  Alcotest.(check bool) "passes emitted rules" true (List.length emitted > 10);
+  Alcotest.(check bool) "feas rules exercised" true
+    (List.mem "feas.annotation-drift" emitted);
+  List.iter
+    (fun r ->
+      if not (Registry.known r) then
+        Alcotest.failf "rule %s was emitted but is missing from Registry.all" r)
+    emitted;
+  List.iter
+    (fun (r, doc) ->
+      if String.trim doc = "" then Alcotest.failf "rule %s has an empty doc" r)
+    Registry.all
+
 (* --- lint gate ------------------------------------------------------------ *)
 
 let lint_gate () =
@@ -365,4 +543,17 @@ let () =
           Alcotest.test_case "open net" `Slow audit_open_net ] );
       ( "lint",
         [ Alcotest.test_case "gate telemetry" `Quick lint_gate;
-          Alcotest.test_case "full clean" `Slow lint_full_clean ] ) ]
+          Alcotest.test_case "full clean" `Slow lint_full_clean ] );
+      ( "bounds",
+        [ Alcotest.test_case "midpoint enclosed" `Quick bounds_certify_midpoint;
+          Alcotest.test_case "context pins narrow" `Quick bounds_context_pins;
+          Alcotest.test_case "impossible spec flagged" `Quick bounds_infeasible_spec;
+          Alcotest.test_case "annotation drift" `Quick bounds_annotation_drift;
+          Alcotest.test_case "contract prunes" `Quick bounds_contract_prunes;
+          Alcotest.test_case "contract identity" `Quick bounds_contract_identity;
+          Alcotest.test_case "contract hopeless" `Quick bounds_contract_hopeless;
+          Alcotest.test_case "soundness 1000 samples" `Slow bounds_soundness ] );
+      (* must stay the last suite: it audits every rule id the preceding
+         suites pushed through the Diagnostic constructors *)
+      ( "registry",
+        [ Alcotest.test_case "emitted rules documented" `Quick registry_closed ] ) ]

@@ -27,6 +27,42 @@ let test_flow_end_to_end () =
       then Alcotest.failf "missing stage %s" prefix)
     [ "topology-selection"; "sizing"; "layout"; "extraction" ]
 
+(* --- certified pre-flight gate ------------------------------------------ *)
+
+module D = Mixsyn_check.Diagnostic
+
+let test_flow_gate_infeasible () =
+  (* 500 dB is outside every certified enclosure: the flow must refuse
+     before any sizing or layout work, naming the spec and the rule *)
+  let impossible = [ Spec.spec "gain_db" (Spec.At_least 500.0) ] in
+  match Flow.run ~seed:13 ~specs:impossible ~objectives ~context:[ ("cl", 5e-12) ] () with
+  | _ -> Alcotest.fail "flow accepted a provably impossible spec"
+  | exception Mixsyn_check.Lint.Check_failed ds ->
+    (match List.find_opt (fun (d : D.t) -> d.D.rule = "feas.infeasible-spec") ds with
+     | None -> Alcotest.failf "gate raised without feas.infeasible-spec: %s" (D.to_json ds)
+     | Some d -> Alcotest.(check string) "names the spec" "gain_db" d.D.loc)
+
+let test_flow_fallback_warning () =
+  (* 46..49 dB falls in the gap of every hand feasibility table, yet every
+     certified enclosure reaches it, so the interval screen empties the
+     candidate pool without the pre-flight gate firing: the flow must fall
+     back to the full list loudly, not silently *)
+  Mixsyn_util.Telemetry.reset ();
+  let band = [ Spec.spec "gain_db" (Spec.Between (46.0, 49.0)) ] in
+  (* checks off: the screen and its warning live in topology selection, and
+     the best-effort design this band produces need not pass the layout
+     gates — that is not what is under test here *)
+  let o =
+    Flow.run ~checks:false ~seed:13 ~specs:band ~objectives ~context:[ ("cl", 5e-12) ] ()
+  in
+  if
+    not
+      (List.exists (fun (d : D.t) -> d.D.rule = "feas.no-feasible-topology")
+         o.Flow.diagnostics)
+  then Alcotest.fail "topology fallback happened silently";
+  Alcotest.(check bool) "telemetry counted" true
+    (Mixsyn_util.Telemetry.counter "flow.no-feasible-topology" >= 1)
+
 (* --- layout retry preference ------------------------------------------- *)
 
 let report ~complete ~area =
@@ -75,5 +111,8 @@ let () =
     [ ( "end-to-end",
         [ Alcotest.test_case "specs to layout" `Quick test_flow_end_to_end;
           Alcotest.test_case "parasitic direction" `Quick test_flow_post_layout_never_faster ] );
+      ( "feasibility",
+        [ Alcotest.test_case "gate refuses impossible spec" `Quick test_flow_gate_infeasible;
+          Alcotest.test_case "loud fallback" `Quick test_flow_fallback_warning ] );
       ( "layout-retry",
         [ Alcotest.test_case "keeps routed layout" `Quick test_better_layout_keeps_routed ] ) ]

@@ -160,6 +160,87 @@ let test_prune_identity_at_zero_threshold () =
   let report = S.prune ~value:v ~threshold:0.0 r in
   Alcotest.(check int) "no terms dropped" (A.term_count r) report.S.terms_after
 
+(* --- interval bounds -------------------------------------------------------- *)
+
+module I = Mixsyn_util.Interval
+
+let test_interval_coeffs () =
+  let p = E.add (E.scale 2.0 (E.sym "a")) (E.s_times 1 (E.mul (E.sym "b") (E.sym "c"))) in
+  let ranges = function
+    | "a" -> I.make 1.0 3.0
+    | "b" -> I.make 2.0 4.0
+    | "c" -> I.make 4.0 6.0
+    | _ -> I.point 1.0
+  in
+  let coeffs = E.eval_s_coeffs_interval ranges p in
+  (* a = 2, b = 3, c = 5 (value_of) sit inside the ranges *)
+  let concrete = E.eval_s_coeffs value_of p in
+  Array.iteri
+    (fun k iv ->
+      if not (I.contains iv concrete.(k)) then
+        Alcotest.failf "s^%d: concrete %g outside [%g, %g]" k concrete.(k) (I.lo iv)
+          (I.hi iv))
+    coeffs;
+  (* and the enclosures are the exact interval products here *)
+  Alcotest.(check bool) "c0 = 2*[1,3]" true (I.contains coeffs.(0) 2.0 && I.contains coeffs.(0) 6.0);
+  Alcotest.(check bool) "c1 = [2,4]*[4,6]" true (I.contains coeffs.(1) 8.0 && I.contains coeffs.(1) 24.0)
+
+(* enclosure property on a real amplifier: symbol boxes around the operating
+   point must contain every concrete figure computed at valuations sampled
+   inside those boxes *)
+let test_transfer_bounds_enclose () =
+  let nl, out = ota () in
+  let r = A.transfer nl ~out in
+  let op = Mixsyn_engine.Dc.solve ~tech nl in
+  let v = A.valuation ~tech nl op in
+  let half_band name =
+    let x = v name in
+    let w = 0.5 *. Float.abs x in
+    I.make (x -. w) (x +. w)
+  in
+  let dc = A.bound_dc_gain half_band r in
+  let gbw = A.bound_gbw half_band r in
+  let fp = A.bound_dominant_pole half_band r in
+  Alcotest.(check bool) "dc bound nonempty" false (I.is_empty dc);
+  let num_iv, den_iv = A.bound_num_den half_band r in
+  let rng = Mixsyn_util.Rng.create 31 in
+  for _ = 1 to 200 do
+    (* one concrete valuation drawn uniformly inside every symbol box *)
+    let tbl = Hashtbl.create 16 in
+    let sample name =
+      match Hashtbl.find_opt tbl name with
+      | Some x -> x
+      | None ->
+        let iv = half_band name in
+        let x = Mixsyn_util.Rng.uniform rng (I.lo iv) (I.hi iv) in
+        Hashtbl.add tbl name x;
+        x
+    in
+    let num, den = A.num_den_coeffs sample r in
+    Array.iteri
+      (fun k c ->
+        if not (I.contains num_iv.(k) c) then
+          Alcotest.failf "num s^%d: %g escapes enclosure" k c)
+      num;
+    Array.iteri
+      (fun k c ->
+        if not (I.contains den_iv.(k) c) then
+          Alcotest.failf "den s^%d: %g escapes enclosure" k c)
+      den;
+    if not (I.contains dc (num.(0) /. den.(0))) then
+      Alcotest.failf "dc gain %g escapes %g..%g" (num.(0) /. den.(0)) (I.lo dc) (I.hi dc);
+    let two_pi = 2.0 *. Float.pi in
+    if Array.length den > 1 then begin
+      if not (I.contains gbw (Float.abs num.(0) /. (two_pi *. Float.abs den.(1)))) then
+        Alcotest.fail "gbw escapes enclosure";
+      if not (I.contains fp (Float.abs den.(0) /. (two_pi *. Float.abs den.(1)))) then
+        Alcotest.fail "dominant pole escapes enclosure"
+    end
+  done;
+  (* the operating point itself is one such valuation *)
+  let h0 = (A.eval_rational v r Complex.zero).Complex.re in
+  Alcotest.(check bool) "operating-point gain enclosed" true (I.contains dc h0)
+
 let prop_random_ladder_exact =
   QCheck.Test.make ~name:"symbolic transfer matches numeric AC on random ladders" ~count:40
     QCheck.(pair (int_range 0 5000) (int_range 1 4))
@@ -207,6 +288,9 @@ let () =
         [ Alcotest.test_case "divider" `Quick test_transfer_divider;
           Alcotest.test_case "matches numeric AC" `Quick test_transfer_matches_numeric_ac;
           Alcotest.test_case "valuation" `Quick test_valuation_symbols ] );
+      ( "bounds",
+        [ Alcotest.test_case "interval coefficients" `Quick test_interval_coeffs;
+          Alcotest.test_case "transfer bounds enclose" `Quick test_transfer_bounds_enclose ] );
       ( "properties", [ QCheck_alcotest.to_alcotest prop_random_ladder_exact ] );
       ( "simplify",
         [ Alcotest.test_case "monotone" `Quick test_prune_monotone;

@@ -327,6 +327,79 @@ let test_interval_intersect () =
   | None -> ()
   | Some _ -> Alcotest.fail "expected disjoint"
 
+let test_interval_nan_rejected () =
+  (* [make] is the validating constructor: NaN endpoints must raise rather
+     than silently produce an interval that poisons every later bound *)
+  Alcotest.check_raises "nan lo" (Invalid_argument "Interval.make: NaN bound") (fun () ->
+      ignore (I.make Float.nan 1.0));
+  Alcotest.check_raises "nan hi" (Invalid_argument "Interval.make: NaN bound") (fun () ->
+      ignore (I.make 0.0 Float.nan));
+  (* [of_bounds] is the total variant: NaN collapses to the empty interval *)
+  Alcotest.(check bool) "of_bounds nan empty" true (I.is_empty (I.of_bounds Float.nan 1.0));
+  Alcotest.(check bool) "of_bounds ok" false (I.is_empty (I.of_bounds 1.0 2.0))
+
+let test_interval_empty_propagates () =
+  let e = I.empty and a = I.make 1.0 2.0 in
+  Alcotest.(check bool) "empty is empty" true (I.is_empty e);
+  Alcotest.(check bool) "add" true (I.is_empty (I.add e a));
+  Alcotest.(check bool) "mul" true (I.is_empty (I.mul a e));
+  Alcotest.(check bool) "neg" true (I.is_empty (I.neg e));
+  Alcotest.(check bool) "ediv num" true (I.is_empty (I.ediv e a));
+  Alcotest.(check bool) "sqrt" true (I.is_empty (I.sqrt_ e));
+  Alcotest.(check bool) "contains nothing" false (I.contains e 0.0);
+  Alcotest.(check bool) "width 0" true (I.width e = 0.0);
+  Alcotest.(check bool) "hull absorbs" true (I.hull e a = a);
+  Alcotest.(check bool) "subset of all" true (I.subset e a)
+
+let test_interval_ediv_cases () =
+  (* Kahan extended division: never raises, never returns NaN bounds *)
+  let whole = I.ediv (I.make 1.0 2.0) (I.make (-1.0) 1.0) in
+  Alcotest.(check bool) "span -> whole" true
+    (I.lo whole = Float.neg_infinity && I.hi whole = Float.infinity);
+  Alcotest.(check bool) "zero divisor -> empty" true
+    (I.is_empty (I.ediv (I.make 1.0 2.0) (I.point 0.0)));
+  (* 0 / nonzero: zero up to outward rounding (one ulp around 0) *)
+  let zero_num = I.ediv (I.point 0.0) (I.make 1.0 2.0) in
+  Alcotest.(check bool) "0/x ~ 0" true
+    (I.contains zero_num 0.0 && I.width zero_num < 1e-300);
+  (* 0 / zero-spanning: the quotient set really is {0} *)
+  let zero_span = I.ediv (I.point 0.0) (I.make (-1.0) 1.0) in
+  Alcotest.(check bool) "0/span = 0" true (I.lo zero_span = 0.0 && I.hi zero_span = 0.0);
+  (* divisor pinned at zero on one side: a half-line, sign from numerator *)
+  let half = I.ediv (I.make 1.0 2.0) (I.make 0.0 4.0) in
+  Alcotest.(check bool) "half-line up" true
+    (I.lo half >= 0.25 -. 1e-12 && I.hi half = Float.infinity);
+  let nhalf = I.ediv (I.make (-2.0) (-1.0)) (I.make 0.0 4.0) in
+  Alcotest.(check bool) "half-line down" true
+    (I.lo nhalf = Float.neg_infinity && I.hi nhalf <= -0.25 +. 1e-12);
+  (* plain division still outward-contains the true quotient set *)
+  let q = I.ediv (I.make 1.0 2.0) (I.make 4.0 8.0) in
+  Alcotest.(check bool) "plain" true (I.contains q 0.125 && I.contains q 0.5)
+
+let test_interval_domain_clipping () =
+  Alcotest.(check bool) "sqrt of negative -> empty" true
+    (I.is_empty (I.sqrt_ (I.make (-4.0) (-1.0))));
+  let s = I.sqrt_ (I.make (-4.0) 9.0) in
+  Alcotest.(check bool) "sqrt clips lo" true (I.lo s = 0.0 && I.contains s 3.0);
+  Alcotest.(check bool) "log of nonpositive -> empty" true
+    (I.is_empty (I.log10_ (I.make (-2.0) 0.0)));
+  let l = I.log10_ (I.make 0.0 100.0) in
+  Alcotest.(check bool) "log spans -inf" true
+    (I.lo l = Float.neg_infinity && I.contains l 2.0);
+  let e = I.exp_ (I.make (-1.0) 1.0) in
+  Alcotest.(check bool) "exp positive" true (I.lo e >= 0.0 && I.contains e (Float.exp 1.0))
+
+let test_interval_powi () =
+  let a = I.make (-2.0) 3.0 in
+  let sq = I.powi a 2 in
+  Alcotest.(check bool) "even power spans zero" true
+    (I.lo sq <= 0.0 && I.contains sq 9.0 && I.contains sq 4.0 && not (I.contains sq 10.0));
+  let cube = I.powi a 3 in
+  Alcotest.(check bool) "odd power monotone" true
+    (I.contains cube (-8.0) && I.contains cube 27.0);
+  let one = I.powi a 0 in
+  Alcotest.(check bool) "zeroth power" true (I.lo one = 1.0 && I.hi one = 1.0)
+
 (* --- stats ------------------------------------------------------------- *)
 
 let test_stats_known () =
@@ -658,6 +731,30 @@ let prop_interval_mul_contains =
       let x = a +. (wa /. 2.0) and y = b +. (wb /. 4.0) in
       I.contains (I.mul ia ib) (x *. y))
 
+let prop_interval_ediv_contains =
+  QCheck.Test.make ~name:"interval ediv contains pointwise quotient" ~count:500
+    QCheck.(quad (float_range (-10.) 10.) (float_range 0. 5.)
+              (float_range (-10.) 10.) (float_range 0. 5.))
+    (fun (a, wa, b, wb) ->
+      let ia = I.make a (a +. wa) and ib = I.make b (b +. wb) in
+      let x = a +. (wa /. 2.0) and y = b +. (wb /. 3.0) in
+      QCheck.assume (y <> 0.0);
+      I.contains (I.ediv ia ib) (x /. y))
+
+let prop_interval_monotone_contains =
+  (* sqrt/exp/log/powi over a positive box must enclose every pointwise
+     image, outward rounding included *)
+  QCheck.Test.make ~name:"interval sqrt/exp/log/powi contain pointwise image" ~count:500
+    QCheck.(triple (float_range 0.01 50.) (float_range 0. 10.) (float_range 0. 1.))
+    (fun (a, w, frac) ->
+      let ia = I.make a (a +. w) in
+      let x = a +. (frac *. w) in
+      I.contains (I.sqrt_ ia) (sqrt x)
+      && I.contains (I.exp_ (I.scale 0.1 ia)) (Float.exp (0.1 *. x))
+      && I.contains (I.log10_ ia) (Float.log10 x)
+      && I.contains (I.powi ia 3) (x *. x *. x)
+      && I.contains (I.powi ia 2) (x *. x))
+
 let prop_poly_add_eval =
   QCheck.Test.make ~name:"poly add is pointwise" ~count:300
     QCheck.(pair (list_of_size (Gen.int_range 1 6) (float_range (-5.) 5.))
@@ -748,8 +845,15 @@ let () =
           Alcotest.test_case "reorder" `Quick test_interval_reorder;
           Alcotest.test_case "div by zero-span" `Quick test_interval_div_by_zero_span;
           Alcotest.test_case "intersect" `Quick test_interval_intersect;
+          Alcotest.test_case "nan rejected" `Quick test_interval_nan_rejected;
+          Alcotest.test_case "empty propagates" `Quick test_interval_empty_propagates;
+          Alcotest.test_case "ediv cases" `Quick test_interval_ediv_cases;
+          Alcotest.test_case "domain clipping" `Quick test_interval_domain_clipping;
+          Alcotest.test_case "powi" `Quick test_interval_powi;
           qt prop_interval_add_contains;
-          qt prop_interval_mul_contains ] );
+          qt prop_interval_mul_contains;
+          qt prop_interval_ediv_contains;
+          qt prop_interval_monotone_contains ] );
       ( "stats",
         [ Alcotest.test_case "known values" `Quick test_stats_known;
           Alcotest.test_case "linear fit" `Quick test_stats_linear_fit;

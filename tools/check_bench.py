@@ -13,17 +13,20 @@ dispatches on the report's "experiment" field:
             the best speedup must clear --min-speedup (default 1.0), and
             any bench named in --max-minor-words must stay under its
             minor-allocation cap (words per solve, measured at --jobs 1);
-  batch:    every job completes, the journal must be byte-identical
-            between sequential and parallel runs and across a resume from
-            a torn journal, parallel throughput must clear
-            --min-batch-speedup, and per-job allocation must stay under
-            --max-batch-minor-words when given.
+  batch:    every job either completes or is prefiltered as provably
+            infeasible (completed + prefiltered_jobs == n_jobs), at least
+            --min-prefiltered jobs must have been prefiltered, the journal
+            must be byte-identical between sequential and parallel runs
+            and across a resume from a torn journal, parallel throughput
+            must clear --min-batch-speedup, and per-job allocation must
+            stay under --max-batch-minor-words when given.
 
 Smoke mode drives the real `msyn batch` CLI through an interruption:
 
     tools/check_bench.py --smoke examples/batch_manifest.jsonl \
         --msyn _build/default/bin/msyn.exe --jobs 4 \
-        --expect-failed inject-raise --expect-timed-out inject-hang
+        --expect-failed inject-raise --expect-timed-out inject-hang \
+        --expect-infeasible infeasible-gain
 
 It runs the manifest to completion at --jobs 1, then runs it again at
 --jobs N, SIGKILLs that run mid-flight, appends a torn half-record to the
@@ -89,8 +92,17 @@ def check_parallel(report, args):
 def check_batch(report, args):
     if report["jobs"] < args.min_jobs:
         fail(f"batch bench ran at {report['jobs']} jobs, need >= {args.min_jobs}")
-    if report["completed"] != report["n_jobs"]:
-        fail(f"only {report['completed']}/{report['n_jobs']} batch jobs completed")
+    prefiltered = report.get("prefiltered_jobs", 0)
+    if report["completed"] + prefiltered != report["n_jobs"]:
+        fail(
+            f"only {report['completed']} completed + {prefiltered} prefiltered "
+            f"of {report['n_jobs']} batch jobs"
+        )
+    if prefiltered < args.min_prefiltered:
+        fail(
+            f"only {prefiltered} jobs prefiltered as infeasible, "
+            f"need >= {args.min_prefiltered} (is the static prefilter wired in?)"
+        )
     if not report["identical"]:
         fail("batch journal differs between sequential and parallel runs")
     if not report["resume_identical"]:
@@ -112,7 +124,8 @@ def check_batch(report, args):
                 f"cap is {args.max_batch_minor_words}"
             )
     print(
-        f"ok: {report['n_jobs']} jobs, {report['jobs_per_s']} jobs/s at "
+        f"ok: {report['n_jobs']} jobs ({prefiltered} prefiltered), "
+        f"{report['jobs_per_s']} jobs/s at "
         f"{report['jobs']} workers, journals identical (resume skipped "
         f"{report['resume_skipped']})"
     )
@@ -155,6 +168,12 @@ def check_expectations(records, args):
         status = records.get(job_id, {}).get("status")
         if status != "timed_out":
             fail(f"job {job_id} should be timed_out, is {status!r}")
+    for job_id in args.expect_infeasible:
+        record = records.get(job_id, {})
+        if record.get("status") != "infeasible":
+            fail(f"job {job_id} should be infeasible, is {record.get('status')!r}")
+        if record.get("attempts") != 0 or "spec" not in record or "bound" not in record:
+            fail(f"infeasible record for {job_id} is malformed: {record}")
 
 
 def run_smoke(args):
@@ -222,6 +241,9 @@ def main():
                         "(e.g. ac-sweep=400); repeatable")
     p.add_argument("--max-batch-minor-words", type=float, default=None,
                    metavar="WORDS", help="batch: cap minor words per job")
+    p.add_argument("--min-prefiltered", type=int, default=0,
+                   help="batch: require at least this many jobs skipped as "
+                        "provably infeasible by the static prefilter")
     p.add_argument("--smoke", metavar="MANIFEST", dest="manifest",
                    help="run the kill/resume smoke against this manifest")
     p.add_argument("--msyn", default="_build/default/bin/msyn.exe",
@@ -232,6 +254,7 @@ def main():
                    help="give up waiting for the first record after this long")
     p.add_argument("--expect-failed", action="append", default=[], metavar="ID")
     p.add_argument("--expect-timed-out", action="append", default=[], metavar="ID")
+    p.add_argument("--expect-infeasible", action="append", default=[], metavar="ID")
     args = p.parse_args()
     if not args.reports and not args.manifest:
         p.error("nothing to do: pass BENCH_*.json files and/or --smoke MANIFEST")
