@@ -530,12 +530,32 @@ let write_file path contents =
   output_string oc contents;
   close_out oc
 
+(* wall-clock stability: every timed experiment runs [bench_repeats ()]
+   times (>= 3 by default) and reports the median and the min, so a
+   one-off scheduler hiccup can't fake a regression — or a speedup *)
+let bench_repeats () =
+  match Option.bind (Sys.getenv_opt "MIXSYN_BENCH_REPEATS") int_of_string_opt with
+  | Some r when r >= 1 -> r
+  | Some _ | None -> 3
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let k = Array.length a in
+  if k = 0 then 0.0
+  else if k mod 2 = 1 then a.(k / 2)
+  else 0.5 *. (a.((k / 2) - 1) +. a.(k / 2))
+
+let fmin xs = List.fold_left Float.min infinity xs
+
 let run_parallel () =
   banner "Parallel: domain-pool speedup on the hot evaluation loops";
   let jobs = max 2 (Mixsyn_util.Pool.default_jobs ()) in
+  let repeats = bench_repeats () in
+  let gc0 = Gc.quick_stat () in
   Printf.printf
-    "each loop runs at --jobs 1 then --jobs %d on the same seed; the\ndeterministic reduction makes the results bit-identical.\n\n"
-    jobs;
+    "each loop runs at --jobs 1 then --jobs %d on the same seed (%d repeats,\nmedian reported); the deterministic reduction makes the results bit-identical.\n\n"
+    jobs repeats;
   let time f =
     let t0 = Unix.gettimeofday () in
     let r = f () in
@@ -543,18 +563,27 @@ let run_parallel () =
   in
   let rows = ref [] in
   let bench ~items name f =
-    (* allocation is measured on the sequential run: at --jobs 1 every
-       solve happens on this domain, so [Gc.minor_words] is exact *)
+    (* allocation is measured on the first sequential run: at --jobs 1
+       every solve happens on this domain, so [Gc.minor_words] is exact *)
     let w0 = Gc.minor_words () in
-    let seq, seq_s = time (fun () -> f 1) in
+    let seq, seq_s0 = time (fun () -> f 1) in
     let words_per_item = (Gc.minor_words () -. w0) /. float_of_int (max 1 items) in
-    let par, par_s = time (fun () -> f jobs) in
+    let seq_ss =
+      seq_s0 :: List.init (repeats - 1) (fun _ -> snd (time (fun () -> f 1)))
+    in
+    let par, par_s0 = time (fun () -> f jobs) in
+    let par_ss =
+      par_s0 :: List.init (repeats - 1) (fun _ -> snd (time (fun () -> f jobs)))
+    in
+    let seq_s = median seq_ss and par_s = median par_ss in
     let speedup = seq_s /. Float.max par_s 1e-9 in
     let identical = seq = par in
     Printf.printf
       "%-20s seq %7.3fs  par %7.3fs  speedup %5.2fx  identical %b  %8.0f w/item\n" name
       seq_s par_s speedup identical words_per_item;
-    rows := (name, seq_s, par_s, speedup, identical, words_per_item) :: !rows
+    rows :=
+      (name, seq_s, fmin seq_ss, par_s, fmin par_ss, speedup, identical, words_per_item)
+      :: !rows
   in
   let nl =
     Top.miller_ota.Tp.build tech
@@ -591,21 +620,24 @@ let run_parallel () =
       (Mixsyn_engine.Ac.solve ~tech ~jobs:j nl op ~freqs).Mixsyn_engine.Ac.solutions);
   let rows = List.rev !rows in
   let best_speedup =
-    List.fold_left (fun acc (_, _, _, s, _, _) -> Float.max acc s) 0.0 rows
+    List.fold_left (fun acc (_, _, _, _, _, s, _, _) -> Float.max acc s) 0.0 rows
   in
   let benches_json =
     String.concat ","
       (List.map
-         (fun (n, s, p, sp, id, w) ->
+         (fun (n, s, smin, p, pmin, sp, id, w) ->
            Printf.sprintf
-             "{\"name\":\"%s\",\"seq_s\":%.4f,\"par_s\":%.4f,\"speedup\":%.3f,\"identical\":%b,\"minor_words_per_item\":%.1f}"
-             n s p sp id w)
+             "{\"name\":\"%s\",\"seq_s\":%.4f,\"seq_s_min\":%.4f,\"par_s\":%.4f,\"par_s_min\":%.4f,\"speedup\":%.3f,\"identical\":%b,\"minor_words_per_item\":%.1f}"
+             n s smin p pmin sp id w)
          rows)
   in
+  let gc1 = Gc.quick_stat () in
   write_file "BENCH_parallel.json"
     (Printf.sprintf
-       "{\"experiment\":\"parallel\",\"jobs\":%d,\"benches\":[%s],\"best_speedup\":%.3f}\n"
-       jobs benches_json best_speedup);
+       "{\"experiment\":\"parallel\",\"jobs\":%d,\"repeats\":%d,\"benches\":[%s],\"best_speedup\":%.3f,\"gc_minor\":%d,\"gc_major\":%d}\n"
+       jobs repeats benches_json best_speedup
+       (gc1.Gc.minor_collections - gc0.Gc.minor_collections)
+       (gc1.Gc.major_collections - gc0.Gc.major_collections));
   Printf.printf "\nbest speedup %.2fx at %d jobs (recorded in BENCH_parallel.json)\n"
     best_speedup jobs
 
@@ -674,11 +706,25 @@ let run_batch () =
   let j_par = Filename.temp_file "msyn_bench_batch_par" ".journal" in
   Sys.remove j_seq;
   Sys.remove j_par;
+  let repeats = bench_repeats () in
+  let gc0 = Gc.quick_stat () in
+  (* a repeat must start from a clean journal — resuming a finished one
+     would just skip every job — so the journal is deleted between runs;
+     the bytes compared below come from the first run of each mode *)
+  let rerun ~jobs journal =
+    List.init (repeats - 1) (fun _ ->
+        Sys.remove journal;
+        snd (time (fun () -> Batch.run ~jobs ~executor ~journal manifest)))
+  in
   let w0 = Gc.minor_words () in
-  let s_seq, seq_s = time (fun () -> Batch.run ~jobs:1 ~executor ~journal:j_seq manifest) in
+  let s_seq, seq_s0 = time (fun () -> Batch.run ~jobs:1 ~executor ~journal:j_seq manifest) in
   let minor_words_per_job = (Gc.minor_words () -. w0) /. float_of_int n in
-  let s_par, par_s = time (fun () -> Batch.run ~jobs ~executor ~journal:j_par manifest) in
-  let bytes_seq = read j_seq and bytes_par = read j_par in
+  let bytes_seq = read j_seq in
+  let seq_ss = seq_s0 :: rerun ~jobs:1 j_seq in
+  let s_par, par_s0 = time (fun () -> Batch.run ~jobs ~executor ~journal:j_par manifest) in
+  let bytes_par = read j_par in
+  let par_ss = par_s0 :: rerun ~jobs j_par in
+  let seq_s = median seq_ss and par_s = median par_ss in
   let identical = String.equal bytes_seq bytes_par in
   (* simulate an interruption: keep the first half of the parallel journal
      plus a torn final line, then resume and demand the same bytes again *)
@@ -711,12 +757,16 @@ let run_batch () =
       s_par.Batch.prefiltered n_infeasible;
   Sys.remove j_seq;
   Sys.remove j_par;
+  let gc1 = Gc.quick_stat () in
   write_file "BENCH_batch.json"
     (Printf.sprintf
-       "{\"experiment\":\"batch\",\"jobs\":%d,\"n_jobs\":%d,\"completed\":%d,\"prefiltered_jobs\":%d,\"seq_s\":%.4f,\"par_s\":%.4f,\"speedup\":%.3f,\"jobs_per_s\":%.2f,\"identical\":%b,\"resume_identical\":%b,\"resume_skipped\":%d,\"minor_words_per_job\":%.1f}\n"
-       jobs n s_par.Batch.completed s_par.Batch.prefiltered seq_s par_s
+       "{\"experiment\":\"batch\",\"jobs\":%d,\"n_jobs\":%d,\"repeats\":%d,\"completed\":%d,\"prefiltered_jobs\":%d,\"seq_s\":%.4f,\"seq_s_min\":%.4f,\"par_s\":%.4f,\"par_s_min\":%.4f,\"speedup\":%.3f,\"jobs_per_s\":%.2f,\"identical\":%b,\"resume_identical\":%b,\"resume_skipped\":%d,\"minor_words_per_job\":%.1f,\"gc_minor\":%d,\"gc_major\":%d}\n"
+       jobs n repeats s_par.Batch.completed s_par.Batch.prefiltered seq_s (fmin seq_ss)
+       par_s (fmin par_ss)
        (seq_s /. Float.max par_s 1e-9)
-       throughput identical resume_identical s_res.Batch.skipped minor_words_per_job);
+       throughput identical resume_identical s_res.Batch.skipped minor_words_per_job
+       (gc1.Gc.minor_collections - gc0.Gc.minor_collections)
+       (gc1.Gc.major_collections - gc0.Gc.major_collections));
   Printf.printf "\n%d jobs, %.1f jobs/s at %d workers (recorded in BENCH_batch.json)\n" n
     throughput jobs
 
@@ -738,15 +788,35 @@ let all =
 (* experiments that write their own richer BENCH_<name>.json *)
 let self_reporting = [ "parallel"; "batch" ]
 
+(* run repeats with stdout parked on /dev/null: the repeat is purely for
+   timing, and every experiment prints its tables as it runs *)
+let quiet f =
+  flush stdout;
+  Format.print_flush ();
+  let saved = Unix.dup Unix.stdout in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  Unix.dup2 devnull Unix.stdout;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Format.print_flush ();
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved;
+      Unix.close devnull)
+    f
+
 (* run one experiment inside a fresh telemetry scope and print its report,
    so each table/figure comes with the counters and spans that produced it;
-   a machine-readable BENCH_<name>.json records wall time and evaluation
-   throughput for trend tracking *)
+   a machine-readable BENCH_<name>.json records median/min wall time over
+   [bench_repeats ()] runs, evaluation throughput and the GC collections
+   the experiment caused, for trend tracking.  Self-reporting experiments
+   repeat internally and are run once here. *)
 let run_one (name, f) =
   Mixsyn_util.Telemetry.reset ();
+  let gc0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in
   f ();
-  let wall_s = Unix.gettimeofday () -. t0 in
+  let wall_s0 = Unix.gettimeofday () -. t0 in
   if not (List.mem name self_reporting) then begin
     let evals =
       List.fold_left
@@ -754,14 +824,28 @@ let run_one (name, f) =
         0
         [ "sizing.evaluator_invocations"; "anneal.proposed"; "ac.freq_points" ]
     in
+    let walls =
+      wall_s0
+      :: List.init
+           (bench_repeats () - 1)
+           (fun _ ->
+             Mixsyn_util.Telemetry.reset ();
+             let t0 = Unix.gettimeofday () in
+             quiet f;
+             Unix.gettimeofday () -. t0)
+    in
+    let gc1 = Gc.quick_stat () in
+    let wall_s = median walls in
     write_file
       (Printf.sprintf "BENCH_%s.json" name)
       (Printf.sprintf
-         "{\"experiment\":\"%s\",\"wall_s\":%.4f,\"jobs\":%d,\"evals\":%d,\"evals_per_s\":%.1f}\n"
-         name wall_s
+         "{\"experiment\":\"%s\",\"wall_s\":%.4f,\"wall_s_min\":%.4f,\"repeats\":%d,\"jobs\":%d,\"evals\":%d,\"evals_per_s\":%.1f,\"gc_minor\":%d,\"gc_major\":%d}\n"
+         name wall_s (fmin walls) (List.length walls)
          (Mixsyn_util.Pool.default_jobs ())
          evals
-         (float_of_int evals /. Float.max wall_s 1e-9))
+         (float_of_int evals /. Float.max wall_s 1e-9)
+         (gc1.Gc.minor_collections - gc0.Gc.minor_collections)
+         (gc1.Gc.major_collections - gc0.Gc.major_collections))
   end;
   Printf.printf "\n-- telemetry: %s --\n" name;
   Format.printf "%a@." Mixsyn_util.Telemetry.pp_report ()

@@ -782,7 +782,21 @@ let main =
           workers claim that many consecutive items per atomic fetch.  Larger chunks \
           amortize claim overhead across fine items such as AC frequency points; \
           $(b,chunk = 1) keeps coarse items (annealing chains) evenly spread.  Like \
-          $(b,--jobs), it changes scheduling only — never the result." ]
+          $(b,--jobs), it changes scheduling only — never the result.";
+      `P "Parallelism does not always pay.  Each wired loop carries a learned \
+          per-item cost estimate; when the estimated total work of a call falls \
+          under $(b,MIXSYN_POOL_MIN_WORK_US) microseconds (default 1000), the pool \
+          runs it inline on the calling domain instead of waking workers — counted \
+          as $(b,pool.grain_fallbacks) in the telemetry report, and still \
+          bit-identical.  Set it to $(b,0) to always go parallel.";
+      `P "Worker domains run with an enlarged minor heap — $(b,MIXSYN_MINOR_HEAP) \
+          words, default 4194304, minimum 65536 — because OCaml's stop-the-world \
+          minor collections pause every domain: allocation-heavy workers throttle \
+          each other, and on such workloads $(b,--jobs) 4 can lose to $(b,--jobs) 1. \
+          The $(b,pool.minor_collections) / $(b,pool.major_collections) telemetry \
+          counters report the collections observed during parallel regions; if they \
+          grow with the job count, reduce allocation (or raise the minor heap) \
+          before adding workers." ]
   in
   Cmd.group
     (Cmd.info "msyn" ~version:"1.0.0" ~doc ~man)

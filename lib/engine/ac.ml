@@ -109,6 +109,10 @@ let solve_point fs omega =
       Fmat.Cplx.solve ws x;
       x)
 
+(* short sweeps over small systems (a flow's 40-point Bode probe) lose
+   more to fan-out than they gain; the grain lets the pool learn that *)
+let sweep_grain = Mixsyn_util.Pool.grain "ac.sweep"
+
 let solve ?(tech = Mixsyn_circuit.Tech.generic_07um) ?jobs ?chunk nl op ~freqs =
   Mixsyn_util.Telemetry.count "ac.solves";
   Mixsyn_util.Telemetry.add "ac.freq_points" (Array.length freqs);
@@ -117,7 +121,7 @@ let solve ?(tech = Mixsyn_circuit.Tech.generic_07um) ?jobs ?chunk nl op ~freqs =
      shared read-only flat system; workers claim contiguous frequency
      bands (Pool's chunking) and results land in frequency order *)
   let solutions =
-    Mixsyn_util.Pool.parallel_map ?jobs ?chunk
+    Mixsyn_util.Pool.parallel_map ?jobs ?chunk ~grain:sweep_grain
       (fun f -> solve_point fs (2.0 *. Float.pi *. f))
       freqs
   in

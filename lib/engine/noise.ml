@@ -26,6 +26,8 @@ let integrate series =
   done;
   !acc
 
+let sweep_grain = Mixsyn_util.Pool.grain "noise.sweep"
+
 let analyze ?(tech = Mixsyn_circuit.Tech.generic_07um) ?jobs ?chunk nl op ~out ~freqs =
   let g, c, _b = Ac.build_system tech nl op in
   let n = Array.length g in
@@ -83,6 +85,6 @@ let analyze ?(tech = Mixsyn_circuit.Tech.generic_07um) ?jobs ?chunk nl op ~out ~
   in
   (* one adjoint solve per frequency, independent given the shared
      read-only flat (g, c) — fan out in frequency bands, in order *)
-  let points = Mixsyn_util.Pool.parallel_map ?jobs ?chunk point_at freqs in
+  let points = Mixsyn_util.Pool.parallel_map ?jobs ?chunk ~grain:sweep_grain point_at freqs in
   let series = Array.map (fun p -> (p.freq, p.total_psd)) points in
   { points; integrated_rms = sqrt (integrate series) }

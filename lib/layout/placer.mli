@@ -50,6 +50,60 @@ val cost_parts :
   float * float * float * float
 (** (overlap area, bbox area, wirelength, symmetry violation) — raw terms. *)
 
+(** Incremental cost evaluator — the annealer's hot path.
+
+    An [Eval.t] owns one placement in flat arrays (per-cell footprint and
+    halo-bloated boxes, per-net HPWL bounds over precomputed transformed
+    pin offsets) and evaluates a tentative move by recomputing only what
+    the move touches, in O(cells on the affected nets + n) flops with no
+    allocation — instead of the O(n^2) full-geometry rebuild the
+    per-placement {!cost_parts} pays.  Every cached quantity is recomputed
+    with arithmetic identical to a from-scratch build, so after {e any}
+    sequence of moves/commits/reverts the evaluator's state — and hence
+    {!Eval.cost_parts} — is bit-equal to a fresh evaluator on the same
+    placement.  One evaluator per annealing chain; instances share only
+    immutable tables and are never thread-safe individually. *)
+module Eval : sig
+  type t
+
+  val create :
+    ?rules:Rules.t -> ?weights:weights -> item array -> symmetry -> placement -> t
+  (** Build tables and state for this placement.
+      @raise Invalid_argument on an empty item set or length mismatch. *)
+
+  val cost_parts : t -> float * float * float * float
+  (** Raw terms of the current placement, summed in a fixed order
+      (overlap row-major over index pairs, nets ascending by id). *)
+
+  val cost : t -> float
+  (** The weighted scalar the annealer minimizes. *)
+
+  val set_site : t -> int -> site -> float
+  (** Tentatively re-site cell [i]; returns the exact weighted cost delta.
+      Must be resolved by {!commit} or {!revert} before the next move.
+      @raise Invalid_argument while another move is pending. *)
+
+  val swap_positions : t -> int -> int -> float
+  (** Tentatively exchange the positions of two cells (variants and
+      orientations stay); returns the weighted delta.
+      @raise Invalid_argument while a move is pending or when [i = j]. *)
+
+  val commit : t -> unit
+  (** Accept the pending move. *)
+
+  val revert : t -> unit
+  (** Undo the pending move exactly (no-op when none is pending). *)
+
+  val remember : t -> unit
+  (** Snapshot the current placement (the annealer's best-seen). *)
+
+  val recall : t -> unit
+  (** Restore the snapshot, discarding any pending move. *)
+
+  val placement : t -> placement
+  (** The current placement, as ordinary sites. *)
+end
+
 val place :
   ?rules:Rules.t ->
   ?weights:weights ->

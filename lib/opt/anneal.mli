@@ -61,3 +61,54 @@ val minimize_multistart :
     single chain consumes [rng] directly, without splitting.
     @raise Invalid_argument when [restarts < 1] or the schedule is
     divergent. *)
+
+(** {2 Move-based annealing over mutable state}
+
+    The pure {!problem} API clones the whole state per proposal — fine for
+    parameter vectors, ruinous for placement, where every clone rebuilds
+    geometry and the resulting allocation storm makes OCaml 5's
+    stop-the-world minor collections serialize all domains.  A {!moves}
+    problem owns {e one} mutable state per chain and evaluates each
+    proposal as an O(move) cost {e delta} instead. *)
+
+type 's moves = {
+  create : unit -> 's;
+      (** fresh chain state at the initial configuration; called once per
+          chain, on the domain that runs the chain *)
+  full_cost : 's -> float;
+      (** exact cost of the current configuration (used at chain start,
+          once per stage to resync accumulated deltas, and for the final
+          reported cost) *)
+  propose : 's -> Mixsyn_util.Rng.t -> temp01:float -> float;
+      (** apply one tentative move in place and return its exact weighted
+          cost delta; the annealer follows up with [commit] or [revert] *)
+  commit : 's -> unit;  (** keep the tentative move *)
+  revert : 's -> unit;  (** undo it exactly *)
+  remember : 's -> unit;  (** snapshot the current configuration as best *)
+  recall : 's -> unit;  (** restore the last remembered snapshot *)
+}
+
+val minimize_moves :
+  ?schedule:schedule -> rng:Mixsyn_util.Rng.t -> 's moves -> 's outcome
+(** One chain over one mutable state.  The RNG draw sequence matches
+    {!minimize} exactly (one acceptance draw, only when [delta > 0]), the
+    running cost is resynced with [full_cost] at every stage so
+    accumulated-delta float drift never exceeds one stage, and [best_cost]
+    is the exact [full_cost] of the restored best state.  [outcome.best]
+    is the chain's state after [recall] — mutable, owned by the caller.
+    Reports the same telemetry counters as {!minimize}.
+    @raise Invalid_argument for divergent schedules, as {!minimize}. *)
+
+val minimize_moves_multistart :
+  ?schedule:schedule ->
+  ?jobs:int ->
+  restarts:int ->
+  rng:Mixsyn_util.Rng.t ->
+  's moves ->
+  's outcome
+(** Independent chains on the pool, one {!moves.create}d state per chain
+    (nothing mutable is shared), with the same split-stream/chunk-1/
+    restart-order reduction as {!minimize_multistart} — the outcome
+    depends only on [rng] and [restarts], never on [jobs].
+    @raise Invalid_argument when [restarts < 1] or the schedule is
+    divergent. *)

@@ -48,6 +48,66 @@ let default_jobs () =
     | Some n -> n
     | None -> clamp_jobs (Domain.recommended_domain_count ())
 
+(* ---- GC awareness ----------------------------------------------------- *)
+
+(* In OCaml 5 a minor collection stops *every* domain, so an allocating
+   hot loop on one worker stalls the whole pool.  Workers therefore get a
+   generous minor heap on spawn (fewer, larger stop-the-world pauses), and
+   every parallel call surfaces the collection counts it caused through
+   Telemetry, so allocation regressions show up in bench trajectories. *)
+
+let min_worker_minor_heap = 1 lsl 16 (* 64k words, the stdlib floor *)
+let default_worker_minor_heap = 1 lsl 22 (* 4M words *)
+
+let worker_minor_heap =
+  let init =
+    match Option.bind (Sys.getenv_opt "MIXSYN_MINOR_HEAP") int_of_string_opt with
+    | Some w when w >= min_worker_minor_heap -> w
+    | Some _ | None -> default_worker_minor_heap
+  in
+  Atomic.make init
+
+let set_worker_minor_heap_words w =
+  if w < min_worker_minor_heap then
+    invalid_arg
+      (Printf.sprintf "Pool.set_worker_minor_heap_words: %d below %d words" w
+         min_worker_minor_heap);
+  Atomic.set worker_minor_heap w
+
+let worker_minor_heap_words () = Atomic.get worker_minor_heap
+
+(* ---- granularity awareness -------------------------------------------- *)
+
+(* A parallel call over 6 ms of total work loses more to fan-out (queue
+   wakeups, cache misses, the stop-the-world exposure of extra running
+   domains) than it gains.  A [grain] remembers, per call site, roughly
+   how long one item takes; once known, calls whose estimated total work
+   is below [min_work_s] run sequentially.  Results are unaffected either
+   way — the pool's determinism contract makes sequential and parallel
+   execution bit-identical — so the estimate only steers scheduling. *)
+
+type grain = {
+  g_name : string;
+  g_min_work_s : float;
+  mutable g_est_item_s : float; (* seconds per item; negative = unknown *)
+}
+
+let default_min_work_s =
+  match Option.bind (Sys.getenv_opt "MIXSYN_POOL_MIN_WORK_US") float_of_string_opt with
+  | Some us when us >= 0.0 && Float.is_finite us -> us *. 1e-6
+  | Some _ | None -> 1.0e-3
+
+let grain ?min_work_s name =
+  let m =
+    match min_work_s with
+    | None -> default_min_work_s
+    | Some s when s >= 0.0 && Float.is_finite s -> s
+    | Some s -> invalid_arg (Printf.sprintf "Pool.grain: bad min_work_s %g" s)
+  in
+  { g_name = name; g_min_work_s = m; g_est_item_s = -1.0 }
+
+let grain_estimate g = if g.g_est_item_s < 0.0 then None else Some g.g_est_item_s
+
 (* ---- the worker pool ------------------------------------------------- *)
 
 let lock = Mutex.create ()
@@ -83,6 +143,9 @@ let ensure_workers wanted =
       workers :=
         Domain.spawn (fun () ->
             Domain.DLS.set in_worker true;
+            (* size the worker's minor heap before it runs any task *)
+            Gc.set
+              { (Gc.get ()) with Gc.minor_heap_size = Atomic.get worker_minor_heap };
             worker_loop ())
         :: !workers
     done;
@@ -113,25 +176,32 @@ let () = at_exit shutdown
 
 exception Chunk_failed of int * exn * Printexc.raw_backtrace
 
-(* run [run_index i] for every i in [0, n) across [jobs] participants (the
-   caller plus helper tasks on the pool).  On failure, the exception of the
-   smallest failing index is re-raised in the caller — deterministic no
-   matter how chunks were interleaved.
+(* run [f i a.(i)] for every i in [0, n) across [jobs] participants (the
+   caller plus helper tasks on the pool) and return the results in index
+   order.  On failure, the exception of the smallest failing index is
+   re-raised in the caller — deterministic no matter how chunks were
+   interleaved.
 
    [chunk] is the work-stealing granularity: participants claim [chunk]
    consecutive indices at a time, so it decides what the unit of work is —
    a frequency *band* rather than a point, a whole anneal chain rather
    than a move.  The default splits the range into ~4 chunks per job,
    which amortizes the claim (one atomic per chunk) while still letting a
-   fast participant steal from a slow one's share. *)
-let chunked_run ~jobs ?chunk n run_index =
+   fast participant steal from a slow one's share.
+
+   Each participant materializes a claimed chunk as one ordinary array
+   ([Array.init] gives float results an unboxed flat array) and publishes
+   [(start, piece)] under a mutex; the caller assembles the final array
+   from the pieces.  That's O(chunks) transient allocation instead of the
+   one ['b option] box per item the previous implementation paid — the
+   per-item hot path allocates nothing in the pool itself. *)
+let run_chunks ~jobs ?chunk f (a : 'a array) : 'b array =
+  let n = Array.length a in
   let next = Atomic.make 0 in
   let chunk =
     match chunk with
     | None -> max 1 (n / (jobs * 4))
-    | Some c ->
-      if c < 1 then invalid_arg (Printf.sprintf "Pool: chunk %d not positive" c);
-      c
+    | Some c -> c
   in
   let failure = ref None in
   let failure_lock = Mutex.create () in
@@ -148,6 +218,8 @@ let chunked_run ~jobs ?chunk n run_index =
     Mutex.unlock failure_lock;
     f
   in
+  let pieces : (int * 'b array) list ref = ref [] in
+  let pieces_lock = Mutex.create () in
   let work () =
     let continue = ref true in
     while !continue do
@@ -155,12 +227,17 @@ let chunked_run ~jobs ?chunk n run_index =
       if start >= n || failed () then continue := false
       else begin
         let stop = min n (start + chunk) in
-        try
-          for i = start to stop - 1 do
-            try run_index i
-            with exn -> raise (Chunk_failed (i, exn, Printexc.get_raw_backtrace ()))
-          done
-        with Chunk_failed (i, exn, bt) -> record i exn bt
+        match
+          Array.init (stop - start) (fun k ->
+              let i = start + k in
+              try f i a.(i)
+              with exn -> raise (Chunk_failed (i, exn, Printexc.get_raw_backtrace ())))
+        with
+        | piece ->
+          Mutex.lock pieces_lock;
+          pieces := (start, piece) :: !pieces;
+          Mutex.unlock pieces_lock
+        | exception Chunk_failed (i, exn, bt) -> record i exn bt
       end
     done
   in
@@ -190,7 +267,14 @@ let chunked_run ~jobs ?chunk n run_index =
   Mutex.unlock done_lock;
   match !failure with
   | Some (_, exn, bt) -> Printexc.raise_with_backtrace exn bt
-  | None -> ()
+  | None ->
+    (* n >= 1 and no failure, so at least one non-empty piece exists *)
+    let witness = (snd (List.hd !pieces)).(0) in
+    let results = Array.make n witness in
+    List.iter
+      (fun (start, piece) -> Array.blit piece 0 results start (Array.length piece))
+      !pieces;
+    results
 
 let effective_jobs jobs n =
   let j = match jobs with Some j -> clamp_jobs j | None -> default_jobs () in
@@ -205,7 +289,7 @@ let sequential_scope f =
   Domain.DLS.set in_worker true;
   Fun.protect ~finally:(fun () -> Domain.DLS.set in_worker prev) f
 
-let parallel_mapi ?jobs ?chunk f a =
+let parallel_mapi ?jobs ?chunk ?grain:(g : grain option) f a =
   let n = Array.length a in
   let jobs = effective_jobs jobs n in
   (* validate even on the sequential paths so a bad chunk fails everywhere *)
@@ -213,21 +297,58 @@ let parallel_mapi ?jobs ?chunk f a =
    | Some c when c < 1 -> invalid_arg (Printf.sprintf "Pool: chunk %d not positive" c)
    | Some _ | None -> ());
   if n = 0 then [||]
-  else if jobs <= 1 || Domain.DLS.get in_worker then Array.mapi f a
   else begin
-    let results = Array.make n None in
-    chunked_run ~jobs ?chunk n (fun i -> results.(i) <- Some (f i a.(i)));
-    Array.map (function Some v -> v | None -> assert false) results
+    let parallel_wanted = jobs > 1 && not (Domain.DLS.get in_worker) in
+    let run_sequential =
+      (not parallel_wanted)
+      ||
+      match g with
+      | Some g when g.g_est_item_s >= 0.0
+                    && g.g_est_item_s *. float_of_int n < g.g_min_work_s ->
+        (* known-small call site: fan-out overhead would dominate *)
+        Telemetry.count "pool.grain_fallbacks";
+        true
+      | Some _ | None -> false
+    in
+    if run_sequential then begin
+      match g with
+      | None -> Array.mapi f a
+      | Some g ->
+        let t0 = Unix.gettimeofday () in
+        let r = Array.mapi f a in
+        g.g_est_item_s <- (Unix.gettimeofday () -. t0) /. float_of_int n;
+        r
+    end
+    else begin
+      let t0 = Unix.gettimeofday () in
+      let st0 = Gc.quick_stat () in
+      let r = run_chunks ~jobs ?chunk f a in
+      let st1 = Gc.quick_stat () in
+      Telemetry.count "pool.parallel_runs";
+      Telemetry.add "pool.minor_collections"
+        (st1.Gc.minor_collections - st0.Gc.minor_collections);
+      Telemetry.add "pool.major_collections"
+        (st1.Gc.major_collections - st0.Gc.major_collections);
+      (match g with
+       | Some g ->
+         (* total work approximated as wall * jobs; keeps the estimate in
+            per-item-seconds so the fallback test is schedule-independent *)
+         g.g_est_item_s <-
+           (Unix.gettimeofday () -. t0) *. float_of_int jobs /. float_of_int n
+       | None -> ());
+      r
+    end
   end
 
-let parallel_map ?jobs ?chunk f a = parallel_mapi ?jobs ?chunk (fun _ x -> f x) a
+let parallel_map ?jobs ?chunk ?grain f a =
+  parallel_mapi ?jobs ?chunk ?grain (fun _ x -> f x) a
 
-let parallel_init ?jobs ?chunk n f =
+let parallel_init ?jobs ?chunk ?grain n f =
   if n < 0 then invalid_arg "Pool.parallel_init";
-  parallel_map ?jobs ?chunk f (Array.init n Fun.id)
+  parallel_map ?jobs ?chunk ?grain f (Array.init n Fun.id)
 
-let parallel_map_list ?jobs ?chunk f l =
-  Array.to_list (parallel_map ?jobs ?chunk f (Array.of_list l))
+let parallel_map_list ?jobs ?chunk ?grain f l =
+  Array.to_list (parallel_map ?jobs ?chunk ?grain f (Array.of_list l))
 
-let parallel_reduce ?jobs ?chunk ~map ~combine ~init a =
-  Array.fold_left combine init (parallel_map ?jobs ?chunk map a)
+let parallel_reduce ?jobs ?chunk ?grain ~map ~combine ~init a =
+  Array.fold_left combine init (parallel_map ?jobs ?chunk ?grain map a)

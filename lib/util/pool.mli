@@ -30,7 +30,28 @@ val jobs_of_string : string -> (int, string) result
 (** {!validate_jobs} after integer parsing — the converter the CLI and the
     environment-variable path share. *)
 
-val parallel_map : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+type grain
+(** A per-call-site granularity memo: remembers roughly how long one item
+    of that call site takes, so the pool can run provably-small calls
+    sequentially instead of paying fan-out overhead for microseconds of
+    work.  Results are unaffected — sequential and parallel execution are
+    bit-identical by the determinism contract — only scheduling changes. *)
+
+val grain : ?min_work_s:float -> string -> grain
+(** [grain name] makes a fresh (typically module-level) grain.  A parallel
+    call carrying it falls back to sequential execution once the estimated
+    total work [items * est_item_seconds] is below [min_work_s] (default
+    1 ms, overridable process-wide with [MIXSYN_POOL_MIN_WORK_US] in
+    microseconds; [~min_work_s:0.0] disables the fallback).  The estimate
+    is learned from the wall clock of each run, so the first call at a
+    site always uses the requested job count.
+    @raise Invalid_argument for negative or non-finite [min_work_s]. *)
+
+val grain_estimate : grain -> float option
+(** Current learned seconds-per-item, or [None] before the first run. *)
+
+val parallel_map :
+  ?jobs:int -> ?chunk:int -> ?grain:grain -> ('a -> 'b) -> 'a array -> 'b array
 (** [parallel_map ~jobs f a] is [Array.map f a] evaluated by up to [jobs]
     domains (the caller participates; [jobs - 1] pool workers help).
     [jobs] defaults to {!default_jobs}; [jobs = 1] runs inline with no
@@ -45,22 +66,46 @@ val parallel_map : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
     expensive (anneal chains, batch jobs) and load balance matters more
     than claim overhead.  Results and exceptions are independent of
     [chunk], which only shifts where the work executes.
+
+    [grain] opts the call site into the auto-sequential fallback for
+    known-small workloads (see {!grain}).
+
+    The pool itself allocates O(chunks), not O(items): claimed chunks are
+    materialized as plain arrays (flat for float results) and blitted into
+    the final array, and each parallel run reports its GC impact through
+    [Telemetry] ([pool.parallel_runs], [pool.minor_collections],
+    [pool.major_collections], [pool.grain_fallbacks]).
     @raise Invalid_argument when [chunk < 1]. *)
 
-val parallel_mapi : ?jobs:int -> ?chunk:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+val parallel_mapi :
+  ?jobs:int -> ?chunk:int -> ?grain:grain -> (int -> 'a -> 'b) -> 'a array -> 'b array
 
-val parallel_map_list : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+val parallel_map_list :
+  ?jobs:int -> ?chunk:int -> ?grain:grain -> ('a -> 'b) -> 'a list -> 'b list
 
-val parallel_init : ?jobs:int -> ?chunk:int -> int -> (int -> 'a) -> 'a array
+val parallel_init : ?jobs:int -> ?chunk:int -> ?grain:grain -> int -> (int -> 'a) -> 'a array
 (** [parallel_init n f] is [Array.init n f] in parallel.
     @raise Invalid_argument when [n < 0]. *)
 
 val parallel_reduce :
-  ?jobs:int -> ?chunk:int -> map:('a -> 'b) -> combine:('c -> 'b -> 'c) -> init:'c ->
+  ?jobs:int -> ?chunk:int -> ?grain:grain ->
+  map:('a -> 'b) -> combine:('c -> 'b -> 'c) -> init:'c ->
   'a array -> 'c
 (** Map in parallel, then fold [combine] over the mapped values in index
     order on the calling domain — deterministic even for non-commutative
     [combine]. *)
+
+val set_worker_minor_heap_words : int -> unit
+(** Minor-heap size (in words) applied to each worker domain when it is
+    spawned — OCaml 5 minor collections stop every domain, so workers
+    running allocating loops get a large nursery (default 4M words,
+    overridable with [MIXSYN_MINOR_HEAP]) to make stop-the-world pauses
+    rare.  Affects workers spawned after the call; {!shutdown} first to
+    resize an already-running pool.
+    @raise Invalid_argument below the 64k-word runtime floor. *)
+
+val worker_minor_heap_words : unit -> int
+(** The minor-heap size the next spawned worker will use. *)
 
 val effective_jobs : int option -> int -> int
 (** [effective_jobs jobs n] — the job count a parallel call over [n] items

@@ -1,11 +1,16 @@
 (* Flow-wide observability: named monotonic counters and nested timed spans
    in one global registry.
 
-   Domain-safe: all registry mutation happens under one mutex, and the
-   span *stack* is domain-local, so a worker domain opening a span attaches
-   it under the root (its own nesting context) instead of corrupting the
-   caller's.  The clock is [Unix.gettimeofday], so span durations are wall
-   seconds — the quantity that parallel speedups actually change. *)
+   Domain-safe: counters are sharded per domain (each domain owns a shard
+   with its own mutex, registered in a global list on first use), so hot
+   paths running on many domains at once — 48 batch jobs all counting DC
+   iterations — only ever lock their own shard; readers merge every shard
+   on demand.  Span mutation still happens under one mutex (span trees are
+   read-heavy and cold), and the span *stack* is domain-local, so a worker
+   domain opening a span attaches it under the root (its own nesting
+   context) instead of corrupting the caller's.  The clock is
+   [Unix.gettimeofday], so span durations are wall seconds — the quantity
+   that parallel speedups actually change. *)
 
 type span = {
   span_name : string;
@@ -36,32 +41,74 @@ let locked f =
   Mutex.lock registry_lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
 
-let counters : (string, int ref) Hashtbl.t = Hashtbl.create 64
+(* one counter shard per domain; [add] touches only the caller's shard.
+   The shard list only ever grows (a dead domain leaves an empty, merged
+   shard behind) — bounded in practice because pool workers are spawned
+   once and reused. *)
+type shard = { s_lock : Mutex.t; s_tbl : (string, int ref) Hashtbl.t }
+
+let shards_lock = Mutex.create ()
+let shards : shard list ref = ref []
+
+let shard_key : shard Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let s = { s_lock = Mutex.create (); s_tbl = Hashtbl.create 32 } in
+      Mutex.lock shards_lock;
+      shards := s :: !shards;
+      Mutex.unlock shards_lock;
+      s)
+
+let shard_list () =
+  Mutex.lock shards_lock;
+  let l = !shards in
+  Mutex.unlock shards_lock;
+  l
 
 let reset () =
-  locked @@ fun () ->
-  Hashtbl.reset counters;
-  root.n_calls <- 0;
-  root.n_seconds <- 0.0;
-  root.n_children <- [];
+  List.iter
+    (fun s ->
+      Mutex.lock s.s_lock;
+      Hashtbl.reset s.s_tbl;
+      Mutex.unlock s.s_lock)
+    (shard_list ());
+  (locked @@ fun () ->
+   root.n_calls <- 0;
+   root.n_seconds <- 0.0;
+   root.n_children <- []);
   Domain.DLS.set stack []
 
 let add name k =
-  locked @@ fun () ->
-  match Hashtbl.find_opt counters name with
-  | Some r -> r := !r + k
-  | None -> Hashtbl.replace counters name (ref k)
+  let s = Domain.DLS.get shard_key in
+  Mutex.lock s.s_lock;
+  (match Hashtbl.find_opt s.s_tbl name with
+   | Some r -> r := !r + k
+   | None -> Hashtbl.replace s.s_tbl name (ref k));
+  Mutex.unlock s.s_lock
 
 let count name = add name 1
 
 let counter name =
-  locked @@ fun () ->
-  match Hashtbl.find_opt counters name with Some r -> !r | None -> 0
+  List.fold_left
+    (fun acc s ->
+      Mutex.lock s.s_lock;
+      let v = match Hashtbl.find_opt s.s_tbl name with Some r -> !r | None -> 0 in
+      Mutex.unlock s.s_lock;
+      acc + v)
+    0 (shard_list ())
 
 let counters_alist () =
-  let pairs =
-    locked @@ fun () -> Hashtbl.fold (fun name r acc -> (name, !r) :: acc) counters []
-  in
+  let merged : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      Mutex.lock s.s_lock;
+      Hashtbl.iter
+        (fun name r ->
+          let prior = Option.value ~default:0 (Hashtbl.find_opt merged name) in
+          Hashtbl.replace merged name (prior + !r))
+        s.s_tbl;
+      Mutex.unlock s.s_lock)
+    (shard_list ());
+  let pairs = Hashtbl.fold (fun name v acc -> (name, v) :: acc) merged [] in
   List.sort (fun (a, _) (b, _) -> String.compare a b) pairs
 
 let child_of parent name =

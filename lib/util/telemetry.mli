@@ -11,11 +11,12 @@
     experiments.  Span durations use [Unix.gettimeofday], i.e. wall
     seconds — the quantity parallel evaluation actually shrinks.
 
-    Domain-safe: counters and span updates are serialized behind one
-    mutex, and the span nesting context is domain-local, so {!Pool}
-    workers report here concurrently without corrupting the registry
-    (worker spans attach under the root, not under the caller's open
-    span). *)
+    Domain-safe: counters are sharded per domain with merge-on-read, so a
+    hot loop counting from many {!Pool} workers at once only ever locks
+    its own domain's shard (no cross-domain contention on the write path);
+    span updates are serialized behind one mutex, and the span nesting
+    context is domain-local, so worker spans attach under the root, not
+    under the caller's open span. *)
 
 type span = {
   span_name : string;

@@ -203,6 +203,78 @@ let test_placer_cost_parts_nonnegative () =
   if overlap < 0.0 || area <= 0.0 || wl < 0.0 || symv < 0.0 then
     Alcotest.fail "nonsensical cost parts"
 
+(* --- incremental evaluator ------------------------------------------------ *)
+
+let lineup its =
+  Array.mapi
+    (fun i _ -> { P.variant = 0; orient = G.R0; x = float_of_int i *. 40e-6; y = 0.0 })
+    its
+
+(* drive [ev] through one random tentative move, returning after the
+   delta; the caller decides commit/revert *)
+let random_move rng its ev =
+  let n = Array.length its in
+  let i = Mixsyn_util.Rng.int rng n in
+  if n > 1 && Mixsyn_util.Rng.int rng 10 >= 7 then
+    let j = (i + 1 + Mixsyn_util.Rng.int rng (n - 1)) mod n in
+    P.Eval.swap_positions ev i j
+  else
+    P.Eval.set_site ev i
+      { P.variant = Mixsyn_util.Rng.int rng (Array.length its.(i).P.variants);
+        orient = Mixsyn_util.Rng.choice rng G.all_orientations;
+        x = Mixsyn_util.Rng.uniform rng (-200e-6) 200e-6;
+        y = Mixsyn_util.Rng.uniform rng (-200e-6) 200e-6 }
+
+(* the evaluator's contract: after ANY sequence of moves, commits, and
+   reverts, its state is bit-equal to a fresh build of the same placement —
+   exact float equality, no epsilon *)
+let prop_eval_matches_full_recompute =
+  QCheck.Test.make ~name:"incremental eval == full recompute, bit-exact" ~count:25
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let its, _, sym = items () in
+      let rng = Mixsyn_util.Rng.create seed in
+      let ev = P.Eval.create its sym (lineup its) in
+      for _ = 1 to 120 do
+        let (_ : float) = random_move rng its ev in
+        if Mixsyn_util.Rng.bool rng then P.Eval.commit ev else P.Eval.revert ev
+      done;
+      let o1, a1, w1, s1 = P.Eval.cost_parts ev in
+      let o2, a2, w2, s2 = P.cost_parts its sym (P.Eval.placement ev) in
+      o1 = o2 && a1 = a2 && w1 = w2 && s1 = s2)
+
+let prop_eval_revert_exact =
+  QCheck.Test.make ~name:"revert restores cost_parts bit-exactly" ~count:25
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let its, _, sym = items () in
+      let rng = Mixsyn_util.Rng.create seed in
+      let ev = P.Eval.create its sym (lineup its) in
+      (* wander to an arbitrary committed state first *)
+      for _ = 1 to 40 do
+        let (_ : float) = random_move rng its ev in
+        P.Eval.commit ev
+      done;
+      let ok = ref true in
+      for _ = 1 to 60 do
+        let before = P.Eval.cost_parts ev in
+        let (_ : float) = random_move rng its ev in
+        P.Eval.revert ev;
+        if P.Eval.cost_parts ev <> before then ok := false
+      done;
+      !ok)
+
+let test_place_jobs_invariant () =
+  let its, _, sym = items () in
+  (* a short schedule: invariance does not depend on schedule length *)
+  let schedule =
+    { Mixsyn_opt.Anneal.t_start = 1e12; t_end = 1e6; cooling = 0.6; moves_per_stage = 40 }
+  in
+  let run jobs = P.place ~schedule ~seed:23 ~restarts:4 ~jobs its sym in
+  let p1 = run 1 in
+  Alcotest.(check bool) "jobs 1 = jobs 2" true (p1 = run 2);
+  Alcotest.(check bool) "jobs 1 = jobs 4" true (p1 = run 4)
+
 (* --- maze routing ------------------------------------------------------------------ *)
 
 let test_route_miller_complete () =
@@ -491,7 +563,10 @@ let () =
       ( "placer",
         [ Alcotest.test_case "overlap free" `Quick test_placer_overlap_free;
           Alcotest.test_case "beats spread lineup" `Quick test_placer_beats_initial_wirelength;
-          Alcotest.test_case "cost parts sane" `Quick test_placer_cost_parts_nonnegative ] );
+          Alcotest.test_case "cost parts sane" `Quick test_placer_cost_parts_nonnegative;
+          qt prop_eval_matches_full_recompute;
+          qt prop_eval_revert_exact;
+          Alcotest.test_case "place invariant in jobs" `Quick test_place_jobs_invariant ] );
       ( "maze-router",
         [ Alcotest.test_case "miller complete" `Quick test_route_miller_complete;
           Alcotest.test_case "coupling reported" `Quick test_route_coupling_reported;

@@ -98,6 +98,83 @@ let test_anneal_stage_cap_backstop () =
     Alcotest.failf "stage cap not applied: %d stages" r.Anneal.stages;
   Alcotest.(check int) "one proposal per capped stage" r.Anneal.stages r.Anneal.proposed
 
+(* --- move-based annealing ------------------------------------------------ *)
+
+(* the quadratic again, as ONE mutable vector per chain: propose perturbs a
+   coordinate in place and returns the exact delta, revert restores it *)
+type qstate = {
+  xs : float array;
+  mutable pend_i : int;
+  mutable pend_old : float;
+  best : float array;
+}
+
+let quadratic_cost xs = ((xs.(0) -. 2.0) ** 2.0) +. ((xs.(1) +. 1.0) ** 2.0)
+
+let quadratic_moves =
+  { Anneal.create =
+      (fun () ->
+        { xs = [| 8.0; -6.0 |]; pend_i = -1; pend_old = 0.0; best = [| 8.0; -6.0 |] });
+    full_cost = (fun s -> quadratic_cost s.xs);
+    propose =
+      (fun s rng ~temp01 ->
+        let before = quadratic_cost s.xs in
+        let i = Rng.int rng 2 in
+        s.pend_i <- i;
+        s.pend_old <- s.xs.(i);
+        s.xs.(i) <- s.xs.(i) +. (Rng.uniform rng (-1.0) 1.0 *. (0.1 +. temp01));
+        quadratic_cost s.xs -. before);
+    commit = (fun s -> s.pend_i <- -1);
+    revert =
+      (fun s ->
+        if s.pend_i >= 0 then s.xs.(s.pend_i) <- s.pend_old;
+        s.pend_i <- -1);
+    remember = (fun s -> Array.blit s.xs 0 s.best 0 2);
+    recall = (fun s -> Array.blit s.best 0 s.xs 0 2) }
+
+let test_moves_quadratic () =
+  let rng = Rng.create 1 in
+  let schedule = { Anneal.t_start = 10.0; t_end = 1e-6; cooling = 0.9; moves_per_stage = 100 } in
+  let r = Anneal.minimize_moves ~schedule ~rng quadratic_moves in
+  if r.Anneal.best_cost > 0.01 then
+    Alcotest.failf "move-based annealing stalled at %g" r.Anneal.best_cost;
+  if r.Anneal.proposed <= 0 || r.Anneal.accepted <= 0 then Alcotest.fail "no moves recorded";
+  (* best_cost must be the exact full cost of the returned state, not the
+     accumulated-delta estimate *)
+  check_close ~eps:0.0 "exact best cost" (quadratic_cost r.Anneal.best.xs) r.Anneal.best_cost
+
+let test_moves_deterministic () =
+  let run () =
+    let rng = Rng.create 42 in
+    (Anneal.minimize_moves ~rng quadratic_moves).Anneal.best_cost
+  in
+  check_close ~eps:0.0 "same seed same result" (run ()) (run ())
+
+let test_moves_multistart_jobs_invariant () =
+  let run jobs =
+    let rng = Rng.create 7 in
+    Anneal.minimize_moves_multistart ~jobs ~restarts:4 ~rng quadratic_moves
+  in
+  let r1 = run 1 and r2 = run 2 and r4 = run 4 in
+  check_close ~eps:0.0 "jobs 1 = jobs 2" r1.Anneal.best_cost r2.Anneal.best_cost;
+  check_close ~eps:0.0 "jobs 1 = jobs 4" r1.Anneal.best_cost r4.Anneal.best_cost;
+  Alcotest.(check bool) "same winning state" true (r1.Anneal.best.xs = r4.Anneal.best.xs);
+  Alcotest.(check int) "same total proposals" r1.Anneal.proposed r4.Anneal.proposed
+
+let test_moves_rejects_divergent_schedule () =
+  let rng = Rng.create 1 in
+  let schedule = { Anneal.t_start = 10.0; t_end = 1e-3; cooling = 1.5; moves_per_stage = 5 } in
+  match Anneal.minimize_moves ~schedule ~rng quadratic_moves with
+  | exception Invalid_argument msg ->
+    if not (String.length msg > 0) then Alcotest.fail "empty error"
+  | _ -> Alcotest.fail "divergent schedule accepted"
+
+let test_moves_multistart_rejects_zero_restarts () =
+  let rng = Rng.create 1 in
+  match Anneal.minimize_moves_multistart ~restarts:0 ~rng quadratic_moves with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "restarts = 0 accepted"
+
 (* --- nelder-mead -------------------------------------------------------- *)
 
 let test_nm_rosenbrock () =
@@ -174,6 +251,15 @@ let () =
           Alcotest.test_case "rejects divergent schedule" `Quick
             test_anneal_rejects_divergent_schedule;
           Alcotest.test_case "stage cap backstop" `Quick test_anneal_stage_cap_backstop ] );
+      ( "anneal-moves",
+        [ Alcotest.test_case "quadratic" `Quick test_moves_quadratic;
+          Alcotest.test_case "deterministic" `Quick test_moves_deterministic;
+          Alcotest.test_case "multistart invariant in jobs" `Quick
+            test_moves_multistart_jobs_invariant;
+          Alcotest.test_case "rejects divergent schedule" `Quick
+            test_moves_rejects_divergent_schedule;
+          Alcotest.test_case "rejects zero restarts" `Quick
+            test_moves_multistart_rejects_zero_restarts ] );
       ( "nelder-mead",
         [ Alcotest.test_case "rosenbrock" `Quick test_nm_rosenbrock;
           Alcotest.test_case "bounds" `Quick test_nm_respects_bounds ] );

@@ -150,6 +150,67 @@ let test_jobs_validation () =
       | () -> Alcotest.failf "set_default_jobs %d must raise" n)
     [ 0; -3 ]
 
+let test_float_results_unboxed_sound () =
+  (* results assemble into a flat float array (no option boxing); every
+     element must read back exactly, at any jobs/chunk *)
+  let input = Array.init 301 (fun i -> float_of_int i) in
+  let f x = (x *. 1.5) -. 0.25 in
+  let expected = Array.map f input in
+  List.iter
+    (fun (jobs, chunk) ->
+      let got = Pool.parallel_map ~jobs ~chunk f input in
+      if got <> expected then
+        Alcotest.failf "float parallel_map mismatch at jobs=%d chunk=%d" jobs chunk)
+    [ (1, 1); (2, 1); (4, 7); (4, 1000) ];
+  (* failure at index 0 exercises the no-successful-piece path *)
+  (match
+     Pool.parallel_map ~jobs:4 (fun x -> if x = 0.0 then raise (Boom 0) else x) input
+   with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom 0 -> ()
+  | exception Boom i -> Alcotest.failf "wrong index %d" i)
+
+let test_grain_fallback () =
+  (* an absurdly high work threshold: after the first (timed) call the
+     learned estimate sends later calls down the sequential path, with
+     identical results either way *)
+  let g = Pool.grain ~min_work_s:1e9 "test.tiny" in
+  Alcotest.(check bool) "estimate starts empty" true (Pool.grain_estimate g = None);
+  let input = Array.init 64 (fun i -> i) in
+  let expected = Array.map succ input in
+  let first = Pool.parallel_map ~jobs:4 ~grain:g succ input in
+  Alcotest.(check (array int)) "first call" expected first;
+  (match Pool.grain_estimate g with
+  | Some est -> if est < 0.0 then Alcotest.failf "negative estimate %g" est
+  | None -> Alcotest.fail "no estimate learned");
+  Mixsyn_util.Telemetry.reset ();
+  let second = Pool.parallel_map ~jobs:4 ~grain:g succ input in
+  Alcotest.(check (array int)) "second call" expected second;
+  if Mixsyn_util.Telemetry.counter "pool.grain_fallbacks" < 1 then
+    Alcotest.fail "tiny workload was not routed sequentially";
+  (* a zero threshold never falls back *)
+  let eager = Pool.grain ~min_work_s:0.0 "test.eager" in
+  ignore (Pool.parallel_map ~jobs:4 ~grain:eager succ input);
+  Mixsyn_util.Telemetry.reset ();
+  ignore (Pool.parallel_map ~jobs:4 ~grain:eager succ input);
+  Alcotest.(check int) "no fallback at zero threshold" 0
+    (Mixsyn_util.Telemetry.counter "pool.grain_fallbacks")
+
+let test_worker_minor_heap_knob () =
+  let before = Pool.worker_minor_heap_words () in
+  Pool.set_worker_minor_heap_words (1 lsl 20);
+  Alcotest.(check int) "roundtrip" (1 lsl 20) (Pool.worker_minor_heap_words ());
+  List.iter
+    (fun n ->
+      match Pool.set_worker_minor_heap_words n with
+      | exception Invalid_argument _ -> ()
+      | () -> Alcotest.failf "minor heap of %d words accepted" n)
+    [ 0; -1; 1 lsl 10 ];
+  Pool.set_worker_minor_heap_words before;
+  (* workers spawned with the configured heap still compute correctly *)
+  Alcotest.(check (array int)) "pool functional" [| 1; 2; 3; 4 |]
+    (Pool.parallel_init ~jobs:4 4 (fun i -> i + 1))
+
 let test_sequential_scope () =
   (* inside the scope, parallel calls degrade to sequential (the calling
      domain is marked as a pool participant); the flag restores on exit,
@@ -295,6 +356,9 @@ let () =
           Alcotest.test_case "nested calls" `Quick test_nested_calls;
           Alcotest.test_case "default-jobs override" `Quick test_default_jobs_override;
           Alcotest.test_case "jobs validation" `Quick test_jobs_validation;
+          Alcotest.test_case "float results unboxed" `Quick test_float_results_unboxed_sound;
+          Alcotest.test_case "grain fallback" `Quick test_grain_fallback;
+          Alcotest.test_case "worker minor-heap knob" `Quick test_worker_minor_heap_knob;
           Alcotest.test_case "sequential scope" `Quick test_sequential_scope ] );
       ( "rng",
         [ Alcotest.test_case "split_n streams" `Quick test_split_n_streams ] );

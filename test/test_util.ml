@@ -444,6 +444,36 @@ let test_telemetry_counters () =
   Alcotest.(check int) "reset clears" 0 (T.counter "a");
   Alcotest.(check (list (pair string int))) "reset empties alist" [] (T.counters_alist ())
 
+let test_telemetry_counters_merge_across_domains () =
+  (* counters shard per domain; reads must merge every shard's view and
+     reset must clear them all, whatever the job count *)
+  List.iter
+    (fun jobs ->
+      T.reset ();
+      ignore
+        (Mixsyn_util.Pool.parallel_init ~jobs ~chunk:1 40 (fun i ->
+             T.count "shard.hits";
+             T.add "shard.bytes" i;
+             i));
+      Alcotest.(check int)
+        (Printf.sprintf "count merged at jobs=%d" jobs)
+        40 (T.counter "shard.hits");
+      Alcotest.(check int)
+        (Printf.sprintf "add merged at jobs=%d" jobs)
+        (40 * 39 / 2) (T.counter "shard.bytes");
+      (* the run itself emits pool.* counters; compare only our own *)
+      let ours =
+        List.filter (fun (n, _) -> String.length n >= 6 && String.sub n 0 6 = "shard.")
+          (T.counters_alist ())
+      in
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "alist merged at jobs=%d" jobs)
+        [ ("shard.bytes", 40 * 39 / 2); ("shard.hits", 40) ]
+        ours;
+      T.reset ();
+      Alcotest.(check int) "reset clears every shard" 0 (T.counter "shard.hits"))
+    [ 1; 2; 4 ]
+
 let test_telemetry_spans_nest_and_accumulate () =
   T.reset ();
   T.with_span "outer" (fun () ->
@@ -861,6 +891,8 @@ let () =
           Alcotest.test_case "percentile clamps" `Quick test_stats_percentile_clamps_and_sorts ] );
       ( "telemetry",
         [ Alcotest.test_case "counters" `Quick test_telemetry_counters;
+          Alcotest.test_case "counters merge across domains" `Quick
+            test_telemetry_counters_merge_across_domains;
           Alcotest.test_case "spans nest" `Quick test_telemetry_spans_nest_and_accumulate;
           Alcotest.test_case "exception safety" `Quick test_telemetry_span_exception_safe;
           Alcotest.test_case "report and json" `Quick test_telemetry_report_and_json;

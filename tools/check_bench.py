@@ -13,6 +13,8 @@ dispatches on the report's "experiment" field:
             the best speedup must clear --min-speedup (default 1.0), and
             any bench named in --max-minor-words must stay under its
             minor-allocation cap (words per solve, measured at --jobs 1);
+            both parallel and batch reports must have been timed over at
+            least --min-repeats repeated runs (median reported);
   batch:    every job either completes or is prefiltered as provably
             infeasible (completed + prefiltered_jobs == n_jobs), at least
             --min-prefiltered jobs must have been prefiltered, the journal
@@ -65,9 +67,19 @@ def parse_word_caps(pairs):
     return caps
 
 
+def check_repeats(report, args):
+    repeats = report.get("repeats", 1)
+    if repeats < args.min_repeats:
+        fail(
+            f"bench timed over {repeats} repeat(s), need >= {args.min_repeats} "
+            f"(set MIXSYN_BENCH_REPEATS and rerun)"
+        )
+
+
 def check_parallel(report, args):
     if report["jobs"] < args.min_jobs:
         fail(f"parallel bench ran at {report['jobs']} jobs, need >= {args.min_jobs}")
+    check_repeats(report, args)
     caps = parse_word_caps(args.max_minor_words)
     for b in report["benches"]:
         if not b["identical"]:
@@ -92,6 +104,7 @@ def check_parallel(report, args):
 def check_batch(report, args):
     if report["jobs"] < args.min_jobs:
         fail(f"batch bench ran at {report['jobs']} jobs, need >= {args.min_jobs}")
+    check_repeats(report, args)
     prefiltered = report.get("prefiltered_jobs", 0)
     if report["completed"] + prefiltered != report["n_jobs"]:
         fail(
@@ -231,6 +244,9 @@ def main():
     p = argparse.ArgumentParser(description=__doc__)
     p.add_argument("reports", nargs="*", help="BENCH_*.json files to assert")
     p.add_argument("--min-jobs", type=int, default=1)
+    p.add_argument("--min-repeats", type=int, default=1,
+                   help="require the report's timings to be medians over at "
+                        "least this many repeats")
     p.add_argument("--min-speedup", type=float, default=1.0,
                    help="parallel: required best speedup over --jobs 1")
     p.add_argument("--min-batch-speedup", type=float, default=0.0,
