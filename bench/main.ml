@@ -548,14 +548,22 @@ let median xs =
 
 let fmin xs = List.fold_left Float.min infinity xs
 
+(* the scaling curve every parallel experiment measures: sequential
+   baseline plus these worker counts (the CI gate reads the last point) *)
+let curve_jobs = [ 2; 4 ]
+
 let run_parallel () =
   banner "Parallel: domain-pool speedup on the hot evaluation loops";
-  let jobs = max 2 (Mixsyn_util.Pool.default_jobs ()) in
+  let host_cores = Mixsyn_util.Pool.available_cores () in
+  let top_jobs = List.fold_left max 1 curve_jobs in
   let repeats = bench_repeats () in
   let gc0 = Gc.quick_stat () in
   Printf.printf
-    "each loop runs at --jobs 1 then --jobs %d on the same seed (%d repeats,\nmedian reported); the deterministic reduction makes the results bit-identical.\n\n"
-    jobs repeats;
+    "each loop runs at --jobs 1 then --jobs {%s} on the same seed (%d repeats,\n\
+     median reported); the deterministic reduction makes the results bit-identical.\n\
+     this host exposes %d core(s); the pool never fans out past them.\n\n"
+    (String.concat "," (List.map string_of_int curve_jobs))
+    repeats host_cores;
   let time f =
     let t0 = Unix.gettimeofday () in
     let r = f () in
@@ -571,19 +579,25 @@ let run_parallel () =
     let seq_ss =
       seq_s0 :: List.init (repeats - 1) (fun _ -> snd (time (fun () -> f 1)))
     in
-    let par, par_s0 = time (fun () -> f jobs) in
-    let par_ss =
-      par_s0 :: List.init (repeats - 1) (fun _ -> snd (time (fun () -> f jobs)))
+    let seq_s = median seq_ss in
+    let curve =
+      List.map
+        (fun j ->
+          let par, par_s0 = time (fun () -> f j) in
+          let par_ss =
+            par_s0 :: List.init (repeats - 1) (fun _ -> snd (time (fun () -> f j)))
+          in
+          let par_s = median par_ss in
+          (j, par_s, fmin par_ss, seq_s /. Float.max par_s 1e-9, seq = par))
+        curve_jobs
     in
-    let seq_s = median seq_ss and par_s = median par_ss in
-    let speedup = seq_s /. Float.max par_s 1e-9 in
-    let identical = seq = par in
-    Printf.printf
-      "%-20s seq %7.3fs  par %7.3fs  speedup %5.2fx  identical %b  %8.0f w/item\n" name
-      seq_s par_s speedup identical words_per_item;
-    rows :=
-      (name, seq_s, fmin seq_ss, par_s, fmin par_ss, speedup, identical, words_per_item)
-      :: !rows
+    let identical = List.for_all (fun (_, _, _, _, id) -> id) curve in
+    Printf.printf "%-20s seq %7.3fs " name seq_s;
+    List.iter
+      (fun (j, par_s, _, speedup, _) -> Printf.printf " j%d %7.3fs %5.2fx " j par_s speedup)
+      curve;
+    Printf.printf " identical %b  %8.0f w/item\n" identical words_per_item;
+    rows := (name, seq_s, fmin seq_ss, curve, identical, words_per_item) :: !rows
   in
   let nl =
     Top.miller_ota.Tp.build tech
@@ -619,27 +633,43 @@ let run_parallel () =
   bench ~items:(Array.length freqs) "ac-sweep" (fun j ->
       (Mixsyn_engine.Ac.solve ~tech ~jobs:j nl op ~freqs).Mixsyn_engine.Ac.solutions);
   let rows = List.rev !rows in
+  let top_point curve = List.nth curve (List.length curve - 1) in
   let best_speedup =
-    List.fold_left (fun acc (_, _, _, _, _, s, _, _) -> Float.max acc s) 0.0 rows
+    List.fold_left
+      (fun acc (_, _, _, curve, _, _) ->
+        let _, _, _, s, _ = top_point curve in
+        Float.max acc s)
+      0.0 rows
+  in
+  let curve_json curve =
+    String.concat ","
+      (List.map
+         (fun (j, p, pmin, sp, _) ->
+           Printf.sprintf "{\"jobs\":%d,\"par_s\":%.4f,\"par_s_min\":%.4f,\"speedup\":%.3f}"
+             j p pmin sp)
+         curve)
   in
   let benches_json =
     String.concat ","
       (List.map
-         (fun (n, s, smin, p, pmin, sp, id, w) ->
+         (fun (n, s, smin, curve, id, w) ->
+           let _, p, pmin, sp, _ = top_point curve in
            Printf.sprintf
-             "{\"name\":\"%s\",\"seq_s\":%.4f,\"seq_s_min\":%.4f,\"par_s\":%.4f,\"par_s_min\":%.4f,\"speedup\":%.3f,\"identical\":%b,\"minor_words_per_item\":%.1f}"
-             n s smin p pmin sp id w)
+             "{\"name\":\"%s\",\"seq_s\":%.4f,\"seq_s_min\":%.4f,\"par_s\":%.4f,\"par_s_min\":%.4f,\"speedup\":%.3f,\"identical\":%b,\"minor_words_per_item\":%.1f,\"speedups_by_jobs\":[%s]}"
+             n s smin p pmin sp id w (curve_json curve))
          rows)
   in
   let gc1 = Gc.quick_stat () in
   write_file "BENCH_parallel.json"
     (Printf.sprintf
-       "{\"experiment\":\"parallel\",\"jobs\":%d,\"repeats\":%d,\"benches\":[%s],\"best_speedup\":%.3f,\"gc_minor\":%d,\"gc_major\":%d}\n"
-       jobs repeats benches_json best_speedup
+       "{\"experiment\":\"parallel\",\"jobs\":%d,\"host_cores\":%d,\"jobs_measured\":[%s],\"repeats\":%d,\"benches\":[%s],\"best_speedup\":%.3f,\"gc_minor\":%d,\"gc_major\":%d}\n"
+       top_jobs host_cores
+       (String.concat "," (List.map string_of_int (1 :: curve_jobs)))
+       repeats benches_json best_speedup
        (gc1.Gc.minor_collections - gc0.Gc.minor_collections)
        (gc1.Gc.major_collections - gc0.Gc.major_collections));
   Printf.printf "\nbest speedup %.2fx at %d jobs (recorded in BENCH_parallel.json)\n"
-    best_speedup jobs
+    best_speedup top_jobs
 
 (* ---------------------------------------------------------------------- *)
 (* Batch: high-throughput batch synthesis - determinism and resume          *)
@@ -649,7 +679,8 @@ let run_batch () =
   let module Batch = Mixsyn_flow.Batch in
   let module Json = Mixsyn_util.Json in
   banner "Batch: manifest execution - journal determinism and checkpoint/resume";
-  let jobs = max 2 (Mixsyn_util.Pool.default_jobs ()) in
+  let host_cores = Mixsyn_util.Pool.available_cores () in
+  let top_jobs = List.fold_left max 1 curve_jobs in
   let n = 48 in
   (* every 8th job asks for a gain the certified interval bounds prove
      unreachable on the 5T OTA (its enclosure tops out well under 1000 dB),
@@ -658,8 +689,9 @@ let run_batch () =
   let infeasible i = i mod 8 = 3 in
   let n_infeasible = List.length (List.filter infeasible (List.init n Fun.id)) in
   Printf.printf
-    "a %d-job manifest (%d provably infeasible) runs at --jobs 1 and --jobs %d;\nthe finished journal must be byte-identical, and identical again when the\nparallel run resumes from a journal cut mid-record.\n\n"
-    n n_infeasible jobs;
+    "a %d-job manifest (%d provably infeasible) runs at --jobs {1,%s};\nthe finished journal must be byte-identical at every worker count, and\nidentical again when the parallel run resumes from a journal cut mid-record.\n\n"
+    n n_infeasible
+    (String.concat "," (List.map string_of_int curve_jobs));
   let manifest_text =
     String.concat "\n"
       (List.init n (fun i ->
@@ -721,11 +753,34 @@ let run_batch () =
   let minor_words_per_job = (Gc.minor_words () -. w0) /. float_of_int n in
   let bytes_seq = read j_seq in
   let seq_ss = seq_s0 :: rerun ~jobs:1 j_seq in
-  let s_par, par_s0 = time (fun () -> Batch.run ~jobs ~executor ~journal:j_par manifest) in
-  let bytes_par = read j_par in
-  let par_ss = par_s0 :: rerun ~jobs j_par in
-  let seq_s = median seq_ss and par_s = median par_ss in
-  let identical = String.equal bytes_seq bytes_par in
+  let seq_s = median seq_ss in
+  Printf.printf "%-24s %8.3fs  %5.1f jobs/s\n" "sequential (--jobs 1)" seq_s
+    (float_of_int n /. Float.max seq_s 1e-9);
+  (* the scaling curve: a fresh journal per worker count, every finished
+     journal compared byte-for-byte against the sequential one *)
+  let last_summary = ref s_seq in
+  let curve =
+    List.map
+      (fun j ->
+        if Sys.file_exists j_par then Sys.remove j_par;
+        let s, par_s0 =
+          time (fun () -> Batch.run ~jobs:j ~executor ~journal:j_par manifest)
+        in
+        let bytes = read j_par in
+        let par_ss = par_s0 :: rerun ~jobs:j j_par in
+        let par_s = median par_ss in
+        last_summary := s;
+        Printf.printf "%-24s %8.3fs  %5.1f jobs/s\n"
+          (Printf.sprintf "parallel (--jobs %d)" j)
+          par_s
+          (float_of_int n /. Float.max par_s 1e-9);
+        (j, par_s, fmin par_ss, seq_s /. Float.max par_s 1e-9,
+         String.equal bytes_seq bytes))
+      curve_jobs
+  in
+  let s_par = !last_summary in
+  let _, par_s, par_s_min, speedup, _ = List.nth curve (List.length curve - 1) in
+  let identical = List.for_all (fun (_, _, _, _, id) -> id) curve in
   (* simulate an interruption: keep the first half of the parallel journal
      plus a torn final line, then resume and demand the same bytes again *)
   let half =
@@ -734,15 +789,12 @@ let run_batch () =
     String.concat "\n" keep ^ "\n" ^ "{\"id\":\"job-99\",\"seed\""
   in
   write_file j_par half;
-  let s_res, _ = time (fun () -> Batch.run ~jobs ~executor ~journal:j_par manifest) in
+  let s_res, _ =
+    time (fun () -> Batch.run ~jobs:top_jobs ~executor ~journal:j_par manifest)
+  in
   let resume_identical = String.equal bytes_seq (read j_par) in
   let throughput = float_of_int n /. Float.max par_s 1e-9 in
-  Printf.printf "%-24s %8.3fs  %5.1f jobs/s\n" "sequential (--jobs 1)" seq_s
-    (float_of_int n /. Float.max seq_s 1e-9);
-  Printf.printf "%-24s %8.3fs  %5.1f jobs/s\n"
-    (Printf.sprintf "parallel (--jobs %d)" jobs)
-    par_s throughput;
-  Printf.printf "journal identical seq/par: %b\n" identical;
+  Printf.printf "journal identical at every job count: %b\n" identical;
   Printf.printf "resume from torn journal:  %d skipped, identical %b\n"
     s_res.Batch.skipped resume_identical;
   Printf.printf "prefiltered as infeasible:  %d (expected %d)\n" s_par.Batch.prefiltered
@@ -757,18 +809,98 @@ let run_batch () =
       s_par.Batch.prefiltered n_infeasible;
   Sys.remove j_seq;
   Sys.remove j_par;
+
+  (* cross-job stage cache: a repeated-spec manifest (the stratified-sampler
+     shape — many jobs, few distinct sizing inputs) through the real
+     Flow.size_stage, timed with the cache bypassed and then enabled from
+     cold; the journals must be byte-identical either way *)
+  section "cross-job stage cache (repeated-spec manifest)";
+  let cache_n = 32 in
+  let cache_uniq = 4 in
+  let cache_manifest =
+    let text =
+      String.concat "\n"
+        (List.init cache_n (fun i ->
+             Printf.sprintf
+               "{\"id\": \"cache-%02d\", \"seed\": 7, \"specs\": [{\"name\": \"gain_db\", \"at_least\": %.1f}], \"objectives\": [{\"minimize\": \"power_w\"}], \"topology\": \"ota-5t\"}"
+               i
+               (30.0 +. float_of_int (i mod cache_uniq))))
+    in
+    match Batch.manifest_of_string text with
+    | Ok jobs -> jobs
+    | Error msg -> failwith ("batch bench cache manifest: " ^ msg)
+  in
+  let schedule =
+    { Mixsyn_opt.Anneal.t_start = 10.0; t_end = 0.05; cooling = 0.85; moves_per_stage = 300 }
+  in
+  let sizing_executor ~stage_cache (job : Batch.job) ~seed =
+    let r =
+      Mixsyn_flow.Flow.size_stage ~strategy:Sizing.Equation_annealing ~schedule ~stage_cache
+        ~seed ~context:job.Batch.context ~specs:job.Batch.specs
+        ~objectives:job.Batch.objectives Top.ota_5t
+    in
+    Json.Obj
+      [ ("cost", Json.Num r.Sizing.cost);
+        ("evaluations", Json.Num (float_of_int r.Sizing.evaluations)) ]
+  in
+  let j_cache = Filename.temp_file "msyn_bench_batch_cache" ".journal" in
+  let run_cache ~stage_cache () =
+    if Sys.file_exists j_cache then Sys.remove j_cache;
+    Mixsyn_flow.Flow.clear_stage_cache ();
+    time (fun () ->
+        Batch.run ~jobs:top_jobs ~prefilter:false
+          ~executor:(sizing_executor ~stage_cache) ~journal:j_cache cache_manifest)
+  in
+  let s_unc, un0 = run_cache ~stage_cache:false () in
+  let bytes_uncached = read j_cache in
+  let un_ss =
+    un0 :: List.init (repeats - 1) (fun _ -> snd (run_cache ~stage_cache:false ()))
+  in
+  let s_cached, c0 = run_cache ~stage_cache:true () in
+  let bytes_cached = read j_cache in
+  let c_ss =
+    c0 :: List.init (repeats - 1) (fun _ -> snd (run_cache ~stage_cache:true ()))
+  in
+  Sys.remove j_cache;
+  let uncached_s = median un_ss and cached_s = median c_ss in
+  let cache_hits = s_cached.Batch.cache_hits
+  and cache_misses = s_cached.Batch.cache_misses in
+  let cache_hit_rate =
+    float_of_int cache_hits /. float_of_int (max 1 (cache_hits + cache_misses))
+  in
+  let cache_identical = String.equal bytes_uncached bytes_cached in
+  let cache_speedup = uncached_s /. Float.max cached_s 1e-9 in
+  if s_unc.Batch.completed <> cache_n || s_cached.Batch.completed <> cache_n then
+    Printf.printf "WARNING: cache manifest completed %d/%d uncached, %d/%d cached\n"
+      s_unc.Batch.completed cache_n s_cached.Batch.completed cache_n;
+  Printf.printf "%-24s %8.3fs\n" "cache bypassed" uncached_s;
+  Printf.printf "%-24s %8.3fs  (%d hits / %d misses, %.0f%% hit rate)\n" "cache enabled"
+    cached_s cache_hits cache_misses (100.0 *. cache_hit_rate);
+  Printf.printf "cache speedup %.2fx, journal identical cached/uncached: %b\n"
+    cache_speedup cache_identical;
+
   let gc1 = Gc.quick_stat () in
+  let curve_json =
+    String.concat ","
+      (List.map
+         (fun (j, p, pmin, sp, _) ->
+           Printf.sprintf "{\"jobs\":%d,\"par_s\":%.4f,\"par_s_min\":%.4f,\"speedup\":%.3f}"
+             j p pmin sp)
+         curve)
+  in
   write_file "BENCH_batch.json"
     (Printf.sprintf
-       "{\"experiment\":\"batch\",\"jobs\":%d,\"n_jobs\":%d,\"repeats\":%d,\"completed\":%d,\"prefiltered_jobs\":%d,\"seq_s\":%.4f,\"seq_s_min\":%.4f,\"par_s\":%.4f,\"par_s_min\":%.4f,\"speedup\":%.3f,\"jobs_per_s\":%.2f,\"identical\":%b,\"resume_identical\":%b,\"resume_skipped\":%d,\"minor_words_per_job\":%.1f,\"gc_minor\":%d,\"gc_major\":%d}\n"
-       jobs n repeats s_par.Batch.completed s_par.Batch.prefiltered seq_s (fmin seq_ss)
-       par_s (fmin par_ss)
-       (seq_s /. Float.max par_s 1e-9)
-       throughput identical resume_identical s_res.Batch.skipped minor_words_per_job
+       "{\"experiment\":\"batch\",\"jobs\":%d,\"host_cores\":%d,\"jobs_measured\":[%s],\"n_jobs\":%d,\"repeats\":%d,\"completed\":%d,\"prefiltered_jobs\":%d,\"seq_s\":%.4f,\"seq_s_min\":%.4f,\"par_s\":%.4f,\"par_s_min\":%.4f,\"speedup\":%.3f,\"speedups_by_jobs\":[%s],\"jobs_per_s\":%.2f,\"identical\":%b,\"resume_identical\":%b,\"resume_skipped\":%d,\"minor_words_per_job\":%.1f,\"stage_cache\":{\"n_jobs\":%d,\"unique_keys\":%d,\"hits\":%d,\"misses\":%d,\"hit_rate\":%.3f,\"uncached_s\":%.4f,\"cached_s\":%.4f,\"speedup\":%.3f,\"identical\":%b},\"gc_minor\":%d,\"gc_major\":%d}\n"
+       top_jobs host_cores
+       (String.concat "," (List.map string_of_int (1 :: curve_jobs)))
+       n repeats s_par.Batch.completed s_par.Batch.prefiltered seq_s (fmin seq_ss) par_s
+       par_s_min speedup curve_json throughput identical resume_identical
+       s_res.Batch.skipped minor_words_per_job cache_n cache_uniq cache_hits cache_misses
+       cache_hit_rate uncached_s cached_s cache_speedup cache_identical
        (gc1.Gc.minor_collections - gc0.Gc.minor_collections)
        (gc1.Gc.major_collections - gc0.Gc.major_collections));
   Printf.printf "\n%d jobs, %.1f jobs/s at %d workers (recorded in BENCH_batch.json)\n" n
-    throughput jobs
+    throughput top_jobs
 
 let all =
   [ ("table1", run_table1);

@@ -659,13 +659,23 @@ let batch_cmd =
                    those whose specs the certified interval bounds prove \
                    unsatisfiable.")
   in
+  let no_stage_cache_arg =
+    Arg.(value & flag
+         & info [ "no-stage-cache" ]
+             ~doc:"Disable the cross-job sizing stage cache, so every job re-runs its \
+                   sizing even when another job already computed the identical \
+                   (topology, specs, objectives, context, seed) combination.  The \
+                   journal is byte-identical with the cache on or off — this flag \
+                   exists for A/B timing and for identity tests.")
+  in
   let strict_arg =
     Arg.(value & flag
          & info [ "strict" ]
              ~doc:"Exit nonzero when any job failed or timed out (by default the batch \
                    reports them in the summary and exits 0).")
   in
-  let run manifest journal jobs timeout retries json no_prefilter strict telemetry =
+  let run manifest journal jobs timeout retries json no_prefilter no_stage_cache strict
+      telemetry =
     apply_jobs jobs;
     if retries < 0 then begin
       Printf.eprintf "msyn batch: retries must be non-negative (got %d)\n" retries;
@@ -678,12 +688,20 @@ let batch_cmd =
       Printf.eprintf "msyn batch: %s\n" msg;
       exit 2
     | Ok jobs_list ->
-      (match Batch.run ?timeout_s ~retries ~prefilter:(not no_prefilter) ~journal jobs_list with
+      (match
+         Batch.run ?timeout_s ~retries ~prefilter:(not no_prefilter)
+           ~stage_cache:(not no_stage_cache) ~journal jobs_list
+       with
        | summary ->
-         if json then
-           print_endline (Mixsyn_util.Json.to_string (Batch.summary_to_json summary))
-         else Format.printf "%a" Batch.pp_summary summary;
-         Format.printf "journal: %s@." journal;
+         if json then begin
+           print_endline (Mixsyn_util.Json.to_string (Batch.summary_to_json summary));
+           (* keep stdout a single parseable document in JSON mode *)
+           Format.eprintf "journal: %s@." journal
+         end
+         else begin
+           Format.printf "%a" Batch.pp_summary summary;
+           Format.printf "journal: %s@." journal
+         end;
          report_telemetry telemetry;
          if strict && summary.Batch.completed < summary.Batch.total then exit 1
        | exception Invalid_argument msg ->
@@ -709,7 +727,24 @@ let batch_cmd =
           interrupted run leaves a clean prefix (at worst one truncated line, discarded \
           on resume).  Re-running the same command skips recorded jobs, and the finished \
           journal is byte-identical whether or not the run was interrupted, at any \
-          $(b,--jobs) value.";
+          $(b,--jobs) value and with the stage cache on or off.";
+      `P "Jobs whose sizing inputs coincide (same topology, specs, objectives, context \
+          and seed — the common stratified-manifest shape) share one sizing run through \
+          the cross-job stage cache; concurrent workers reaching the same key compute \
+          it once (single-flight).  $(b,--no-stage-cache) bypasses the cache for A/B \
+          timing.  The summary reports the run's hit/miss counts and per-domain busy \
+          seconds.";
+      `S "SCHEDULER KNOBS";
+      `P "Whole jobs are the unit of work stealing: each domain claims one job at a \
+          time from the shared queue, keeping its warm per-domain solver workspaces \
+          across consecutive jobs.  $(b,--jobs) (or $(b,MIXSYN_JOBS)) sets the worker \
+          count, but the pool never runs more domains than the machine has cores: \
+          $(b,MIXSYN_POOL_CORES) overrides the detected core count and \
+          $(b,MIXSYN_POOL_OVERSUBSCRIBE=1) removes the cap for A/B measurements.  \
+          $(b,MIXSYN_POOL_MIN_WORK_US) tunes the minimum estimated work (default \
+          1000 µs) below which a parallel loop runs inline, and \
+          $(b,MIXSYN_MINOR_HEAP) sizes each worker's minor heap in words \
+          (default 4M).";
       `S "MANIFEST FORMAT";
       `P "One JSON object per line, for example:";
       `Pre "  {\"id\": \"ota-70db\", \"seed\": 13,\n\
@@ -726,7 +761,7 @@ let batch_cmd =
        ~doc:"High-throughput batch synthesis from a JSONL manifest, with per-job \
              timeouts, retries and checkpoint/resume.")
     Term.(const run $ manifest_arg $ journal_arg $ jobs_arg $ timeout_arg $ retries_arg
-          $ json_arg $ no_prefilter_arg $ strict_arg $ telemetry_arg)
+          $ json_arg $ no_prefilter_arg $ no_stage_cache_arg $ strict_arg $ telemetry_arg)
 
 (* --- flow -------------------------------------------------------------- *)
 

@@ -58,16 +58,11 @@ let analyze ?(tech = Mixsyn_circuit.Tech.generic_07um) ?jobs ?chunk nl op ~out ~
       op.Mna.mos_evals
   in
   let sources = resistor_sources @ mos_sources in
-  let point_at freq =
-    let omega = 2.0 *. Float.pi *. freq in
-    (* adjoint system: A^T y = e_out; transfer from an injection (a,b) to
-       v_out is y_a - y_b *)
-    let y = Array.make n Complex.zero in
-    Fmat.with_cplx n (fun ws ->
-        Fmat.Cplx.load_ac_transposed ws ~g:gf ~c:cf ~omega;
-        Fmat.Cplx.unit_rhs ws out_index;
-        Fmat.Cplx.factor ws;
-        Fmat.Cplx.solve ws y);
+  (* adjoint system: A^T y = e_out; transfer from an injection (a,b) to
+     v_out is y_a - y_b.  [y] is the band's scratch solution vector —
+     every point's contributions are folded out of it before the next
+     point's solve overwrites it. *)
+  let point_of y freq =
     let transfer a b =
       let ya = if a = Netlist.gnd then Complex.zero else y.(Mna.node_index a) in
       let yb = if b = Netlist.gnd then Complex.zero else y.(Mna.node_index b) in
@@ -84,7 +79,20 @@ let analyze ?(tech = Mixsyn_circuit.Tech.generic_07um) ?jobs ?chunk nl op ~out ~
     { freq; total_psd; contributions }
   in
   (* one adjoint solve per frequency, independent given the shared
-     read-only flat (g, c) — fan out in frequency bands, in order *)
-  let points = Mixsyn_util.Pool.parallel_map ?jobs ?chunk ~grain:sweep_grain point_at freqs in
+     read-only flat (g, c) — fan out in contiguous frequency bands, one
+     pooled workspace and one scratch vector per band, results in order *)
+  let points =
+    Mixsyn_util.Pool.parallel_banded ?jobs ?chunk ~grain:sweep_grain (Array.length freqs)
+      (fun start len ->
+        let y = Array.make n Complex.zero in
+        Fmat.with_cplx n (fun ws ->
+            Array.init len (fun k ->
+                let freq = freqs.(start + k) in
+                Fmat.Cplx.load_ac_transposed ws ~g:gf ~c:cf ~omega:(2.0 *. Float.pi *. freq);
+                Fmat.Cplx.unit_rhs ws out_index;
+                Fmat.Cplx.factor ws;
+                Fmat.Cplx.solve ws y;
+                point_of y freq)))
+  in
   let series = Array.map (fun p -> (p.freq, p.total_psd)) points in
   { points; integrated_rms = sqrt (integrate series) }

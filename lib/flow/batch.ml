@@ -61,6 +61,9 @@ type summary = {
   skipped : int;
   run_jobs : int;
   elapsed_s : float;
+  cache_hits : int;
+  cache_misses : int;
+  domain_busy_s : (int * float) list;
   records : record list;
 }
 
@@ -346,7 +349,7 @@ let flow_result (o : Flow.outcome) =
           (float_of_int
              (List.length (Mixsyn_check.Diagnostic.warnings o.Flow.diagnostics))) ) ]
 
-let flow_executor job ~seed =
+let flow_executor ?(stage_cache = true) job ~seed =
   let candidates =
     match job.topology with
     | None -> Mixsyn_circuit.Topology.all
@@ -356,8 +359,8 @@ let flow_executor job ~seed =
        | None -> failwith (Printf.sprintf "unknown topology %S" name))
   in
   let outcome =
-    Flow.run ~seed ?max_redesigns:job.max_redesigns ~candidates ~specs:job.specs
-      ~objectives:job.objectives ~context:job.context ()
+    Flow.run ~seed ?max_redesigns:job.max_redesigns ~candidates ~stage_cache
+      ~specs:job.specs ~objectives:job.objectives ~context:job.context ()
   in
   flow_result outcome
 
@@ -380,7 +383,7 @@ let describe_exn = function
    retry seeds never collide with neighbouring jobs' base seeds *)
 let retry_stride = 1_000_003
 
-let run_job ?timeout_s ?(retries = 0) ?(executor = flow_executor) job =
+let run_job ?timeout_s ?(retries = 0) ?(executor = flow_executor ~stage_cache:true) job =
   if retries < 0 then
     invalid_arg (Printf.sprintf "Batch.run_job: retries %d negative" retries);
   let timeout_s = match job.timeout_s with Some t -> Some t | None -> timeout_s in
@@ -482,24 +485,30 @@ let prefilter_job job =
 
 (* records finish in any order; they hit the disk in index order, each line
    flushed as soon as every earlier index has been written.  The journal is
-   therefore always a clean prefix — the checkpoint/resume invariant. *)
+   therefore always a clean prefix — the checkpoint/resume invariant.
+
+   The writer buffers pre-serialized *lines*, not records: each worker
+   renders its own record to canonical JSON off-lock (on its own domain,
+   overlapped with other jobs), so the section under [w_lock] is pure
+   ordering + I/O.  The bytes are identical either way — [Json.to_string]
+   is canonical and the render is a pure function of the record. *)
 type writer = {
   oc : out_channel;
   w_lock : Mutex.t;
   mutable next : int;
-  buffered : (int, record) Hashtbl.t;
+  buffered : (int, string) Hashtbl.t;
 }
 
-let writer_push w i r =
+let writer_push w i line =
   Mutex.lock w.w_lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock w.w_lock)
     (fun () ->
-      Hashtbl.replace w.buffered i r;
+      Hashtbl.replace w.buffered i line;
       while Hashtbl.mem w.buffered w.next do
-        let r = Hashtbl.find w.buffered w.next in
+        let line = Hashtbl.find w.buffered w.next in
         Hashtbl.remove w.buffered w.next;
-        output_string w.oc (Json.to_string (record_to_json r));
+        output_string w.oc line;
         output_char w.oc '\n';
         flush w.oc;
         w.next <- w.next + 1
@@ -513,9 +522,32 @@ let truncate_file path len =
 
 (* ---- the batch loop --------------------------------------------------- *)
 
-let run ?jobs ?timeout_s ?(retries = 0) ?(prefilter = true) ?(executor = flow_executor)
-    ~journal manifest =
+(* snapshot of the pool's per-domain utilization counters
+   ([pool.domain.<i>.busy_us]), as (slot, microseconds) pairs; the summary
+   reports the delta over the run, in seconds *)
+let domain_busy_us () =
+  List.filter_map
+    (fun (name, v) ->
+      match String.split_on_char '.' name with
+      | [ "pool"; "domain"; slot; "busy_us" ] ->
+        Option.map (fun i -> (i, v)) (int_of_string_opt slot)
+      | _ -> None)
+    (Mixsyn_util.Telemetry.counters_alist ())
+
+let domain_busy_delta before after =
+  List.sort compare
+    (List.filter_map
+       (fun (slot, v1) ->
+         let v0 = Option.value (List.assoc_opt slot before) ~default:0 in
+         if v1 > v0 then Some (slot, float_of_int (v1 - v0) *. 1e-6) else None)
+       after)
+
+let run ?jobs ?timeout_s ?(retries = 0) ?(prefilter = true) ?(stage_cache = true)
+    ?executor ~journal manifest =
   if retries < 0 then invalid_arg (Printf.sprintf "Batch.run: retries %d negative" retries);
+  let executor =
+    match executor with Some e -> e | None -> flow_executor ~stage_cache
+  in
   let seen = Hashtbl.create 16 in
   List.iter
     (fun j ->
@@ -553,6 +585,8 @@ let run ?jobs ?timeout_s ?(retries = 0) ?(prefilter = true) ?(executor = flow_ex
       pending
   in
   let run_jobs = Mixsyn_util.Pool.effective_jobs jobs (Array.length pending) in
+  let cache_h0, cache_m0 = Flow.stage_cache_stats () in
+  let busy0 = domain_busy_us () in
   let fresh =
     if Array.length pending = 0 then [||]
     else begin
@@ -561,7 +595,12 @@ let run ?jobs ?timeout_s ?(retries = 0) ?(prefilter = true) ?(executor = flow_ex
       Fun.protect
         ~finally:(fun () -> close_out w.oc)
         (fun () ->
-          Mixsyn_util.Pool.parallel_mapi ?jobs
+          (* whole jobs are the unit of stealing ([chunk:1]): jobs differ in
+             cost by orders of magnitude, so claiming them one at a time is
+             what keeps every domain busy until the manifest drains — while
+             a worker's warm workspaces (Fmat pools, placer scratch) carry
+             over across the consecutive jobs it claims *)
+          Mixsyn_util.Pool.parallel_mapi ?jobs ~chunk:1
             (fun i job ->
               let r =
                 match decisions.(i) with
@@ -570,11 +609,14 @@ let run ?jobs ?timeout_s ?(retries = 0) ?(prefilter = true) ?(executor = flow_ex
                   Mixsyn_util.Pool.sequential_scope (fun () ->
                       run_job ?timeout_s ~retries ~executor job)
               in
-              writer_push w i r;
+              (* serialize on the worker, off the writer lock *)
+              writer_push w i (Json.to_string (record_to_json r));
               r)
             pending)
     end
   in
+  let cache_h1, cache_m1 = Flow.stage_cache_stats () in
+  let busy1 = domain_busy_us () in
   Array.iter (fun r -> Hashtbl.replace done_tbl r.rec_id r) fresh;
   let records = List.map (fun j -> Hashtbl.find done_tbl j.job_id) manifest in
   let count p = List.length (List.filter p records) in
@@ -586,6 +628,9 @@ let run ?jobs ?timeout_s ?(retries = 0) ?(prefilter = true) ?(executor = flow_ex
     skipped = List.length recorded;
     run_jobs;
     elapsed_s = Unix.gettimeofday () -. t0;
+    cache_hits = cache_h1 - cache_h0;
+    cache_misses = cache_m1 - cache_m0;
+    domain_busy_s = domain_busy_delta busy0 busy1;
     records }
 
 (* ---- reporting -------------------------------------------------------- *)
@@ -593,6 +638,10 @@ let run ?jobs ?timeout_s ?(retries = 0) ?(prefilter = true) ?(executor = flow_ex
 let throughput s =
   let fresh = s.total - s.skipped in
   if s.elapsed_s > 0.0 then float_of_int fresh /. s.elapsed_s else 0.0
+
+let cache_hit_rate s =
+  let total = s.cache_hits + s.cache_misses in
+  if total = 0 then 0.0 else float_of_int s.cache_hits /. float_of_int total
 
 let summary_to_json s =
   Json.Obj
@@ -605,6 +654,16 @@ let summary_to_json s =
       ("jobs", Json.Num (float_of_int s.run_jobs));
       ("elapsed_s", Json.Num s.elapsed_s);
       ("jobs_per_s", Json.Num (throughput s));
+      ( "stage_cache",
+        Json.Obj
+          [ ("hits", Json.Num (float_of_int s.cache_hits));
+            ("misses", Json.Num (float_of_int s.cache_misses));
+            ("hit_rate", Json.Num (cache_hit_rate s)) ] );
+      ( "domain_busy_s",
+        Json.Obj
+          (List.map
+             (fun (slot, busy) -> (string_of_int slot, Json.Num busy))
+             s.domain_busy_s) );
       ( "counters",
         Json.Obj
           (List.map
@@ -619,6 +678,16 @@ let pp_summary ppf s =
     (if s.skipped > 0 then Printf.sprintf " (%d resumed from journal)" s.skipped else "");
   Format.fprintf ppf "  %d worker(s), %.1fs, %.2f jobs/s@\n" s.run_jobs s.elapsed_s
     (throughput s);
+  if s.cache_hits + s.cache_misses > 0 then
+    Format.fprintf ppf "  stage cache: %d hit(s), %d miss(es) (%.0f%% hit rate)@\n"
+      s.cache_hits s.cache_misses (100.0 *. cache_hit_rate s);
+  if s.domain_busy_s <> [] then begin
+    Format.fprintf ppf "  domain utilization:";
+    List.iter
+      (fun (slot, busy) -> Format.fprintf ppf " %d:%.2fs" slot busy)
+      s.domain_busy_s;
+    Format.fprintf ppf "@\n"
+  end;
   Format.fprintf ppf "  telemetry: %a@\n" (Mixsyn_util.Telemetry.pp_rollup ?limit:None) ();
   List.iter
     (fun r ->

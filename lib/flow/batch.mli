@@ -100,6 +100,11 @@ type summary = {
   skipped : int;        (** jobs already recorded in the journal *)
   run_jobs : int;       (** worker count the batch ran with *)
   elapsed_s : float;
+  cache_hits : int;     (** sizing stage-cache hits during this run *)
+  cache_misses : int;   (** sizing stage-cache misses during this run *)
+  domain_busy_s : (int * float) list;
+      (** per-domain busy seconds during this run (slot 0 is the calling
+          domain), from the [pool.domain.<i>.busy_us] telemetry counters *)
   records : record list;  (** every record, in manifest order *)
 }
 
@@ -124,11 +129,13 @@ val read_journal : string -> record list * int
 
 (** {2 Execution} *)
 
-val flow_executor : job -> seed:int -> Mixsyn_util.Json.t
+val flow_executor : ?stage_cache:bool -> job -> seed:int -> Mixsyn_util.Json.t
 (** The default executor: {!Flow.run} with the job's specification set,
     rendered to the deterministic result object journals record (topology,
     cost, evaluations, redesigns, post-layout performance, check-warning
-    count — never wall-clock times). *)
+    count — never wall-clock times).  [stage_cache] (default [true])
+    routes the sizing stage through the process-global cross-job cache
+    ({!Flow.size_stage}); records are byte-identical either way. *)
 
 val run_job :
   ?timeout_s:float ->
@@ -146,6 +153,7 @@ val run :
   ?timeout_s:float ->
   ?retries:int ->
   ?prefilter:bool ->
+  ?stage_cache:bool ->
   ?executor:(job -> seed:int -> Mixsyn_util.Json.t) ->
   journal:string ->
   job list ->
@@ -154,9 +162,22 @@ val run :
     skipped; a truncated trailing line is cut before appending; the rest
     execute on up to [jobs] (default {!Mixsyn_util.Pool.default_jobs})
     domains, each inside {!Mixsyn_util.Pool.sequential_scope} so the flows
-    inside do not contend for the pool.  Records are appended in manifest
-    order and flushed as soon as contiguous, so an interruption at any
-    point leaves a resumable prefix.
+    inside do not contend for the pool.  Whole jobs are the unit of work
+    stealing (pool chunk 1): each domain claims one job at a time from the
+    shared queue, keeping its warm per-domain workspaces across the
+    consecutive jobs it claims and staying busy until the manifest drains
+    even when job costs differ by orders of magnitude.  Each worker
+    serializes its own records to canonical JSON off the writer lock; the
+    writer only orders lines and appends them in manifest order, flushed
+    as soon as contiguous, so an interruption at any point leaves a
+    resumable prefix.
+
+    Unless [stage_cache] is [false], jobs share the process-global sizing
+    stage cache ({!Flow.size_stage}): manifests with repeated (topology,
+    specs, objectives, context, seed) combinations size once and reuse the
+    result, single-flight under concurrency.  Journals are byte-identical
+    with the cache on or off; the summary reports this run's hit/miss
+    delta and the per-domain busy seconds.
 
     Unless [prefilter] is [false], every job first passes through the
     static feasibility screen: a job with a spec that

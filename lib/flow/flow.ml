@@ -61,9 +61,44 @@ let measure_extracted tech template params layout_report =
        Option.value (Mixsyn_engine.Measure.phase_margin bode) ~default:0.0);
       ("power_w", Mixsyn_engine.Dc.power annotated op) ]
 
+(* ---- cross-job sizing stage cache ------------------------------------- *)
+
+(* The sizing stage dominates flow wall time and is deterministic in the
+   inputs {!Sizing.cache_key} serializes, so batch manifests with repeated
+   spec prefixes (the stratified-sampler shape) can share one result
+   across jobs.  The cache is process-global and lock-striped; misses are
+   single-flight per stripe, so two workers that reach the same key
+   concurrently compute it once.  Journal byte-identity survives because
+   the only result field that is not a pure function of the key —
+   [elapsed_s] — never reaches a journal record. *)
+let sizing_stage_cache : (string, Sizing.result) Mixsyn_util.Eval_cache.t =
+  Mixsyn_util.Eval_cache.create ~size:256 "flow.stage_cache"
+
+let stage_cache_stats () =
+  (Mixsyn_util.Eval_cache.hits sizing_stage_cache,
+   Mixsyn_util.Eval_cache.misses sizing_stage_cache)
+
+let stage_cache_hit_rate () = Mixsyn_util.Eval_cache.hit_rate sizing_stage_cache
+
+let clear_stage_cache () = Mixsyn_util.Eval_cache.clear sizing_stage_cache
+
+let size_stage ?(tech = Mixsyn_circuit.Tech.generic_07um)
+    ?(strategy = Sizing.Awe_annealing) ?schedule ?(stage_cache = true) ?(seed = 1)
+    ~context ~specs ~objectives template =
+  let compute () =
+    Sizing.size ~tech ~seed ?schedule ~context strategy template ~specs ~objectives
+  in
+  if not stage_cache then compute ()
+  else
+    let key =
+      Sizing.cache_key ~tech ~seed ?schedule ~context strategy template ~specs
+        ~objectives
+    in
+    Mixsyn_util.Eval_cache.find_or_compute sizing_stage_cache key (fun _ -> compute ())
+
 let run ?(tech = Mixsyn_circuit.Tech.generic_07um) ?(seed = 13) ?(max_redesigns = 2)
     ?(candidates = Mixsyn_circuit.Topology.all) ?(checks = true) ?(contract = true) ?jobs
-    ~specs ~objectives ~context () =
+    ?(stage_cache = true) ~specs ~objectives ~context () =
   Mixsyn_util.Telemetry.with_span "flow.run" @@ fun () ->
   let log = ref [] in
   (* 0. static pre-flight: certified interval bounds over every candidate's
@@ -191,8 +226,8 @@ let run ?(tech = Mixsyn_circuit.Tech.generic_07um) ?(seed = 13) ?(max_redesigns 
         (Printf.sprintf "sizing-pass%d" redesigns)
         (fun () ->
           let r =
-            Sizing.size ~tech ~seed:(seed + redesigns) ~context Sizing.Awe_annealing template
-              ~specs:sizing_specs ~objectives
+            size_stage ~tech ~strategy:Sizing.Awe_annealing ~stage_cache
+              ~seed:(seed + redesigns) ~context ~specs:sizing_specs ~objectives template
           in
           (r, Printf.sprintf "cost %.2f, %d evaluations" r.Sizing.cost r.Sizing.evaluations))
     in

@@ -36,6 +36,38 @@ val better_layout :
 (** Preference order across placement retries: a completely routed layout
     beats any incomplete one; at equal completeness the smaller area wins. *)
 
+val size_stage :
+  ?tech:Mixsyn_circuit.Tech.t ->
+  ?strategy:Mixsyn_synth.Sizing.strategy ->
+  ?schedule:Mixsyn_opt.Anneal.schedule ->
+  ?stage_cache:bool ->
+  ?seed:int ->
+  context:(string * float) list ->
+  specs:Mixsyn_synth.Spec.t list ->
+  objectives:Mixsyn_synth.Spec.objective list ->
+  Mixsyn_circuit.Template.t ->
+  Mixsyn_synth.Sizing.result
+(** The flow's sizing stage, exposed for batch executors and benchmarks:
+    {!Mixsyn_synth.Sizing.size} behind the process-global cross-job stage
+    cache.  The cache content-addresses the run with
+    {!Mixsyn_synth.Sizing.cache_key}, so two jobs with identical sizing
+    inputs share one computation; misses are single-flight (concurrent
+    workers reaching the same key compute it once, the rest wait for the
+    value).  [stage_cache:false] bypasses the cache entirely — results are
+    bit-identical either way, which is what the journal identity tests
+    compare.  Hit/miss totals appear in {!Mixsyn_util.Telemetry} under
+    ["flow.stage_cache.hits"] / ["flow.stage_cache.misses"]. *)
+
+val stage_cache_stats : unit -> int * int
+(** Cumulative (hits, misses) of the cross-job sizing stage cache. *)
+
+val stage_cache_hit_rate : unit -> float
+(** Hits over total lookups of the stage cache; 0 before any lookup. *)
+
+val clear_stage_cache : unit -> unit
+(** Empty the stage cache and zero its local counters (benchmarks use this
+    so a timed cold run is actually cold). *)
+
 val run :
   ?tech:Mixsyn_circuit.Tech.t ->
   ?seed:int ->
@@ -44,12 +76,17 @@ val run :
   ?checks:bool ->
   ?contract:bool ->
   ?jobs:int ->
+  ?stage_cache:bool ->
   specs:Mixsyn_synth.Spec.t list ->
   objectives:Mixsyn_synth.Spec.objective list ->
   context:(string * float) list ->
   unit ->
   outcome
 (** Full flow for a cell-level specification set.
+
+    Each sizing pass goes through {!size_stage}, so across a batch, jobs
+    whose sizing inputs coincide reuse one result ([stage_cache:false]
+    opts out; outcomes are bit-identical either way).
 
     With [jobs > 1] (default {!Mixsyn_util.Pool.default_jobs}) the layout
     placement retries evaluate concurrently on the shared domain pool; the

@@ -31,6 +31,66 @@ let evaluator_of_strategy ?(tech = Mixsyn_circuit.Tech.generic_07um) strategy te
 
 let failed_cost = 1e7
 
+(* Canonical content-address of one sizing run, for the cross-job stage
+   cache: every input that can change the result is serialized with the
+   journal's canonical JSON printer, in fixed field order.  Spec, context
+   and objective *order* is preserved deliberately — the cost function
+   folds violations in list order, so reordered specs are a different
+   float computation and must be a different key.  [size] is
+   deterministic in these inputs (seeded annealer, deterministic
+   evaluators), which is what makes sharing the result across jobs
+   byte-identity-safe. *)
+let cache_key ?(tech = Mixsyn_circuit.Tech.generic_07um) ?(seed = 1) ?schedule
+    ?(polish = true) ?(context = []) ?(guardband = 1.0) strategy template ~specs
+    ~objectives =
+  let open Mixsyn_util.Json in
+  let bound = function
+    | Spec.At_least v -> Arr [ Str "at-least"; Num v ]
+    | Spec.At_most v -> Arr [ Str "at-most"; Num v ]
+    | Spec.Between (a, b) -> Arr [ Str "between"; Num a; Num b ]
+  in
+  let spec (s : Spec.t) = Arr [ Str s.Spec.s_name; bound s.Spec.bound; Num s.Spec.weight ] in
+  let objective (o : Spec.objective) =
+    Arr
+      [ Str o.Spec.o_name;
+        Str (match o.Spec.direction with `Minimize -> "min" | `Maximize -> "max");
+        Num o.Spec.o_weight ]
+  in
+  (* the template argument may be box-contracted or pinned relative to the
+     registry topology of the same name, so the actual parameter boxes are
+     part of the key, not just the name *)
+  let param (p : Template.param) =
+    Arr [ Str p.Template.p_name; Num p.lo; Num p.hi; Bool p.log_scale ]
+  in
+  let tech_json (t : Mixsyn_circuit.Tech.t) =
+    Mixsyn_circuit.Tech.(
+      Arr
+        [ Str t.tech_name; Num t.vdd; Num t.vth0_n; Num t.vth0_p; Num t.kp_n;
+          Num t.kp_p; Num t.lambda_factor; Num t.gamma; Num t.phi; Num t.cox;
+          Num t.cov; Num t.cj; Num t.cjsw; Num t.kf; Num t.l_min; Num t.w_min;
+          Num t.l_diff; Num t.temp ])
+  in
+  let schedule_json =
+    match schedule with
+    | None -> Null
+    | Some s ->
+      Mixsyn_opt.Anneal.(
+        Arr [ Num s.t_start; Num s.t_end; Num s.cooling; Num (float_of_int s.moves_per_stage) ])
+  in
+  to_string
+    (Obj
+       [ ("strategy", Str (strategy_name strategy));
+         ("template", Str template.Template.t_name);
+         ("params", Arr (Array.to_list (Array.map param template.Template.params)));
+         ("tech", tech_json tech);
+         ("seed", Num (float_of_int seed));
+         ("schedule", schedule_json);
+         ("polish", Bool polish);
+         ("guardband", Num guardband);
+         ("context", Arr (List.map (fun (k, v) -> Arr [ Str k; Num v ]) context));
+         ("specs", Arr (List.map spec specs));
+         ("objectives", Arr (List.map objective objectives)) ])
+
 let size ?(tech = Mixsyn_circuit.Tech.generic_07um) ?(seed = 1) ?schedule ?(polish = true)
     ?(context = []) ?(guardband = 1.0) ?(cache = true) strategy template ~specs ~objectives =
   Mixsyn_util.Telemetry.with_span "sizing.size" @@ fun () ->

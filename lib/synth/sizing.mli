@@ -60,6 +60,29 @@ val size :
     {!Mixsyn_util.Telemetry} under ["sizing.cache.hits"] /
     ["sizing.cache.misses"]. *)
 
+val cache_key :
+  ?tech:Mixsyn_circuit.Tech.t ->
+  ?seed:int ->
+  ?schedule:Mixsyn_opt.Anneal.schedule ->
+  ?polish:bool ->
+  ?context:(string * float) list ->
+  ?guardband:float ->
+  strategy ->
+  Mixsyn_circuit.Template.t ->
+  specs:Spec.t list ->
+  objectives:Spec.objective list ->
+  string
+(** Canonical content-address of the {!size} run those arguments describe —
+    a canonical-JSON string over every input that can change the result:
+    strategy, the template's {e actual} parameter boxes (contraction and
+    pinning included), the full technology record, seed, schedule, polish,
+    guardband, and the ordered context/spec/objective lists (order is part
+    of the key: the cost function folds violations in list order, so a
+    reordering is a different float computation).  [size] is deterministic
+    in exactly these inputs, which is what lets a batch share one result
+    across jobs without breaking journal byte-identity.  Defaults mirror
+    {!size}'s. *)
+
 val evaluator_of_strategy :
   ?tech:Mixsyn_circuit.Tech.t ->
   strategy ->

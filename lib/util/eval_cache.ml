@@ -123,3 +123,15 @@ let hit_rate c =
   let h, m = fold_shards c (fun (h, m) s -> (h + s.hits, m + s.misses)) (0, 0) in
   let total = h + m in
   if total = 0 then 0.0 else float_of_int h /. float_of_int total
+
+(* drops entries and zeroes the local hit/miss counters (the Telemetry
+   mirrors are left alone — they are cumulative by design).  In-flight
+   computations are untouched: they land into the emptied table. *)
+let clear c =
+  Array.iter
+    (fun s ->
+      locked s (fun () ->
+          Hashtbl.reset s.table;
+          s.hits <- 0;
+          s.misses <- 0))
+    c.shards

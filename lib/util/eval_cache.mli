@@ -34,3 +34,10 @@ val shard_count : ('k, 'v) t -> int
 
 val hit_rate : ('k, 'v) t -> float
 (** Hits over total lookups; 0 before any lookup. *)
+
+val clear : ('k, 'v) t -> unit
+(** Drop every cached entry and zero the per-cache hit/miss counters (the
+    cumulative {!Telemetry} mirrors are not rewound).  Benchmarks call
+    this between repeats so a timed "cold" run is actually cold.
+    In-flight computations are unaffected and land into the emptied
+    table. *)

@@ -48,6 +48,40 @@ let default_jobs () =
     | Some n -> n
     | None -> clamp_jobs (Domain.recommended_domain_count ())
 
+(* ---- core awareness --------------------------------------------------- *)
+
+(* Running more domains than the machine has cores is never free: the
+   extra domains time-share a core, every minor collection still stops all
+   of them, and the measured "speedup" goes below 1.  [available_cores]
+   is what the scheduler believes the hardware offers; the helper budget
+   of every parallel call is capped at [cores - 1] so a --jobs value above
+   the core count degrades to core-count-wide execution instead of
+   oversubscribing.  Results are unchanged either way (determinism
+   contract); only where the work runs moves.
+
+   MIXSYN_POOL_CORES overrides the detected count (tests, containers with
+   misreported topology); MIXSYN_POOL_OVERSUBSCRIBE=1 removes the cap
+   entirely for A/B measurements.  Both are read per call so tests can
+   toggle them with [Unix.putenv]. *)
+
+let available_cores () =
+  match Option.bind (Sys.getenv_opt "MIXSYN_POOL_CORES") int_of_string_opt with
+  | Some c when c >= 1 -> min c hard_cap
+  | Some _ | None -> clamp_jobs (Domain.recommended_domain_count ())
+
+let oversubscribe () =
+  match Sys.getenv_opt "MIXSYN_POOL_OVERSUBSCRIBE" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
+
+(* helper tasks (beyond the calling domain) a parallel call over [n] items
+   may queue: never more than jobs - 1, never more than there are items to
+   share, and never more than spare physical cores unless oversubscription
+   was explicitly requested *)
+let helper_budget ~jobs ~n =
+  let spare = if oversubscribe () then jobs - 1 else min (jobs - 1) (available_cores () - 1) in
+  max 0 (min spare (n - 1))
+
 (* ---- GC awareness ----------------------------------------------------- *)
 
 (* In OCaml 5 a minor collection stops *every* domain, so an allocating
@@ -86,11 +120,25 @@ let worker_minor_heap_words () = Atomic.get worker_minor_heap
    way — the pool's determinism contract makes sequential and parallel
    execution bit-identical — so the estimate only steers scheduling. *)
 
+(* Beyond the static min-work threshold, a grain also learns whether
+   parallel execution actually paid at its call site: it keeps the
+   per-item *wall* time of the last sequential and the last parallel run,
+   and once both are known and parallel measured no faster, later calls
+   run sequentially.  Every [reprobe_period]-th such fallback runs
+   parallel anyway to refresh the measurement, so a site that became
+   profitable (bigger inputs, idle cores) recovers instead of being stuck
+   sequential forever. *)
+
 type grain = {
   g_name : string;
   g_min_work_s : float;
-  mutable g_est_item_s : float; (* seconds per item; negative = unknown *)
+  mutable g_est_item_s : float; (* work seconds per item; negative = unknown *)
+  mutable g_seq_item_s : float; (* wall per item, last sequential run *)
+  mutable g_par_item_s : float; (* wall per item, last parallel run *)
+  mutable g_par_losses : int;   (* efficiency fallbacks since last re-probe *)
 }
+
+let reprobe_period = 32
 
 let default_min_work_s =
   match Option.bind (Sys.getenv_opt "MIXSYN_POOL_MIN_WORK_US") float_of_string_opt with
@@ -104,9 +152,38 @@ let grain ?min_work_s name =
     | Some s when s >= 0.0 && Float.is_finite s -> s
     | Some s -> invalid_arg (Printf.sprintf "Pool.grain: bad min_work_s %g" s)
   in
-  { g_name = name; g_min_work_s = m; g_est_item_s = -1.0 }
+  { g_name = name; g_min_work_s = m; g_est_item_s = -1.0;
+    g_seq_item_s = -1.0; g_par_item_s = -1.0; g_par_losses = 0 }
 
 let grain_estimate g = if g.g_est_item_s < 0.0 then None else Some g.g_est_item_s
+
+(* decide (with telemetry) whether a parallel-eligible call should run
+   sequentially anyway; [min_work_s = 0.0] opts out of both fallbacks *)
+let grain_prefers_sequential g n =
+  if g.g_min_work_s <= 0.0 then false
+  else if g.g_est_item_s >= 0.0
+          && g.g_est_item_s *. float_of_int n < g.g_min_work_s then begin
+    (* known-small call site: fan-out overhead would dominate *)
+    Telemetry.count "pool.grain_fallbacks";
+    true
+  end
+  else if g.g_seq_item_s >= 0.0 && g.g_par_item_s >= 0.0
+          && g.g_par_item_s >= g.g_seq_item_s *. 0.98 then begin
+    (* measured: parallel was no faster here (single-core host, memory-
+       bound loop, ...).  Run sequentially, but re-probe periodically. *)
+    g.g_par_losses <- g.g_par_losses + 1;
+    if g.g_par_losses mod reprobe_period = 0 then false
+    else begin
+      Telemetry.count "pool.grain_inefficient";
+      true
+    end
+  end
+  else false
+
+let note_sequential g ~n wall =
+  let per = wall /. float_of_int n in
+  g.g_est_item_s <- per;
+  g.g_seq_item_s <- per
 
 (* ---- the worker pool ------------------------------------------------- *)
 
@@ -119,6 +196,18 @@ let stopping = ref false
 
 (* true inside a pool worker; parallel calls made there run sequentially *)
 let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+(* stable per-domain slot for utilization accounting: the calling domain
+   is slot 0, workers take 1.. in spawn order.  Counter names are
+   pre-rendered so the hot path does no formatting. *)
+let pool_slot : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+
+let slot_busy_names =
+  Array.init hard_cap (fun i -> Printf.sprintf "pool.domain.%d.busy_us" i)
+
+let note_busy t0 =
+  let us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+  Telemetry.add slot_busy_names.(Domain.DLS.get pool_slot land (hard_cap - 1)) us
 
 let rec worker_loop () =
   Mutex.lock lock;
@@ -140,9 +229,11 @@ let ensure_workers wanted =
   if not !stopping then
     while !worker_total < wanted && !worker_total < hard_cap - 1 do
       incr worker_total;
+      let slot = !worker_total in
       workers :=
         Domain.spawn (fun () ->
             Domain.DLS.set in_worker true;
+            Domain.DLS.set pool_slot slot;
             (* size the worker's minor heap before it runs any task *)
             Gc.set
               { (Gc.get ()) with Gc.minor_heap_size = Atomic.get worker_minor_heap };
@@ -195,12 +286,12 @@ exception Chunk_failed of int * exn * Printexc.raw_backtrace
    from the pieces.  That's O(chunks) transient allocation instead of the
    one ['b option] box per item the previous implementation paid — the
    per-item hot path allocates nothing in the pool itself. *)
-let run_chunks ~jobs ?chunk f (a : 'a array) : 'b array =
+let run_chunks ~helpers ?chunk f (a : 'a array) : 'b array =
   let n = Array.length a in
   let next = Atomic.make 0 in
   let chunk =
     match chunk with
-    | None -> max 1 (n / (jobs * 4))
+    | None -> max 1 (n / ((helpers + 1) * 4))
     | Some c -> c
   in
   let failure = ref None in
@@ -241,13 +332,14 @@ let run_chunks ~jobs ?chunk f (a : 'a array) : 'b array =
       end
     done
   in
-  let helpers = max 0 (min (jobs - 1) (n - 1)) in
   ensure_workers helpers;
   let helpers_done = Atomic.make 0 in
   let done_lock = Mutex.create () in
   let done_cond = Condition.create () in
   let helper () =
+    let t0 = Unix.gettimeofday () in
     work ();
+    note_busy t0;
     Mutex.lock done_lock;
     Atomic.incr helpers_done;
     Condition.broadcast done_cond;
@@ -259,7 +351,9 @@ let run_chunks ~jobs ?chunk f (a : 'a array) : 'b array =
   done;
   Condition.broadcast work_available;
   Mutex.unlock lock;
+  let t0 = Unix.gettimeofday () in
   work ();
+  note_busy t0;
   Mutex.lock done_lock;
   while Atomic.get helpers_done < helpers do
     Condition.wait done_cond done_lock
@@ -289,6 +383,26 @@ let sequential_scope f =
   Domain.DLS.set in_worker true;
   Fun.protect ~finally:(fun () -> Domain.DLS.set in_worker prev) f
 
+(* book-keeping shared by every parallel run: GC impact through Telemetry,
+   and the grain's work / parallel-wall estimates.  Total work is
+   approximated as wall * participants (the domains that actually ran, not
+   the requested job count), so the min-work test stays honest when the
+   core cap shrank the fan-out. *)
+let note_parallel_run (g : grain option) ~participants ~n ~t0 ~st0 =
+  let st1 = Gc.quick_stat () in
+  Telemetry.count "pool.parallel_runs";
+  Telemetry.add "pool.minor_collections"
+    (st1.Gc.minor_collections - st0.Gc.minor_collections);
+  Telemetry.add "pool.major_collections"
+    (st1.Gc.major_collections - st0.Gc.major_collections);
+  match g with
+  | Some g ->
+    let wall = Unix.gettimeofday () -. t0 in
+    let fn = float_of_int n in
+    g.g_est_item_s <- wall *. float_of_int participants /. fn;
+    g.g_par_item_s <- wall /. fn
+  | None -> ()
+
 let parallel_mapi ?jobs ?chunk ?grain:(g : grain option) f a =
   let n = Array.length a in
   let jobs = effective_jobs jobs n in
@@ -301,14 +415,7 @@ let parallel_mapi ?jobs ?chunk ?grain:(g : grain option) f a =
     let parallel_wanted = jobs > 1 && not (Domain.DLS.get in_worker) in
     let run_sequential =
       (not parallel_wanted)
-      ||
-      match g with
-      | Some g when g.g_est_item_s >= 0.0
-                    && g.g_est_item_s *. float_of_int n < g.g_min_work_s ->
-        (* known-small call site: fan-out overhead would dominate *)
-        Telemetry.count "pool.grain_fallbacks";
-        true
-      | Some _ | None -> false
+      || (match g with Some g -> grain_prefers_sequential g n | None -> false)
     in
     if run_sequential then begin
       match g with
@@ -316,27 +423,87 @@ let parallel_mapi ?jobs ?chunk ?grain:(g : grain option) f a =
       | Some g ->
         let t0 = Unix.gettimeofday () in
         let r = Array.mapi f a in
-        g.g_est_item_s <- (Unix.gettimeofday () -. t0) /. float_of_int n;
+        note_sequential g ~n (Unix.gettimeofday () -. t0);
         r
     end
     else begin
+      let helpers = helper_budget ~jobs ~n in
       let t0 = Unix.gettimeofday () in
       let st0 = Gc.quick_stat () in
-      let r = run_chunks ~jobs ?chunk f a in
-      let st1 = Gc.quick_stat () in
-      Telemetry.count "pool.parallel_runs";
-      Telemetry.add "pool.minor_collections"
-        (st1.Gc.minor_collections - st0.Gc.minor_collections);
-      Telemetry.add "pool.major_collections"
-        (st1.Gc.major_collections - st0.Gc.major_collections);
+      let r = run_chunks ~helpers ?chunk f a in
+      note_parallel_run g ~participants:(helpers + 1) ~n ~t0 ~st0;
+      r
+    end
+  end
+
+(* ---- band-chunked execution ------------------------------------------- *)
+
+(* [parallel_banded n f] evaluates [f start len] over contiguous bands
+   covering [0, n) and concatenates the per-band result arrays in index
+   order.  The point of the shape: [f] can set up one workspace (a
+   factored-matrix scratch, a reusable solution vector) per *band* and
+   amortize it over every index inside, where a per-item map would pay
+   the setup per point.  The sequential fallback is the best case — a
+   single band [f 0 n] with one workspace for the whole range. *)
+let parallel_banded ?jobs ?chunk ?grain:(g : grain option) n (f : int -> int -> 'b array) :
+  'b array =
+  if n < 0 then invalid_arg "Pool.parallel_banded: negative length";
+  (match chunk with
+   | Some c when c < 1 -> invalid_arg (Printf.sprintf "Pool: chunk %d not positive" c)
+   | Some _ | None -> ());
+  let jobs = effective_jobs jobs n in
+  if n = 0 then [||]
+  else begin
+    let checked start len piece =
+      if Array.length piece <> len then
+        invalid_arg
+          (Printf.sprintf "Pool.parallel_banded: band (%d, %d) returned %d results"
+             start len (Array.length piece));
+      piece
+    in
+    let parallel_wanted = jobs > 1 && not (Domain.DLS.get in_worker) in
+    let run_sequential =
+      (not parallel_wanted)
+      || (match g with Some g -> grain_prefers_sequential g n | None -> false)
+    in
+    if run_sequential then begin
+      let t0 = Unix.gettimeofday () in
+      let r = checked 0 n (f 0 n) in
       (match g with
-       | Some g ->
-         (* total work approximated as wall * jobs; keeps the estimate in
-            per-item-seconds so the fallback test is schedule-independent *)
-         g.g_est_item_s <-
-           (Unix.gettimeofday () -. t0) *. float_of_int jobs /. float_of_int n
+       | Some g -> note_sequential g ~n (Unix.gettimeofday () -. t0)
        | None -> ());
       r
+    end
+    else begin
+      let band =
+        match chunk with
+        | Some c -> c
+        | None ->
+          (match g with
+           | Some g when g.g_est_item_s > 0.0 ->
+             (* enough points that a band is worth its workspace setup,
+                but never so many that a participant gets less than one *)
+             let target = Float.max g.g_min_work_s 2.5e-4 in
+             let by_work = int_of_float (Float.ceil (target /. g.g_est_item_s)) in
+             max 1 (min by_work (max 1 ((n + jobs - 1) / jobs)))
+           | Some _ | None -> max 1 (n / (jobs * 4)))
+      in
+      let nbands = (n + band - 1) / band in
+      let starts = Array.init nbands (fun b -> b * band) in
+      let helpers = helper_budget ~jobs ~n:nbands in
+      let t0 = Unix.gettimeofday () in
+      let st0 = Gc.quick_stat () in
+      let pieces =
+        run_chunks ~helpers ~chunk:1
+          (fun _ start -> checked start (min band (n - start)) (f start (min band (n - start))))
+          starts
+      in
+      note_parallel_run g ~participants:(helpers + 1) ~n ~t0 ~st0;
+      let out = Array.make n pieces.(0).(0) in
+      Array.iteri
+        (fun b piece -> Array.blit piece 0 out (b * band) (Array.length piece))
+        pieces;
+      out
     end
   end
 

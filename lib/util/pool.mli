@@ -30,6 +30,16 @@ val jobs_of_string : string -> (int, string) result
 (** {!validate_jobs} after integer parsing — the converter the CLI and the
     environment-variable path share. *)
 
+val available_cores : unit -> int
+(** Physical parallelism the scheduler believes the machine offers:
+    [MIXSYN_POOL_CORES] when set (tests, containers with misreported
+    topology), else [Domain.recommended_domain_count ()], clamped to the
+    pool cap.  Every parallel call's helper budget is capped at
+    [available_cores () - 1] — a [--jobs] value above the core count runs
+    core-count-wide instead of oversubscribing (results unchanged; only
+    placement moves).  Set [MIXSYN_POOL_OVERSUBSCRIBE=1] to remove the cap
+    for A/B measurements.  Both variables are re-read on each call. *)
+
 type grain
 (** A per-call-site granularity memo: remembers roughly how long one item
     of that call site takes, so the pool can run provably-small calls
@@ -42,13 +52,22 @@ val grain : ?min_work_s:float -> string -> grain
     call carrying it falls back to sequential execution once the estimated
     total work [items * est_item_seconds] is below [min_work_s] (default
     1 ms, overridable process-wide with [MIXSYN_POOL_MIN_WORK_US] in
-    microseconds; [~min_work_s:0.0] disables the fallback).  The estimate
-    is learned from the wall clock of each run, so the first call at a
-    site always uses the requested job count.
+    microseconds; [~min_work_s:0.0] disables every fallback).  The
+    estimate is learned from the wall clock of each run, so the first call
+    at a site always uses the requested job count.
+
+    A grain also watches whether parallelism actually paid: it keeps the
+    per-item wall time of the last sequential and last parallel run, and
+    once both are known and parallel measured no faster (single-core host,
+    memory-bound loop), later calls run sequentially too — re-probing in
+    parallel every 32nd such call so a site that became profitable
+    recovers.  Fallbacks surface as [pool.grain_fallbacks] (min-work) and
+    [pool.grain_inefficient] (measured-no-gain) telemetry counters.
     @raise Invalid_argument for negative or non-finite [min_work_s]. *)
 
 val grain_estimate : grain -> float option
-(** Current learned seconds-per-item, or [None] before the first run. *)
+(** Current learned seconds-per-item of work, or [None] before the first
+    run. *)
 
 val parallel_map :
   ?jobs:int -> ?chunk:int -> ?grain:grain -> ('a -> 'b) -> 'a array -> 'b array
@@ -94,6 +113,26 @@ val parallel_reduce :
 (** Map in parallel, then fold [combine] over the mapped values in index
     order on the calling domain — deterministic even for non-commutative
     [combine]. *)
+
+val parallel_banded :
+  ?jobs:int -> ?chunk:int -> ?grain:grain -> int -> (int -> int -> 'b array) -> 'b array
+(** [parallel_banded n f] evaluates [f start len] over contiguous bands
+    covering [0, n)] and concatenates the per-band arrays in index order
+    ([f] must return exactly [len] results for indices
+    [start .. start + len - 1]).  Use it when per-index work shares an
+    expensive setup — an AC sweep factoring into one complex workspace,
+    a noise sweep reusing one solution vector — so the setup is paid once
+    per {e band} instead of once per point.  The sequential fallback is a
+    single band [f 0 n]: one workspace for the whole range.
+
+    [chunk] fixes the band size; by default it is auto-sized from the
+    grain's learned seconds-per-item so a band carries roughly
+    [min_work_s] of work (bands are the unit of stealing, claimed one at
+    a time).  Results are independent of the band size whenever [f] is
+    pure per index; exception propagation is deterministic at band
+    granularity (the smallest failing {e band}'s exception wins).
+    @raise Invalid_argument when [n < 0], [chunk < 1], or [f] returns an
+    array of the wrong length. *)
 
 val set_worker_minor_heap_words : int -> unit
 (** Minor-heap size (in words) applied to each worker domain when it is

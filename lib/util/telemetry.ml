@@ -167,6 +167,28 @@ let top_counters ?(limit = 8) () =
   in
   take limit (List.sort by_weight (counters_alist ()))
 
+(* derived figures the raw counter dump buries: the stage-cache hit rate
+   and each domain's busy seconds, appended when those counters are live *)
+let derived_segments () =
+  let hits = counter "flow.stage_cache.hits"
+  and misses = counter "flow.stage_cache.misses" in
+  let cache =
+    if hits + misses = 0 then []
+    else
+      [ Printf.sprintf "stage_cache=%.0f%%hit"
+          (100.0 *. float_of_int hits /. float_of_int (hits + misses)) ]
+  in
+  let busy =
+    List.filter_map
+      (fun (name, v) ->
+        match String.split_on_char '.' name with
+        | [ "pool"; "domain"; slot; "busy_us" ] when v > 0 ->
+          Some (Printf.sprintf "domain%s=%.2fs" slot (float_of_int v *. 1e-6))
+        | _ -> None)
+      (counters_alist ())
+  in
+  cache @ busy
+
 let pp_rollup ?limit ppf () =
   match top_counters ?limit () with
   | [] -> Format.fprintf ppf "(no counters)"
@@ -174,7 +196,8 @@ let pp_rollup ?limit ppf () =
     Format.pp_print_list
       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
       (fun ppf (name, v) -> Format.fprintf ppf "%s=%d" name v)
-      ppf top
+      ppf top;
+    List.iter (fun s -> Format.fprintf ppf ", %s" s) (derived_segments ())
 
 let pp_report ppf () =
   let cs = counters_alist () in

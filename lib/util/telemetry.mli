@@ -48,7 +48,10 @@ val top_counters : ?limit:int -> unit -> (string * int) list
 
 val pp_rollup : ?limit:int -> Format.formatter -> unit -> unit
 (** One line: ["a=12, b=3, ..."] over {!top_counters};
-    ["(no counters)"] when the registry is empty. *)
+    ["(no counters)"] when the registry is empty.  When the stage-cache
+    counters ([flow.stage_cache.hits]/[.misses]) or the per-domain busy
+    counters ([pool.domain.<i>.busy_us]) are live, derived segments
+    follow: ["stage_cache=87%hit, domain0=1.20s, domain1=1.10s"]. *)
 
 (** {2 Spans} *)
 

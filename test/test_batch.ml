@@ -408,6 +408,103 @@ let test_prefilter_journal_jobs_invariant () =
         Alcotest.failf "prefiltered journal bytes differ between jobs=1 and jobs=%d" jobs)
     [ 2; 4 ]
 
+(* --- the cross-job stage cache ------------------------------------------ *)
+
+let test_stage_cache_journal_invariant () =
+  (* a repeated-spec manifest through the real sizing stage: the journal
+     must be byte-identical at jobs {1,2,4} with the cache on or off, and
+     the cached runs must actually hit *)
+  let manifest =
+    manifest_exn
+      (String.concat "\n"
+         (List.init 6 (fun i ->
+              Printf.sprintf
+                "{\"id\": \"c%d\", \"seed\": 11, \"specs\": [{\"name\": \"gain_db\", \"at_least\": %.1f}], \"objectives\": [{\"minimize\": \"power_w\"}], \"topology\": \"ota-5t\"}"
+                i
+                (30.0 +. float_of_int (i mod 2)))))
+  in
+  let schedule =
+    { Mixsyn_opt.Anneal.t_start = 5.0; t_end = 0.5; cooling = 0.7; moves_per_stage = 40 }
+  in
+  let sizing_executor ~stage_cache (job : Batch.job) ~seed =
+    let r =
+      Mixsyn_flow.Flow.size_stage ~strategy:Mixsyn_synth.Sizing.Equation_annealing
+        ~schedule ~stage_cache ~seed ~context:job.Batch.context ~specs:job.Batch.specs
+        ~objectives:job.Batch.objectives Mixsyn_circuit.Topology.ota_5t
+    in
+    Json.Obj
+      [ ("cost", Json.Num r.Mixsyn_synth.Sizing.cost);
+        ("evaluations", Json.Num (float_of_int r.Mixsyn_synth.Sizing.evaluations)) ]
+  in
+  let run ~stage_cache jobs =
+    let journal = temp_journal () in
+    let s =
+      Batch.run ~jobs ~prefilter:false ~executor:(sizing_executor ~stage_cache) ~journal
+        manifest
+    in
+    let bytes = read_file journal in
+    Sys.remove journal;
+    (s, bytes)
+  in
+  let _, reference = run ~stage_cache:false 1 in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun stage_cache ->
+          let s, bytes = run ~stage_cache jobs in
+          Alcotest.(check int)
+            (Printf.sprintf "completed at jobs=%d cache=%b" jobs stage_cache)
+            6 s.Batch.completed;
+          if stage_cache && s.Batch.cache_hits + s.Batch.cache_misses < 6 then
+            Alcotest.failf "cached run at jobs=%d never consulted the cache" jobs;
+          if not (String.equal reference bytes) then
+            Alcotest.failf "journal bytes differ at jobs=%d stage_cache=%b" jobs
+              stage_cache)
+        [ false; true ])
+    [ 1; 2; 4 ];
+  (* once warm, a repeat run resolves every job from the cache *)
+  let s, bytes = run ~stage_cache:true 4 in
+  Alcotest.(check int) "warm run misses nothing" 0 s.Batch.cache_misses;
+  if s.Batch.cache_hits < 6 then Alcotest.fail "warm run should hit on every job";
+  if not (String.equal reference bytes) then
+    Alcotest.fail "warm cached journal differs from the uncached reference"
+
+(* --- work-stealing order is unobservable --------------------------------- *)
+
+let prop_stealing_order_invariant =
+  QCheck.Test.make ~name:"work-stealing order never changes a journal record"
+    ~count:20
+    QCheck.(triple (int_range 0 100_000) (int_range 1 12) (int_range 2 4))
+    (fun (salt, n, workers) ->
+      (* jobs with salt-derived seeds and deliberately skewed costs: the
+         busy-work makes some jobs orders of magnitude heavier, so the
+         stealing order genuinely varies between runs *)
+      let manifest =
+        manifest_exn
+          (String.concat "\n"
+             (List.init n (fun i ->
+                  Printf.sprintf "{\"id\": \"q%02d\", \"seed\": %d}" i
+                    (1 + ((salt + (i * 7919)) mod 1000)))))
+      in
+      let executor (job : Batch.job) ~seed =
+        let spin = (seed * 31) mod 997 in
+        let acc = ref 0.0 in
+        for k = 1 to spin * 50 do
+          acc := !acc +. sqrt (float_of_int k)
+        done;
+        Json.Obj
+          [ ("echo", Json.Str job.Batch.job_id);
+            ("value", Json.Num (float_of_int seed +. (!acc -. !acc))) ]
+      in
+      let run jobs =
+        let journal = temp_journal () in
+        ignore (Batch.run ~jobs ~executor ~journal manifest);
+        let bytes = read_file journal in
+        Sys.remove journal;
+        bytes
+      in
+      String.equal (run 1) (run workers))
+
 (* --- a real flow under the timeout -------------------------------------- *)
 
 let test_flow_executor_times_out () =
@@ -449,5 +546,8 @@ let () =
           Alcotest.test_case "optional" `Quick test_prefilter_optional;
           Alcotest.test_case "faults still run" `Quick test_prefilter_never_skips_faults;
           Alcotest.test_case "jobs invariant" `Quick test_prefilter_journal_jobs_invariant ] );
+      ( "stage-cache",
+        [ Alcotest.test_case "journal invariant" `Quick test_stage_cache_journal_invariant;
+          QCheck_alcotest.to_alcotest prop_stealing_order_invariant ] );
       ( "flow",
         [ Alcotest.test_case "cooperative timeout" `Slow test_flow_executor_times_out ] ) ]

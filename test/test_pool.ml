@@ -196,6 +196,57 @@ let test_grain_fallback () =
   Alcotest.(check int) "no fallback at zero threshold" 0
     (Mixsyn_util.Telemetry.counter "pool.grain_fallbacks")
 
+let test_banded_matches_sequential () =
+  (* parallel_banded must agree with a plain index map at any jobs/band
+     size, including bands that don't divide n *)
+  let n = 257 in
+  let expected = Array.init n (fun i -> (i * 3) + 1 ) in
+  let f start len = Array.init len (fun k -> ((start + k) * 3) + 1) in
+  List.iter
+    (fun (jobs, chunk) ->
+      let got = Pool.parallel_banded ~jobs ?chunk n f in
+      if got <> expected then
+        Alcotest.failf "parallel_banded mismatch at jobs=%d chunk=%s" jobs
+          (match chunk with Some c -> string_of_int c | None -> "auto"))
+    [ (1, None); (4, None); (4, Some 1); (4, Some 7); (4, Some 64); (4, Some 10_000);
+      (64, Some 3) ];
+  Alcotest.(check (array int)) "empty" [||] (Pool.parallel_banded ~jobs:4 0 f);
+  (* a band returning the wrong number of results is a caller bug *)
+  (match Pool.parallel_banded ~jobs:4 ~chunk:8 16 (fun _ len -> Array.make (len + 1) 0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "wrong band length must raise");
+  (match Pool.parallel_banded ~jobs:2 (-1) f with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative n must raise");
+  (* exception determinism at band granularity: the smallest failing band
+     wins whatever the scheduling *)
+  for _ = 1 to 5 do
+    match
+      Pool.parallel_banded ~jobs:4 ~chunk:10 200 (fun start len ->
+          if start + len > 50 then raise (Boom start) else Array.make len 0)
+    with
+    | _ -> Alcotest.fail "expected Boom"
+    | exception Boom i -> Alcotest.(check int) "min failing band" 50 i
+  done
+
+let test_small_sweep_fallback () =
+  (* the ac-sweep 0.52x regression: a sub-threshold sweep must take the
+     sequential path once the grain has a seconds-per-item estimate,
+     instead of paying domain fan-out for microseconds of work *)
+  let nl = Top.miller_ota.Tp.build tech (Tp.midpoint Top.miller_ota) in
+  let op = Mixsyn_engine.Dc.solve ~tech nl in
+  let freqs =
+    Mixsyn_engine.Ac.log_sweep ~decades_from:0.0 ~decades_to:8.0 ~points_per_decade:5
+  in
+  (* first call may probe in parallel; it teaches the grain the per-item cost *)
+  let first = Mixsyn_engine.Ac.solve ~tech ~jobs:4 nl op ~freqs in
+  Mixsyn_util.Telemetry.reset ();
+  let second = Mixsyn_engine.Ac.solve ~tech ~jobs:4 nl op ~freqs in
+  if first.Mixsyn_engine.Ac.solutions <> second.Mixsyn_engine.Ac.solutions then
+    Alcotest.fail "fallback changed the sweep's results";
+  if Mixsyn_util.Telemetry.counter "pool.grain_fallbacks" < 1 then
+    Alcotest.fail "a 41-point sweep was not routed down the sequential path"
+
 let test_worker_minor_heap_knob () =
   let before = Pool.worker_minor_heap_words () in
   Pool.set_worker_minor_heap_words (1 lsl 20);
@@ -358,6 +409,8 @@ let () =
           Alcotest.test_case "jobs validation" `Quick test_jobs_validation;
           Alcotest.test_case "float results unboxed" `Quick test_float_results_unboxed_sound;
           Alcotest.test_case "grain fallback" `Quick test_grain_fallback;
+          Alcotest.test_case "banded map" `Quick test_banded_matches_sequential;
+          Alcotest.test_case "small sweep falls back" `Quick test_small_sweep_fallback;
           Alcotest.test_case "worker minor-heap knob" `Quick test_worker_minor_heap_knob;
           Alcotest.test_case "sequential scope" `Quick test_sequential_scope ] );
       ( "rng",
