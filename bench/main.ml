@@ -902,6 +902,190 @@ let run_batch () =
   Printf.printf "\n%d jobs, %.1f jobs/s at %d workers (recorded in BENCH_batch.json)\n" n
     throughput top_jobs
 
+(* ---------------------------------------------------------------------- *)
+(* Serve: the persistent synthesis service - HTTP throughput and contract   *)
+(* ---------------------------------------------------------------------- *)
+
+let run_serve () =
+  let module Batch = Mixsyn_flow.Batch in
+  let module Serve = Mixsyn_flow.Serve in
+  let module Http = Mixsyn_util.Http in
+  let module Json = Mixsyn_util.Json in
+  banner "Serve: persistent synthesis service - request latency and byte-identity";
+  let host_cores = Mixsyn_util.Pool.available_cores () in
+  let workers = List.fold_left max 1 curve_jobs in
+  let n = 24 in
+  let infeasible i = i mod 8 = 3 in
+  Printf.printf
+    "a %d-job manifest is submitted over HTTP to a %d-worker server; the\ndrained journal must be byte-identical to a sequential batch run, and\nthe read path is timed for requests/s and latency percentiles.\n\n"
+    n workers;
+  let manifest_lines =
+    List.init n (fun i ->
+        Printf.sprintf
+          "{\"id\": \"srv-%02d\", \"seed\": %d, \"specs\": [{\"name\": \"gain_db\", \"at_least\": %s}], \"topology\": \"ota-5t\"}"
+          i (i + 1)
+          (if infeasible i then "1000.0" else "40.0"))
+  in
+  let manifest =
+    match Batch.manifest_of_string (String.concat "\n" manifest_lines) with
+    | Ok jobs -> jobs
+    | Error msg -> failwith ("serve bench manifest: " ^ msg)
+  in
+  (* the deterministic stand-in executor the batch bench uses, lightened:
+     a burst of DC solves on a seed-perturbed 5T OTA *)
+  let executor (_ : Batch.job) ~seed =
+    let mid = Tp.midpoint Top.ota_5t in
+    let params =
+      Array.mapi
+        (fun i v -> v *. (1.0 +. (0.002 *. float_of_int ((seed * 31 + i) mod 5))))
+        mid
+    in
+    let nl = Top.ota_5t.Tp.build tech params in
+    let power = ref 0.0 in
+    for _ = 1 to 5 do
+      let op = Mixsyn_engine.Dc.solve ~tech nl in
+      power := Mixsyn_engine.Dc.power nl op
+    done;
+    Json.Obj [ ("power_w", Json.Num !power); ("solves", Json.Num 5.0) ]
+  in
+  let read path =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  (* the sequential batch reference journal *)
+  let j_ref = Filename.temp_file "msyn_bench_serve_ref" ".journal" in
+  Sys.remove j_ref;
+  ignore (Batch.run ~jobs:1 ~executor ~journal:j_ref manifest);
+  let bytes_ref = read j_ref in
+  Sys.remove j_ref;
+  (* boot the server on an ephemeral loopback port *)
+  let j_srv = Filename.temp_file "msyn_bench_serve" ".journal" in
+  Sys.remove j_srv;
+  let cfg =
+    { (Serve.default_config ~journal:j_srv) with Serve.workers; queue_capacity = 256 }
+  in
+  let slot = Atomic.make None in
+  let server =
+    Domain.spawn (fun () ->
+        Serve.run ~executor ~on_ready:(fun h -> Atomic.set slot (Some h)) cfg)
+  in
+  let rec handle () =
+    match Atomic.get slot with
+    | Some h -> h
+    | None ->
+      Unix.sleepf 0.005;
+      handle ()
+  in
+  let h = handle () in
+  let port = Serve.port h in
+  let call meth path body =
+    match Http.request ?body ~timeout_s:30.0 ~host:"127.0.0.1" ~port ~meth ~path () with
+    | Ok (status, _, body) -> (status, body)
+    | Error msg -> failwith (Printf.sprintf "serve bench: %s %s: %s" meth path msg)
+  in
+  let state_of body =
+    match Json.parse body with
+    | Ok j -> Option.value ~default:"?" (Option.bind (Json.member "state" j) Json.to_str)
+    | Error _ -> "?"
+  in
+  (* submit the whole manifest, then poll everything to completion *)
+  let t_submit = Unix.gettimeofday () in
+  List.iter (fun line -> ignore (call "POST" "/jobs" (Some line))) manifest_lines;
+  List.iteri
+    (fun i _ ->
+      let id = Printf.sprintf "srv-%02d" i in
+      let rec poll () =
+        let _, body = call "GET" ("/jobs/" ^ id) None in
+        match state_of body with
+        | "queued" | "running" ->
+          Unix.sleepf 0.01;
+          poll ()
+        | _ -> ()
+      in
+      poll ())
+    manifest_lines;
+  let jobs_s = Unix.gettimeofday () -. t_submit in
+  Printf.printf "%-28s %8.3fs  %5.1f jobs/s\n" "submit + execute + poll" jobs_s
+    (float_of_int n /. Float.max jobs_s 1e-9);
+  (* read-path latency: one-shot status and health requests, each timed *)
+  let n_requests = 300 in
+  let latencies =
+    Array.init n_requests (fun i ->
+        let path = if i mod 3 = 0 then "/healthz" else Printf.sprintf "/jobs/srv-%02d" (i mod n) in
+        let t0 = Unix.gettimeofday () in
+        ignore (call "GET" path None);
+        Unix.gettimeofday () -. t0)
+  in
+  let total_s = Array.fold_left ( +. ) 0.0 latencies in
+  let rps = float_of_int n_requests /. Float.max total_s 1e-9 in
+  Array.sort compare latencies;
+  let pct p =
+    latencies.(min (n_requests - 1) (int_of_float (p *. float_of_int (n_requests - 1) +. 0.5)))
+  in
+  let p50_ms = pct 0.50 *. 1e3 and p99_ms = pct 0.99 *. 1e3 in
+  Printf.printf "%-28s %8.0f req/s  p50 %.2f ms  p99 %.2f ms\n" "read path (one-shot conns)"
+    rps p50_ms p99_ms;
+  (* graceful drain, then the byte-identity verdict *)
+  let stats = (Serve.drain h; Domain.join server) in
+  let bytes_srv = read j_srv in
+  Sys.remove j_srv;
+  let identical = String.equal bytes_ref bytes_srv in
+  let drained = stats.Serve.finished = n in
+  Printf.printf "journal identical to sequential batch: %b\n" identical;
+  Printf.printf "drained cleanly: %b (%d finished, %d requests served)\n" drained
+    stats.Serve.finished stats.Serve.requests;
+  (* queue-bound sanity: a 1-worker, capacity-1 server under a burst must
+     shed load with 429s rather than grow without bound *)
+  let j_q = Filename.temp_file "msyn_bench_serve_q" ".journal" in
+  Sys.remove j_q;
+  let slow (_ : Batch.job) ~seed =
+    Unix.sleepf 0.2;
+    Json.Obj [ ("seed", Json.Num (float_of_int seed)) ]
+  in
+  let cfg_q =
+    { (Serve.default_config ~journal:j_q) with Serve.workers = 1; queue_capacity = 1 }
+  in
+  let slot_q = Atomic.make None in
+  let server_q =
+    Domain.spawn (fun () ->
+        Serve.run ~executor:slow ~on_ready:(fun h -> Atomic.set slot_q (Some h)) cfg_q)
+  in
+  let rec handle_q () =
+    match Atomic.get slot_q with
+    | Some h -> h
+    | None ->
+      Unix.sleepf 0.005;
+      handle_q ()
+  in
+  let hq = handle_q () in
+  let burst = 8 in
+  let rejected = ref 0 in
+  for i = 0 to burst - 1 do
+    let body = Printf.sprintf "{\"id\": \"burst-%d\"}" i in
+    match
+      Http.request ~timeout_s:30.0 ~body ~host:"127.0.0.1" ~port:(Serve.port hq)
+        ~meth:"POST" ~path:"/jobs" ()
+    with
+    | Ok (429, _, _) -> incr rejected
+    | Ok _ -> ()
+    | Error msg -> failwith ("serve bench burst: " ^ msg)
+  done;
+  let stats_q = (Serve.drain hq; Domain.join server_q) in
+  Sys.remove j_q;
+  let queue_full_429 = !rejected in
+  Printf.printf "burst of %d on a capacity-1 queue: %d rejected with 429 (server saw %d)\n"
+    burst queue_full_429 stats_q.Serve.rejected_queue_full;
+  write_file "BENCH_serve.json"
+    (Printf.sprintf
+       "{\"experiment\":\"serve\",\"host_cores\":%d,\"workers\":%d,\"n_jobs\":%d,\"jobs_wall_s\":%.4f,\"jobs_per_s\":%.2f,\"requests\":%d,\"rps\":%.1f,\"p50_ms\":%.3f,\"p99_ms\":%.3f,\"queue_full_429\":%d,\"journal_identical\":%b,\"drained\":%b,\"requests_served\":%d}\n"
+       host_cores workers n jobs_s
+       (float_of_int n /. Float.max jobs_s 1e-9)
+       n_requests rps p50_ms p99_ms queue_full_429 identical drained
+       stats.Serve.requests);
+  Printf.printf "\n%.0f req/s, p99 %.2f ms (recorded in BENCH_serve.json)\n" rps p99_ms
+
 let all =
   [ ("table1", run_table1);
     ("fig1", run_fig1);
@@ -915,10 +1099,11 @@ let all =
     ("adc", run_adc);
     ("ablations", run_ablations);
     ("parallel", run_parallel);
-    ("batch", run_batch) ]
+    ("batch", run_batch);
+    ("serve", run_serve) ]
 
 (* experiments that write their own richer BENCH_<name>.json *)
-let self_reporting = [ "parallel"; "batch" ]
+let self_reporting = [ "parallel"; "batch"; "serve" ]
 
 (* run repeats with stdout parked on /dev/null: the repeat is purely for
    timing, and every experiment prints its tables as it runs *)

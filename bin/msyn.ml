@@ -763,6 +763,173 @@ let batch_cmd =
     Term.(const run $ manifest_arg $ journal_arg $ jobs_arg $ timeout_arg $ retries_arg
           $ json_arg $ no_prefilter_arg $ no_stage_cache_arg $ strict_arg $ telemetry_arg)
 
+(* --- serve ------------------------------------------------------------- *)
+
+let serve_cmd =
+  let module Serve = Mixsyn_flow.Serve in
+  let journal_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"JOURNAL"
+             ~doc:"Append-only JSONL journal, shared with $(b,msyn batch): every admitted \
+                   job is checkpointed here in submission order, and an existing journal's \
+                   valid prefix is adopted on boot so a killed or drained server resumes \
+                   where it stopped.")
+  in
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address.")
+  in
+  let port_arg =
+    Arg.(value & opt int 8642
+         & info [ "port" ] ~docv:"PORT"
+             ~doc:"TCP port; $(b,0) binds an ephemeral port (printed on stdout).")
+  in
+  let workers_arg =
+    Arg.(value & opt (some jobs_conv) None
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Worker domains executing jobs (default $(b,MIXSYN_JOBS) or the \
+                   machine's core count), each running its job exactly like a \
+                   $(b,msyn batch) worker.")
+  in
+  let queue_arg =
+    Arg.(value & opt int 64
+         & info [ "queue-capacity" ] ~docv:"N"
+             ~doc:"Bound on queued (admitted but not yet running) jobs; past it \
+                   submissions get $(b,429) with a $(b,Retry-After) header.")
+  in
+  let rate_arg =
+    Arg.(value & opt float 0.0
+         & info [ "rate-limit" ] ~docv:"R"
+             ~doc:"Per-client token-bucket rate limit on submissions, in jobs per \
+                   second; $(b,0) (the default) disables it.")
+  in
+  let burst_arg =
+    Arg.(value & opt float 8.0
+         & info [ "rate-burst" ] ~docv:"N"
+             ~doc:"Token-bucket capacity: how many submissions a client may burst \
+                   before the $(b,--rate-limit) rate applies.")
+  in
+  let timeout_arg =
+    Arg.(value & opt float 0.0
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:"Default per-job wall-clock timeout, as in $(b,msyn batch); 0 \
+                   disables it; a job's $(b,timeout_s) field overrides it.")
+  in
+  let retries_arg =
+    Arg.(value & opt int 0
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Per-job retry budget on exceptions, as in $(b,msyn batch).")
+  in
+  let request_timeout_arg =
+    Arg.(value & opt float 10.0
+         & info [ "request-timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-request read/handle deadline; a stalled client is answered \
+                   with $(b,408) and its connection is released.")
+  in
+  let no_prefilter_arg =
+    Arg.(value & flag
+         & info [ "no-prefilter" ]
+             ~doc:"Disable the static feasibility screen on admission (see \
+                   $(b,msyn batch)).")
+  in
+  let run journal host port workers queue_capacity rate_limit rate_burst timeout retries
+      request_timeout no_prefilter telemetry =
+    apply_jobs workers;
+    if retries < 0 then begin
+      Printf.eprintf "msyn serve: retries must be non-negative (got %d)\n" retries;
+      exit 2
+    end;
+    if queue_capacity < 1 then begin
+      Printf.eprintf "msyn serve: queue capacity must be at least 1 (got %d)\n"
+        queue_capacity;
+      exit 2
+    end;
+    let cfg =
+      { (Serve.default_config ~journal) with
+        Serve.host;
+        port;
+        workers = Option.value workers ~default:(Mixsyn_util.Pool.default_jobs ());
+        queue_capacity;
+        rate_limit;
+        rate_burst;
+        timeout_s = (if timeout > 0.0 then Some timeout else None);
+        retries;
+        prefilter = not no_prefilter;
+        request_timeout_s = request_timeout }
+    in
+    match
+      Serve.run
+        ~on_ready:(fun h ->
+          (* SIGTERM/SIGINT request a graceful drain: stop admitting, finish
+             queued and running jobs, flush the journal, exit 0.  Serve.drain
+             is a single atomic store, safe inside a signal handler. *)
+          Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> Serve.drain h));
+          Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> Serve.drain h));
+          Printf.printf "msyn serve: listening on http://%s:%d\n" host (Serve.port h);
+          Printf.printf "msyn serve: journal %s\n%!" journal)
+        cfg
+    with
+    | stats ->
+      Printf.printf
+        "msyn serve: drained — %d request(s), %d job(s) accepted (%d resumed), %d \
+         finished, %d cancelled, rejected %d queue-full / %d rate-limited / %d draining\n"
+        stats.Serve.requests stats.Serve.accepted stats.Serve.resumed stats.Serve.finished
+        stats.Serve.cancelled stats.Serve.rejected_queue_full
+        stats.Serve.rejected_rate_limited stats.Serve.rejected_draining;
+      report_telemetry telemetry
+    | exception Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "msyn serve: %s(%s): %s\n" fn arg (Unix.error_message e);
+      exit 1
+  in
+  let man =
+    [ `S Manpage.s_description;
+      `P "Run the batch layer as a persistent HTTP/1.1 JSON service: one warm process \
+          — domain pool spawned, sizing stage cache populated — accepting synthesis \
+          jobs over HTTP instead of paying process cold-start per manifest.  Jobs use \
+          the $(b,msyn batch) manifest line format and execute through exactly the \
+          batch code path, so the journal the service writes is byte-identical to the \
+          journal $(b,msyn batch) writes for the same jobs in the same order.";
+      `P "Admitted jobs land in a bounded work queue feeding $(b,--workers) domains.  \
+          When the queue is full, submissions are rejected with $(b,429) and a \
+          $(b,Retry-After) header; $(b,--rate-limit) adds a per-client token bucket \
+          on top.  Every admitted job is appended to the journal-as-checkpoint, so \
+          killing the server (even $(b,SIGKILL)) loses at most one torn trailing \
+          line, and rebooting against the same journal resumes: recorded jobs answer \
+          instantly on resubmission.";
+      `S "ENDPOINTS";
+      `P "$(b,POST /jobs) — submit one job (manifest line format).  $(b,202) on \
+          admission with $(i,{\"id\",\"state\"}); $(b,200) when the id is already \
+          known (idempotent); $(b,400) malformed body; $(b,429) queue full or \
+          rate-limited; $(b,503) draining."; `Noblank;
+      `P "$(b,GET /jobs) — all job ids and states, in submission order."; `Noblank;
+      `P "$(b,GET /jobs/)$(i,ID) — one job's state ($(i,queued), $(i,running), \
+          $(i,completed), $(i,failed), $(i,timed_out), $(i,infeasible), \
+          $(i,cancelled))."; `Noblank;
+      `P "$(b,GET /jobs/)$(i,ID)$(b,/result) — the finished job's record, byte-for-byte \
+          its journal line; $(b,409) while still queued or running."; `Noblank;
+      `P "$(b,POST /jobs/)$(i,ID)$(b,/cancel) — cancel: a queued job is journalled \
+          $(i,cancelled) without executing; a running job is cancelled cooperatively \
+          at its next guard point; $(b,409) once finished."; `Noblank;
+      `P "$(b,POST /drain) — graceful shutdown, identical to $(b,SIGTERM)."; `Noblank;
+      `P "$(b,GET /healthz) — liveness; $(b,GET /metrics) — queue depth, job and \
+          rejection counts, stage-cache hit rate, per-worker busy seconds and the \
+          full telemetry rollup, as canonical JSON.";
+      `S "DRAIN SEMANTICS";
+      `P "$(b,SIGTERM), $(b,SIGINT) and $(b,POST /drain) all trigger the same \
+          graceful drain: new submissions are refused with $(b,503) while status, \
+          result and metrics queries keep answering; every queued and running job \
+          finishes and is journalled; the journal is flushed and closed; the process \
+          exits 0.  A drained journal is a clean prefix a later $(b,msyn serve) or \
+          $(b,msyn batch) run resumes from." ]
+  in
+  Cmd.v
+    (Cmd.info "serve" ~man
+       ~doc:"Persistent HTTP synthesis service over the batch layer, with a bounded \
+             work queue, rate limits, journal checkpointing and graceful drain.")
+    Term.(const run $ journal_arg $ host_arg $ port_arg $ workers_arg $ queue_arg
+          $ rate_arg $ burst_arg $ timeout_arg $ retries_arg $ request_timeout_arg
+          $ no_prefilter_arg $ telemetry_arg)
+
 (* --- flow -------------------------------------------------------------- *)
 
 let flow_cmd =
@@ -806,6 +973,8 @@ let main =
       `P "$(b,flow) — full top-to-bottom flow: specs to verified layout.";
       `P "$(b,batch) — run a JSONL manifest of flow jobs with timeouts, retries and \
           checkpoint/resume.";
+      `P "$(b,serve) — run the batch layer as a persistent HTTP synthesis service \
+          with a bounded work queue, rate limits and graceful drain.";
       `P "An unknown subcommand prints usage on standard error and exits nonzero.";
       `S "PARALLELISM";
       `P "$(b,size), $(b,layout), $(b,flow) and $(b,batch) accept $(b,--jobs) $(i,N) to \
@@ -836,6 +1005,7 @@ let main =
   Cmd.group
     (Cmd.info "msyn" ~version:"1.0.0" ~doc ~man)
     [ size_cmd; topo_cmd; layout_cmd; lint_cmd; feas_cmd; table1_cmd; floorplan_cmd;
-      powergrid_cmd; wren_cmd; hierarchy_cmd; yield_cmd; adc_cmd; flow_cmd; batch_cmd ]
+      powergrid_cmd; wren_cmd; hierarchy_cmd; yield_cmd; adc_cmd; flow_cmd; batch_cmd;
+      serve_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -44,6 +44,7 @@ type status =
   | Failed of failure
   | Timed_out
   | Infeasible of infeasibility
+  | Cancelled
 
 type record = {
   rec_id : string;
@@ -57,6 +58,7 @@ type summary = {
   completed : int;
   failed : int;
   timed_out : int;
+  cancelled : int;
   prefiltered : int;
   skipped : int;
   run_jobs : int;
@@ -241,6 +243,7 @@ let record_to_json r =
           ("error", Json.Str f.error);
           ("diagnostics", Json.Arr (List.map (fun d -> Json.Str d) f.diagnostics)) ])
   | Timed_out -> Json.Obj (base @ [ ("status", Json.Str "timed_out") ])
+  | Cancelled -> Json.Obj (base @ [ ("status", Json.Str "cancelled") ])
   | Infeasible inf ->
     Json.Obj
       (base
@@ -281,6 +284,7 @@ let record_of_json json =
       in
       Ok (Failed { error; diagnostics })
     | Some "timed_out" -> Ok Timed_out
+    | Some "cancelled" -> Ok Cancelled
     | Some "infeasible" ->
       let str name dflt =
         Option.value (Option.bind (Json.member name json) Json.to_str) ~default:dflt
@@ -383,13 +387,15 @@ let describe_exn = function
    retry seeds never collide with neighbouring jobs' base seeds *)
 let retry_stride = 1_000_003
 
-let run_job ?timeout_s ?(retries = 0) ?(executor = flow_executor ~stage_cache:true) job =
+let run_job ?timeout_s ?(retries = 0) ?(executor = flow_executor ~stage_cache:true)
+    ?on_attempt job =
   if retries < 0 then
     invalid_arg (Printf.sprintf "Batch.run_job: retries %d negative" retries);
   let timeout_s = match job.timeout_s with Some t -> Some t | None -> timeout_s in
   let rec attempt k =
     let seed = job.seed + (retry_stride * k) in
     let token = Cancel.create ?timeout_s () in
+    Option.iter (fun f -> f token) on_attempt;
     match
       Cancel.with_token token @@ fun () ->
       Mixsyn_util.Telemetry.with_span "batch.job" @@ fun () ->
@@ -492,7 +498,7 @@ let prefilter_job job =
    overlapped with other jobs), so the section under [w_lock] is pure
    ordering + I/O.  The bytes are identical either way — [Json.to_string]
    is canonical and the render is a pure function of the record. *)
-type writer = {
+type journal_writer = {
   oc : out_channel;
   w_lock : Mutex.t;
   mutable next : int;
@@ -514,11 +520,25 @@ let writer_push w i line =
         w.next <- w.next + 1
       done)
 
+let journal_push w i r = writer_push w i (Json.to_string (record_to_json r))
+
 let truncate_file path len =
   let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
   Fun.protect
     ~finally:(fun () -> Unix.close fd)
     (fun () -> Unix.ftruncate fd len)
+
+let journal_open path =
+  let recorded, valid_len = read_journal path in
+  if Sys.file_exists path then truncate_file path valid_len;
+  let oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path in
+  (recorded, { oc; w_lock = Mutex.create (); next = 0; buffered = Hashtbl.create 16 })
+
+let journal_close w =
+  Mutex.lock w.w_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock w.w_lock)
+    (fun () -> close_out w.oc)
 
 (* ---- the batch loop --------------------------------------------------- *)
 
@@ -557,17 +577,20 @@ let run ?jobs ?timeout_s ?(retries = 0) ?(prefilter = true) ?(stage_cache = true
     manifest;
   let t0 = Unix.gettimeofday () in
   (* resume: adopt the journal's valid prefix, cut interruption damage *)
-  let recorded, valid_len = read_journal journal in
-  if Sys.file_exists journal then truncate_file journal valid_len;
+  let recorded, w = journal_open journal in
   let done_tbl = Hashtbl.create 16 in
-  List.iter
-    (fun r ->
-      if not (Hashtbl.mem seen r.rec_id) then
-        invalid_arg
-          (Printf.sprintf "Batch.run: journal %s records job %S, not in the manifest"
-             journal r.rec_id);
-      Hashtbl.replace done_tbl r.rec_id r)
-    recorded;
+  (try
+     List.iter
+       (fun r ->
+         if not (Hashtbl.mem seen r.rec_id) then
+           invalid_arg
+             (Printf.sprintf "Batch.run: journal %s records job %S, not in the manifest"
+                journal r.rec_id);
+         Hashtbl.replace done_tbl r.rec_id r)
+       recorded
+   with exn ->
+     journal_close w;
+     raise exn);
   let pending = Array.of_list (List.filter (fun j -> not (Hashtbl.mem done_tbl j.job_id)) manifest) in
   (* decide prefiltering up front, sequentially: interval certification is
      microseconds per job, and a fixed decision array keeps the journal a
@@ -588,13 +611,11 @@ let run ?jobs ?timeout_s ?(retries = 0) ?(prefilter = true) ?(stage_cache = true
   let cache_h0, cache_m0 = Flow.stage_cache_stats () in
   let busy0 = domain_busy_us () in
   let fresh =
-    if Array.length pending = 0 then [||]
-    else begin
-      let oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 journal in
-      let w = { oc; w_lock = Mutex.create (); next = 0; buffered = Hashtbl.create 16 } in
-      Fun.protect
-        ~finally:(fun () -> close_out w.oc)
-        (fun () ->
+    Fun.protect
+      ~finally:(fun () -> journal_close w)
+      (fun () ->
+        if Array.length pending = 0 then [||]
+        else
           (* whole jobs are the unit of stealing ([chunk:1]): jobs differ in
              cost by orders of magnitude, so claiming them one at a time is
              what keeps every domain busy until the manifest drains — while
@@ -610,10 +631,9 @@ let run ?jobs ?timeout_s ?(retries = 0) ?(prefilter = true) ?(stage_cache = true
                       run_job ?timeout_s ~retries ~executor job)
               in
               (* serialize on the worker, off the writer lock *)
-              writer_push w i (Json.to_string (record_to_json r));
+              journal_push w i r;
               r)
             pending)
-    end
   in
   let cache_h1, cache_m1 = Flow.stage_cache_stats () in
   let busy1 = domain_busy_us () in
@@ -624,6 +644,7 @@ let run ?jobs ?timeout_s ?(retries = 0) ?(prefilter = true) ?(stage_cache = true
     completed = count (fun r -> match r.status with Completed _ -> true | _ -> false);
     failed = count (fun r -> match r.status with Failed _ -> true | _ -> false);
     timed_out = count (fun r -> r.status = Timed_out);
+    cancelled = count (fun r -> r.status = Cancelled);
     prefiltered = count (fun r -> match r.status with Infeasible _ -> true | _ -> false);
     skipped = List.length recorded;
     run_jobs;
@@ -649,6 +670,7 @@ let summary_to_json s =
       ("completed", Json.Num (float_of_int s.completed));
       ("failed", Json.Num (float_of_int s.failed));
       ("timed_out", Json.Num (float_of_int s.timed_out));
+      ("cancelled", Json.Num (float_of_int s.cancelled));
       ("prefiltered_jobs", Json.Num (float_of_int s.prefiltered));
       ("skipped", Json.Num (float_of_int s.skipped));
       ("jobs", Json.Num (float_of_int s.run_jobs));
@@ -673,8 +695,9 @@ let summary_to_json s =
 
 let pp_summary ppf s =
   Format.fprintf ppf
-    "batch: %d job(s) — %d completed, %d failed, %d timed-out, %d infeasible%s@\n" s.total
+    "batch: %d job(s) — %d completed, %d failed, %d timed-out, %d infeasible%s%s@\n" s.total
     s.completed s.failed s.timed_out s.prefiltered
+    (if s.cancelled > 0 then Printf.sprintf ", %d cancelled" s.cancelled else "")
     (if s.skipped > 0 then Printf.sprintf " (%d resumed from journal)" s.skipped else "");
   Format.fprintf ppf "  %d worker(s), %.1fs, %.2f jobs/s@\n" s.run_jobs s.elapsed_s
     (throughput s);
@@ -699,6 +722,8 @@ let pp_summary ppf s =
         List.iter (fun d -> Format.fprintf ppf "      %s@\n" d) f.diagnostics
       | Timed_out ->
         Format.fprintf ppf "  %-16s TIMED OUT after %d attempt(s)@\n" r.rec_id r.attempts
+      | Cancelled ->
+        Format.fprintf ppf "  %-16s CANCELLED after %d attempt(s)@\n" r.rec_id r.attempts
       | Infeasible inf ->
         Format.fprintf ppf "  %-16s INFEASIBLE: %s %s, certified [%g, %g]@\n" r.rec_id
           inf.inf_spec inf.inf_bound inf.inf_lo inf.inf_hi)

@@ -83,6 +83,10 @@ type status =
   | Timed_out
   | Infeasible of infeasibility
       (** skipped by the static prefilter; the executor never ran *)
+  | Cancelled
+      (** explicitly cancelled by a client of the synthesis service
+          ({!Serve}); batch runs never produce it, but resume must parse
+          it, because a serve journal is a valid batch journal *)
 
 type record = {
   rec_id : string;
@@ -96,6 +100,7 @@ type summary = {
   completed : int;
   failed : int;
   timed_out : int;
+  cancelled : int;      (** only non-zero when resuming a serve journal *)
   prefiltered : int;    (** jobs skipped as provably infeasible *)
   skipped : int;        (** jobs already recorded in the journal *)
   run_jobs : int;       (** worker count the batch ran with *)
@@ -127,6 +132,36 @@ val read_journal : string -> record list * int
     prefix's byte length (a trailing truncated or malformed line is not
     part of it).  A missing file reads as [([], 0)]. *)
 
+(** {2 The in-order journal writer}
+
+    The checkpoint machinery {!run} is built on, exported so the synthesis
+    service ({!Serve}) journals its accepted jobs through the exact same
+    path — which is what makes a serve journal byte-identical to the
+    equivalent batch journal.  Records may be pushed in any completion
+    order under any index; lines reach the disk strictly in index order,
+    each flushed as soon as every earlier index has been written, so the
+    file is always a clean prefix of the final journal. *)
+
+type journal_writer
+
+val journal_open : string -> record list * journal_writer
+(** Open [path] as a journal to append to: parse its longest valid prefix,
+    truncate any interruption damage after it, and return the recorded
+    prefix plus a writer whose index 0 is the next line to append.
+    Indices passed to {!journal_push} are relative to this open — resume
+    code maps them onto its own pending order. *)
+
+val journal_push : journal_writer -> int -> record -> unit
+(** [journal_push w i r] buffers [r] as line [i] (0-based, relative to
+    {!journal_open}) and flushes every contiguous buffered line.  The
+    record is rendered to canonical JSON on the calling thread, off the
+    writer lock.  Thread-safe. *)
+
+val journal_close : journal_writer -> unit
+(** Close the underlying channel.  Records buffered behind a gap (an index
+    that was never pushed) are dropped — exactly what interruption at that
+    point would have produced. *)
+
 (** {2 Execution} *)
 
 val flow_executor : ?stage_cache:bool -> job -> seed:int -> Mixsyn_util.Json.t
@@ -141,12 +176,26 @@ val run_job :
   ?timeout_s:float ->
   ?retries:int ->
   ?executor:(job -> seed:int -> Mixsyn_util.Json.t) ->
+  ?on_attempt:(Mixsyn_util.Cancel.token -> unit) ->
   job ->
   record
 (** Execute one job with the batch robustness controls but no journal:
     attempt [1 + retries] times on exceptions (attempt [k] uses
     [seed + 1_000_003 * k]), map an expired timeout to [Timed_out]
-    (timeouts are not retried), and trap everything else into [Failed]. *)
+    (timeouts are not retried), and trap everything else into [Failed].
+    [on_attempt] is called with each attempt's {!Mixsyn_util.Cancel}
+    token before the attempt starts — the hook the service uses to cancel
+    a job that is already running (cancellation surfaces as [Timed_out];
+    the caller that requested it remaps to [Cancelled]). *)
+
+val prefilter_job : job -> record option
+(** The static feasibility screen, exported for callers that accept jobs
+    one at a time (the service): [Some record] with an [Infeasible] status
+    when certified interval bounds prove a spec unsatisfiable on every
+    candidate topology, [None] when the job must execute.  A pure function
+    of the job — never wall-clock, never random — so prefiltered records
+    keep the journal's byte-identity.  Fault-injected jobs and jobs naming
+    an unknown topology always return [None]. *)
 
 val run :
   ?jobs:int ->

@@ -1,0 +1,315 @@
+(* Minimal HTTP/1.1 framing: a pure, total request parser with hard size
+   caps, a buffered keep-alive/pipelining reader, a response writer and a
+   one-shot client.  Content-Length framing only — the service rejects
+   Transfer-Encoding rather than implement chunked decoding it never
+   needs. *)
+
+type request = {
+  meth : string;
+  path : string;
+  query : (string * string) list;
+  headers : (string * string) list;
+  body : string;
+}
+
+type parse_error =
+  | Partial
+  | Too_large of string
+  | Malformed of string
+
+let default_max_header_bytes = 16 * 1024
+let default_max_body_bytes = 1024 * 1024
+
+(* ---- pure parsing ------------------------------------------------------ *)
+
+let header req name =
+  let name = String.lowercase_ascii name in
+  List.assoc_opt name req.headers
+
+(* find the end of the header block: "\r\n\r\n" (or the lenient "\n\n"),
+   returning the offset just past it *)
+let header_end buf =
+  let n = String.length buf in
+  let rec scan i =
+    if i >= n then None
+    else if buf.[i] = '\n' then
+      if i + 1 < n && buf.[i + 1] = '\n' then Some (i + 2)
+      else if i + 2 < n && buf.[i + 1] = '\r' && buf.[i + 2] = '\n' then Some (i + 3)
+      else scan (i + 1)
+    else scan (i + 1)
+  in
+  scan 0
+
+let split_lines block =
+  String.split_on_char '\n' block
+  |> List.map (fun line ->
+         let n = String.length line in
+         if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line)
+
+let parse_query s =
+  if s = "" then []
+  else
+    String.split_on_char '&' s
+    |> List.filter_map (fun kv ->
+           if kv = "" then None
+           else
+             match String.index_opt kv '=' with
+             | None -> Some (kv, "")
+             | Some i ->
+               Some (String.sub kv 0 i, String.sub kv (i + 1) (String.length kv - i - 1)))
+
+let parse_request_line line =
+  match String.split_on_char ' ' line with
+  | [ meth; target; version ]
+    when String.length version >= 7 && String.sub version 0 7 = "HTTP/1." ->
+    let path, query =
+      match String.index_opt target '?' with
+      | None -> (target, [])
+      | Some i ->
+        ( String.sub target 0 i,
+          parse_query (String.sub target (i + 1) (String.length target - i - 1)) )
+    in
+    if path = "" || path.[0] <> '/' then Error (Malformed "request target must start with /")
+    else Ok (String.uppercase_ascii meth, path, query)
+  | _ -> Error (Malformed "bad request line")
+
+let parse_header_line line =
+  match String.index_opt line ':' with
+  | None -> Error (Malformed (Printf.sprintf "bad header line %S" line))
+  | Some i ->
+    let name = String.lowercase_ascii (String.trim (String.sub line 0 i)) in
+    let value = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+    if name = "" then Error (Malformed "empty header name") else Ok (name, value)
+
+let parse_request ?(max_header_bytes = default_max_header_bytes)
+    ?(max_body_bytes = default_max_body_bytes) buf =
+  match header_end buf with
+  | None ->
+    if String.length buf > max_header_bytes then
+      Error (Too_large (Printf.sprintf "header block over %d bytes" max_header_bytes))
+    else Error Partial
+  | Some hdr_end ->
+    if hdr_end > max_header_bytes then
+      Error (Too_large (Printf.sprintf "header block over %d bytes" max_header_bytes))
+    else begin
+      let ( let* ) = Result.bind in
+      match split_lines (String.sub buf 0 hdr_end) with
+      | [] | [ _ ] -> Error (Malformed "empty request")
+      | request_line :: rest ->
+        let* meth, path, query = parse_request_line request_line in
+        let* headers =
+          List.fold_left
+            (fun acc line ->
+              let* acc = acc in
+              if line = "" then Ok acc
+              else
+                let* h = parse_header_line line in
+                Ok (h :: acc))
+            (Ok []) rest
+        in
+        let headers = List.rev headers in
+        let find name = List.assoc_opt name headers in
+        if find "transfer-encoding" <> None then
+          Error (Malformed "transfer-encoding not supported; use content-length")
+        else begin
+          let* len =
+            match find "content-length" with
+            | None -> Ok 0
+            | Some v ->
+              (match int_of_string_opt (String.trim v) with
+               | Some n when n >= 0 -> Ok n
+               | _ -> Error (Malformed (Printf.sprintf "bad content-length %S" v)))
+          in
+          if len > max_body_bytes then
+            Error (Too_large (Printf.sprintf "body of %d bytes over %d cap" len max_body_bytes))
+          else if String.length buf < hdr_end + len then Error Partial
+          else
+            Ok
+              ( { meth; path; query; headers; body = String.sub buf hdr_end len },
+                hdr_end + len )
+        end
+    end
+
+(* ---- connection reader ------------------------------------------------- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  chunk : Bytes.t;
+  max_header_bytes : int;
+  max_body_bytes : int;
+}
+
+type read_error =
+  | Closed
+  | Timeout
+  | Torn
+  | Too_big of string
+  | Bad of string
+
+let conn ?(max_header_bytes = default_max_header_bytes)
+    ?(max_body_bytes = default_max_body_bytes) fd =
+  { fd; buf = Buffer.create 1024; chunk = Bytes.create 4096; max_header_bytes;
+    max_body_bytes }
+
+(* wait until [fd] is readable or the deadline passes; EINTR retries *)
+let rec wait_readable fd deadline =
+  let left = deadline -. Unix.gettimeofday () in
+  if left <= 0.0 then false
+  else
+    match Unix.select [ fd ] [] [] left with
+    | [], _, _ -> wait_readable fd deadline
+    | _ :: _, _, _ -> true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_readable fd deadline
+
+let next_request ?(timeout_s = 10.0) c =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec loop () =
+    let text = Buffer.contents c.buf in
+    match
+      parse_request ~max_header_bytes:c.max_header_bytes
+        ~max_body_bytes:c.max_body_bytes text
+    with
+    | Ok (req, consumed) ->
+      (* keep pipelined leftovers for the next call *)
+      let rest = String.sub text consumed (String.length text - consumed) in
+      Buffer.clear c.buf;
+      Buffer.add_string c.buf rest;
+      Ok req
+    | Error (Too_large msg) -> Error (Too_big msg)
+    | Error (Malformed msg) -> Error (Bad msg)
+    | Error Partial ->
+      if not (wait_readable c.fd deadline) then Error Timeout
+      else begin
+        match Unix.read c.fd c.chunk 0 (Bytes.length c.chunk) with
+        | 0 -> if Buffer.length c.buf = 0 then Error Closed else Error Torn
+        | n ->
+          Buffer.add_subbytes c.buf c.chunk 0 n;
+          loop ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+          if Buffer.length c.buf = 0 then Error Closed else Error Torn
+      end
+  in
+  loop ()
+
+(* ---- responses --------------------------------------------------------- *)
+
+let reason = function
+  | 200 -> "OK"
+  | 202 -> "Accepted"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 409 -> "Conflict"
+  | 413 -> "Payload Too Large"
+  | 429 -> "Too Many Requests"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Status"
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let respond ?(headers = []) ?(content_type = "application/json") ?(close = false) fd
+    ~status ~body =
+  let buf = Buffer.create (256 + String.length body) in
+  Buffer.add_string buf (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (reason status));
+  Buffer.add_string buf (Printf.sprintf "Content-Type: %s\r\n" content_type);
+  Buffer.add_string buf (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+  Buffer.add_string buf
+    (if close then "Connection: close\r\n" else "Connection: keep-alive\r\n");
+  List.iter (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v)) headers;
+  Buffer.add_string buf "\r\n";
+  Buffer.add_string buf body;
+  (* best-effort: the peer may already be gone *)
+  try write_all fd (Buffer.contents buf)
+  with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) -> ()
+
+(* ---- one-shot client --------------------------------------------------- *)
+
+let read_until_eof ?(deadline = infinity) fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec loop () =
+    if deadline < infinity && not (wait_readable fd deadline) then ()
+    else
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> ()
+      | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_response text =
+  match header_end text with
+  | None -> Error "truncated response"
+  | Some hdr_end ->
+    (match split_lines (String.sub text 0 hdr_end) with
+     | status_line :: rest ->
+       (match String.split_on_char ' ' status_line with
+        | _http :: code :: _ ->
+          (match int_of_string_opt code with
+           | None -> Error (Printf.sprintf "bad status %S" code)
+           | Some status ->
+             let headers =
+               List.filter_map
+                 (fun line ->
+                   if line = "" then None
+                   else Result.to_option (parse_header_line line))
+                 rest
+             in
+             let body = String.sub text hdr_end (String.length text - hdr_end) in
+             let body =
+               match
+                 Option.bind (List.assoc_opt "content-length" headers) int_of_string_opt
+               with
+               | Some n when n <= String.length body -> String.sub body 0 n
+               | _ -> body
+             in
+             Ok (status, headers, body))
+        | _ -> Error "bad status line")
+     | [] -> Error "empty response")
+
+let request ?(headers = []) ?(body = "") ?(timeout_s = 30.0) ~host ~port ~meth ~path () =
+  match Unix.getaddrinfo host (string_of_int port) [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ] with
+  | [] -> Error (Printf.sprintf "cannot resolve %s" host)
+  | ai :: _ ->
+    let fd = Unix.socket ai.Unix.ai_family ai.Unix.ai_socktype 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        match Unix.connect fd ai.Unix.ai_addr with
+        | exception Unix.Unix_error (e, _, _) ->
+          Error (Printf.sprintf "connect: %s" (Unix.error_message e))
+        | () ->
+          let buf = Buffer.create 256 in
+          Buffer.add_string buf (Printf.sprintf "%s %s HTTP/1.1\r\n" meth path);
+          Buffer.add_string buf (Printf.sprintf "Host: %s:%d\r\n" host port);
+          Buffer.add_string buf "Connection: close\r\n";
+          List.iter
+            (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+            headers;
+          if body <> "" || meth = "POST" || meth = "PUT" then
+            Buffer.add_string buf
+              (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+          Buffer.add_string buf "\r\n";
+          Buffer.add_string buf body;
+          (match write_all fd (Buffer.contents buf) with
+           | exception Unix.Unix_error (e, _, _) ->
+             Error (Printf.sprintf "write: %s" (Unix.error_message e))
+           | () ->
+             let deadline = Unix.gettimeofday () +. timeout_s in
+             parse_response (read_until_eof ~deadline fd)))

@@ -1,0 +1,103 @@
+(** Minimal HTTP/1.1 framing over the Unix stdlib.
+
+    Just enough protocol for the synthesis service ({!Mixsyn_flow.Serve}):
+    a {e pure} request parser with hard size limits, a buffered
+    per-connection reader that supports keep-alive and pipelined requests,
+    a response writer, and a one-shot client used by the tests and the
+    bench harness.  No chunked transfer encoding, no TLS, no external
+    dependencies — the container carries no HTTP library, and the service
+    only ever speaks compact JSON over loopback-class links.
+
+    The parser is total: any malformed, oversized or torn input maps to a
+    typed error, never an exception, so one hostile connection can't take
+    the accept loop down. *)
+
+type request = {
+  meth : string;                     (** verb, uppercased (["GET"], ["POST"]) *)
+  path : string;                     (** request target without the query string *)
+  query : (string * string) list;    (** decoded [k=v] pairs, in order *)
+  headers : (string * string) list;  (** names lowercased, values trimmed *)
+  body : string;                     (** exactly [Content-Length] bytes *)
+}
+
+type parse_error =
+  | Partial
+      (** the buffer holds a prefix of a valid request — read more bytes *)
+  | Too_large of string
+      (** header block or declared body over the configured cap *)
+  | Malformed of string  (** not HTTP/1.x, or framing this module rejects *)
+
+val parse_request :
+  ?max_header_bytes:int ->
+  ?max_body_bytes:int ->
+  string ->
+  (request * int, parse_error) result
+(** [parse_request buf] parses one request from the front of [buf],
+    returning it with the number of bytes consumed (so pipelined requests
+    parse one at a time from the same buffer).  Defaults: 16 KiB of
+    headers, 1 MiB of body.  [Transfer-Encoding] is rejected (the service
+    requires [Content-Length] framing); a missing [Content-Length] on a
+    bodyless request reads as an empty body. *)
+
+val header : request -> string -> string option
+(** First header with this (case-insensitive) name. *)
+
+(** {2 Connection reader} *)
+
+type conn
+(** A buffered reader over one accepted socket.  Bytes left over after a
+    parsed request stay in the buffer, so pipelined requests are served in
+    order without re-reading the socket. *)
+
+type read_error =
+  | Closed          (** peer closed between requests — normal end *)
+  | Timeout         (** deadline passed before a full request arrived *)
+  | Torn            (** peer closed mid-request (a torn request) *)
+  | Too_big of string
+  | Bad of string
+
+val conn : ?max_header_bytes:int -> ?max_body_bytes:int -> Unix.file_descr -> conn
+
+val next_request : ?timeout_s:float -> conn -> (request, read_error) result
+(** Read the next request, waiting at most [timeout_s] wall seconds
+    (default 10) for it to complete — the per-request deadline that keeps
+    a slow or stalled client from pinning the accept loop. *)
+
+(** {2 Responses} *)
+
+val reason : int -> string
+(** Canonical reason phrase ([200 -> "OK"], [429 -> "Too Many Requests"]);
+    ["Status"] for codes this module never emits. *)
+
+val respond :
+  ?headers:(string * string) list ->
+  ?content_type:string ->
+  ?close:bool ->
+  Unix.file_descr ->
+  status:int ->
+  body:string ->
+  unit
+(** Write one [HTTP/1.1] response with [Content-Length] framing.
+    [content_type] defaults to [application/json] — every body the service
+    emits is canonical JSON.  [close] (default [false]) advertises
+    [Connection: close] instead of [keep-alive]; the caller that honors a
+    client's [Connection: close] must also stop reading and close the
+    socket.  Write errors (peer went away) are swallowed: the response is
+    best-effort once the socket is dying. *)
+
+(** {2 One-shot client} *)
+
+val request :
+  ?headers:(string * string) list ->
+  ?body:string ->
+  ?timeout_s:float ->
+  host:string ->
+  port:int ->
+  meth:string ->
+  path:string ->
+  unit ->
+  (int * (string * string) list * string, string) result
+(** Open a connection, send one request ([Connection: close]), read the
+    full response, close.  Returns status, lowercased headers and body.
+    Used by the tests, the bench harness and the CI smoke — not a general
+    client. *)

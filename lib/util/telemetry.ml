@@ -226,40 +226,21 @@ let pp_report ppf () =
 
 let report () = Format.asprintf "%a" pp_report ()
 
-(* minimal JSON encoding; names are internal identifiers but escape the
-   characters that would break the framing anyway *)
-let json_escape s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let to_json () =
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\"counters\":{";
-  List.iteri
-    (fun i (name, v) ->
-      if i > 0 then Buffer.add_char buf ',';
-      Buffer.add_string buf (Printf.sprintf "\"%s\":%d" (json_escape name) v))
-    (counters_alist ());
-  Buffer.add_string buf "},\"spans\":";
-  let rec span_json s =
-    Printf.sprintf "{\"name\":\"%s\",\"calls\":%d,\"seconds\":%.6f,\"children\":[%s]}"
-      (json_escape s.span_name) s.calls s.seconds
-      (String.concat "," (List.map span_json s.children))
+(* JSON export goes through the canonical Json printer so floats render
+   with the same shortest-round-trip encoding as the journal, the batch
+   summary and the serve responses *)
+let to_json_value () =
+  let counters =
+    Json.Obj
+      (List.map (fun (name, v) -> (name, Json.Num (float_of_int v))) (counters_alist ()))
   in
-  Buffer.add_char buf '[';
-  List.iteri
-    (fun i s ->
-      if i > 0 then Buffer.add_char buf ',';
-      Buffer.add_string buf (span_json s))
-    (spans ());
-  Buffer.add_string buf "]}";
-  Buffer.contents buf
+  let rec span_json s =
+    Json.Obj
+      [ ("name", Json.Str s.span_name);
+        ("calls", Json.Num (float_of_int s.calls));
+        ("seconds", Json.Num s.seconds);
+        ("children", Json.Arr (List.map span_json s.children)) ]
+  in
+  Json.Obj [ ("counters", counters); ("spans", Json.Arr (List.map span_json (spans ()))) ]
+
+let to_json () = Json.to_string (to_json_value ())

@@ -74,4 +74,12 @@ val span_calls : string -> int
 
 val pp_report : Format.formatter -> unit -> unit
 val report : unit -> string
+
+val to_json_value : unit -> Json.t
+(** The full registry as a canonical {!Json} value:
+    [{"counters": {name: n, ...}, "spans": [...]}] — the structure the
+    service's [/metrics] endpoint embeds, so every float in it round-trips
+    through the same shortest-representation printer as the journal. *)
+
 val to_json : unit -> string
+(** [Json.to_string (to_json_value ())]. *)

@@ -27,7 +27,13 @@ dispatches on the report's "experiment" field:
             stay under --max-batch-minor-words when given, and the
             stage_cache section must clear --min-cache-hit-rate /
             --min-cache-speedup when given (with cached and uncached
-            journals byte-identical).
+            journals byte-identical);
+  serve:    the HTTP service's journal must be byte-identical to the
+            sequential batch reference, the drain must have finished every
+            accepted job, the read path must clear --min-rps and
+            --max-p99-ms, and the capacity-1 burst must have shed at least
+            --min-queue-full requests with 429 (proof the queue bound is
+            enforced, not absorbed).
 
 Speedup targets assume the host can scale: when a report's host_cores is
 below --min-jobs the scaling gates degrade (loudly) to --no-slowdown-floor,
@@ -219,7 +225,37 @@ def check_batch(report, args):
     )
 
 
-CHECKS = {"parallel": check_parallel, "batch": check_batch}
+def check_serve(report, args):
+    if not report["journal_identical"]:
+        fail("serve journal differs from the sequential batch reference")
+    if not report["drained"]:
+        fail("serve drain left accepted jobs unfinished")
+    # latency gates are absolute, not scaling gates: a 1-core host still
+    # answers loopback status reads quickly, so these never degrade
+    if report["rps"] < args.min_rps:
+        fail(
+            f"serve read path managed {report['rps']} requests/s, "
+            f"need >= {args.min_rps}"
+        )
+    if args.max_p99_ms is not None and report["p99_ms"] > args.max_p99_ms:
+        fail(
+            f"serve p99 latency {report['p99_ms']} ms over the "
+            f"{args.max_p99_ms} ms cap (p50 {report['p50_ms']} ms)"
+        )
+    if report["queue_full_429"] < args.min_queue_full:
+        fail(
+            f"the capacity-1 burst drew only {report['queue_full_429']} "
+            f"429(s), need >= {args.min_queue_full} (is the queue bound "
+            f"enforced?)"
+        )
+    print(
+        f"ok: {report['rps']} req/s (p50 {report['p50_ms']} ms, "
+        f"p99 {report['p99_ms']} ms), {report['n_jobs']} jobs byte-identical, "
+        f"{report['queue_full_429']} queue-full 429(s)"
+    )
+
+
+CHECKS = {"parallel": check_parallel, "batch": check_batch, "serve": check_serve}
 
 
 def run_assert(args):
@@ -344,6 +380,12 @@ def main():
                    metavar="SPEEDUP",
                    help="batch: required cached-over-uncached speedup on the "
                         "repeated-spec manifest")
+    p.add_argument("--min-rps", type=float, default=0.0,
+                   help="serve: required read-path requests/s")
+    p.add_argument("--max-p99-ms", type=float, default=None,
+                   help="serve: cap on read-path p99 latency in ms")
+    p.add_argument("--min-queue-full", type=int, default=1,
+                   help="serve: required 429 count from the capacity-1 burst")
     p.add_argument("--no-slowdown-floor", type=float, default=0.9,
                    help="degraded speedup gate applied when the host has "
                         "fewer cores than --min-jobs (see the BENCH reports' "

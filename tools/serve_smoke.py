@@ -1,0 +1,298 @@
+#!/usr/bin/env python3
+"""End-to-end smoke for `msyn serve`: the CI-gated service contract.
+
+    tools/serve_smoke.py examples/batch_manifest.jsonl \
+        --msyn _build/default/bin/msyn.exe --workers 4
+
+Three phases, each against a real `msyn serve` process over loopback HTTP:
+
+A. Fresh service: boot on an ephemeral port, health-check, reject a
+   malformed body (400) and an unknown route (404), submit every manifest
+   job, poll to completion, fetch each result and demand it byte-match
+   the corresponding line of a sequential `msyn batch` reference journal,
+   read /metrics, then SIGTERM and assert a graceful drain (exit 0, every
+   accepted job journalled, journal byte-identical to the reference).
+
+B. Torn-journal resume: a journal holding a prefix of the reference plus
+   a line torn mid-write -- what SIGKILL during an append leaves -- must
+   boot, answer resubmissions of recorded jobs idempotently (200, no
+   re-execution), execute the rest, and finish byte-identical again.
+
+C. Drain semantics: while a deliberately slow job pins the server open,
+   POST /drain must stop admissions (503 for new submissions) while
+   status reads keep answering, and the process must exit 0 once the
+   pinned job finishes.
+"""
+
+import argparse
+import json
+import os
+import shlex
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def manifest_jobs(path):
+    """The manifest's job lines, in order, as (id, line) pairs."""
+    jobs = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            jobs.append((json.loads(line)["id"], line))
+    return jobs
+
+
+def journal_lines(path):
+    """Journal records keyed by id, each the exact bytes of its line."""
+    records = {}
+    with open(path, "rb") as f:
+        for raw in f.read().split(b"\n"):
+            if raw:
+                records[json.loads(raw)["id"]] = raw
+    return records
+
+
+class Server:
+    """One `msyn serve` process on an ephemeral port."""
+
+    def __init__(self, msyn, journal, extra=()):
+        self.proc = subprocess.Popen(
+            msyn + ["serve", journal, "--port", "0"] + list(extra),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        self.port = None
+        deadline = time.time() + 60
+        while time.time() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                break
+            if "listening on http://" in line:
+                self.port = int(line.rsplit(":", 1)[1])
+                break
+        if self.port is None:
+            self.proc.kill()
+            fail("msyn serve never announced its port")
+
+    def req(self, method, path, body=None):
+        """One request; returns (status, parsed-or-raw body, raw bytes)."""
+        r = urllib.request.Request(
+            f"http://127.0.0.1:{self.port}{path}",
+            data=body.encode() if body is not None else None,
+            method=method,
+        )
+        try:
+            with urllib.request.urlopen(r, timeout=60) as resp:
+                raw = resp.read()
+                status = resp.status
+        except urllib.error.HTTPError as e:
+            raw = e.read()
+            status = e.code
+        try:
+            return status, json.loads(raw), raw
+        except ValueError:
+            return status, None, raw
+
+    def poll_done(self, job_id, deadline_s=600):
+        deadline = time.time() + deadline_s
+        while time.time() < deadline:
+            status, body, _ = self.req("GET", f"/jobs/{job_id}")
+            if status != 200:
+                fail(f"status of {job_id}: HTTP {status}")
+            if body["state"] not in ("queued", "running"):
+                return body["state"]
+            time.sleep(0.1)
+        fail(f"job {job_id} never finished")
+
+    def finish(self, sig=None, timeout=600):
+        """Drain (by signal, or assume a drain was already requested) and
+        return (exit code, remaining stdout)."""
+        if sig is not None:
+            self.proc.send_signal(sig)
+        try:
+            out, _ = self.proc.communicate(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            fail("msyn serve did not exit after drain")
+        return self.proc.returncode, out
+
+
+def phase_a(args, jobs, reference):
+    print(f"serve smoke A: fresh service, {len(jobs)} jobs")
+    journal = tempfile.mktemp(prefix="msyn_serve_smoke_a", suffix=".journal")
+    srv = Server(args.msyn_argv, journal, args.serve_args)
+
+    status, body, _ = srv.req("GET", "/healthz")
+    if status != 200 or body.get("status") != "ok":
+        fail(f"healthz: HTTP {status} {body}")
+    status, _, _ = srv.req("POST", "/jobs", "this is not json")
+    if status != 400:
+        fail(f"malformed submit drew HTTP {status}, want 400")
+    status, _, _ = srv.req("GET", "/no/such/route")
+    if status != 404:
+        fail(f"unknown route drew HTTP {status}, want 404")
+
+    for _, line in jobs:
+        status, _, _ = srv.req("POST", "/jobs", line)
+        if status != 202:
+            fail(f"submit drew HTTP {status}, want 202: {line}")
+    for job_id, _ in jobs:
+        srv.poll_done(job_id)
+    for job_id, _ in jobs:
+        status, _, raw = srv.req("GET", f"/jobs/{job_id}/result")
+        if status != 200:
+            fail(f"result of {job_id}: HTTP {status}")
+        if raw != reference[job_id]:
+            fail(
+                f"result of {job_id} differs from the batch journal line:\n"
+                f"  serve: {raw!r}\n  batch: {reference[job_id]!r}"
+            )
+
+    status, metrics, _ = srv.req("GET", "/metrics")
+    if status != 200:
+        fail(f"metrics: HTTP {status}")
+    if metrics["jobs"]["finished"] != len(jobs):
+        fail(f"metrics says {metrics['jobs']['finished']} finished, want {len(jobs)}")
+    for key in ("stage_cache", "worker_busy_s", "telemetry"):
+        if key not in metrics:
+            fail(f"metrics lacks {key!r}: {sorted(metrics)}")
+
+    code, out = srv.finish(sig=signal.SIGTERM)
+    if code != 0:
+        fail(f"SIGTERM drain exited {code}:\n{out}")
+    if "drained" not in out:
+        fail(f"no drain report in serve output:\n{out}")
+    served = journal_lines(journal)
+    if served != reference:
+        fail("serve journal differs from the sequential batch reference")
+    os.remove(journal)
+    print(f"serve smoke A ok: {len(jobs)} results byte-identical, graceful drain")
+
+
+def phase_b(args, jobs, reference, ref_path):
+    print("serve smoke B: torn-journal resume")
+    with open(ref_path, "rb") as f:
+        ref_bytes = f.read()
+    lines = ref_bytes.split(b"\n")
+    keep = len(jobs) // 2
+    torn = b"\n".join(lines[:keep]) + b"\n" + lines[keep][: max(1, len(lines[keep]) // 2)]
+    journal = tempfile.mktemp(prefix="msyn_serve_smoke_b", suffix=".journal")
+    with open(journal, "wb") as f:
+        f.write(torn)
+
+    srv = Server(args.msyn_argv, journal, args.serve_args)
+    resumed = 0
+    for job_id, line in jobs:
+        status, _, _ = srv.req("POST", "/jobs", line)
+        if status == 200:
+            resumed += 1  # already known from the journal prefix
+        elif status != 202:
+            fail(f"resubmit of {job_id} drew HTTP {status}")
+    if resumed != keep:
+        fail(f"{resumed} jobs answered from the journal prefix, want {keep}")
+    for job_id, _ in jobs:
+        srv.poll_done(job_id)
+    status, _, _ = srv.req("POST", "/drain")
+    if status != 202:
+        fail(f"POST /drain drew HTTP {status}")
+    code, out = srv.finish()
+    if code != 0:
+        fail(f"drain after resume exited {code}:\n{out}")
+    with open(journal, "rb") as f:
+        resumed_bytes = f.read()
+    if resumed_bytes != ref_bytes:
+        fail("resumed journal differs from the uninterrupted reference")
+    os.remove(journal)
+    print(f"serve smoke B ok: {keep} records resumed, journal byte-identical")
+
+
+def phase_c(args):
+    print("serve smoke C: drain semantics under load")
+    # a fault:"hang" job spins at a guard point until its own timeout, so
+    # it deterministically pins the server open for a few seconds
+    pin = json.dumps(
+        {"id": "drain-pin", "seed": 1,
+         "specs": [{"name": "gain_db", "at_least": 40.0}],
+         "fault": "hang", "timeout_s": 6.0}
+    )
+    late = json.dumps({"id": "too-late", "seed": 2})
+    journal = tempfile.mktemp(prefix="msyn_serve_smoke_c", suffix=".journal")
+    srv = Server(args.msyn_argv, journal, args.serve_args)
+    status, _, _ = srv.req("POST", "/jobs", pin)
+    if status != 202:
+        fail(f"pin submit drew HTTP {status}")
+    status, _, _ = srv.req("POST", "/drain")
+    if status != 202:
+        fail(f"POST /drain drew HTTP {status}")
+    status, _, _ = srv.req("POST", "/jobs", late)
+    if status != 503:
+        fail(f"submission while draining drew HTTP {status}, want 503")
+    status, body, _ = srv.req("GET", "/jobs/drain-pin")
+    if status != 200:
+        fail(f"status read while draining drew HTTP {status}, want 200")
+    code, out = srv.finish()
+    if code != 0:
+        fail(f"drain under load exited {code}:\n{out}")
+    records = journal_lines(journal)
+    if set(records) != {"drain-pin"}:
+        fail(f"drained journal holds {sorted(records)}, want only drain-pin")
+    os.remove(journal)
+    print("serve smoke C ok: 503 while draining, reads answered, clean exit")
+
+
+def main():
+    p = argparse.ArgumentParser(description=__doc__)
+    p.add_argument("manifest", help="JSONL manifest whose jobs to serve")
+    p.add_argument("--msyn", default="_build/default/bin/msyn.exe",
+                   help="msyn command (shell-split)")
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="per-job timeout passed to both batch and serve")
+    p.add_argument("--retries", type=int, default=1,
+                   help="retry budget passed to both batch and serve")
+    args = p.parse_args()
+    args.msyn_argv = shlex.split(args.msyn)
+    args.serve_args = [
+        "--workers", str(args.workers),
+        "--timeout", str(args.timeout),
+        "--retries", str(args.retries),
+    ]
+
+    jobs = manifest_jobs(args.manifest)
+    if not jobs:
+        fail(f"no jobs in {args.manifest}")
+
+    # the contract's other side: a sequential `msyn batch` over the same
+    # manifest, whose journal every serve phase is compared against
+    ref_path = tempfile.mktemp(prefix="msyn_serve_smoke_ref", suffix=".journal")
+    cmd = args.msyn_argv + [
+        "batch", args.manifest, "--journal", ref_path, "--jobs", "1",
+        "--timeout", str(args.timeout), "--retries", str(args.retries),
+    ]
+    print(f"serve smoke: batch reference: {' '.join(cmd)}")
+    if subprocess.run(cmd).returncode != 0:
+        fail("reference batch run failed")
+    reference = journal_lines(ref_path)
+
+    phase_a(args, jobs, reference)
+    phase_b(args, jobs, reference, ref_path)
+    phase_c(args)
+    os.remove(ref_path)
+    print("serve smoke: all phases ok")
+
+
+if __name__ == "__main__":
+    main()
